@@ -1,0 +1,100 @@
+"""Benches for the beyond-paper ablations (DESIGN.md §6).
+
+Asserts the trade-offs the ablation study documents: bottom-up compresses
+at least comparably to sliding-window but is offline and slower; the
+self-pair addition costs only a small feature overhead; the two storage
+backends agree and stay within the same latency order of magnitude.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_access_methods,
+    run_backends,
+    run_planner,
+    run_segmenters,
+    run_self_pairs,
+    run_tiered,
+)
+
+
+@pytest.fixture(scope="module")
+def segmenter_rows():
+    return {row.name: row for row in run_segmenters()}
+
+
+@pytest.fixture(scope="module")
+def self_pair_stats():
+    return run_self_pairs()
+
+
+def test_segmenter_ablation_runtime(benchmark):
+    benchmark.pedantic(run_segmenters, rounds=1, iterations=1)
+
+
+def test_all_segmenters_respect_tolerance(segmenter_rows):
+    for row in segmenter_rows.values():
+        assert row.max_error <= 0.2 / 2.0 + 1e-9
+
+
+def test_sliding_window_is_fastest(segmenter_rows):
+    sw = segmenter_rows["sliding-window"]
+    assert sw.build_seconds <= segmenter_rows["bottom-up"].build_seconds
+    assert sw.build_seconds <= segmenter_rows["swab"].build_seconds
+
+
+def test_compressions_comparable(segmenter_rows):
+    rates = [row.r for row in segmenter_rows.values()]
+    assert max(rates) / min(rates) < 2.0
+
+
+def test_self_pair_overhead_modest(self_pair_stats):
+    with_sp = self_pair_stats["with self-pairs"]["rows"]
+    without = self_pair_stats["paper-literal"]["rows"]
+    assert with_sp > without
+    assert with_sp / without < 1.5, "self-pairs must cost < 50% extra rows"
+
+
+def test_self_pairs_never_lose_hits(self_pair_stats):
+    assert (
+        self_pair_stats["with self-pairs"]["hits_canonical"]
+        >= self_pair_stats["paper-literal"]["hits_canonical"]
+    )
+
+
+def test_adaptive_planner_beats_worst_fixed_policy():
+    """The auto plan's total time must land between the oracle and the
+    worse of the two fixed policies, with bounded regret."""
+    totals = run_planner(n_queries=12, repeats=2)
+    worst_fixed = max(totals["scan"], totals["index"])
+    assert totals["auto"] <= worst_fixed * 1.10
+    assert totals["auto"] >= totals["oracle"] * 0.95  # sanity: not magic
+
+
+def test_access_methods_agree_and_within_order_of_magnitude():
+    """Scan, sorted index, and grid must agree (asserted inside run) and
+    no method may be catastrophically slower than the best."""
+    out = run_access_methods(repeats=2)
+    for label, times in out.items():
+        fastest = min(times.values())
+        for mode, t in times.items():
+            assert t <= fastest * 50, f"{label}/{mode}: {t} vs {fastest}"
+
+
+def test_tiered_routing_saves_space_on_deep_queries():
+    """Section 6.1's observation: a deep query routed to a coarse tier
+    consults an order of magnitude fewer rows than the fine index."""
+    out = run_tiered(repeats=2)
+    deep = out["deep query (-8C, tol 2C)"]
+    assert deep["chosen_epsilon"] > 0.1
+    assert deep["tier_rows"] * 4 < deep["fine_rows"]
+    precise = out["precise query (-3C, tol 0.2C)"]
+    assert precise["chosen_epsilon"] == 0.1
+
+
+def test_backends_agree_and_comparable():
+    out = run_backends()
+    assert out["memory"]["hits"] == out["sqlite"]["hits"]
+    slower = max(out["memory"]["seconds"], out["sqlite"]["seconds"])
+    faster = min(out["memory"]["seconds"], out["sqlite"]["seconds"])
+    assert slower / faster < 50.0

@@ -1,0 +1,76 @@
+"""Bench for Figures 10-11: query time vs compression rate.
+
+Times the canonical CAD query against both systems in both plan modes and
+asserts the figures' shapes: SegDiff's time falls as ε grows, and SegDiff
+beats Exh in every regime.
+"""
+
+import pytest
+
+from repro.experiments import datasets
+from repro.experiments.fig10_11_query_time import run
+from repro.experiments.runner import build_exh, build_segdiff
+
+
+@pytest.fixture(scope="module")
+def times():
+    return run()
+
+
+@pytest.fixture(scope="module")
+def built_indexes(series_week):
+    segdiff = build_segdiff(
+        series_week, datasets.DEFAULT_EPSILON, datasets.DEFAULT_WINDOW
+    )
+    exh = build_exh(series_week, datasets.DEFAULT_WINDOW)
+    yield segdiff, exh
+    segdiff.close()
+    exh.close()
+
+
+def test_segdiff_scan_latency(benchmark, built_indexes, canonical_query):
+    segdiff, _exh = built_indexes
+    t_thr, v_thr = canonical_query
+    hits = benchmark(segdiff.search_drops, t_thr, v_thr, mode="scan")
+    assert hits
+
+
+def test_segdiff_indexed_latency(benchmark, built_indexes, canonical_query):
+    segdiff, _exh = built_indexes
+    t_thr, v_thr = canonical_query
+    hits = benchmark(segdiff.search_drops, t_thr, v_thr, mode="index")
+    assert hits
+
+
+def test_exh_scan_latency(benchmark, built_indexes, canonical_query):
+    _segdiff, exh = built_indexes
+    t_thr, v_thr = canonical_query
+    hits = benchmark(exh.search_drops, t_thr, v_thr, mode="scan")
+    assert hits
+
+
+def test_exh_indexed_latency(benchmark, built_indexes, canonical_query):
+    _segdiff, exh = built_indexes
+    t_thr, v_thr = canonical_query
+    hits = benchmark(exh.search_drops, t_thr, v_thr, mode="index")
+    assert hits
+
+
+def test_fig10_segdiff_scan_falls_with_r(times):
+    scans = [times[eps].segdiff_scan for eps in datasets.EPSILON_SWEEP]
+    # allow small timing noise between adjacent points; the sweep's ends
+    # must show the 1/r trend clearly
+    assert scans[-1] < scans[0]
+
+
+def test_segdiff_beats_exh_in_both_modes(times):
+    for row in times.values():
+        assert row.r_st > 1.0, f"scan ratio at eps={row.epsilon}"
+        assert row.r_it > 1.0, f"index ratio at eps={row.epsilon}"
+
+
+def test_ratios_grow_with_epsilon(times):
+    r_st = [times[eps].r_st for eps in datasets.EPSILON_SWEEP]
+    r_it = [times[eps].r_it for eps in datasets.EPSILON_SWEEP]
+    assert r_st[-1] > r_st[0]
+    assert r_it[-1] > r_it[0]

@@ -1,0 +1,66 @@
+"""Bench for Figures 12-13 / Table 7: performance vs window size.
+
+Times Algorithm 1 at the default window and asserts the sweep's shapes:
+both systems' feature sizes grow with w, and the size ratio itself grows
+with w (SegDiff's advantage increases for longer-span queries).
+"""
+
+import pytest
+
+from repro.core.extraction import FeatureExtractor
+from repro.experiments import datasets
+from repro.experiments.fig12_13_window import run
+from repro.segmentation import SlidingWindowSegmenter
+from repro.storage import MemoryFeatureStore
+
+
+@pytest.fixture(scope="module")
+def window_rows():
+    return run()
+
+
+def test_extraction_speed(benchmark, series_week):
+    """Time Algorithm 1 over the pre-computed segments (w = 8 h)."""
+    segments = SlidingWindowSegmenter(datasets.DEFAULT_EPSILON).segment(
+        series_week
+    )
+
+    def extract():
+        store = MemoryFeatureStore()
+        extractor = FeatureExtractor(
+            datasets.DEFAULT_EPSILON, datasets.DEFAULT_WINDOW, store
+        )
+        for seg in segments:
+            extractor.add_segment(seg)
+        return extractor.stats.n_pairs
+
+    pairs = benchmark(extract)
+    assert pairs > 0
+
+
+def test_fig12_sizes_grow_with_window(window_rows):
+    hours = sorted(window_rows)
+    segdiff = [window_rows[h].segdiff_feature_bytes for h in hours]
+    exh = [window_rows[h].exh_feature_bytes for h in hours]
+    assert segdiff == sorted(segdiff)
+    assert exh == sorted(exh)
+
+
+def test_table7_ratio_grows_with_window(window_rows):
+    hours = sorted(window_rows)
+    r_f = [window_rows[h].r_f for h in hours]
+    r_d = [window_rows[h].r_d for h in hours]
+    assert r_f == sorted(r_f), "paper: r_f increases with w"
+    assert r_d == sorted(r_d), "paper: r_d increases with w"
+
+
+def test_fig13_exh_scan_grows_with_window(window_rows):
+    hours = sorted(window_rows)
+    exh = [window_rows[h].exh_scan for h in hours]
+    assert exh[-1] > exh[0]
+
+
+def test_segdiff_wins_at_every_window(window_rows):
+    for row in window_rows.values():
+        assert row.r_f > 1.0
+        assert row.r_st > 1.0

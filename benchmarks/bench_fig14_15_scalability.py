@@ -1,0 +1,60 @@
+"""Bench for Figures 14-15: growth with the number of observations.
+
+Times incremental ingest and asserts the figures' shapes: SegDiff's
+feature size and scan time grow roughly linearly with n, and Exh (the
+measured groups plus the paper-style linear extrapolation) stays an order
+of magnitude larger.
+"""
+
+import pytest
+
+from repro.core.index import SegDiffIndex
+from repro.experiments import datasets
+from repro.experiments.fig14_15_scalability import run
+
+
+@pytest.fixture(scope="module")
+def growth():
+    return run()
+
+
+def test_incremental_ingest_speed(benchmark):
+    """Time ingesting one 6-day group into a live index."""
+    groups = datasets.scalability_groups()
+
+    def ingest_one():
+        index = SegDiffIndex(
+            datasets.DEFAULT_EPSILON, datasets.DEFAULT_WINDOW
+        )
+        index.ingest(groups[0])
+        index.checkpoint()
+        index.close()
+
+    benchmark.pedantic(ingest_one, rounds=3, iterations=1)
+
+
+def test_fig14_segdiff_grows_linearly(growth):
+    sizes = [row.segdiff_feature_bytes for row in growth]
+    ns = [row.n_observations for row in growth]
+    assert sizes == sorted(sizes)
+    # bytes-per-observation stays roughly constant => linear growth
+    per_obs = [s / n for s, n in zip(sizes, ns)]
+    assert max(per_obs) / min(per_obs) < 2.0
+
+
+def test_fig14_exh_order_of_magnitude_larger(growth):
+    for row in growth:
+        assert row.exh_feature_bytes_extrapolated > 4 * row.segdiff_feature_bytes
+
+
+def test_fig15_scan_time_grows(growth):
+    times = [row.segdiff_scan for row in growth]
+    assert times[-1] > times[0]
+
+
+def test_exh_measured_for_first_groups_only(growth):
+    measured = [row for row in growth if row.exh_feature_bytes is not None]
+    assert len(measured) == 2, "paper aborted Exh after two groups"
+    for row in measured:
+        assert row.exh_scan is not None
+        assert row.exh_scan > row.segdiff_scan

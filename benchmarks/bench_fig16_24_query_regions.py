@@ -1,0 +1,73 @@
+"""Bench for Figures 16-24: the random-query study.
+
+Runs the full (T, V)-plane workload once and asserts the study's shapes:
+SegDiff wins in every regime, the hard queries cluster toward large T and
+shallow V (the top-right triangle of Figure 16), and forced-index access
+degrades on the hardest (largest-result) queries — the effect that makes
+Exh's indexes a liability in the paper.
+"""
+
+from statistics import mean
+
+import pytest
+
+from repro.experiments.fig16_24_query_regions import run
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run(n_queries=18, repeats=2)
+
+
+def test_region_study_runtime(benchmark):
+    """Time a reduced study end-to-end (4 queries, warm regimes only)."""
+    benchmark.pedantic(
+        lambda: run(n_queries=4, repeats=1), rounds=1, iterations=1
+    )
+
+
+@pytest.mark.parametrize(
+    "mode, cache, fig",
+    [
+        ("scan", "warm", "Fig 21"),
+        ("index", "warm", "Fig 22"),
+        ("scan", "cold", "Fig 23"),
+        ("index", "cold", "Fig 24"),
+    ],
+)
+def test_segdiff_wins_every_regime(study, mode, cache, fig):
+    ratio = study.median_ratio(mode, cache)
+    assert ratio > 2.0, f"{fig}: median Exh/SegDiff ratio {ratio:.1f}"
+
+
+def test_fig16_hard_queries_cluster_top_right(study):
+    hard = study.hard_queries()
+    assert hard
+    all_t = mean(t.t_threshold for t in study.timings)
+    all_v = mean(t.v_threshold for t in study.timings)
+    hard_t = mean(t.t_threshold for t in hard)
+    hard_v = mean(t.v_threshold for t in hard)
+    # larger T (right) and shallower V (top) than the average query
+    assert hard_t >= all_t * 0.9
+    assert hard_v >= all_v
+
+
+def test_fig19_20_index_hurts_on_hardest_exh_queries(study):
+    """On the largest-result query, Exh's forced index must not beat its
+    scan by much — and typically loses (the paper's 'indexes do not
+    help in the hard region')."""
+    hardest = max(study.timings, key=lambda t: t.n_results_exh)
+    if hardest.n_results_exh == 0:
+        pytest.skip("workload produced no large-result query")
+    assert hardest.exh["index/warm"] > 0.5 * hardest.exh["scan/warm"]
+
+
+def test_result_counts_monotone_with_region_size(study):
+    """Queries with the same V: larger T can only return more results."""
+    by_v = {}
+    for t in study.timings:
+        by_v.setdefault(round(t.v_threshold, 6), []).append(t)
+    for group in by_v.values():
+        group.sort(key=lambda t: t.t_threshold)
+        counts = [t.n_results_segdiff for t in group]
+        assert counts == sorted(counts)

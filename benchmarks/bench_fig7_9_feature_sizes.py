@@ -1,0 +1,62 @@
+"""Bench for Figures 7-9: feature and disk sizes vs compression rate.
+
+Times index construction (segmentation + Algorithm 1 + SQLite load) and
+asserts the figures' shapes: SegDiff shrinks like 1/r, Exh dwarfs it, and
+the ratio grows with ε.
+"""
+
+import pytest
+
+from repro.core.index import SegDiffIndex
+from repro.experiments import datasets
+from repro.experiments.fig7_9_feature_sizes import run
+
+
+@pytest.fixture(scope="module")
+def sizes():
+    return run()
+
+
+def test_index_build_speed(benchmark, series_week):
+    """Time a full SegDiff build (memory backend isolates CPU cost)."""
+
+    def build():
+        index = SegDiffIndex.build(
+            series_week, datasets.DEFAULT_EPSILON, datasets.DEFAULT_WINDOW,
+            backend="memory",
+        )
+        index.close()
+        return index
+
+    benchmark.pedantic(build, rounds=3, iterations=1)
+
+
+def test_fig8_segdiff_size_falls_with_r(sizes):
+    ordered = [sizes[eps] for eps in datasets.EPSILON_SWEEP]
+    feature_sizes = [row.segdiff_feature_bytes for row in ordered]
+    assert feature_sizes == sorted(feature_sizes, reverse=True)
+
+
+def test_fig8_inverse_r_shape(sizes):
+    """size * r should be roughly constant (the r^{-1} curve of Fig 8)."""
+    products = [
+        row.segdiff_feature_bytes * row.r for row in sizes.values()
+    ]
+    assert max(products) / min(products) < 3.0
+
+
+def test_fig7_ratio_grows_with_r(sizes):
+    ordered = [sizes[eps] for eps in datasets.EPSILON_SWEEP]
+    ratios = [row.r_f for row in ordered]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > 10.0, "order-of-magnitude saving at high r (Fig 7)"
+
+
+def test_fig9_disk_sizes_include_indexes(sizes):
+    for row in sizes.values():
+        assert row.segdiff_disk_bytes > row.segdiff_feature_bytes
+        assert row.exh_disk_bytes > row.exh_feature_bytes
+
+
+def test_default_epsilon_saves_order_of_magnitude(sizes):
+    assert sizes[0.2].r_f > 5.0, "paper: 12x at eps=0.2"

@@ -1,0 +1,53 @@
+"""Bench for the MiniDB page-cost study.
+
+Asserts the mechanically measured versions of the paper's key findings,
+in hardware-independent page reads with a deterministically cold pool.
+"""
+
+import pytest
+
+from repro.experiments.page_cost import run
+
+
+@pytest.fixture(scope="module")
+def costs():
+    return {row.label: row for row in run()}
+
+
+def test_page_cost_runtime(benchmark):
+    benchmark.pedantic(lambda: run(days=2), rounds=1, iterations=1)
+
+
+def test_segdiff_scan_touches_order_of_magnitude_fewer_pages(costs):
+    """Figures 17-18: SegDiff's compression is a direct I/O saving."""
+    for row in costs.values():
+        assert row.exh_scan >= 5 * row.segdiff_scan
+
+
+def test_index_wins_on_selective_queries(costs):
+    row = costs["selective"]
+    assert row.segdiff_index < row.segdiff_scan
+    assert row.exh_index < row.exh_scan
+
+
+def test_index_loses_on_hard_queries(costs):
+    """Figures 19-20: one heap fetch per match sinks the index plan."""
+    row = costs["hard"]
+    assert row.segdiff_index > row.segdiff_scan
+    assert row.exh_index > row.exh_scan
+    # Exh's blowup dwarfs SegDiff's: it has ~40x more matches to fetch
+    assert row.exh_index > 5 * row.segdiff_index
+
+
+def test_scan_cost_is_query_independent(costs):
+    """A sequential scan reads the whole table no matter the query."""
+    sd_scans = {row.segdiff_scan for row in costs.values()}
+    exh_scans = {row.exh_scan for row in costs.values()}
+    assert len(sd_scans) == 1
+    assert len(exh_scans) == 1
+
+
+def test_hit_counts_consistent(costs):
+    assert costs["hard"].segdiff_hits > costs["canonical"].segdiff_hits
+    assert costs["hard"].exh_hits > costs["canonical"].exh_hits
+    assert costs["selective"].segdiff_hits == 0

@@ -1,0 +1,53 @@
+"""Bench for the Section 5.2 analytic space model.
+
+Asserts the model's predictive quality: the analytic ratio and the
+measured cell ratio agree within a small constant factor at every
+tolerance and share the same growth trend.
+"""
+
+import pytest
+
+from repro.experiments import datasets
+from repro.experiments.space_model import run
+
+
+@pytest.fixture(scope="module")
+def model():
+    return run()
+
+
+def test_space_model_runtime(benchmark):
+    benchmark.pedantic(
+        lambda: run(epsilons=(0.2,)), rounds=1, iterations=1
+    )
+
+
+def test_prediction_within_2x_of_cell_measurement(model):
+    for row in model.values():
+        ratio = row.predicted_ratio / row.measured_cell_ratio
+        assert 0.5 <= ratio <= 2.0, (
+            f"eps={row.epsilon}: predicted {row.predicted_ratio:.1f} vs "
+            f"measured {row.measured_cell_ratio:.1f}"
+        )
+
+
+def test_prediction_and_measurement_grow_together(model):
+    eps = list(datasets.EPSILON_SWEEP)
+    predicted = [model[e].predicted_ratio for e in eps]
+    measured = [model[e].measured_cell_ratio for e in eps]
+    assert predicted == sorted(predicted)
+    assert measured == sorted(measured)
+
+
+def test_model_inputs_plausible(model):
+    for row in model.values():
+        assert row.n_w == pytest.approx(96.0)  # 8 h of 5-min samples
+        assert 1.0 <= row.m_w <= row.n_w
+        assert 5.0 <= row.c2_effective <= 7.0  # paper: c2 in [5, 7]
+
+
+def test_byte_ratio_below_cell_ratio(model):
+    """Physical bytes carry per-row overhead, so the byte ratio must not
+    exceed the idealized cell ratio."""
+    for row in model.values():
+        assert row.measured_byte_ratio <= row.measured_cell_ratio * 1.1

@@ -1,0 +1,34 @@
+"""Bench for Table 3: compression rate vs error tolerance.
+
+Times the paper's segmenter on the standard subset and asserts the
+table's shape: ``r`` grows monotonically with ε and sits in the paper's
+regime (mid single digits at ε = 0.2, roughly 3-5x higher at ε = 1.0).
+"""
+
+import pytest
+
+from repro.experiments import datasets
+from repro.experiments.table3_compression import run
+from repro.segmentation import SlidingWindowSegmenter
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return run()
+
+
+def test_segmentation_speed(benchmark, series_week):
+    """Time one full segmentation pass at the default tolerance."""
+    segmenter = SlidingWindowSegmenter(datasets.DEFAULT_EPSILON)
+    segments = benchmark(segmenter.segment, series_week)
+    assert segments
+
+
+def test_r_grows_with_epsilon(table3):
+    rates = [table3[eps] for eps in datasets.EPSILON_SWEEP]
+    assert rates == sorted(rates), "compression must grow with tolerance"
+
+
+def test_r_in_paper_regime(table3):
+    assert 3.0 <= table3[0.2] <= 20.0
+    assert table3[1.0] / table3[0.1] > 2.0, "sweep must span a wide regime"

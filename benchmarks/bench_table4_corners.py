@@ -1,0 +1,61 @@
+"""Bench for Table 4: corner-case distribution vs tolerance.
+
+Times feature collection (the case analysis itself) and asserts the
+distribution's shape: two-corner cases dominate, one-corner share grows
+with ε, three-corner share shrinks, and the effective corner count stays
+near 2 — i.e. the reduction halves the 4-corner storage.
+"""
+
+import pytest
+
+from repro.core.corners import collect_features
+from repro.core.parallelogram import Parallelogram
+from repro.experiments import datasets
+from repro.experiments.table4_corners import run
+from repro.segmentation import SlidingWindowSegmenter
+
+
+@pytest.fixture(scope="module")
+def corners():
+    return run()
+
+
+def test_collect_features_speed(benchmark, series_week):
+    """Time the case analysis over all adjacent segment pairs."""
+    segments = SlidingWindowSegmenter(datasets.DEFAULT_EPSILON).segment(
+        series_week
+    )
+    pairs = [
+        Parallelogram.from_segments(cd, ab)
+        for cd, ab in zip(segments, segments[1:])
+    ]
+
+    def collect_all():
+        return [collect_features(p, datasets.DEFAULT_EPSILON) for p in pairs]
+
+    out = benchmark(collect_all)
+    assert len(out) == len(pairs)
+
+
+def test_multi_corner_cases_dominate(corners):
+    """One-corner cases are always the rarest (paper: 17-27 %; our slope
+    mix leans slightly more mixed-sign, shifting weight between the two-
+    and three-corner bins while keeping the same ordering trends)."""
+    for row in corners.values():
+        assert row.pct_one == min(row.pct_one, row.pct_two, row.pct_three)
+        assert row.pct_two + row.pct_three >= 70.0
+
+
+def test_one_corner_share_grows_with_epsilon(corners):
+    shares = [corners[eps].pct_one for eps in datasets.EPSILON_SWEEP]
+    assert shares == sorted(shares)
+
+
+def test_three_corner_share_shrinks_with_epsilon(corners):
+    shares = [corners[eps].pct_three for eps in datasets.EPSILON_SWEEP]
+    assert shares == sorted(shares, reverse=True)
+
+
+def test_effective_corner_count_halves_storage(corners):
+    for row in corners.values():
+        assert 1.8 <= row.effective <= 2.6, "paper: ~2.1 of 4 corners kept"

@@ -1,0 +1,46 @@
+"""Bench for Tables 5 and 6: the four Exh/SegDiff ratios vs tolerance.
+
+Runs the combined size+time experiment once and asserts every ratio
+exceeds 1 and grows from the low-ε to the high-ε end, as in the paper.
+"""
+
+import pytest
+
+from repro.experiments import datasets
+from repro.experiments.table5_6_ratios import run
+
+
+@pytest.fixture(scope="module")
+def ratios():
+    return run()
+
+
+def test_full_ratio_suite_runtime(benchmark):
+    """Time the complete Tables 5-6 experiment on a reduced sweep."""
+    benchmark.pedantic(
+        lambda: run(epsilons=(0.2,)), rounds=1, iterations=1
+    )
+
+
+def test_table5_feature_ratio(ratios):
+    values = [ratios[eps].r_f for eps in datasets.EPSILON_SWEEP]
+    assert all(v > 1.0 for v in values)
+    assert values == sorted(values)
+
+
+def test_table5_scan_time_ratio(ratios):
+    values = [ratios[eps].r_st for eps in datasets.EPSILON_SWEEP]
+    assert all(v > 1.0 for v in values)
+    assert values[-1] > values[0]
+
+
+def test_table6_disk_ratio(ratios):
+    values = [ratios[eps].r_d for eps in datasets.EPSILON_SWEEP]
+    assert all(v > 1.0 for v in values)
+    assert values == sorted(values)
+
+
+def test_table6_indexed_time_ratio(ratios):
+    values = [ratios[eps].r_it for eps in datasets.EPSILON_SWEEP]
+    assert all(v > 1.0 for v in values)
+    assert values[-1] > values[0]

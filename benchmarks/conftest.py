@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark suite.
+
+Heavy experiment runs are computed once per session and shared; the
+``benchmark`` fixtures time the hot operations (segmentation, extraction,
+queries) while plain asserts check the paper's qualitative shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import datasets
+
+
+@pytest.fixture(scope="session")
+def series_week():
+    """The standard 7-day smoothed CAD series used by Section 6.1-style
+    benches."""
+    return datasets.standard_series(days=7)
+
+
+@pytest.fixture(scope="session")
+def canonical_query():
+    """(T, V) of the canonical CAD query: 3-degree drop within one hour."""
+    return (datasets.DEFAULT_T, datasets.DEFAULT_V)

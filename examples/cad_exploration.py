@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Exploratory CAD analysis across the whole transect (the paper's
+Figure 1 workflow, and the exploratory use-case of the introduction).
+
+Biologists "pose queries with different drops and time spans" — the same
+index answers them all interactively.  The script:
+
+1. generates a week of data for every sensor on the transect;
+2. applies the paper's preprocessing (robust smoothing);
+3. builds one SegDiff index per sensor;
+4. runs a panel of exploratory queries and summarizes which sensors
+   experience cold-air drainage, and how strongly (canyon-bottom sensors
+   should dominate);
+5. prints an ASCII rendition of one day of data with its segments and a
+   search hit — the paper's Figure 1.
+
+Run with::
+
+    python examples/cad_exploration.py
+"""
+
+from repro import DropQuery, SegDiffIndex, witness_event
+from repro.datagen import CADConfig, CADTransectGenerator, robust_loess
+
+HOUR = 3600.0
+
+EXPLORATORY_QUERIES = [
+    ("classic CAD: 3 C / 1 h", 1 * HOUR, -3.0),
+    ("fast drainage: 2 C / 30 min", 0.5 * HOUR, -2.0),
+    ("severe events: 6 C / 2 h", 2 * HOUR, -6.0),
+]
+
+
+def build_indexes(n_sensors: int = 9, days: int = 7):
+    cfg = CADConfig(n_sensors=n_sensors, days=days, seed=77)
+    gen = CADTransectGenerator(cfg)
+    indexes = {}
+    for i, (name, raw) in enumerate(gen.generate_all().items()):
+        smooth = robust_loess(raw, span=9, iterations=2)
+        indexes[name] = (
+            gen.depth_factor(i),
+            smooth,
+            SegDiffIndex.build(smooth, epsilon=0.2, window=8 * HOUR),
+        )
+    return indexes
+
+
+def ascii_figure1(series, index, pair, width=72, height=12) -> str:
+    """Figure 1: one day of data, its segments, and a search result."""
+    t0, t1 = pair.t_d - 4 * HOUR, pair.t_a + 4 * HOUR
+    t0 = max(t0, series.t_start)
+    t1 = min(t1, series.t_end)
+    window = series.slice_time(t0, t1)
+    lo, hi = window.values.min(), window.values.max()
+    rows = [[" "] * width for _ in range(height)]
+
+    def plot(t, v, char):
+        x = int((t - t0) / (t1 - t0) * (width - 1))
+        y = int((v - lo) / (hi - lo + 1e-9) * (height - 1))
+        rows[height - 1 - y][x] = char
+
+    for t, v in zip(window.times, window.values):
+        plot(t, v, ".")
+    approx = index.approximation()
+    for seg in index.segments:
+        if seg.t_end < t0 or seg.t_start > t1:
+            continue
+        plot(max(seg.t_start, t0), approx(max(seg.t_start, t0)), "o")
+        plot(min(seg.t_end, t1), approx(min(seg.t_end, t1)), "o")
+    for boundary in pair.as_tuple():
+        x = int((boundary - t0) / (t1 - t0) * (width - 1))
+        for row in rows:
+            if row[x] == " ":
+                row[x] = "|"
+    return "\n".join("".join(r) for r in rows)
+
+
+def main() -> None:
+    print("Building per-sensor indexes (9 sensors, 7 days) ...")
+    indexes = build_indexes()
+
+    for label, t_thr, v_thr in EXPLORATORY_QUERIES:
+        print(f"\n=== {label} ===")
+        print(f"{'sensor':>8}  {'depth':>6}  {'hits':>5}  deepest witnessed drop")
+        for name, (depth, series, index) in sorted(indexes.items()):
+            pairs = index.search_drops(t_thr, v_thr)
+            deepest = ""
+            if pairs:
+                query = DropQuery(t_thr, v_thr)
+                events = [
+                    witness_event(p, series, query) for p in pairs[:50]
+                ]
+                dv = min(e.dv for e in events if e is not None)
+                deepest = f"{dv:+.1f} C"
+            print(f"{name:>8}  {depth:6.2f}  {len(pairs):5d}  {deepest}")
+
+    # Figure 1: plot the first hit of the classic query on the deepest sensor
+    name, (depth, series, index) = max(
+        indexes.items(), key=lambda kv: kv[1][0]
+    )
+    pairs = index.search_drops(1 * HOUR, -3.0)
+    if pairs:
+        print(f"\nFigure 1 (sensor {name}): data (.), segment ends (o), "
+              "search-result boundaries (|)")
+        print(ascii_figure1(series, index, pairs[0]))
+
+    for _depth, _series, index in indexes.values():
+        index.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Jump search on a non-sensor domain: price spikes in a tick series.
+
+Section 2 generalizes the problem statement beyond temperature: any 1-D
+time series works, and the symmetric *jump* search finds rises instead of
+drops.  This example scans a synthetic price random walk for rallies —
+"rose at least 2.5 within 30 minutes" — and cross-checks SegDiff's
+periods against the exhaustive baseline's raw events.
+
+Run with::
+
+    python examples/jump_search_finance.py
+"""
+
+from repro import ExhIndex, JumpQuery, SegDiffIndex, witness_event
+from repro.datagen import random_walk_series
+
+HOUR = 3600.0
+
+
+def main() -> None:
+    # a trading week of 10-second ticks
+    prices = random_walk_series(
+        n=6 * 3600 // 10 * 5, dt=10.0, step_std=0.05, seed=42, name="ticks"
+    )
+    print(f"Tick data: {prices}")
+
+    t_thr, v_thr = 0.5 * HOUR, 2.0
+    index = SegDiffIndex.build(prices, epsilon=0.1, window=2 * HOUR)
+    pairs = index.search_jumps(t_thr, v_thr)
+    print(
+        f"\nJump search (rise >= {v_thr} within {t_thr / 60:.0f} min): "
+        f"{len(pairs)} periods from {index.stats().n_segments} segments "
+        f"(r = {index.stats().compression_rate:.1f})"
+    )
+
+    query = JumpQuery(t_thr, v_thr)
+    best = None
+    for pair in pairs:
+        ev = witness_event(pair, prices, query)
+        if ev and (best is None or ev.dv > best.dv):
+            best = ev
+    if best:
+        print(
+            f"Strongest rally: +{best.dv:.2f} over {best.dt / 60:.1f} min "
+            f"starting at t={best.t_first:.0f}"
+        )
+
+    # cross-check against the exhaustive baseline
+    exh = ExhIndex.build(prices, window=2 * HOUR)
+    events = exh.search_jumps(t_thr, v_thr)
+    covered = sum(
+        1
+        for ev in events
+        if any(
+            p.t_d <= ev.t_first <= p.t_c and p.t_b <= ev.t_second <= p.t_a
+            for p in pairs
+        )
+    )
+    if events:
+        print(
+            f"Exh raw events: {len(events)}; covered by SegDiff periods: "
+            f"{covered} ({100.0 * covered / len(events):.1f}% — "
+            "Theorem 1 says 100%)"
+        )
+    else:
+        print(
+            "Exh found no raw sampled events; SegDiff's extra periods are "
+            "within the 2*epsilon tolerance Theorem 1 permits"
+        )
+
+    index.close()
+    exh.close()
+
+
+if __name__ == "__main__":
+    main()

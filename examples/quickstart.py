@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: index a day of sensor data and search for drops.
+
+This is the paper's motivating scenario end-to-end: a biologist wants
+periods when the temperature fell at least 3 degrees Celsius within one
+hour (a Cold Air Drainage event).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import DropQuery, SegDiffIndex, witness_event
+from repro.datagen import generate_cad_day
+
+HOUR = 3600.0
+
+
+def main() -> None:
+    # One day of synthetic CAD-transect temperature data (5-minute
+    # sampling), with the injected ground-truth events for comparison.
+    series, truth = generate_cad_day(seed=7)
+    print(f"Data: {series}")
+    print(f"Ground truth: {len(truth)} injected CAD event(s)")
+    for ev in truth:
+        print(
+            f"  drop of {ev.depth:.1f} C between t={ev.t_onset:.0f} "
+            f"and t={ev.t_bottom:.0f}"
+        )
+
+    # Build the SegDiff index: error tolerance 0.2 C, longest query span 8 h.
+    index = SegDiffIndex.build(series, epsilon=0.2, window=8 * HOUR)
+    stats = index.stats()
+    print(
+        f"\nIndex: {stats.n_segments} segments over "
+        f"{stats.n_observations} observations "
+        f"(compression rate r = {stats.compression_rate:.1f})"
+    )
+
+    # The canonical CAD search: a drop of >= 3 C within 1 hour.
+    pairs = index.search_drops(t_threshold=1 * HOUR, v_threshold=-3.0)
+    print(f"\nSearch (drop <= -3 C within 1 h): {len(pairs)} candidate periods")
+
+    # Refine: locate the exact deepest event inside each returned period.
+    query = DropQuery(1 * HOUR, -3.0)
+    for pair in pairs[:5]:
+        ev = witness_event(pair, series, query)
+        print(
+            f"  drop starts in [{pair.t_d:8.0f}, {pair.t_c:8.0f}], "
+            f"ends in [{pair.t_b:8.0f}, {pair.t_a:8.0f}]  "
+            f"(deepest: {ev.dv:+.2f} C over {ev.dt / 60:.0f} min)"
+        )
+    if len(pairs) > 5:
+        print(f"  ... and {len(pairs) - 5} more")
+
+    index.close()
+
+
+if __name__ == "__main__":
+    main()

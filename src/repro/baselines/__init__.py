@@ -1,0 +1,15 @@
+"""Baselines the paper compares against.
+
+* :class:`ExhIndex` — the exhaustive approach **Exh**: materialize
+  ``(Δt, Δv)`` for every pair of sampled observations within the window
+  ``w`` and answer searches with one range query.  Fast to query per row
+  but enormous: its size is what SegDiff's compression is measured
+  against in every experiment.
+* :class:`NaiveScan` — the "naive approach" of the introduction: compute
+  the differences on the fly at query time, storing nothing.
+"""
+
+from .exhaustive import ExhIndex
+from .naive import NaiveScan
+
+__all__ = ["ExhIndex", "NaiveScan"]

@@ -1,0 +1,64 @@
+"""The naive on-the-fly baseline (Section 1).
+
+No precomputation: a search walks the raw series and compares every pair
+of sampled observations within the time-span budget.  The paper dismisses
+it as "several hours for a reasonably large data set"; it is included as
+the correctness reference for the Exh results and as the zero-storage
+point in the space/time trade-off benches.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..datagen.series import TimeSeries
+from ..errors import InvalidParameterError
+from ..types import Event
+
+__all__ = ["NaiveScan"]
+
+
+class NaiveScan:
+    """Query-time pairwise scan over a raw series."""
+
+    def __init__(self, series: TimeSeries) -> None:
+        self.series = series
+
+    def search_drops(
+        self, t_threshold: float, v_threshold: float
+    ) -> List[Event]:
+        """Sampled-pair events with ``0 < Δt <= T`` and ``Δv <= V``."""
+        if not (v_threshold < 0):
+            raise InvalidParameterError("drop search requires V < 0")
+        return self._search(t_threshold, v_threshold, drop=True)
+
+    def search_jumps(
+        self, t_threshold: float, v_threshold: float
+    ) -> List[Event]:
+        """Sampled-pair events with ``0 < Δt <= T`` and ``Δv >= V``."""
+        if not (v_threshold > 0):
+            raise InvalidParameterError("jump search requires V > 0")
+        return self._search(t_threshold, v_threshold, drop=False)
+
+    def _search(self, t_thr: float, v_thr: float, drop: bool) -> List[Event]:
+        if t_thr <= 0:
+            raise InvalidParameterError("T must be positive")
+        t = self.series.times
+        v = self.series.values
+        n = len(t)
+        events: List[Event] = []
+        # For each start index, the admissible end indexes form a
+        # contiguous run (timestamps are sorted); vectorize per start.
+        hi = np.searchsorted(t, t + t_thr, side="right")
+        for i in range(n - 1):
+            j_hi = int(hi[i])
+            if j_hi <= i + 1:
+                continue
+            dv = v[i + 1 : j_hi] - v[i]
+            mask = dv <= v_thr if drop else dv >= v_thr
+            for off in np.nonzero(mask)[0]:
+                j = i + 1 + int(off)
+                events.append(Event(float(t[i]), float(t[j]), float(dv[off])))
+        return events

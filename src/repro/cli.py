@@ -1,0 +1,256 @@
+"""Command-line interface: ``segdiff`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``generate`` — write synthetic CAD data to CSV;
+* ``smooth``   — apply the paper's robust-smoothing preprocessing;
+* ``build``    — build a persistent SegDiff index (SQLite) from CSV;
+* ``search``   — run a drop/jump search against a built index;
+* ``stats``    — report a built index's sizes and composition;
+* ``experiments`` — run the paper's evaluation tables.
+
+Example session::
+
+    segdiff generate --days 7 --out week.csv
+    segdiff smooth week.csv --out smooth.csv
+    segdiff build smooth.csv --epsilon 0.2 --window-hours 8 --index cad.idx
+    segdiff search cad.idx --drop -3 --within-minutes 60
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .core.index import SegDiffIndex
+from .core.queries import DropQuery, JumpQuery
+from .core.results import rank_hits
+from .datagen import (
+    CADConfig,
+    CADTransectGenerator,
+    load_series_csv,
+    robust_loess,
+    save_series_csv,
+)
+from .errors import ReproError
+from .storage import SqliteFeatureStore
+
+HOUR = 3600.0
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    cfg = CADConfig(days=args.days, seed=args.seed, n_sensors=args.sensors)
+    gen = CADTransectGenerator(cfg)
+    series = gen.generate(args.sensor)
+    save_series_csv(series, args.out)
+    print(
+        f"wrote {len(series)} observations ({args.days} days, sensor "
+        f"{gen.sensor_names()[args.sensor]}) to {args.out}; "
+        f"{len(gen.events)} CAD events injected"
+    )
+    return 0
+
+
+def cmd_smooth(args: argparse.Namespace) -> int:
+    series = load_series_csv(args.input)
+    smoothed = robust_loess(series, span=args.span, iterations=args.iterations)
+    save_series_csv(smoothed, args.out)
+    print(f"smoothed {len(series)} observations -> {args.out}")
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    series = load_series_csv(args.input)
+    window = args.window_hours * HOUR
+    store = SqliteFeatureStore(args.index)
+    index = SegDiffIndex(args.epsilon, window, store)
+    index.ingest(series)
+    index.finalize()
+    stats = index.stats()
+    print(
+        f"built {args.index}: {stats.n_segments} segments over "
+        f"{stats.n_observations} observations (r = "
+        f"{stats.compression_rate:.2f}), {stats.store_counts.total} feature "
+        f"rows, {stats.disk_bytes / 1024:.0f} KiB on disk"
+    )
+    index.close()
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    chosen = sum(
+        x is not None for x in (args.drop, args.jump, args.deepest)
+    )
+    if chosen != 1:
+        print(
+            "error: exactly one of --drop, --jump or --deepest is required",
+            file=sys.stderr,
+        )
+        return 2
+    t_threshold = args.within_minutes * 60.0
+    index = SegDiffIndex.open(args.index)
+    if args.deepest is not None:
+        return _search_deepest(args, index, t_threshold)
+    try:
+        if args.drop is not None:
+            pairs = index.search_drops(t_threshold, args.drop, mode=args.mode)
+            query = DropQuery(t_threshold, args.drop)
+        else:
+            pairs = index.search_jumps(t_threshold, args.jump, mode=args.mode)
+            query = JumpQuery(t_threshold, args.jump)
+        print(
+            f"{len(pairs)} matching periods (epsilon={index.epsilon}, "
+            f"w={index.window / HOUR:.0f}h)"
+        )
+        if args.data:
+            series = load_series_csv(args.data)
+            hits = rank_hits(pairs, series, query, verified_only=args.verified)
+            if args.summary:
+                from .core.reporting import render_summary, summarize_hits
+
+                print(render_summary(summarize_hits(hits)))
+                return 0
+            for hit in hits[: args.limit]:
+                w = hit.witness
+                detail = (
+                    f"deepest {w.dv:+.2f} over {w.dt / 60:.0f} min"
+                    if w
+                    else "no witness in data"
+                )
+                print(
+                    f"  start in [{hit.pair.t_d:.0f}, {hit.pair.t_c:.0f}] "
+                    f"end in [{hit.pair.t_b:.0f}, {hit.pair.t_a:.0f}]  ({detail})"
+                )
+        else:
+            for pair in pairs[: args.limit]:
+                print(
+                    f"  start in [{pair.t_d:.0f}, {pair.t_c:.0f}] "
+                    f"end in [{pair.t_b:.0f}, {pair.t_a:.0f}]"
+                )
+        if len(pairs) > args.limit:
+            print(f"  ... and {len(pairs) - args.limit} more (use --limit)")
+    finally:
+        index.close()
+    return 0
+
+
+def _search_deepest(args: argparse.Namespace, index, t_threshold: float) -> int:
+    try:
+        data = load_series_csv(args.data) if args.data else None
+        hits = index.search_deepest_drops(
+            args.deepest, t_threshold, data=data, mode=args.mode
+        )
+        print(
+            f"{len(hits)} deepest drops within "
+            f"{args.within_minutes:.0f} minutes"
+        )
+        for hit in hits:
+            w = hit.witness
+            print(
+                f"  {w.dv:+.2f} over {w.dt / 60:.0f} min  "
+                f"(start in [{hit.pair.t_d:.0f}, {hit.pair.t_c:.0f}], "
+                f"end in [{hit.pair.t_b:.0f}, {hit.pair.t_a:.0f}])"
+            )
+    finally:
+        index.close()
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    index = SegDiffIndex.open(args.index)
+    try:
+        stats = index.stats()
+        counts = stats.store_counts
+        print(f"index:    {args.index}")
+        print(f"epsilon:  {index.epsilon}")
+        print(f"window:   {index.window / HOUR:.1f} hours")
+        print(f"n:        {stats.n_observations} observations, "
+              f"{stats.n_segments} segments (r = {stats.compression_rate:.2f})")
+        print(f"rows:     {counts.total} "
+              f"(drop pts {counts.drop_points}, drop lines {counts.drop_lines}, "
+              f"jump pts {counts.jump_points}, jump lines {counts.jump_lines})")
+        print(f"features: {stats.feature_bytes / 1024:.0f} KiB")
+        print(f"indexes:  {stats.index_bytes / 1024:.0f} KiB")
+    finally:
+        index.close()
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments.__main__ import main as experiments_main
+
+    return experiments_main(["--quick"] if args.quick else [])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="segdiff",
+        description="SegDiff: searching for drops (and jumps) in sensor data",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="write synthetic CAD data to CSV")
+    p.add_argument("--days", type=int, default=7)
+    p.add_argument("--seed", type=int, default=20080325)
+    p.add_argument("--sensors", type=int, default=25)
+    p.add_argument("--sensor", type=int, default=12)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("smooth", help="robust-smooth a CSV series")
+    p.add_argument("input")
+    p.add_argument("--span", type=int, default=9)
+    p.add_argument("--iterations", type=int, default=2)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_smooth)
+
+    p = sub.add_parser("build", help="build a persistent SegDiff index")
+    p.add_argument("input")
+    p.add_argument("--epsilon", type=float, default=0.2)
+    p.add_argument("--window-hours", type=float, default=8.0)
+    p.add_argument("--index", required=True)
+    p.set_defaults(func=cmd_build)
+
+    p = sub.add_parser("search", help="search a built index")
+    p.add_argument("index")
+    p.add_argument("--drop", type=float, help="drop threshold V < 0")
+    p.add_argument("--jump", type=float, help="jump threshold V > 0")
+    p.add_argument("--deepest", type=int, metavar="K",
+                   help="report the K deepest drops (no threshold needed)")
+    p.add_argument("--within-minutes", type=float, default=60.0)
+    p.add_argument("--mode", choices=["index", "scan", "auto"],
+                   default="index")
+    p.add_argument("--data", help="original CSV for witness refinement")
+    p.add_argument("--verified", action="store_true",
+                   help="drop tolerance false positives (needs --data)")
+    p.add_argument("--summary", action="store_true",
+                   help="print an exploration summary instead of the hit "
+                        "list (needs --data)")
+    p.add_argument("--limit", type=int, default=20)
+    p.set_defaults(func=cmd_search)
+
+    p = sub.add_parser("stats", help="report a built index's composition")
+    p.add_argument("index")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("experiments", help="run the paper's evaluation")
+    p.add_argument("--quick", action="store_true")
+    p.set_defaults(func=cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,221 @@
+"""Corner-point reduction: the six-case analysis of Table 2 / the appendix.
+
+A drop (jump) query region can only meet a parallelogram through its
+lower-left (upper-left) boundary, so instead of all four corners SegDiff
+stores just the corners of that boundary — between one and three of them,
+depending on the two segment slopes.  Combined with Lemma 4's ε-shift
+(down for drops, up for jumps) this yields the exact features persisted to
+the database.
+
+The case conditions follow the appendix (Table 2 prints case 5 with the
+inequality flipped; see DESIGN.md §5.3).  Collected boundaries are
+polylines ordered by increasing Δt; every vertex becomes a *point feature*
+and every edge a *line feature* for the Section 4.4 queries.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..types import SegmentPair
+from .feature_space import FeaturePoint, FeatureSegment
+from .parallelogram import Parallelogram
+
+__all__ = ["SlopeCase", "classify_case", "collect_features", "FeatureSet"]
+
+
+class SlopeCase(enum.Enum):
+    """Which of the paper's six slope cases a segment pair falls into.
+
+    ``SELF`` marks the degenerate self-pair (DESIGN.md §5.1), which has no
+    Table 2 row of its own.
+    """
+
+    CASE1 = 1  # k_CD >= 0, k_AB <= 0
+    CASE2 = 2  # k_CD >= 0, k_AB >= k_CD
+    CASE3 = 3  # k_CD >= 0, 0 < k_AB < k_CD
+    CASE4 = 4  # k_CD < 0,  k_AB >= 0
+    CASE5 = 5  # k_CD < 0,  k_AB <= k_CD
+    CASE6 = 6  # k_CD < 0,  k_CD < k_AB < 0
+    SELF = 0  # degenerate self-pair
+
+
+def classify_case(k_cd: float, k_ab: float) -> SlopeCase:
+    """Classify a pair of slopes into its Table 2 case.
+
+    Ties are resolved deterministically: ``k_AB = 0`` with ``k_CD >= 0``
+    goes to case 1; ``k_AB = k_CD`` goes to case 2 (positive slopes) or
+    case 5 (negative slopes).
+    """
+    if k_cd >= 0.0:
+        if k_ab <= 0.0:
+            return SlopeCase.CASE1
+        if k_ab >= k_cd:
+            return SlopeCase.CASE2
+        return SlopeCase.CASE3
+    if k_ab >= 0.0:
+        return SlopeCase.CASE4
+    if k_ab <= k_cd:
+        return SlopeCase.CASE5
+    return SlopeCase.CASE6
+
+
+@dataclass
+class FeatureSet:
+    """Everything extracted from one parallelogram, ready for storage.
+
+    ``drop_corner_count`` / ``jump_corner_count`` record how many corners
+    the case analysis kept (0 when the guard pruned the search type
+    entirely) — the quantity Table 4 aggregates.
+    """
+
+    pair: SegmentPair
+    case: SlopeCase
+    drop_points: List[FeaturePoint] = field(default_factory=list)
+    drop_lines: List[FeatureSegment] = field(default_factory=list)
+    jump_points: List[FeaturePoint] = field(default_factory=list)
+    jump_lines: List[FeatureSegment] = field(default_factory=list)
+    drop_corner_count: int = 0
+    jump_corner_count: int = 0
+
+    @property
+    def total_features(self) -> int:
+        """Total stored rows this set contributes (points + lines)."""
+        return (
+            len(self.drop_points)
+            + len(self.drop_lines)
+            + len(self.jump_points)
+            + len(self.jump_lines)
+        )
+
+
+def collect_features(para: Parallelogram, epsilon: float) -> FeatureSet:
+    """Apply the case analysis + Lemma 4 shift to one parallelogram.
+
+    Returns the ε-shifted point and line features to persist.  Drop
+    features are shifted **down** by ε, jump features **up** by ε, so that
+    (per Lemma 4) querying the shifted features misses no true event.
+    """
+    fs = FeatureSet(pair=para.segment_pair(), case=SlopeCase.SELF)
+    if para.is_self_pair:
+        _collect_self(fs, para, epsilon)
+        return fs
+
+    fs.case = classify_case(para.cd.slope, para.ab.slope)
+    bc, bd, ad, ac = para.bc, para.bd, para.ad, para.ac
+
+    drop_boundary = _drop_boundary(fs.case, bc, bd, ad, ac, epsilon)
+    jump_boundary = _jump_boundary(fs.case, bc, bd, ad, ac, epsilon)
+
+    if drop_boundary is not None:
+        fs.drop_corner_count = len(drop_boundary)
+        shifted = [p.shifted(-epsilon) for p in drop_boundary]
+        fs.drop_points = shifted
+        fs.drop_lines = _edges(shifted)
+    if jump_boundary is not None:
+        fs.jump_corner_count = len(jump_boundary)
+        shifted = [p.shifted(+epsilon) for p in jump_boundary]
+        fs.jump_points = shifted
+        fs.jump_lines = _edges(shifted)
+    return fs
+
+
+def _edges(polyline: List[FeaturePoint]) -> List[FeatureSegment]:
+    return [FeatureSegment(p, q) for p, q in zip(polyline, polyline[1:])]
+
+
+def _drop_boundary(
+    case: SlopeCase,
+    bc: FeaturePoint,
+    bd: FeaturePoint,
+    ad: FeaturePoint,
+    ac: FeaturePoint,
+    eps: float,
+) -> Optional[List[FeaturePoint]]:
+    """Lower-left boundary corners to record for drop search, or None.
+
+    The guard condition checks whether the ε-shifted parallelogram can
+    contain *any* drop (its minimum Δv corner dips to 0 or below); pruned
+    parallelograms contribute nothing to the drop tables.
+    """
+    if case is SlopeCase.CASE1:
+        if ac.dv - eps <= 0.0:
+            return [bc, ac]
+    elif case is SlopeCase.CASE2:
+        if bc.dv - eps <= 0.0:
+            return [bc]
+    elif case is SlopeCase.CASE3:
+        if bc.dv - eps <= 0.0:
+            return [bc]
+    elif case is SlopeCase.CASE4:
+        if bd.dv - eps <= 0.0:
+            return [bc, bd]
+    elif case is SlopeCase.CASE5:
+        if ac.dv - eps <= 0.0:
+            return [bc, ac, ad]
+        if ad.dv - eps <= 0.0:
+            return [ac, ad]
+    elif case is SlopeCase.CASE6:
+        if bd.dv - eps <= 0.0:
+            return [bc, bd, ad]
+        if ad.dv - eps <= 0.0:
+            return [bd, ad]
+    return None
+
+
+def _jump_boundary(
+    case: SlopeCase,
+    bc: FeaturePoint,
+    bd: FeaturePoint,
+    ad: FeaturePoint,
+    ac: FeaturePoint,
+    eps: float,
+) -> Optional[List[FeaturePoint]]:
+    """Upper-left boundary corners to record for jump search, or None."""
+    if case is SlopeCase.CASE1:
+        if bd.dv + eps > 0.0:
+            return [bc, bd]
+    elif case is SlopeCase.CASE2:
+        if ac.dv + eps >= 0.0:
+            return [bc, ac, ad]
+        if ad.dv + eps > 0.0:
+            return [ac, ad]
+    elif case is SlopeCase.CASE3:
+        if bd.dv + eps >= 0.0:
+            return [bc, bd, ad]
+        if ad.dv + eps > 0.0:
+            return [bd, ad]
+    elif case is SlopeCase.CASE4:
+        if ac.dv + eps > 0.0:
+            return [bc, ac]
+    elif case is SlopeCase.CASE5:
+        if bc.dv + eps > 0.0:
+            return [bc]
+    elif case is SlopeCase.CASE6:
+        if bc.dv + eps > 0.0:
+            return [bc]
+    return None
+
+
+def _collect_self(fs: FeatureSet, para: Parallelogram, eps: float) -> None:
+    """Features for the degenerate self-pair.
+
+    The features of all within-segment point pairs form the feature
+    segment from ``(0, 0)`` to ``(L, rise)``.  Because the shifted lower
+    end sits at ``-ε <= 0``, a drop can never be ruled out at build time
+    (the threshold ``V`` is unknown), so drop features are always stored;
+    symmetrically for jumps.
+    """
+    lo = FeaturePoint(0.0, 0.0)
+    hi = para.ad  # (duration, rise)
+    drop = [p.shifted(-eps) for p in (lo, hi)]
+    jump = [p.shifted(+eps) for p in (lo, hi)]
+    # order the polyline by dt (already is: lo.dt = 0 <= hi.dt)
+    fs.drop_points = drop
+    fs.drop_lines = _edges(drop)
+    fs.jump_points = jump
+    fs.jump_lines = _edges(jump)
+    fs.drop_corner_count = 2
+    fs.jump_corner_count = 2

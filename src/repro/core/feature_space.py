@@ -1,0 +1,214 @@
+"""Feature space: the (Δt, Δv) plane of Section 3.
+
+An event between two points of the signal maps to the *feature point*
+``(Δt, Δv)``; a user's search maps to a *query region*
+
+* drop search: ``{ (Δt, Δv) : 0 < Δt <= T, Δv <= V }`` with ``V < 0``;
+* jump search: ``{ (Δt, Δv) : 0 < Δt <= T, Δv >= V }`` with ``V > 0``.
+
+This module provides the primitive geometry: points, segments, regions,
+segment/region intersection, and convex-polygon clipping by half-planes
+(used by :mod:`repro.core.parallelogram` for exact intersection tests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..errors import InvalidParameterError
+
+__all__ = ["FeaturePoint", "FeatureSegment", "QueryRegion", "clip_halfplane"]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class FeaturePoint:
+    """A point ``(dt, dv)`` in feature space."""
+
+    dt: float
+    dv: float
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.dt) and math.isfinite(self.dv)):
+            raise InvalidParameterError("feature point must be finite")
+        if self.dt < 0:
+            raise InvalidParameterError(
+                f"feature points have non-negative time span, got dt={self.dt}"
+            )
+
+    def shifted(self, dv_offset: float) -> "FeaturePoint":
+        """The point shifted vertically by ``dv_offset`` (Lemma 4)."""
+        return FeaturePoint(self.dt, self.dv + dv_offset)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        return (self.dt, self.dv)
+
+
+@dataclass(frozen=True)
+class FeatureSegment:
+    """A straight segment between two feature points, ``p.dt <= q.dt``."""
+
+    p: FeaturePoint
+    q: FeaturePoint
+
+    def __post_init__(self) -> None:
+        if self.p.dt > self.q.dt:
+            raise InvalidParameterError(
+                "feature segment must be ordered by increasing dt"
+            )
+
+    def value_at(self, dt: float) -> float:
+        """Linear interpolation of dv at the given dt (within the span)."""
+        if not (self.p.dt <= dt <= self.q.dt):
+            raise InvalidParameterError(
+                f"dt={dt} outside segment span [{self.p.dt}, {self.q.dt}]"
+            )
+        span = self.q.dt - self.p.dt
+        if span <= _EPS:
+            return min(self.p.dv, self.q.dv)
+        frac = (dt - self.p.dt) / span
+        return self.p.dv + frac * (self.q.dv - self.p.dv)
+
+    def shifted(self, dv_offset: float) -> "FeatureSegment":
+        """The segment shifted vertically by ``dv_offset``."""
+        return FeatureSegment(self.p.shifted(dv_offset), self.q.shifted(dv_offset))
+
+
+@dataclass(frozen=True)
+class QueryRegion:
+    """A drop or jump query region in feature space.
+
+    ``kind`` is ``"drop"`` (requires ``V < 0``) or ``"jump"`` (requires
+    ``V > 0``); ``t_threshold`` is the paper's ``T``, ``v_threshold`` its
+    ``V``.
+    """
+
+    kind: str
+    t_threshold: float
+    v_threshold: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("drop", "jump"):
+            raise InvalidParameterError(f"unknown query kind {self.kind!r}")
+        if self.t_threshold <= 0:
+            raise InvalidParameterError("T must be positive")
+        if self.kind == "drop" and not (self.v_threshold < 0):
+            raise InvalidParameterError("drop search requires V < 0")
+        if self.kind == "jump" and not (self.v_threshold > 0):
+            raise InvalidParameterError("jump search requires V > 0")
+
+    @classmethod
+    def drop(cls, t_threshold: float, v_threshold: float) -> "QueryRegion":
+        """The drop region ``0 < dt <= T, dv <= V``."""
+        return cls("drop", t_threshold, v_threshold)
+
+    @classmethod
+    def jump(cls, t_threshold: float, v_threshold: float) -> "QueryRegion":
+        """The jump region ``0 < dt <= T, dv >= V``."""
+        return cls("jump", t_threshold, v_threshold)
+
+    # ------------------------------------------------------------------ #
+    # membership and intersection
+    # ------------------------------------------------------------------ #
+
+    def contains(self, point: FeaturePoint) -> bool:
+        """Exact membership, honouring the open boundary at ``dt = 0``."""
+        if not (0.0 < point.dt <= self.t_threshold):
+            return False
+        if self.kind == "drop":
+            return point.dv <= self.v_threshold
+        return point.dv >= self.v_threshold
+
+    def intersects_segment(self, segment: FeatureSegment) -> bool:
+        """Exact test: does the segment meet the region anywhere?
+
+        Used as the geometric oracle the SQL point/line queries are
+        validated against in tests.
+        """
+        polygon = [segment.p.as_tuple(), segment.q.as_tuple()]
+        clipped = self.clip_polygon(polygon)
+        return _has_positive_dt(clipped)
+
+    def clip_polygon(
+        self, polygon: Sequence[Tuple[float, float]]
+    ) -> List[Tuple[float, float]]:
+        """Clip a convex polygon (or segment) to the region's closure.
+
+        The closure replaces ``0 < dt`` with ``0 <= dt``; callers use
+        :func:`_has_positive_dt` (via :meth:`intersects_polygon`) to apply
+        the open boundary.
+        """
+        poly = list(polygon)
+        # dt >= 0
+        poly = clip_halfplane(poly, 1.0, 0.0, 0.0, keep_geq=True)
+        # dt <= T
+        poly = clip_halfplane(poly, 1.0, 0.0, self.t_threshold, keep_geq=False)
+        if self.kind == "drop":
+            poly = clip_halfplane(poly, 0.0, 1.0, self.v_threshold, keep_geq=False)
+        else:
+            poly = clip_halfplane(poly, 0.0, 1.0, self.v_threshold, keep_geq=True)
+        return poly
+
+    def intersects_polygon(
+        self, polygon: Sequence[Tuple[float, float]]
+    ) -> bool:
+        """Exact polygon/region intersection with the open ``dt=0`` edge."""
+        return _has_positive_dt(self.clip_polygon(polygon))
+
+
+def clip_halfplane(
+    polygon: Sequence[Tuple[float, float]],
+    a: float,
+    b: float,
+    c: float,
+    keep_geq: bool,
+) -> List[Tuple[float, float]]:
+    """Sutherland–Hodgman clip of a convex polygon by one half-plane.
+
+    Keeps points with ``a*x + b*y >= c`` (``keep_geq=True``) or ``<= c``.
+    Degenerate inputs (a segment given as two vertices, a single point) are
+    handled: the result may again be a segment or point.
+    """
+    pts = list(polygon)
+    if not pts:
+        return []
+
+    def side(p: Tuple[float, float]) -> float:
+        val = a * p[0] + b * p[1] - c
+        return val if keep_geq else -val
+
+    if len(pts) == 1:
+        return pts if side(pts[0]) >= -_EPS else []
+
+    out: List[Tuple[float, float]] = []
+    n = len(pts)
+    for i in range(n):
+        cur = pts[i]
+        nxt = pts[(i + 1) % n]
+        s_cur, s_nxt = side(cur), side(nxt)
+        if s_cur >= -_EPS:
+            out.append(cur)
+        if (s_cur > _EPS and s_nxt < -_EPS) or (s_cur < -_EPS and s_nxt > _EPS):
+            frac = s_cur / (s_cur - s_nxt)
+            out.append(
+                (cur[0] + frac * (nxt[0] - cur[0]), cur[1] + frac * (nxt[1] - cur[1]))
+            )
+    # remove consecutive duplicates introduced by clipping at vertices
+    dedup: List[Tuple[float, float]] = []
+    for p in out:
+        if not dedup or abs(p[0] - dedup[-1][0]) > _EPS or abs(p[1] - dedup[-1][1]) > _EPS:
+            dedup.append(p)
+    if len(dedup) > 1 and (
+        abs(dedup[0][0] - dedup[-1][0]) <= _EPS
+        and abs(dedup[0][1] - dedup[-1][1]) <= _EPS
+    ):
+        dedup.pop()
+    return dedup
+
+
+def _has_positive_dt(polygon: Sequence[Tuple[float, float]]) -> bool:
+    """Whether any clipped point has ``dt > 0`` (open boundary at dt=0)."""
+    return any(p[0] > _EPS for p in polygon)

@@ -1,0 +1,241 @@
+"""Auditing Theorem 1 against brute-force ground truth.
+
+The paper guarantees that (drop search, symmetric for jumps):
+
+* **completeness** — no true event of the Model G signal is missed: every
+  event with ``0 < Δt <= T`` and ``Δv <= V`` ends up covered by some
+  returned segment pair;
+* **soundness** — every returned pair contains at least one event with
+  ``Δv <= V + 2ε`` and ``0 < Δt <= T`` (Lemma 5).
+
+This module computes exact extremal events on a piecewise linear signal by
+linear programming over each pair of linear pieces (the optimum of a
+linear objective over the polygonal feasible set ``{(t', t'') : t' in I1,
+t'' in I2, 0 < t'' - t' <= T}`` is attained at a vertex), and uses them to
+audit both properties.  Tests and EXPERIMENTS.md rely on these audits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..datagen.model import PiecewiseLinearSignal
+from ..errors import InvalidParameterError
+from ..types import DataSegment, Event, SegmentPair
+from .queries import DropQuery, JumpQuery
+
+__all__ = [
+    "deepest_drop_between",
+    "highest_jump_between",
+    "extreme_event_between",
+    "true_event_witnesses",
+    "covers",
+    "audit_completeness",
+    "audit_soundness",
+]
+
+Query = Union[DropQuery, JumpQuery]
+Interval = Tuple[float, float]
+
+_TOL = 1e-9
+
+
+def _clip_piece(piece: DataSegment, lo: float, hi: float) -> Optional[Interval]:
+    """The sub-extent of ``piece`` inside ``[lo, hi]`` (None if empty)."""
+    a = max(piece.t_start, lo)
+    b = min(piece.t_end, hi)
+    if b <= a:
+        return None
+    return (a, b)
+
+
+def _piece_vertices(
+    p_lo: float, p_hi: float, q_lo: float, q_hi: float, t_budget: float
+) -> Iterable[Tuple[float, float]]:
+    """Vertex candidates of {(x, y): x in P, y in Q, 0 < y-x <= T}.
+
+    Every vertex of the feasible polygon has each coordinate pinned to an
+    interval bound or to one of the lines ``y = x`` / ``y = x + T``, so
+    enumerating those combinations covers all vertices (plus some interior
+    or infeasible points, which are filtered by the caller).
+    """
+    xs = {p_lo, p_hi}
+    for y in (q_lo, q_hi):
+        xs.add(min(max(y - t_budget, p_lo), p_hi))
+        xs.add(min(max(y, p_lo), p_hi))
+    for x in sorted(xs):
+        for y_raw in (q_lo, q_hi, x + t_budget, x):
+            y = min(max(y_raw, q_lo), q_hi)
+            yield (x, y)
+
+
+def extreme_event_between(
+    signal: PiecewiseLinearSignal,
+    interval_start: Interval,
+    interval_end: Interval,
+    t_budget: float,
+    want_min: bool,
+) -> Optional[Event]:
+    """The extremal event starting in one interval and ending in another.
+
+    Minimizes (``want_min=True``, deepest drop) or maximizes (highest
+    jump) ``signal(t'') - signal(t')`` over ``t'`` in ``interval_start``,
+    ``t''`` in ``interval_end``, ``0 < t'' - t' <= t_budget``.  Exact for
+    piecewise linear signals.  Returns ``None`` when no event with
+    positive time span exists.
+
+    The extremum is taken over the *closure* of the feasible set: when the
+    infimum sits on the open ``Δt = 0`` boundary (where ``Δv = 0``) it is
+    approached but not attained by real events, and the returned event may
+    then have ``dt == 0``.  Soundness audits rely on that convention —
+    "exists an event with Δv below the bound" is equivalent to "the
+    closure infimum is below the bound" for these polygonal sets.
+    """
+    if t_budget <= 0:
+        raise InvalidParameterError("time budget must be positive")
+    lo1, hi1 = interval_start
+    lo2, hi2 = interval_end
+    if hi1 < lo1 or hi2 < lo2:
+        raise InvalidParameterError("intervals must be non-empty")
+
+    best: Optional[Event] = None
+    sign = 1.0 if want_min else -1.0
+    has_positive_span = False
+    for p in signal.pieces_overlapping(lo1, hi1):
+        p_ext = _clip_piece(p, lo1, hi1)
+        if p_ext is None:
+            continue
+        for q in signal.pieces_overlapping(lo2, hi2):
+            q_ext = _clip_piece(q, lo2, hi2)
+            if q_ext is None:
+                continue
+            if q_ext[1] <= p_ext[0]:  # no y > x possible
+                continue
+            if q_ext[0] - p_ext[1] > t_budget:  # min dt already beyond T
+                continue
+            for x, y in _piece_vertices(*p_ext, *q_ext, t_budget):
+                dt = y - x
+                if dt < -_TOL or dt > t_budget + _TOL:
+                    continue
+                if dt > _TOL:
+                    has_positive_span = True
+                dv = q.value_at(y) - p.value_at(x)
+                if best is None or sign * dv < sign * best.dv:
+                    best = Event(x, max(y, x), dv)
+    if not has_positive_span:
+        return None
+    return best
+
+
+def deepest_drop_between(
+    signal: PiecewiseLinearSignal,
+    interval_start: Interval,
+    interval_end: Interval,
+    t_budget: float,
+) -> Optional[Event]:
+    """Most negative ``Δv`` event between the two intervals."""
+    return extreme_event_between(
+        signal, interval_start, interval_end, t_budget, want_min=True
+    )
+
+
+def highest_jump_between(
+    signal: PiecewiseLinearSignal,
+    interval_start: Interval,
+    interval_end: Interval,
+    t_budget: float,
+) -> Optional[Event]:
+    """Most positive ``Δv`` event between the two intervals."""
+    return extreme_event_between(
+        signal, interval_start, interval_end, t_budget, want_min=False
+    )
+
+
+def true_event_witnesses(
+    signal: PiecewiseLinearSignal, query: Query
+) -> List[Event]:
+    """One extremal true event per piece pair satisfying the query.
+
+    This is the brute-force ground truth used by the completeness audit:
+    every returned witness *is* a true event of the Model G signal, and
+    every piece pair that contains any true event contributes one, so a
+    result set covering all witnesses covers every region of the signal
+    where the searched behaviour occurs.
+    """
+    want_min = isinstance(query, DropQuery)
+    t_thr, v_thr = query.t_threshold, query.v_threshold
+    witnesses: List[Event] = []
+    pieces = list(signal.pieces())
+    for i, p in enumerate(pieces):
+        for q in pieces[i:]:
+            if q.t_start - p.t_end > t_thr:
+                break  # pieces are in time order; all later ones too far
+            ev = extreme_event_between(
+                signal,
+                (p.t_start, p.t_end),
+                (q.t_start, q.t_end),
+                t_thr,
+                want_min=want_min,
+            )
+            if ev is None:
+                continue
+            satisfied = ev.dv <= v_thr if want_min else ev.dv >= v_thr
+            if satisfied:
+                witnesses.append(ev)
+    return witnesses
+
+
+def covers(pairs: Sequence[SegmentPair], event: Event, tol: float = _TOL) -> bool:
+    """Whether some returned pair covers the event (Definition 3)."""
+    return any(
+        p.t_d - tol <= event.t_first <= p.t_c + tol
+        and p.t_b - tol <= event.t_second <= p.t_a + tol
+        for p in pairs
+    )
+
+
+def audit_completeness(
+    pairs: Sequence[SegmentPair],
+    signal: PiecewiseLinearSignal,
+    query: Query,
+) -> List[Event]:
+    """Witness events *not* covered by the results (empty list = pass)."""
+    return [
+        ev
+        for ev in true_event_witnesses(signal, query)
+        if not covers(pairs, ev)
+    ]
+
+
+def audit_soundness(
+    pairs: Sequence[SegmentPair],
+    signal: PiecewiseLinearSignal,
+    query: Query,
+    epsilon: float,
+    tol: float = 1e-6,
+) -> List[SegmentPair]:
+    """Returned pairs violating Lemma 5's ``2ε`` bound (empty = pass).
+
+    For drop search, each returned pair must contain an event of the
+    Model G signal with ``Δv <= V + 2ε`` and ``0 < Δt <= T``.
+    """
+    is_drop = isinstance(query, DropQuery)
+    bad: List[SegmentPair] = []
+    for pair in pairs:
+        ev = extreme_event_between(
+            signal,
+            pair.start_period,
+            pair.end_period,
+            query.t_threshold,
+            want_min=is_drop,
+        )
+        if ev is None:
+            bad.append(pair)
+            continue
+        if is_drop:
+            ok = ev.dv <= query.v_threshold + 2 * epsilon + tol
+        else:
+            ok = ev.dv >= query.v_threshold - 2 * epsilon - tol
+        if not ok:
+            bad.append(pair)
+    return bad

@@ -1,0 +1,456 @@
+"""The user-facing SegDiff index.
+
+:class:`SegDiffIndex` wires the pipeline together::
+
+    observations --> SlidingWindowSegmenter --> FeatureExtractor --> FeatureStore
+                                                                        |
+    search_drops(T, V) / search_jumps(T, V)  <--  point + line queries --+
+
+Typical use::
+
+    index = SegDiffIndex.build(series, epsilon=0.2, window=8 * 3600)
+    pairs = index.search_drops(t_threshold=3600, v_threshold=-3.0)
+
+or streaming::
+
+    index = SegDiffIndex(epsilon=0.2, window=8 * 3600)
+    for t, v in live_feed:
+        index.append(t, v)
+        ...
+        index.checkpoint()          # searchable mid-stream
+    index.finalize()                # seal the stream
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..datagen.model import PiecewiseLinearSignal
+from ..datagen.series import TimeSeries
+from ..errors import InvalidParameterError, QueryError, StorageError
+from ..segmentation.sliding_window import SlidingWindowSegmenter
+from ..storage.base import FeatureStore, StoreCounts
+from ..storage.memory_store import MemoryFeatureStore
+from ..storage.sqlite_store import SqliteFeatureStore
+from ..types import DataSegment, SegmentPair
+from .extraction import ExtractionStats, FeatureExtractor
+from .planner import QueryPlanner
+from .queries import DropQuery, JumpQuery
+from .results import SearchHit, rank_hits, witness_event
+
+__all__ = ["SegDiffIndex", "IndexStats"]
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """A snapshot of the index's size and composition."""
+
+    epsilon: float
+    window: float
+    n_observations: int
+    n_segments: int
+    compression_rate: float
+    store_counts: StoreCounts
+    feature_bytes: int
+    index_bytes: int
+    extraction: ExtractionStats
+
+    @property
+    def disk_bytes(self) -> int:
+        return self.feature_bytes + self.index_bytes
+
+
+class SegDiffIndex:
+    """Build-once (or streaming), query-many index for drop/jump search.
+
+    Parameters
+    ----------
+    epsilon:
+        Error tolerance ε of Definition 2; results are exact up to the
+        Theorem 1 ``2ε`` bound.
+    window:
+        The longest supported query time span ``w`` (seconds).
+    store:
+        A :class:`FeatureStore`; defaults to an in-memory store.  Use
+        :meth:`build` with ``backend="sqlite"`` for the on-disk backend.
+    emit_self_pairs:
+        See :class:`FeatureExtractor`; on by default.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        window: float,
+        store: Optional[FeatureStore] = None,
+        emit_self_pairs: bool = True,
+    ) -> None:
+        self.epsilon = float(epsilon)
+        self.window = float(window)
+        self.store = store if store is not None else MemoryFeatureStore()
+        self._segmenter = SlidingWindowSegmenter(epsilon)
+        self._extractor = FeatureExtractor(
+            epsilon, window, self.store, emit_self_pairs=emit_self_pairs
+        )
+        self._segments: List[DataSegment] = []
+        self._n_observations = 0
+        self._sealed = False
+        self._planner: Optional[QueryPlanner] = None
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls,
+        series: TimeSeries,
+        epsilon: float,
+        window: float,
+        backend: str = "memory",
+        path: Optional[str] = None,
+        emit_self_pairs: bool = True,
+    ) -> "SegDiffIndex":
+        """Build and finalize an index over a whole series.
+
+        ``backend`` is ``"memory"``, ``"sqlite"``, or ``"minidb"`` (the
+        instrumented page-based engine); ``path`` names the backing file
+        (temporary when omitted).
+        """
+        if backend == "memory":
+            store: FeatureStore = MemoryFeatureStore()
+        elif backend == "sqlite":
+            store = SqliteFeatureStore(path)
+        elif backend == "minidb":
+            from ..storage.minidb import MiniDbFeatureStore
+
+            store = MiniDbFeatureStore(path)
+        else:
+            raise InvalidParameterError(
+                "backend must be 'memory', 'sqlite' or 'minidb', "
+                f"got {backend!r}"
+            )
+        index = cls(epsilon, window, store, emit_self_pairs=emit_self_pairs)
+        index.ingest(series)
+        index.finalize()
+        return index
+
+    @classmethod
+    def open(cls, path: str) -> "SegDiffIndex":
+        """Reopen a previously built, finalized SQLite index file.
+
+        The file is self-describing: build parameters and the data
+        segments are stored alongside the features, so the reopened index
+        can search, refine witnesses against its approximation, and
+        report stats.  It cannot be extended (it is sealed).
+        """
+        store = SqliteFeatureStore(path)
+        epsilon = store.get_meta("epsilon")
+        window = store.get_meta("window")
+        if epsilon is None or window is None:
+            store.close()
+            raise StorageError(
+                f"{path} is not a finalized SegDiff index (missing metadata)"
+            )
+        index = cls(epsilon, window, store)
+        index._segments = store.load_segments()
+        n_obs = store.get_meta("n_observations")
+        index._n_observations = int(n_obs) if n_obs is not None else 0
+        index._sealed = True
+        return index
+
+    def append(self, t: float, v: float) -> None:
+        """Stream one observation into the index."""
+        if self._sealed:
+            raise StorageError("index is sealed; build a new one to extend")
+        self._n_observations += 1
+        for segment in self._segmenter.push(t, v):
+            self._register_segment(segment)
+
+    def _register_segment(self, segment: DataSegment) -> None:
+        self._segments.append(segment)
+        self.store.add_segment(segment)
+        self._extractor.add_segment(segment)
+
+    def ingest(self, series: TimeSeries) -> None:
+        """Stream a whole series into the index."""
+        for t, v in zip(series.times, series.values):
+            self.append(float(t), float(v))
+
+    def mark_gap(self) -> None:
+        """Start a new *episode* at the current stream position.
+
+        By default Model G interpolates across any sampling gap, so a
+        long outage would be treated as one slow linear drift and events
+        could be reported spanning it.  Call ``mark_gap()`` when the
+        stream resumes after an outage you do *not* want bridged: the
+        open segment is flushed, the pairing history is cleared, and no
+        future result will span the gap.  Searching is unaffected
+        otherwise.
+        """
+        if self._sealed:
+            raise StorageError("index is sealed")
+        for segment in self._segmenter.finish():
+            self._register_segment(segment)
+        self._extractor.reset_history()
+
+    def ingest_episodes(
+        self, series: TimeSeries, max_gap: float
+    ) -> int:
+        """Stream a series, inserting a gap break wherever consecutive
+        samples are more than ``max_gap`` seconds apart.
+
+        Returns the number of gaps broken.  Note that with episodes the
+        index's :meth:`approximation` is only piecewise-defined per
+        episode; cross-gap values are never used for search results.
+        """
+        if max_gap <= 0:
+            raise InvalidParameterError("max_gap must be positive")
+        last_t: Optional[float] = None
+        gaps = 0
+        for t, v in zip(series.times, series.values):
+            if last_t is not None and t - last_t > max_gap:
+                self.mark_gap()
+                gaps += 1
+            self.append(float(t), float(v))
+            last_t = float(t)
+        return gaps
+
+    def checkpoint(self) -> None:
+        """Make everything segmented so far searchable (mid-stream).
+
+        The segmenter's open tail — observations not yet closed into a
+        segment — stays pending until more data arrives or the index is
+        finalized.
+        """
+        self.store.finalize()
+        self._write_meta()
+
+    def finalize(self) -> None:
+        """Seal the stream: flush the tail segment and build indexes."""
+        if self._sealed:
+            return
+        for segment in self._segmenter.finish():
+            self._register_segment(segment)
+        self.store.finalize()
+        self._write_meta()
+        self._sealed = True
+
+    def _write_meta(self) -> None:
+        self.store.set_meta("epsilon", self.epsilon)
+        self.store.set_meta("window", self.window)
+        self.store.set_meta("n_observations", float(self._n_observations))
+
+    # ------------------------------------------------------------------ #
+    # search
+    # ------------------------------------------------------------------ #
+
+    def search_drops(
+        self, t_threshold: float, v_threshold: float, mode: str = "index", **kw
+    ) -> List[SegmentPair]:
+        """All segment pairs containing a drop of ``<= v_threshold`` within
+        ``t_threshold`` seconds (Theorem 1 guarantees apply).
+
+        ``mode`` is ``"index"``, ``"scan"``, or ``"auto"`` (selectivity-
+        estimated plan choice — see :class:`QueryPlanner`).
+        """
+        query = DropQuery(t_threshold, v_threshold)
+        self._validate_query(t_threshold)
+        if mode == "auto":
+            mode = self.planner.choose_mode("drop", t_threshold, v_threshold)
+        return self.store.search(query, mode=mode, **kw)
+
+    def search_jumps(
+        self, t_threshold: float, v_threshold: float, mode: str = "index", **kw
+    ) -> List[SegmentPair]:
+        """All segment pairs containing a jump of ``>= v_threshold`` within
+        ``t_threshold`` seconds."""
+        query = JumpQuery(t_threshold, v_threshold)
+        self._validate_query(t_threshold)
+        if mode == "auto":
+            mode = self.planner.choose_mode("jump", t_threshold, v_threshold)
+        return self.store.search(query, mode=mode, **kw)
+
+    def search_deepest_drops(
+        self,
+        k: int,
+        t_threshold: float,
+        data: Optional[TimeSeries] = None,
+        mode: str = "index",
+    ) -> List[SearchHit]:
+        """The ``k`` periods with the deepest drops within ``t_threshold``.
+
+        No threshold ``V`` is needed: the method sweeps the threshold from
+        the deepest stored feature upward (halving its magnitude) until at
+        least ``k`` periods match, widens once more by the ``2ε``
+        tolerance so no genuinely-deeper period can be ranked out, then
+        refines every candidate with its exact witness event and returns
+        the ``k`` deepest.  Witnesses are computed against ``data`` when
+        given, else against the index's own approximation (exact up to
+        ``ε/2``).
+        """
+        if k < 1:
+            raise InvalidParameterError("k must be >= 1")
+        self._validate_query(t_threshold)
+        floor = self.store.extreme_feature_dv("drop")
+        if floor is None or floor >= 0:
+            return []
+
+        v = floor
+        pairs: List[SegmentPair] = []
+        while True:
+            pairs = self.store.search(
+                DropQuery(t_threshold, v), mode=mode
+            )
+            if len(pairs) >= k or v >= -1e-9:
+                break
+            v = max(v / 2.0, -1e-9)
+        # widen by 2*epsilon: a pair whose witness is within tolerance of
+        # the current threshold might still out-rank a found one
+        v_wide = min(v + 2.0 * self.epsilon, -1e-9)
+        if v_wide > v:
+            pairs = self.store.search(
+                DropQuery(t_threshold, v_wide), mode=mode
+            )
+
+        reference: object = data if data is not None else self.approximation()
+        query = DropQuery(t_threshold, min(v_wide, -1e-9))
+        hits = [
+            SearchHit(pair, witness_event(pair, reference, query))
+            for pair in pairs
+        ]
+        hits = [h for h in hits if h.witness is not None and h.witness.dv < 0]
+        hits.sort(key=lambda h: h.witness.dv)
+        return hits[:k]
+
+    def search_drops_refined(
+        self,
+        t_threshold: float,
+        v_threshold: float,
+        data: TimeSeries,
+        verified_only: bool = False,
+        mode: str = "index",
+    ) -> List[SearchHit]:
+        """Drop search plus witness refinement against the raw series."""
+        pairs = self.search_drops(t_threshold, v_threshold, mode=mode)
+        return rank_hits(
+            pairs, data, DropQuery(t_threshold, v_threshold),
+            verified_only=verified_only,
+        )
+
+    def explain(
+        self, kind: str, t_threshold: float, v_threshold: float
+    ) -> dict:
+        """Describe how a search would be executed, without running it.
+
+        Returns the planner's selectivity estimate, the plan ``mode="auto"``
+        would choose, the rows each plan would have to consider, and the
+        index parameters in play — the debugging companion to the paper's
+        scan-vs-index discussion.
+        """
+        if kind not in ("drop", "jump"):
+            raise InvalidParameterError(f"unknown search kind {kind!r}")
+        self._validate_query(t_threshold)
+        query = (
+            DropQuery(t_threshold, v_threshold)
+            if kind == "drop"
+            else JumpQuery(t_threshold, v_threshold)
+        )
+        selectivity = self.planner.estimate_selectivity(
+            kind, t_threshold, v_threshold
+        )
+        counts = self.store.counts()
+        point_rows = counts.drop_points if kind == "drop" else counts.jump_points
+        line_rows = counts.drop_lines if kind == "drop" else counts.jump_lines
+        return {
+            "query": query,
+            "epsilon": self.epsilon,
+            "window": self.window,
+            "false_positive_bound": 2.0 * self.epsilon,
+            "estimated_selectivity": selectivity,
+            "estimated_matches": int(selectivity * point_rows),
+            "chosen_mode": self.planner.choose_mode(
+                kind, t_threshold, v_threshold
+            ),
+            "point_rows": point_rows,
+            "line_rows": line_rows,
+        }
+
+    @property
+    def planner(self) -> QueryPlanner:
+        """The adaptive plan chooser for ``mode="auto"`` (lazy)."""
+        if self._planner is None:
+            self._planner = QueryPlanner(self.store)
+        return self._planner
+
+    def _validate_query(self, t_threshold: float) -> None:
+        if t_threshold > self.window:
+            raise QueryError(
+                f"T={t_threshold} exceeds the index window w={self.window}; "
+                "rebuild the index with a larger window"
+            )
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def segments(self) -> List[DataSegment]:
+        """The data segments extracted so far (copy)."""
+        return list(self._segments)
+
+    def approximation(self) -> PiecewiseLinearSignal:
+        """The piecewise linear approximation ``f`` built so far.
+
+        Raises when the index holds gap episodes (no single continuous
+        approximation exists); use :meth:`episode_approximations` then.
+        """
+        episodes = self.episode_approximations()
+        if len(episodes) != 1:
+            raise InvalidParameterError(
+                f"index contains {len(episodes)} gap episodes; use "
+                "episode_approximations() or pass raw data explicitly"
+            )
+        return episodes[0]
+
+    def episode_approximations(self) -> List[PiecewiseLinearSignal]:
+        """One approximation signal per gap-free episode."""
+        episodes: List[List[DataSegment]] = []
+        for seg in self._segments:
+            if (
+                episodes
+                and episodes[-1][-1].t_end == seg.t_start
+                and episodes[-1][-1].v_end == seg.v_start
+            ):
+                episodes[-1].append(seg)
+            else:
+                episodes.append([seg])
+        return [
+            PiecewiseLinearSignal.from_segments(ep) for ep in episodes
+        ]
+
+    def stats(self) -> IndexStats:
+        """Current sizes and composition counters."""
+        n_segments = len(self._segments)
+        rate = self._n_observations / n_segments if n_segments else 0.0
+        return IndexStats(
+            epsilon=self.epsilon,
+            window=self.window,
+            n_observations=self._n_observations,
+            n_segments=n_segments,
+            compression_rate=rate,
+            store_counts=self.store.counts(),
+            feature_bytes=self.store.feature_bytes(),
+            index_bytes=self.store.index_bytes(),
+            extraction=self._extractor.stats,
+        )
+
+    def close(self) -> None:
+        """Release the underlying store."""
+        self.store.close()
+
+    def __enter__(self) -> "SegDiffIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

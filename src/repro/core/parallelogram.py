@@ -1,0 +1,197 @@
+"""Feature parallelograms (Lemma 3).
+
+Given two data segments — ``CD`` earlier, ``AB`` later, with
+``t_B >= t_C`` — the features of *every* pair of points (one point per
+segment) form a parallelogram in feature space whose corners are the
+feature points of the four endpoint combinations::
+
+    BC = (t_B - t_C, v_B - v_C)      # closest pair, smallest dt
+    BD = (t_B - t_D, v_B - v_D)
+    AD = (t_A - t_D, v_A - v_D)      # farthest pair, largest dt
+    AC = (t_A - t_C, v_A - v_C)
+
+When both segments are the same piece of data the parallelogram
+degenerates to the feature segment from ``(0, 0)`` to
+``(L, v_A - v_B)`` — the features of all point pairs *within* that
+segment (the self-pair of DESIGN.md §5.1).
+
+This module also provides the exact geometric operations used by tests and
+by result refinement: region intersection, the deepest drop / highest jump
+achievable within a time-span budget ``T``, and point membership.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import InvalidParameterError
+from ..types import DataSegment, SegmentPair
+from .feature_space import FeaturePoint, QueryRegion, clip_halfplane
+
+__all__ = ["Parallelogram"]
+
+_EPS = 1e-12
+
+
+class Parallelogram:
+    """The feature-space summary of one (ordered) pair of data segments."""
+
+    __slots__ = ("cd", "ab", "is_self_pair")
+
+    def __init__(self, cd: DataSegment, ab: DataSegment) -> None:
+        if ab.t_start < cd.t_end - _EPS and not _same_segment(cd, ab):
+            raise InvalidParameterError(
+                "AB must start at or after CD ends "
+                f"(t_B={ab.t_start} < t_C={cd.t_end})"
+            )
+        self.cd = cd
+        self.ab = ab
+        self.is_self_pair = _same_segment(cd, ab)
+
+    @classmethod
+    def from_segments(cls, cd: DataSegment, ab: DataSegment) -> "Parallelogram":
+        """Parallelogram for the earlier segment ``cd``, later ``ab``."""
+        return cls(cd, ab)
+
+    @classmethod
+    def self_pair(cls, segment: DataSegment) -> "Parallelogram":
+        """The degenerate parallelogram of a segment with itself."""
+        return cls(segment, segment)
+
+    # ------------------------------------------------------------------ #
+    # corners
+    # ------------------------------------------------------------------ #
+
+    @property
+    def bc(self) -> FeaturePoint:
+        """Corner ``BC`` — the smallest-Δt endpoint pair."""
+        if self.is_self_pair:
+            return FeaturePoint(0.0, 0.0)
+        return FeaturePoint(
+            self.ab.t_start - self.cd.t_end, self.ab.v_start - self.cd.v_end
+        )
+
+    @property
+    def bd(self) -> FeaturePoint:
+        """Corner ``BD``."""
+        if self.is_self_pair:
+            return FeaturePoint(0.0, 0.0)
+        return FeaturePoint(
+            self.ab.t_start - self.cd.t_start, self.ab.v_start - self.cd.v_start
+        )
+
+    @property
+    def ad(self) -> FeaturePoint:
+        """Corner ``AD`` — the largest-Δt endpoint pair."""
+        if self.is_self_pair:
+            return FeaturePoint(self.ab.duration, self.ab.rise)
+        return FeaturePoint(
+            self.ab.t_end - self.cd.t_start, self.ab.v_end - self.cd.v_start
+        )
+
+    @property
+    def ac(self) -> FeaturePoint:
+        """Corner ``AC``."""
+        if self.is_self_pair:
+            return FeaturePoint(self.ab.duration, self.ab.rise)
+        return FeaturePoint(
+            self.ab.t_end - self.cd.t_end, self.ab.v_end - self.cd.v_end
+        )
+
+    def vertices(self) -> List[Tuple[float, float]]:
+        """Polygon vertices in order ``BC, BD, AD, AC`` (a segment when
+        degenerate)."""
+        if self.is_self_pair:
+            return [self.bc.as_tuple(), self.ad.as_tuple()]
+        return [
+            self.bc.as_tuple(),
+            self.bd.as_tuple(),
+            self.ad.as_tuple(),
+            self.ac.as_tuple(),
+        ]
+
+    def segment_pair(self) -> SegmentPair:
+        """The result tuple ``((t_D, t_C), (t_B, t_A))`` for this pair."""
+        return SegmentPair(
+            self.cd.t_start, self.cd.t_end, self.ab.t_start, self.ab.t_end
+        )
+
+    # ------------------------------------------------------------------ #
+    # exact geometry
+    # ------------------------------------------------------------------ #
+
+    def contains(self, point: FeaturePoint, tol: float = 1e-9) -> bool:
+        """Whether the feature point lies in the (closed) parallelogram.
+
+        Solves the two-coordinate representation: a point of the
+        parallelogram is ``BC + s * u + r * w`` where ``u`` is the
+        CD-direction ``(len_CD, rise_CD)``, ``w`` the AB-direction
+        ``(len_AB, rise_AB)``, and ``s, r in [0, 1]``.
+        """
+        if self.is_self_pair:
+            # the degenerate segment from (0,0) to (L, rise)
+            u = (self.ab.duration, self.ab.rise)
+            if abs(u[0]) <= _EPS:
+                return abs(point.dt) <= tol and abs(point.dv) <= tol
+            s = point.dt / u[0]
+            return (-tol <= s <= 1 + tol) and abs(point.dv - s * u[1]) <= tol
+
+        origin = self.bc
+        u = (self.cd.duration, self.cd.rise)  # BC -> BD direction
+        w = (self.ab.duration, self.ab.rise)  # BC -> AC direction
+        det = u[0] * w[1] - u[1] * w[0]
+        px = point.dt - origin.dt
+        py = point.dv - origin.dv
+        if abs(det) <= _EPS:
+            # parallel slopes: parallelogram collapses to a segment
+            # project onto u (both directions are parallel)
+            length2 = u[0] * u[0] + u[1] * u[1]
+            s = (px * u[0] + py * u[1]) / length2
+            total = s  # position along combined direction, in [0, 2]
+            on_line = abs(px * u[1] - py * u[0]) <= tol * max(1.0, length2**0.5)
+            w_len = (w[0] * w[0] + w[1] * w[1]) ** 0.5
+            u_len = length2**0.5
+            return on_line and -tol <= total <= (u_len + w_len) / u_len + tol
+        s = (px * w[1] - py * w[0]) / det
+        r = (u[0] * py - u[1] * px) / det
+        return -tol <= s <= 1 + tol and -tol <= r <= 1 + tol
+
+    def intersects(self, region: QueryRegion) -> bool:
+        """Exact intersection with a drop/jump query region."""
+        return region.intersects_polygon(self.vertices())
+
+    def min_dv_within(self, t_budget: float) -> Optional[float]:
+        """Deepest Δv over the parallelogram restricted to ``dt <= T``.
+
+        Returns ``None`` when no point of the parallelogram has
+        ``dt <= T``.  The minimum is over the *closure* (``dt >= 0``); the
+        open boundary at ``dt = 0`` makes at most an infinitesimal
+        difference, which callers absorb in their tolerance.
+        """
+        return self._extreme_dv_within(t_budget, want_min=True)
+
+    def max_dv_within(self, t_budget: float) -> Optional[float]:
+        """Highest Δv over the parallelogram restricted to ``dt <= T``."""
+        return self._extreme_dv_within(t_budget, want_min=False)
+
+    def _extreme_dv_within(
+        self, t_budget: float, want_min: bool
+    ) -> Optional[float]:
+        if t_budget <= 0:
+            raise InvalidParameterError("time budget T must be positive")
+        poly = self.vertices()
+        poly = clip_halfplane(poly, 1.0, 0.0, 0.0, keep_geq=True)
+        poly = clip_halfplane(poly, 1.0, 0.0, t_budget, keep_geq=False)
+        if not poly:
+            return None
+        dvs = [p[1] for p in poly]
+        return min(dvs) if want_min else max(dvs)
+
+
+def _same_segment(a: DataSegment, b: DataSegment) -> bool:
+    return (
+        a.t_start == b.t_start
+        and a.t_end == b.t_end
+        and a.v_start == b.v_start
+        and a.v_end == b.v_end
+    )

@@ -1,0 +1,96 @@
+"""Adaptive scan-vs-index query planning (beyond-paper extension).
+
+The paper's Figures 19-24 show that forced B-tree access *hurts* on hard
+queries — the large-result region of the query plane — while it wins on
+selective ones.  The paper leaves plan choice to the operator; this
+module closes that gap with a classical selectivity estimator:
+
+* at first use, the planner draws a row sample from the point-feature
+  table of the queried search type;
+* a query's selectivity is estimated as the sample fraction matching the
+  point predicate;
+* estimated selectivity above ``scan_threshold`` → sequential scan,
+  below → index.
+
+``SegDiffIndex.search_drops(..., mode="auto")`` routes through this.
+The ablation bench measures how close the adaptive choice gets to the
+per-query oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .queries import point_mask
+
+__all__ = ["QueryPlanner"]
+
+
+class QueryPlanner:
+    """Chooses ``"scan"`` or ``"index"`` for a query against a store.
+
+    Parameters
+    ----------
+    store:
+        Any feature store exposing ``sample_points(kind, n)``.
+    sample_size:
+        Rows sampled per search type (drawn lazily, cached).
+    scan_threshold:
+        Estimated selectivity above which a scan is chosen.  The default
+        of 2 % matches the classical rule of thumb for secondary B-trees
+        over row stores.
+    """
+
+    def __init__(
+        self,
+        store,
+        sample_size: int = 512,
+        scan_threshold: float = 0.02,
+    ) -> None:
+        if sample_size < 1:
+            raise InvalidParameterError("sample_size must be >= 1")
+        if not (0.0 < scan_threshold < 1.0):
+            raise InvalidParameterError("scan_threshold must be in (0, 1)")
+        self.store = store
+        self.sample_size = sample_size
+        self.scan_threshold = scan_threshold
+        self._samples: dict = {}
+
+    def _sample(self, kind: str) -> Optional[np.ndarray]:
+        if kind not in self._samples:
+            self._samples[kind] = self.store.sample_points(
+                kind, self.sample_size
+            )
+        return self._samples[kind]
+
+    def invalidate(self) -> None:
+        """Drop cached samples (call after bulk appends)."""
+        self._samples = {}
+
+    def estimate_selectivity(
+        self, kind: str, t_threshold: float, v_threshold: float
+    ) -> float:
+        """Estimated fraction of point features the query matches.
+
+        Falls back to 1.0 (pessimistic → scan) when the store is empty,
+        which is also the cheapest plan for an empty store.
+        """
+        sample = self._sample(kind)
+        if sample is None or len(sample) == 0:
+            return 1.0
+        mask = point_mask(
+            kind, sample[:, 0], sample[:, 1], t_threshold, v_threshold
+        )
+        return float(mask.mean())
+
+    def choose_mode(
+        self, kind: str, t_threshold: float, v_threshold: float
+    ) -> str:
+        """``"scan"`` for estimated-hard queries, ``"index"`` otherwise."""
+        selectivity = self.estimate_selectivity(
+            kind, t_threshold, v_threshold
+        )
+        return "scan" if selectivity > self.scan_threshold else "index"

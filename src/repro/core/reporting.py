@@ -1,0 +1,137 @@
+"""Summaries of search results for exploratory analysis.
+
+The paper's workflow ends where the biologist's begins: "Once the
+periods ... are found, biologists can further explore the characteristics
+of data collected in these periods."  This module provides that first
+round of exploration over a set of refined hits:
+
+* per-day event counts (when does drainage happen?),
+* hour-of-day distribution (the early-morning signature),
+* depth and duration quantiles,
+* a plain-text report assembling all of it.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .results import SearchHit
+
+__all__ = ["HitSummary", "summarize_hits", "render_summary"]
+
+DAY = 86_400.0
+HOUR = 3_600.0
+
+
+@dataclass(frozen=True)
+class HitSummary:
+    """Aggregate statistics over a set of witnessed hits."""
+
+    n_hits: int
+    n_witnessed: int
+    events_per_day: Dict[int, int]
+    events_per_hour_of_day: Dict[int, int]
+    depth_quantiles: Tuple[float, float, float]  # (25 %, median, 75 %)
+    deepest: float
+    duration_quantiles: Tuple[float, float, float]  # seconds
+    longest: float
+
+    @property
+    def busiest_day(self) -> int:
+        """Day index with the most events (-1 when empty)."""
+        if not self.events_per_day:
+            return -1
+        return max(self.events_per_day, key=lambda d: self.events_per_day[d])
+
+    @property
+    def peak_hour(self) -> int:
+        """Hour of day with the most event endings (-1 when empty)."""
+        if not self.events_per_hour_of_day:
+            return -1
+        return max(
+            self.events_per_hour_of_day,
+            key=lambda h: self.events_per_hour_of_day[h],
+        )
+
+
+def summarize_hits(hits: Sequence[SearchHit]) -> HitSummary:
+    """Summarize refined hits (see :func:`repro.core.results.rank_hits`).
+
+    Hits without a witness are counted but excluded from the event
+    statistics.
+    """
+    witnessed = [h for h in hits if h.witness is not None]
+    if not witnessed:
+        return HitSummary(
+            n_hits=len(hits),
+            n_witnessed=0,
+            events_per_day={},
+            events_per_hour_of_day={},
+            depth_quantiles=(0.0, 0.0, 0.0),
+            deepest=0.0,
+            duration_quantiles=(0.0, 0.0, 0.0),
+            longest=0.0,
+        )
+
+    ends = np.array([h.witness.t_second for h in witnessed])
+    depths = np.array([abs(h.witness.dv) for h in witnessed])
+    durations = np.array([h.witness.dt for h in witnessed])
+
+    per_day = Counter(int(math.floor(t / DAY)) for t in ends)
+    per_hour = Counter(int((t % DAY) // HOUR) for t in ends)
+
+    def quantiles(arr: np.ndarray) -> Tuple[float, float, float]:
+        q = np.quantile(arr, [0.25, 0.5, 0.75])
+        return (float(q[0]), float(q[1]), float(q[2]))
+
+    return HitSummary(
+        n_hits=len(hits),
+        n_witnessed=len(witnessed),
+        events_per_day=dict(sorted(per_day.items())),
+        events_per_hour_of_day=dict(sorted(per_hour.items())),
+        depth_quantiles=quantiles(depths),
+        deepest=float(depths.max()),
+        duration_quantiles=quantiles(durations),
+        longest=float(durations.max()),
+    )
+
+
+def render_summary(summary: HitSummary, bar_width: int = 40) -> str:
+    """A plain-text exploration report with an hour-of-day histogram."""
+    if bar_width < 1:
+        raise InvalidParameterError("bar_width must be >= 1")
+    lines: List[str] = []
+    lines.append(
+        f"{summary.n_hits} periods, {summary.n_witnessed} with witnessed events"
+    )
+    if summary.n_witnessed == 0:
+        return "\n".join(lines)
+
+    q25, q50, q75 = summary.depth_quantiles
+    lines.append(
+        f"depth: median {q50:.2f} (IQR {q25:.2f}-{q75:.2f}), "
+        f"deepest {summary.deepest:.2f}"
+    )
+    d25, d50, d75 = summary.duration_quantiles
+    lines.append(
+        f"duration: median {d50 / 60:.0f} min "
+        f"(IQR {d25 / 60:.0f}-{d75 / 60:.0f}), longest {summary.longest / 60:.0f} min"
+    )
+    lines.append(
+        f"busiest day: day {summary.busiest_day} "
+        f"({summary.events_per_day.get(summary.busiest_day, 0)} events); "
+        f"peak hour: {summary.peak_hour:02d}:00"
+    )
+    lines.append("events by hour of day:")
+    peak = max(summary.events_per_hour_of_day.values())
+    for hour in range(24):
+        count = summary.events_per_hour_of_day.get(hour, 0)
+        bar = "#" * int(round(bar_width * count / peak)) if count else ""
+        lines.append(f"  {hour:02d}h {count:>4} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Search results and witness-event refinement.
+
+SegDiff returns *periods* — pairs of segment extents — rather than exact
+event timestamps (Section 1: "Once the periods ... are found, biologists
+can further explore the characteristics of data collected in these
+periods").  :func:`witness_event` performs that further exploration: given
+a returned pair and the original series, it locates the exact extremal
+event inside the pair, so callers can rank hits by severity or filter the
+``2ε``-tolerance false positives when they know the raw data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from ..datagen.model import PiecewiseLinearSignal
+from ..datagen.series import TimeSeries
+from ..types import Event, SegmentPair
+from .guarantees import extreme_event_between
+from .queries import DropQuery, JumpQuery
+
+__all__ = ["SearchHit", "witness_event", "rank_hits"]
+
+Query = Union[DropQuery, JumpQuery]
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One refined search result: the pair plus its extremal event."""
+
+    pair: SegmentPair
+    witness: Optional[Event]
+
+    @property
+    def severity(self) -> float:
+        """Magnitude of the witness change (0 when no witness exists)."""
+        return abs(self.witness.dv) if self.witness else 0.0
+
+
+def witness_event(
+    pair: SegmentPair,
+    data: Union[TimeSeries, PiecewiseLinearSignal],
+    query: Query,
+) -> Optional[Event]:
+    """The extremal event of the Model G signal inside a returned pair.
+
+    For a drop query this is the most negative ``Δv`` achievable with the
+    start in ``pair.start_period``, the end in ``pair.end_period``, and
+    ``0 < Δt <= T``; for a jump query the most positive.
+    """
+    signal = (
+        PiecewiseLinearSignal.from_series(data)
+        if isinstance(data, TimeSeries)
+        else data
+    )
+    lo, hi = signal.t_start, signal.t_end
+    start = (max(pair.t_d, lo), min(pair.t_c, hi))
+    end = (max(pair.t_b, lo), min(pair.t_a, hi))
+    if start[1] < start[0] or end[1] < end[0]:
+        return None
+    return extreme_event_between(
+        signal, start, end, query.t_threshold,
+        want_min=isinstance(query, DropQuery),
+    )
+
+
+def rank_hits(
+    pairs: Sequence[SegmentPair],
+    data: Union[TimeSeries, PiecewiseLinearSignal],
+    query: Query,
+    verified_only: bool = False,
+) -> List[SearchHit]:
+    """Refine pairs into :class:`SearchHit` objects, most severe first.
+
+    ``verified_only=True`` keeps only pairs whose witness satisfies the
+    query thresholds exactly on the raw data — i.e. drops the up-to-``2ε``
+    tolerance false positives Lemma 5 permits.
+    """
+    signal = (
+        PiecewiseLinearSignal.from_series(data)
+        if isinstance(data, TimeSeries)
+        else data
+    )
+    hits = [SearchHit(p, witness_event(p, signal, query)) for p in pairs]
+    if verified_only:
+        is_drop = isinstance(query, DropQuery)
+        hits = [
+            h
+            for h in hits
+            if h.witness is not None
+            and (
+                h.witness.dv <= query.v_threshold
+                if is_drop
+                else h.witness.dv >= query.v_threshold
+            )
+        ]
+    return sorted(hits, key=lambda h: -h.severity)

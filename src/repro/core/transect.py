@@ -1,0 +1,235 @@
+"""Multi-sensor search across a transect.
+
+The paper's deployment is not one sensor but twenty-five, arranged in two
+lines across a canyon, and the biology question is inherently spatial: a
+*real* cold-air-drainage event shows up on several sensors at once, with
+the canyon bottom leading.  This module scales the single-series SegDiff
+index to the whole transect:
+
+* :class:`TransectIndex` — one SegDiff index per sensor behind a single
+  build/search façade;
+* per-sensor search (``search_drops``) and the cross-sensor
+  *corroborated* search (``search_corroborated``): time windows in which
+  at least ``min_sensors`` sensors report a drop ending within a
+  ``slack``-wide alignment window — the transect-level CAD detector.
+
+Every per-sensor result keeps its Theorem 1 guarantee; corroboration is a
+conjunction of per-sensor guarantees, so a corroborated event window
+misses no true multi-sensor event either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..datagen.series import TimeSeries
+from ..errors import InvalidParameterError
+from ..types import SegmentPair
+from .index import SegDiffIndex
+
+__all__ = ["TransectIndex", "CorroboratedEvent"]
+
+
+@dataclass(frozen=True)
+class CorroboratedEvent:
+    """A drop seen by several sensors at (roughly) the same time.
+
+    ``window`` bounds the drop *end* times across the participating
+    sensors; ``hits`` maps each sensor to the pairs whose end period
+    falls inside the window.
+    """
+
+    window: Tuple[float, float]
+    hits: Mapping[str, Tuple[SegmentPair, ...]]
+
+    @property
+    def n_sensors(self) -> int:
+        return len(self.hits)
+
+    @property
+    def sensors(self) -> List[str]:
+        return sorted(self.hits)
+
+
+class TransectIndex:
+    """SegDiff over a whole sensor transect.
+
+    Parameters mirror :class:`SegDiffIndex`; ``backend`` applies to every
+    per-sensor store.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        window: float,
+        backend: str = "memory",
+    ) -> None:
+        self.epsilon = float(epsilon)
+        self.window = float(window)
+        self.backend = backend
+        self._indexes: Dict[str, SegDiffIndex] = {}
+
+    @classmethod
+    def build(
+        cls,
+        sensors: Mapping[str, TimeSeries],
+        epsilon: float,
+        window: float,
+        backend: str = "memory",
+    ) -> "TransectIndex":
+        """Build finalized per-sensor indexes for every series."""
+        if not sensors:
+            raise InvalidParameterError("need at least one sensor series")
+        transect = cls(epsilon, window, backend=backend)
+        for name, series in sensors.items():
+            transect._indexes[name] = SegDiffIndex.build(
+                series, epsilon, window, backend=backend
+            )
+        return transect
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def sensor_names(self) -> List[str]:
+        return sorted(self._indexes)
+
+    def __len__(self) -> int:
+        return len(self._indexes)
+
+    def index_for(self, sensor: str) -> SegDiffIndex:
+        """The per-sensor index (KeyError for unknown sensors)."""
+        if sensor not in self._indexes:
+            raise InvalidParameterError(
+                f"unknown sensor {sensor!r}; have {self.sensor_names}"
+            )
+        return self._indexes[sensor]
+
+    # ------------------------------------------------------------------ #
+    # search
+    # ------------------------------------------------------------------ #
+
+    def search_drops(
+        self, t_threshold: float, v_threshold: float, mode: str = "index"
+    ) -> Dict[str, List[SegmentPair]]:
+        """Per-sensor drop search; sensors with no hits are omitted."""
+        out: Dict[str, List[SegmentPair]] = {}
+        for name, index in self._indexes.items():
+            pairs = index.search_drops(t_threshold, v_threshold, mode=mode)
+            if pairs:
+                out[name] = pairs
+        return out
+
+    def search_jumps(
+        self, t_threshold: float, v_threshold: float, mode: str = "index"
+    ) -> Dict[str, List[SegmentPair]]:
+        """Per-sensor jump search; sensors with no hits are omitted."""
+        out: Dict[str, List[SegmentPair]] = {}
+        for name, index in self._indexes.items():
+            pairs = index.search_jumps(t_threshold, v_threshold, mode=mode)
+            if pairs:
+                out[name] = pairs
+        return out
+
+    def search_corroborated(
+        self,
+        t_threshold: float,
+        v_threshold: float,
+        min_sensors: int = 2,
+        slack: float = 1800.0,
+        mode: str = "index",
+    ) -> List[CorroboratedEvent]:
+        """Drops seen by at least ``min_sensors`` sensors within ``slack``.
+
+        A hit's *end interval* is ``[t_b, t_a]``.  Two hits corroborate
+        when their end intervals, each padded by ``slack / 2``, overlap.
+        Overlapping groups are merged with a sweep over interval
+        endpoints, then groups with enough distinct sensors are reported.
+        """
+        if min_sensors < 1:
+            raise InvalidParameterError("min_sensors must be >= 1")
+        if min_sensors > len(self._indexes):
+            raise InvalidParameterError(
+                f"min_sensors={min_sensors} exceeds the "
+                f"{len(self._indexes)} sensors indexed"
+            )
+        if slack < 0:
+            raise InvalidParameterError("slack must be >= 0")
+
+        per_sensor = self.search_drops(t_threshold, v_threshold, mode=mode)
+        intervals: List[Tuple[float, float, str, SegmentPair]] = []
+        half = slack / 2.0
+        for sensor, pairs in per_sensor.items():
+            for pair in pairs:
+                intervals.append(
+                    (pair.t_b - half, pair.t_a + half, sensor, pair)
+                )
+        if not intervals:
+            return []
+
+        intervals.sort(key=lambda iv: iv[0])
+        events: List[CorroboratedEvent] = []
+        group: List[Tuple[float, float, str, SegmentPair]] = []
+        group_end = float("-inf")
+        for iv in intervals:
+            if group and iv[0] > group_end:
+                events.extend(
+                    self._emit_group(group, min_sensors, half)
+                )
+                group = []
+                group_end = float("-inf")
+            group.append(iv)
+            group_end = max(group_end, iv[1])
+        events.extend(self._emit_group(group, min_sensors, half))
+        return events
+
+    @staticmethod
+    def _emit_group(
+        group: List[Tuple[float, float, str, SegmentPair]],
+        min_sensors: int,
+        half: float,
+    ) -> List[CorroboratedEvent]:
+        if not group:
+            return []
+        sensors: Dict[str, List[SegmentPair]] = {}
+        for _lo, _hi, sensor, pair in group:
+            sensors.setdefault(sensor, []).append(pair)
+        if len(sensors) < min_sensors:
+            return []
+        lo = min(iv[0] for iv in group) + half
+        hi = max(iv[1] for iv in group) - half
+        return [
+            CorroboratedEvent(
+                window=(lo, hi),
+                hits={s: tuple(ps) for s, ps in sensors.items()},
+            )
+        ]
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregate size/composition across sensors."""
+        per = {name: idx.stats() for name, idx in self._indexes.items()}
+        return {
+            "sensors": len(per),
+            "observations": sum(s.n_observations for s in per.values()),
+            "segments": sum(s.n_segments for s in per.values()),
+            "feature_rows": sum(s.store_counts.total for s in per.values()),
+            "disk_bytes": sum(s.disk_bytes for s in per.values()),
+            "per_sensor": per,
+        }
+
+    def close(self) -> None:
+        for index in self._indexes.values():
+            index.close()
+        self._indexes = {}
+
+    def __enter__(self) -> "TransectIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

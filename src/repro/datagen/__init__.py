@@ -1,0 +1,29 @@
+"""Data substrate: time-series containers, the paper's Data Generating
+Model G, synthetic Cold-Air-Drainage data, robust smoothing, and IO.
+
+The paper evaluates on a proprietary dataset from the James Reserve CAD
+transect; :mod:`repro.datagen.cad` provides the synthetic stand-in
+(see DESIGN.md §2 for the substitution rationale).
+"""
+
+from .series import TimeSeries
+from .model import PiecewiseLinearSignal
+from .synthetic import random_walk_series, sinusoid_series, piecewise_series
+from .cad import CADConfig, CADTransectGenerator, generate_cad_day
+from .smoothing import robust_loess, moving_average
+from .io import load_series_csv, save_series_csv
+
+__all__ = [
+    "TimeSeries",
+    "PiecewiseLinearSignal",
+    "random_walk_series",
+    "sinusoid_series",
+    "piecewise_series",
+    "CADConfig",
+    "CADTransectGenerator",
+    "generate_cad_day",
+    "robust_loess",
+    "moving_average",
+    "load_series_csv",
+    "save_series_csv",
+]

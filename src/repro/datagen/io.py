@@ -1,0 +1,63 @@
+"""CSV import/export for time series.
+
+The format is deliberately plain — a header line ``t,v`` followed by one
+``timestamp,value`` row per observation — so exported data can be inspected
+with any spreadsheet or fed back into the library byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Union
+
+from ..errors import InvalidSeriesError
+from .series import TimeSeries
+
+__all__ = ["load_series_csv", "save_series_csv"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_series_csv(series: TimeSeries, path: PathLike) -> None:
+    """Write a series to ``path`` as ``t,v`` CSV (repr-precision floats)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["t", "v"])
+        for t, v in zip(series.times, series.values):
+            writer.writerow([repr(float(t)), repr(float(v))])
+
+
+def load_series_csv(path: PathLike, name: str = "") -> TimeSeries:
+    """Read a series written by :func:`save_series_csv`.
+
+    The header row is required; rows must contain exactly two numeric
+    fields.  Structural problems raise :class:`InvalidSeriesError` with the
+    offending line number.
+    """
+    times = []
+    values = []
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header is None or [h.strip().lower() for h in header] != ["t", "v"]:
+            raise InvalidSeriesError(
+                f"{path}: expected header 't,v', got {header!r}"
+            )
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 2:
+                raise InvalidSeriesError(
+                    f"{path}:{lineno}: expected 2 fields, got {len(row)}"
+                )
+            try:
+                times.append(float(row[0]))
+                values.append(float(row[1]))
+            except ValueError as exc:
+                raise InvalidSeriesError(
+                    f"{path}:{lineno}: non-numeric field: {row!r}"
+                ) from exc
+    if not times:
+        raise InvalidSeriesError(f"{path}: no observations")
+    return TimeSeries(times, values, name=name or str(path))

@@ -1,0 +1,180 @@
+"""A validated, immutable time-series container backed by numpy arrays.
+
+Everything in the library that consumes "a time series" accepts a
+:class:`TimeSeries`.  Construction validates the structural invariants the
+algorithms rely on: matching lengths, finite values, and strictly
+increasing timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import InvalidSeriesError
+from ..types import Observation
+
+__all__ = ["TimeSeries"]
+
+
+class TimeSeries:
+    """An immutable 1-D time series ``(t_0, v_0), (t_1, v_1), ...``.
+
+    Parameters
+    ----------
+    times:
+        Strictly increasing timestamps (seconds, float).
+    values:
+        Values sampled at ``times``; same length, all finite.
+    name:
+        Optional label (e.g. a sensor id) carried through for reporting.
+    """
+
+    __slots__ = ("_t", "_v", "name")
+
+    def __init__(
+        self,
+        times: Sequence[float],
+        values: Sequence[float],
+        name: str = "",
+    ) -> None:
+        # private copies: freezing must not affect the caller's arrays
+        t = np.array(times, dtype=float, copy=True)
+        v = np.array(values, dtype=float, copy=True)
+        if t.ndim != 1 or v.ndim != 1:
+            raise InvalidSeriesError("times and values must be 1-D")
+        if t.shape[0] != v.shape[0]:
+            raise InvalidSeriesError(
+                f"length mismatch: {t.shape[0]} times vs {v.shape[0]} values"
+            )
+        if t.shape[0] == 0:
+            raise InvalidSeriesError("series must contain at least one observation")
+        if not np.all(np.isfinite(t)) or not np.all(np.isfinite(v)):
+            raise InvalidSeriesError("times and values must be finite")
+        if t.shape[0] > 1 and not np.all(np.diff(t) > 0):
+            raise InvalidSeriesError("timestamps must be strictly increasing")
+        t.setflags(write=False)
+        v.setflags(write=False)
+        self._t = t
+        self._v = v
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._t.shape[0]
+
+    def __iter__(self) -> Iterator[Observation]:
+        for t, v in zip(self._t, self._v):
+            yield Observation(float(t), float(v))
+
+    def __getitem__(self, i: int) -> Observation:
+        return Observation(float(self._t[i]), float(self._v[i]))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimeSeries):
+            return NotImplemented
+        return (
+            self._t.shape == other._t.shape
+            and bool(np.array_equal(self._t, other._t))
+            and bool(np.array_equal(self._v, other._v))
+        )
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<TimeSeries{label} n={len(self)} "
+            f"t=[{self._t[0]:.1f}, {self._t[-1]:.1f}]>"
+        )
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def times(self) -> np.ndarray:
+        """Read-only array of timestamps."""
+        return self._t
+
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only array of values."""
+        return self._v
+
+    @property
+    def t_start(self) -> float:
+        """Timestamp of the first observation."""
+        return float(self._t[0])
+
+    @property
+    def t_end(self) -> float:
+        """Timestamp of the last observation."""
+        return float(self._t[-1])
+
+    @property
+    def duration(self) -> float:
+        """Total covered time span."""
+        return self.t_end - self.t_start
+
+    def sampling_interval(self) -> float:
+        """Median gap between consecutive samples (0 for singletons)."""
+        if len(self) < 2:
+            return 0.0
+        return float(np.median(np.diff(self._t)))
+
+    # ------------------------------------------------------------------ #
+    # derived series
+    # ------------------------------------------------------------------ #
+
+    def slice_time(self, t_lo: float, t_hi: float) -> "TimeSeries":
+        """Sub-series of observations with ``t_lo <= t <= t_hi``."""
+        if t_hi < t_lo:
+            raise InvalidSeriesError(f"empty time range [{t_lo}, {t_hi}]")
+        mask = (self._t >= t_lo) & (self._t <= t_hi)
+        if not mask.any():
+            raise InvalidSeriesError(
+                f"no observations in [{t_lo}, {t_hi}] "
+                f"(series spans [{self.t_start}, {self.t_end}])"
+            )
+        return TimeSeries(self._t[mask], self._v[mask], name=self.name)
+
+    def head(self, n: int) -> "TimeSeries":
+        """First ``n`` observations."""
+        if n < 1:
+            raise InvalidSeriesError("head() needs n >= 1")
+        return TimeSeries(self._t[:n], self._v[:n], name=self.name)
+
+    def with_values(self, values: Sequence[float]) -> "TimeSeries":
+        """Same timestamps, new values (e.g. after smoothing)."""
+        return TimeSeries(self._t, values, name=self.name)
+
+    def shift_time(self, offset: float) -> "TimeSeries":
+        """Same series with every timestamp shifted by ``offset``."""
+        return TimeSeries(self._t + offset, self._v, name=self.name)
+
+    def concat(self, other: "TimeSeries") -> "TimeSeries":
+        """This series followed by ``other`` (which must start later)."""
+        if other.t_start <= self.t_end:
+            raise InvalidSeriesError(
+                "concat requires the second series to start strictly after "
+                f"the first ends ({other.t_start} <= {self.t_end})"
+            )
+        return TimeSeries(
+            np.concatenate([self._t, other._t]),
+            np.concatenate([self._v, other._v]),
+            name=self.name,
+        )
+
+    @staticmethod
+    def from_observations(
+        observations: Iterable[Tuple[float, float]], name: str = ""
+    ) -> "TimeSeries":
+        """Build a series from an iterable of ``(t, v)`` pairs."""
+        pairs = list(observations)
+        if not pairs:
+            raise InvalidSeriesError("series must contain at least one observation")
+        t, v = zip(*pairs)
+        return TimeSeries(t, v, name=name)

@@ -1,0 +1,95 @@
+"""Generic synthetic series used by tests, examples, and ablations.
+
+These are deliberately simple; the paper-faithful workload lives in
+:mod:`repro.datagen.cad`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .series import TimeSeries
+
+__all__ = ["random_walk_series", "sinusoid_series", "piecewise_series"]
+
+
+def _regular_times(n: int, dt: float, t0: float) -> np.ndarray:
+    if n < 1:
+        raise InvalidParameterError("need n >= 1 samples")
+    if dt <= 0:
+        raise InvalidParameterError("sampling interval must be positive")
+    return t0 + dt * np.arange(n, dtype=float)
+
+
+def random_walk_series(
+    n: int,
+    dt: float = 300.0,
+    step_std: float = 0.25,
+    t0: float = 0.0,
+    seed: Optional[int] = None,
+    name: str = "random-walk",
+) -> TimeSeries:
+    """A Gaussian random walk sampled every ``dt`` seconds.
+
+    Random walks contain both smooth stretches and sharp moves, which makes
+    them a convenient adversarial input for segmentation and search tests.
+    """
+    rng = np.random.default_rng(seed)
+    t = _regular_times(n, dt, t0)
+    steps = rng.normal(0.0, step_std, size=n)
+    steps[0] = 0.0
+    return TimeSeries(t, np.cumsum(steps), name=name)
+
+
+def sinusoid_series(
+    n: int,
+    dt: float = 300.0,
+    period: float = 86_400.0,
+    amplitude: float = 8.0,
+    mean: float = 12.0,
+    noise_std: float = 0.0,
+    t0: float = 0.0,
+    seed: Optional[int] = None,
+    name: str = "sinusoid",
+) -> TimeSeries:
+    """A (optionally noisy) sinusoid — a caricature of a diurnal cycle."""
+    if period <= 0 or amplitude < 0 or noise_std < 0:
+        raise InvalidParameterError("period > 0, amplitude >= 0, noise_std >= 0")
+    t = _regular_times(n, dt, t0)
+    v = mean + amplitude * np.sin(2.0 * np.pi * t / period)
+    if noise_std > 0:
+        rng = np.random.default_rng(seed)
+        v = v + rng.normal(0.0, noise_std, size=n)
+    return TimeSeries(t, v, name=name)
+
+
+def piecewise_series(
+    breakpoints: Sequence[float],
+    values: Sequence[float],
+    dt: float = 300.0,
+    name: str = "piecewise",
+) -> TimeSeries:
+    """Sample an exactly piecewise-linear signal every ``dt`` seconds.
+
+    Useful in tests: segmentation with any tolerance must recover the
+    breakpoints, and ground-truth drops are analytically known.  The
+    breakpoints themselves are always included as samples.
+    """
+    bp_t = np.asarray(breakpoints, dtype=float)
+    bp_v = np.asarray(values, dtype=float)
+    if bp_t.shape != bp_v.shape or bp_t.ndim != 1 or bp_t.shape[0] < 2:
+        raise InvalidParameterError(
+            "need matching 1-D breakpoints/values with at least two points"
+        )
+    if not np.all(np.diff(bp_t) > 0):
+        raise InvalidParameterError("breakpoints must be strictly increasing")
+    if dt <= 0:
+        raise InvalidParameterError("sampling interval must be positive")
+    grid = np.arange(bp_t[0], bp_t[-1] + dt / 2.0, dt)
+    t = np.union1d(grid, bp_t)
+    t = t[(t >= bp_t[0]) & (t <= bp_t[-1])]
+    v = np.interp(t, bp_t, bp_v)
+    return TimeSeries(t, v, name=name)

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` and
+friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InvalidSeriesError(ReproError):
+    """A time series violates a structural requirement.
+
+    Raised when timestamps are not strictly increasing, lengths of the
+    time/value arrays disagree, or a series is too short for the requested
+    operation.
+    """
+
+
+class InvalidParameterError(ReproError):
+    """A user-supplied parameter is out of its legal domain.
+
+    Examples: a negative error tolerance ``epsilon``, a non-positive window
+    width ``w``, a drop threshold ``V >= 0``, or a time-span threshold
+    ``T > w`` that the index was not built to support.
+    """
+
+
+class InvalidSegmentError(ReproError):
+    """A data segment is malformed (zero or negative duration, NaN values)."""
+
+
+class StorageError(ReproError):
+    """A feature store could not complete an operation.
+
+    Wraps lower-level ``sqlite3`` errors so callers are not coupled to the
+    backend in use.
+    """
+
+
+class QueryError(ReproError):
+    """A search request could not be answered.
+
+    Raised, for instance, when a drop search is issued with ``T`` larger
+    than the window ``w`` the index was built with, or against an index
+    that holds no features yet.
+    """

@@ -1,0 +1,31 @@
+"""Reproductions of every table and figure in the paper's Section 6.
+
+Each module exposes ``run(...) -> dict`` (machine-readable results) and
+``main()`` (prints the paper-style table).  ``python -m repro.experiments``
+runs the whole evaluation and prints every table — the source of the
+numbers recorded in EXPERIMENTS.md.  The pytest-benchmark targets under
+``benchmarks/`` call the same ``run`` functions and assert the paper's
+qualitative shapes (who wins, roughly by how much, trends).
+
+Experiment-to-paper map:
+
+========================  =====================================
+Module                    Paper content
+========================  =====================================
+``table3_compression``    Table 3 (r vs ε)
+``fig7_9_feature_sizes``  Figures 7, 8, 9; size halves of Tables 5, 6
+``table4_corners``        Table 4 (corner-case distribution)
+``fig10_11_query_time``   Figures 10, 11; time halves of Tables 5, 6
+``fig12_13_window``       Figures 12, 13; Table 7 (w sweep)
+``fig14_15_scalability``  Figures 14, 15 (growth with n)
+``fig16_24_query_regions``Figures 16-24 (random-query study)
+``space_model``           Section 5.2's analytic model, validated
+``page_cost``             Figures 17-24 in page reads (MiniDB)
+``ablations``             beyond-paper: segmenter, self-pairs, backend,
+                          planner, access method, tiered tolerances
+========================  =====================================
+"""
+
+from . import datasets, report, runner
+
+__all__ = ["datasets", "report", "runner"]

@@ -1,0 +1,73 @@
+"""Run the entire evaluation: every table and figure, plus ablations.
+
+Usage::
+
+    python -m repro.experiments            # full run (a few minutes)
+    python -m repro.experiments --quick    # smaller datasets, for CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (
+    ablations,
+    fig7_9_feature_sizes,
+    fig10_11_query_time,
+    fig12_13_window,
+    fig14_15_scalability,
+    fig16_24_query_regions,
+    page_cost,
+    space_model,
+    table3_compression,
+    table4_corners,
+    table5_6_ratios,
+)
+from .runner import Timer
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce every table and figure of the paper.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller datasets (3 days instead of 7)",
+    )
+    args = parser.parse_args(argv)
+    days = 3 if args.quick else 7
+
+    stages = [
+        ("Table 3", lambda: table3_compression.main(days=days)),
+        ("Figures 7-9", lambda: fig7_9_feature_sizes.main(days=days)),
+        ("Table 4", lambda: table4_corners.main(days=days)),
+        ("Figures 10-11", lambda: fig10_11_query_time.main(days=days)),
+        ("Tables 5-6", lambda: table5_6_ratios.main(days=days)),
+        ("Figures 12-13 / Table 7", lambda: fig12_13_window.main(days=days)),
+        (
+            "Figures 14-15",
+            lambda: fig14_15_scalability.main(
+                days_per_group=2 if args.quick else 6
+            ),
+        ),
+        ("Figures 16-24", lambda: fig16_24_query_regions.main(days=days)),
+        ("Section 5.2 space model", lambda: space_model.main(days=days)),
+        ("Page-cost study (MiniDB)", lambda: page_cost.main(days=days)),
+        ("Ablations", lambda: ablations.main(days=days)),
+    ]
+    for title, stage_main in stages:
+        print()
+        print("=" * 72)
+        print(f"== {title}")
+        print("=" * 72)
+        with Timer() as t:
+            stage_main()
+        print(f"[{title} done in {t.elapsed:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,367 @@
+"""Ablations beyond the paper (DESIGN.md §6).
+
+1. **Segmenter choice** — the paper picks the online sliding window among
+   the algorithms reviewed in Keogh et al.; this ablation compares it
+   with bottom-up and SWAB on compression, build time, and the resulting
+   SegDiff feature counts.
+2. **Self-pairs** — our addition (DESIGN.md §5.1).  Measures their
+   feature-count overhead against the coverage they buy (events inside
+   the newest segment).
+3. **Storage backend** — SQLite vs the in-memory numpy store on query
+   latency, at identical results.
+4. **Adaptive planner** — Figures 19-24 show forced indexes hurt on hard
+   queries; ``mode="auto"`` estimates selectivity from a feature sample
+   and picks the plan per query.  This ablation measures its *regret*:
+   total time versus the per-query oracle (best of scan/index) and the
+   two fixed policies.
+5. **Access method** — the related work ([1], [4], [7]) indexes boxes
+   with spatial structures; SegDiff uses composite B-trees.  This
+   ablation races scan vs dt-sorted index vs a 2-D grid on the in-memory
+   store, over a selective and a hard query.
+6. **Tiered tolerances** — Section 6.1: "If a query involves a larger
+   magnitude of drop, a larger ε is admissible".  This ablation compares
+   a deep-drop query answered by a fine single-ε index versus the
+   coarsest admissible tier of a :class:`TieredIndex`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.index import SegDiffIndex
+from ..segmentation import (
+    BottomUpSegmenter,
+    SlidingWindowSegmenter,
+    SWABSegmenter,
+    compression_rate,
+    max_abs_error,
+)
+from ..storage import MemoryFeatureStore, SqliteFeatureStore
+from . import datasets
+from .report import format_seconds, render_table
+from .runner import Timer, time_query
+
+__all__ = [
+    "run_segmenters",
+    "run_self_pairs",
+    "run_backends",
+    "run_planner",
+    "run_access_methods",
+    "run_tiered",
+    "main",
+]
+
+
+@dataclass(frozen=True)
+class SegmenterRow:
+    name: str
+    n_segments: int
+    r: float
+    max_error: float
+    build_seconds: float
+
+
+def run_segmenters(
+    epsilon: float = datasets.DEFAULT_EPSILON, days: int = 7
+) -> List[SegmenterRow]:
+    """Compression/time trade-off of the three segmenters."""
+    series = datasets.standard_series(days=days)
+    segmenters = [
+        ("sliding-window", SlidingWindowSegmenter(epsilon)),
+        ("bottom-up", BottomUpSegmenter(epsilon)),
+        ("swab", SWABSegmenter(epsilon)),
+    ]
+    rows = []
+    for name, segmenter in segmenters:
+        with Timer() as t:
+            segs = segmenter.segment(series)
+        rows.append(
+            SegmenterRow(
+                name=name,
+                n_segments=len(segs),
+                r=compression_rate(series, segs),
+                max_error=max_abs_error(series, segs),
+                build_seconds=t.elapsed,
+            )
+        )
+    return rows
+
+
+def run_self_pairs(
+    epsilon: float = datasets.DEFAULT_EPSILON,
+    days: int = 7,
+    window: float = datasets.DEFAULT_WINDOW,
+) -> Dict[str, Dict[str, float]]:
+    """Feature counts with and without the self-pair addition."""
+    series = datasets.standard_series(days=days)
+    out: Dict[str, Dict[str, float]] = {}
+    for label, enabled in (("with self-pairs", True), ("paper-literal", False)):
+        index = SegDiffIndex.build(
+            series, epsilon, window, backend="memory", emit_self_pairs=enabled
+        )
+        try:
+            st = index.stats()
+            out[label] = {
+                "rows": st.store_counts.total,
+                "pairs": st.extraction.n_pairs,
+                "self_pairs": st.extraction.n_self_pairs,
+                "hits_canonical": len(
+                    index.search_drops(datasets.DEFAULT_T, datasets.DEFAULT_V)
+                ),
+            }
+        finally:
+            index.close()
+    return out
+
+
+def run_backends(
+    epsilon: float = datasets.DEFAULT_EPSILON,
+    days: int = 7,
+    window: float = datasets.DEFAULT_WINDOW,
+    repeats: int = 3,
+) -> Dict[str, Dict[str, float]]:
+    """Query latency of the two storage backends (identical results)."""
+    series = datasets.standard_series(days=days)
+    out: Dict[str, Dict[str, float]] = {}
+    results = {}
+    for backend in ("memory", "sqlite"):
+        index = SegDiffIndex.build(series, epsilon, window, backend=backend)
+        try:
+            elapsed, n = time_query(
+                lambda: index.search_drops(
+                    datasets.DEFAULT_T, datasets.DEFAULT_V
+                ),
+                repeats,
+            )
+            results[backend] = index.search_drops(
+                datasets.DEFAULT_T, datasets.DEFAULT_V
+            )
+            out[backend] = {"seconds": elapsed, "hits": n}
+        finally:
+            index.close()
+    assert results["memory"] == results["sqlite"], "backends must agree"
+    return out
+
+
+def run_planner(
+    epsilon: float = datasets.DEFAULT_EPSILON,
+    days: int = 7,
+    window: float = datasets.DEFAULT_WINDOW,
+    n_queries: int = 16,
+    repeats: int = 2,
+    seed: int = 23,
+) -> Dict[str, float]:
+    """Total time (seconds) per plan policy over a random query workload.
+
+    Policies: always-scan, always-index, the adaptive planner, and the
+    per-query oracle (minimum of scan/index — unattainable in practice).
+    """
+    from ..workloads import random_drop_queries
+
+    series = datasets.standard_series(days=days)
+    grid = random_drop_queries(
+        n_queries, window,
+        v_range=(float(series.values.min() - series.values.max()), -0.5),
+        seed=seed,
+    )
+    index = SegDiffIndex.build(series, epsilon, window, backend="sqlite")
+    totals = {"scan": 0.0, "index": 0.0, "auto": 0.0, "oracle": 0.0}
+    try:
+        for q in grid:
+            per_mode = {}
+            for mode in ("scan", "index", "auto"):
+                elapsed, _ = time_query(
+                    lambda m=mode: index.search_drops(
+                        q.t_threshold, q.v_threshold, mode=m
+                    ),
+                    repeats,
+                )
+                per_mode[mode] = elapsed
+                totals[mode] += elapsed
+            totals["oracle"] += min(per_mode["scan"], per_mode["index"])
+    finally:
+        index.close()
+    return totals
+
+
+def run_access_methods(
+    epsilon: float = datasets.DEFAULT_EPSILON,
+    days: int = 7,
+    window: float = datasets.DEFAULT_WINDOW,
+    repeats: int = 3,
+) -> Dict[str, Dict[str, float]]:
+    """Per-query latency of scan / sorted-index / grid on the memory store.
+
+    Returns ``{query_label: {mode: seconds}}`` for one selective and one
+    hard query; all three modes must return identical pairs.
+    """
+    series = datasets.standard_series(days=days)
+    index = SegDiffIndex.build(series, epsilon, window, backend="memory")
+    queries = {
+        "selective (1h, -8C)": (datasets.DEFAULT_T, -8.0),
+        "hard (8h, -0.5C)": (window, -0.5),
+    }
+    out: Dict[str, Dict[str, float]] = {}
+    try:
+        for label, (t_thr, v_thr) in queries.items():
+            out[label] = {}
+            reference = None
+            for mode in ("scan", "index", "grid"):
+                elapsed, _ = time_query(
+                    lambda m=mode: index.search_drops(t_thr, v_thr, mode=m),
+                    repeats,
+                )
+                out[label][mode] = elapsed
+                result = index.search_drops(t_thr, v_thr, mode=mode)
+                if reference is None:
+                    reference = result
+                assert result == reference, "access methods must agree"
+    finally:
+        index.close()
+    return out
+
+
+def run_tiered(
+    days: int = 7,
+    window: float = datasets.DEFAULT_WINDOW,
+    repeats: int = 3,
+) -> Dict[str, Dict[str, float]]:
+    """Fine-only vs tier-routed answering of a deep-drop query.
+
+    The deep query (-8 C within 1 h) tolerates 2 C of slack, admitting
+    the ε = 1.0 tier; the precise query (-3 C, 0.4 C slack) needs the
+    fine tier.  Reports per-strategy time and the store rows consulted.
+    """
+    from ..core.tiered import TieredIndex
+
+    series = datasets.standard_series(days=days)
+    tiers = (0.1, 0.4, 1.0)
+    tiered = TieredIndex.build(series, tiers, window, backend="sqlite")
+    out: Dict[str, Dict[str, float]] = {}
+    try:
+        cases = {
+            "deep query (-8C, tol 2C)": (-8.0, 2.0),
+            "precise query (-3C, tol 0.2C)": (-3.0, 0.2),
+        }
+        for label, (v_thr, tol) in cases.items():
+            eps = tiered.choose_tier(tol)
+            fine_time, n_fine = time_query(
+                lambda: tiered.tier(tiers[0]).search_drops(
+                    datasets.DEFAULT_T, v_thr
+                ),
+                repeats,
+            )
+            routed_time, n_routed = time_query(
+                lambda: tiered.search_drops(
+                    datasets.DEFAULT_T, v_thr, max_tolerance=tol
+                ),
+                repeats,
+            )
+            out[label] = {
+                "chosen_epsilon": eps,
+                "fine_seconds": fine_time,
+                "routed_seconds": routed_time,
+                "fine_hits": n_fine,
+                "routed_hits": n_routed,
+                "tier_rows": tiered.tier(eps).stats().store_counts.total,
+                "fine_rows": tiered.tier(tiers[0]).stats().store_counts.total,
+            }
+    finally:
+        tiered.close()
+    return out
+
+
+def main(days: int = 7) -> str:
+    sections = []
+
+    seg_rows = run_segmenters(days=days)
+    sections.append(
+        render_table(
+            ["segmenter", "segments", "r", "max error", "build time"],
+            [
+                [r.name, r.n_segments, f"{r.r:.2f}", f"{r.max_error:.3f}",
+                 format_seconds(r.build_seconds)]
+                for r in seg_rows
+            ],
+            title="Ablation 1: segmentation algorithm (eps = 0.2)",
+        )
+    )
+
+    sp = run_self_pairs(days=days)
+    sections.append(
+        render_table(
+            ["variant", "stored rows", "pairs", "self-pairs", "canonical hits"],
+            [
+                [label, int(d["rows"]), int(d["pairs"]),
+                 int(d["self_pairs"]), int(d["hits_canonical"])]
+                for label, d in sp.items()
+            ],
+            title="Ablation 2: self-pair emission",
+        )
+    )
+
+    be = run_backends(days=days)
+    sections.append(
+        render_table(
+            ["backend", "canonical query time", "hits"],
+            [
+                [name, format_seconds(d["seconds"]), int(d["hits"])]
+                for name, d in be.items()
+            ],
+            title="Ablation 3: storage backend",
+        )
+    )
+
+    planner = run_planner(days=days)
+    sections.append(
+        render_table(
+            ["plan policy", "total workload time"],
+            [
+                [name, format_seconds(planner[name])]
+                for name in ("scan", "index", "auto", "oracle")
+            ],
+            title="Ablation 4: adaptive query planner (16 random queries)",
+        )
+    )
+
+    access = run_access_methods(days=days)
+    sections.append(
+        render_table(
+            ["query", "scan", "sorted index", "2-D grid"],
+            [
+                [label, format_seconds(d["scan"]), format_seconds(d["index"]),
+                 format_seconds(d["grid"])]
+                for label, d in access.items()
+            ],
+            title="Ablation 5: access method (memory store)",
+        )
+    )
+
+    tiered = run_tiered(days=days)
+    sections.append(
+        render_table(
+            ["query", "tier used", "tier rows", "fine rows",
+             "routed time", "fine-only time"],
+            [
+                [
+                    label,
+                    f"eps={d['chosen_epsilon']}",
+                    int(d["tier_rows"]),
+                    int(d["fine_rows"]),
+                    format_seconds(d["routed_seconds"]),
+                    format_seconds(d["fine_seconds"]),
+                ]
+                for label, d in tiered.items()
+            ],
+            title="Ablation 6: tiered tolerances (Section 6.1's observation)",
+        )
+    )
+
+    out = "\n\n".join(sections)
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+"""Figures 10, 11 and the time halves of Tables 5 and 6.
+
+For each tolerance the canonical CAD query (3-degree drop within 1 hour)
+is executed against SegDiff and Exh, in sequential-scan and forced-index
+modes, with a cold cache (the paper flushes the OS cache in Section 6.1;
+we open a fresh connection with a minimal page cache — DESIGN.md §5.7).
+
+Paper reference points (ε = 0.2): scan ratio ``r_st`` = 6.69; index ratio
+``r_it`` = 21.35; for this query, forced index access is *slower* than a
+scan for both systems (it lands in the hard region of the query plane).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from . import datasets
+from .report import format_seconds, render_table
+from .runner import build_exh, build_segdiff, time_query
+
+__all__ = ["run", "main", "TimeRow"]
+
+
+@dataclass(frozen=True)
+class TimeRow:
+    """Query times for one tolerance (seconds, cold cache)."""
+
+    epsilon: float
+    segdiff_scan: float
+    segdiff_index: float
+    exh_scan: float
+    exh_index: float
+    n_results_segdiff: int
+    n_results_exh: int
+
+    @property
+    def r_st(self) -> float:
+        """Sequential-scan time ratio Exh/SegDiff (Table 5)."""
+        return self.exh_scan / self.segdiff_scan
+
+    @property
+    def r_it(self) -> float:
+        """Indexed time ratio Exh/SegDiff (Table 6)."""
+        return self.exh_index / self.segdiff_index
+
+
+def run(
+    epsilons: Sequence[float] = datasets.EPSILON_SWEEP,
+    days: int = 7,
+    window: float = datasets.DEFAULT_WINDOW,
+    t_threshold: float = datasets.DEFAULT_T,
+    v_threshold: float = datasets.DEFAULT_V,
+    repeats: int = 3,
+    cache: str = "cold",
+) -> Dict[float, TimeRow]:
+    """Query times per tolerance for the canonical CAD query."""
+    series = datasets.standard_series(days=days)
+
+    exh = build_exh(series, window, backend="sqlite")
+    try:
+        exh_scan, n_exh = time_query(
+            lambda: exh.search_drops(
+                t_threshold, v_threshold, mode="scan", cache=cache
+            ),
+            repeats,
+        )
+        exh_index, _ = time_query(
+            lambda: exh.search_drops(
+                t_threshold, v_threshold, mode="index", cache=cache
+            ),
+            repeats,
+        )
+    finally:
+        exh.close()
+
+    rows: Dict[float, TimeRow] = {}
+    for eps in epsilons:
+        index = build_segdiff(series, eps, window, backend="sqlite")
+        try:
+            sd_scan, n_sd = time_query(
+                lambda: index.search_drops(
+                    t_threshold, v_threshold, mode="scan", cache=cache
+                ),
+                repeats,
+            )
+            sd_index, _ = time_query(
+                lambda: index.search_drops(
+                    t_threshold, v_threshold, mode="index", cache=cache
+                ),
+                repeats,
+            )
+        finally:
+            index.close()
+        rows[eps] = TimeRow(
+            epsilon=eps,
+            segdiff_scan=sd_scan,
+            segdiff_index=sd_index,
+            exh_scan=exh_scan,
+            exh_index=exh_index,
+            n_results_segdiff=n_sd,
+            n_results_exh=n_exh,
+        )
+    return rows
+
+
+def main(days: int = 7) -> str:
+    rows = run(days=days)
+    table = render_table(
+        ["epsilon", "SegDiff scan", "SegDiff index", "Exh scan", "Exh index",
+         "r_st", "r_it", "hits SegDiff", "hits Exh"],
+        [
+            [
+                r.epsilon,
+                format_seconds(r.segdiff_scan),
+                format_seconds(r.segdiff_index),
+                format_seconds(r.exh_scan),
+                format_seconds(r.exh_index),
+                f"{r.r_st:.2f}",
+                f"{r.r_it:.2f}",
+                r.n_results_segdiff,
+                r.n_results_exh,
+            ]
+            for r in rows.values()
+        ],
+        title=(
+            "Figures 10-11 / Tables 5-6 (time halves): cold-cache query "
+            "times for the canonical 3-degree/1-hour drop"
+        ),
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+"""Figures 12, 13 and Table 7: performance with different window sizes.
+
+With ε fixed at 0.2 and ``w`` swept over {1, 4, 8, 12, 16} hours, both
+systems' feature sizes grow roughly linearly with ``w`` (Figure 12) — but
+the *ratio* ``r_f`` itself grows with ``w`` (Table 7: 5.89 → 13.94),
+because observations per window grow linearly while segments per window
+do not.  Sequential-scan time follows the same pattern (Figure 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from . import datasets
+from .report import format_bytes, format_seconds, render_table
+from .runner import build_exh, build_segdiff, time_query
+
+__all__ = ["run", "main", "WindowRow", "PAPER_TABLE7"]
+
+HOUR = 3600.0
+
+#: Paper's Table 7: (r_f, r_d) per window hours.
+PAPER_TABLE7 = {
+    1: (5.89, 4.51),
+    4: (9.98, 7.30),
+    8: (11.97, 8.66),
+    12: (13.14, 9.53),
+    16: (13.94, 10.18),
+}
+
+
+@dataclass(frozen=True)
+class WindowRow:
+    """Sizes and scan times for one window width."""
+
+    window_hours: float
+    segdiff_feature_bytes: int
+    segdiff_disk_bytes: int
+    exh_feature_bytes: int
+    exh_disk_bytes: int
+    segdiff_scan: float
+    exh_scan: float
+
+    @property
+    def r_f(self) -> float:
+        return self.exh_feature_bytes / self.segdiff_feature_bytes
+
+    @property
+    def r_d(self) -> float:
+        return self.exh_disk_bytes / self.segdiff_disk_bytes
+
+    @property
+    def r_st(self) -> float:
+        return self.exh_scan / self.segdiff_scan
+
+
+def run(
+    window_hours: Sequence[float] = datasets.WINDOW_SWEEP_HOURS,
+    epsilon: float = datasets.DEFAULT_EPSILON,
+    days: int = 7,
+    repeats: int = 3,
+) -> Dict[float, WindowRow]:
+    series = datasets.standard_series(days=days)
+    rows: Dict[float, WindowRow] = {}
+    for hours in window_hours:
+        window = hours * HOUR
+        t_thr = min(datasets.DEFAULT_T, window)
+        index = build_segdiff(series, epsilon, window, backend="sqlite")
+        exh = build_exh(series, window, backend="sqlite")
+        try:
+            sd_scan, _ = time_query(
+                lambda: index.search_drops(
+                    t_thr, datasets.DEFAULT_V, mode="scan", cache="cold"
+                ),
+                repeats,
+            )
+            exh_scan, _ = time_query(
+                lambda: exh.search_drops(
+                    t_thr, datasets.DEFAULT_V, mode="scan", cache="cold"
+                ),
+                repeats,
+            )
+            rows[hours] = WindowRow(
+                window_hours=hours,
+                segdiff_feature_bytes=index.store.feature_bytes(),
+                segdiff_disk_bytes=index.store.disk_bytes(),
+                exh_feature_bytes=exh.feature_bytes(),
+                exh_disk_bytes=exh.disk_bytes(),
+                segdiff_scan=sd_scan,
+                exh_scan=exh_scan,
+            )
+        finally:
+            index.close()
+            exh.close()
+    return rows
+
+
+def main(days: int = 7) -> str:
+    rows = run(days=days)
+    table = render_table(
+        ["w (hours)", "SegDiff features", "Exh features", "SegDiff scan",
+         "Exh scan", "r_f", "r_d", "r_st", "paper r_f", "paper r_d"],
+        [
+            [
+                r.window_hours,
+                format_bytes(r.segdiff_feature_bytes),
+                format_bytes(r.exh_feature_bytes),
+                format_seconds(r.segdiff_scan),
+                format_seconds(r.exh_scan),
+                f"{r.r_f:.2f}",
+                f"{r.r_d:.2f}",
+                f"{r.r_st:.2f}",
+                *PAPER_TABLE7.get(int(r.window_hours), ("-", "-")),
+            ]
+            for r in rows.values()
+        ],
+        title="Figures 12-13 / Table 7: performance with window size varied",
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

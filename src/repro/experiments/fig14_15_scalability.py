@@ -1,0 +1,142 @@
+"""Figures 14 and 15: scalability with the number of observations.
+
+Data are split into five contiguous groups; after each group is
+incrementally ingested, feature size and the canonical query's
+sequential-scan time are recorded.  The paper aborted Exh after two
+groups ("it would take too much time") and extrapolated its feature size
+linearly; we do exactly the same — Exh is built for the first
+``exh_groups`` groups only, the rest are the linear extrapolation marked
+in Figure 14's dotted line.
+
+Expected shapes: SegDiff's feature size and scan time grow ~linearly
+with n; Exh sits an order of magnitude higher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..baselines import ExhIndex
+from ..core.index import SegDiffIndex
+from . import datasets
+from .report import format_bytes, format_seconds, render_table
+from .runner import time_query
+
+__all__ = ["run", "main", "GrowthRow"]
+
+
+@dataclass(frozen=True)
+class GrowthRow:
+    """Measurements after one more group is ingested."""
+
+    group: int
+    n_observations: int
+    segdiff_feature_bytes: int
+    segdiff_scan: float
+    exh_feature_bytes: Optional[int]  # None => beyond the measured groups
+    exh_feature_bytes_extrapolated: int
+    exh_scan: Optional[float]
+
+
+def run(
+    n_groups: int = 5,
+    days_per_group: int = 6,
+    exh_groups: int = 2,
+    epsilon: float = datasets.DEFAULT_EPSILON,
+    window: float = datasets.DEFAULT_WINDOW,
+    repeats: int = 3,
+) -> List[GrowthRow]:
+    groups = datasets.scalability_groups(n_groups, days_per_group)
+    query = dict(
+        t_threshold=datasets.DEFAULT_T, v_threshold=datasets.DEFAULT_V
+    )
+
+    segdiff = SegDiffIndex(epsilon, window, store=None)
+    # use sqlite for honest on-disk sizes
+    from ..storage import SqliteFeatureStore
+
+    segdiff = SegDiffIndex(epsilon, window, store=SqliteFeatureStore())
+    exh = ExhIndex(window, backend="sqlite")
+
+    rows: List[GrowthRow] = []
+    n_total = 0
+    exh_sizes: List[int] = []
+    try:
+        for gi, group in enumerate(groups, start=1):
+            segdiff.ingest(group)
+            segdiff.checkpoint()
+            n_total += len(group)
+
+            sd_scan, _ = time_query(
+                lambda: segdiff.search_drops(
+                    query["t_threshold"], query["v_threshold"],
+                    mode="scan", cache="cold",
+                ),
+                repeats,
+            )
+
+            exh_feat: Optional[int] = None
+            exh_scan: Optional[float] = None
+            if gi <= exh_groups:
+                exh.ingest(group)
+                exh.finalize()
+                exh_feat = exh.feature_bytes()
+                exh_sizes.append(exh_feat)
+                exh_scan, _ = time_query(
+                    lambda: exh.search_drops(
+                        query["t_threshold"], query["v_threshold"],
+                        mode="scan", cache="cold",
+                    ),
+                    repeats,
+                )
+
+            # linear extrapolation through the measured Exh sizes
+            per_group = exh_sizes[-1] / len(exh_sizes) if exh_sizes else 0
+            extrapolated = int(per_group * gi)
+
+            rows.append(
+                GrowthRow(
+                    group=gi,
+                    n_observations=n_total,
+                    segdiff_feature_bytes=segdiff.store.feature_bytes(),
+                    segdiff_scan=sd_scan,
+                    exh_feature_bytes=exh_feat,
+                    exh_feature_bytes_extrapolated=extrapolated,
+                    exh_scan=exh_scan,
+                )
+            )
+    finally:
+        segdiff.close()
+        exh.close()
+    return rows
+
+
+def main(days_per_group: int = 6) -> str:
+    rows = run(days_per_group=days_per_group)
+    table = render_table(
+        ["group", "n", "SegDiff features", "SegDiff scan",
+         "Exh features", "Exh features (extrap.)", "Exh scan"],
+        [
+            [
+                r.group,
+                r.n_observations,
+                format_bytes(r.segdiff_feature_bytes),
+                format_seconds(r.segdiff_scan),
+                format_bytes(r.exh_feature_bytes),
+                format_bytes(r.exh_feature_bytes_extrapolated),
+                format_seconds(r.exh_scan),
+            ]
+            for r in rows
+        ],
+        title=(
+            "Figures 14-15: growth with n (Exh measured for the first two "
+            "groups, extrapolated beyond, as in the paper)"
+        ),
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

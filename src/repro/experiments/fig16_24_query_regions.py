@@ -1,0 +1,175 @@
+"""Figures 16-24: the random-query study over the (T, V) plane.
+
+A set of random drop queries (Figure 16's coverage) is executed against
+both systems in four regimes: sequential scan vs forced index, warm vs
+cold cache.  Per-query times reproduce Figures 17-20; the per-query time
+ratios summarize Figures 21-24.
+
+Paper reference points: hard queries (long times, many results) cluster
+in the top-right of the plane — large T, shallow V; with a warm cache
+SegDiff is ~9x faster scanning and ~10x with indexes (Figs 21-22); without
+cache the index gap widens to ~20x because Exh's tall B-trees hurt
+(Figs 23-24).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import median
+from typing import Dict, List
+
+from ..workloads import random_drop_queries
+from . import datasets
+from .report import format_seconds, render_table
+from .runner import build_exh, build_segdiff, time_query
+
+__all__ = ["run", "main", "QueryTiming", "RegionStudy"]
+
+
+@dataclass(frozen=True)
+class QueryTiming:
+    """Per-query timings (seconds) in all four regimes for both systems."""
+
+    t_threshold: float
+    v_threshold: float
+    n_results_segdiff: int
+    n_results_exh: int
+    segdiff: Dict[str, float]  # regime -> seconds
+    exh: Dict[str, float]
+
+    def ratio(self, regime: str) -> float:
+        return self.exh[regime] / self.segdiff[regime]
+
+
+REGIMES = (
+    ("scan", "warm"),
+    ("index", "warm"),
+    ("scan", "cold"),
+    ("index", "cold"),
+)
+
+
+def _regime_key(mode: str, cache: str) -> str:
+    return f"{mode}/{cache}"
+
+
+@dataclass(frozen=True)
+class RegionStudy:
+    """The full study: per-query rows plus ratio summaries."""
+
+    timings: List[QueryTiming]
+
+    def median_ratio(self, mode: str, cache: str) -> float:
+        key = _regime_key(mode, cache)
+        return median(t.ratio(key) for t in self.timings)
+
+    def hard_queries(self, quantile: float = 0.75) -> List[QueryTiming]:
+        """Queries in the top quartile of SegDiff warm-scan time."""
+        times = sorted(t.segdiff[_regime_key("scan", "warm")] for t in self.timings)
+        cut = times[int(quantile * (len(times) - 1))]
+        return [
+            t
+            for t in self.timings
+            if t.segdiff[_regime_key("scan", "warm")] >= cut
+        ]
+
+
+def run(
+    n_queries: int = 24,
+    days: int = 7,
+    epsilon: float = datasets.DEFAULT_EPSILON,
+    window: float = datasets.DEFAULT_WINDOW,
+    repeats: int = 2,
+    seed: int = 16,
+) -> RegionStudy:
+    series = datasets.standard_series(days=days)
+    vmin = float(series.values.min() - series.values.max())
+    grid = random_drop_queries(
+        n_queries, window, v_range=(max(vmin, -35.0), -0.5), seed=seed
+    )
+
+    segdiff = build_segdiff(series, epsilon, window, backend="sqlite")
+    exh = build_exh(series, window, backend="sqlite")
+    timings: List[QueryTiming] = []
+    try:
+        for q in grid:
+            sd: Dict[str, float] = {}
+            ex: Dict[str, float] = {}
+            n_sd = n_ex = 0
+            for mode, cache in REGIMES:
+                key = _regime_key(mode, cache)
+                sd[key], n_sd = time_query(
+                    lambda m=mode, c=cache: segdiff.search_drops(
+                        q.t_threshold, q.v_threshold, mode=m, cache=c
+                    ),
+                    repeats,
+                )
+                ex[key], n_ex = time_query(
+                    lambda m=mode, c=cache: exh.search_drops(
+                        q.t_threshold, q.v_threshold, mode=m, cache=c
+                    ),
+                    repeats,
+                )
+            timings.append(
+                QueryTiming(
+                    t_threshold=q.t_threshold,
+                    v_threshold=q.v_threshold,
+                    n_results_segdiff=n_sd,
+                    n_results_exh=n_ex,
+                    segdiff=sd,
+                    exh=ex,
+                )
+            )
+    finally:
+        segdiff.close()
+        exh.close()
+    return RegionStudy(timings)
+
+
+def main(days: int = 7) -> str:
+    study = run(days=days)
+    per_query = render_table(
+        ["T (h)", "V", "hits SD", "hits Exh",
+         "SD scan/warm", "Exh scan/warm", "SD idx/warm", "Exh idx/warm"],
+        [
+            [
+                f"{t.t_threshold / 3600.0:.2f}",
+                f"{t.v_threshold:.2f}",
+                t.n_results_segdiff,
+                t.n_results_exh,
+                format_seconds(t.segdiff["scan/warm"]),
+                format_seconds(t.exh["scan/warm"]),
+                format_seconds(t.segdiff["index/warm"]),
+                format_seconds(t.exh["index/warm"]),
+            ]
+            for t in sorted(
+                study.timings, key=lambda t: (t.t_threshold, t.v_threshold)
+            )
+        ],
+        title="Figures 16-20: random-query coverage and per-query times",
+    )
+    summary = render_table(
+        ["regime", "median Exh/SegDiff ratio", "paper (approx.)"],
+        [
+            ["scan, warm cache (Fig 21)", f"{study.median_ratio('scan', 'warm'):.2f}", "~9"],
+            ["index, warm cache (Fig 22)", f"{study.median_ratio('index', 'warm'):.2f}", "~10"],
+            ["scan, no cache (Fig 23)", f"{study.median_ratio('scan', 'cold'):.2f}", "~9"],
+            ["index, no cache (Fig 24)", f"{study.median_ratio('index', 'cold'):.2f}", "~20"],
+        ],
+        title="Figures 21-24: time-ratio summaries",
+    )
+    hard = study.hard_queries()
+    hard_note = (
+        "Hard queries (top quartile of SegDiff scan time): "
+        + ", ".join(
+            f"(T={t.t_threshold / 3600:.1f}h, V={t.v_threshold:.1f})"
+            for t in hard
+        )
+    )
+    out = "\n\n".join([per_query, summary, hard_note])
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+No plotting dependency is available offline, so figures are reported as
+aligned numeric series — enough to read off every trend the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "render_series", "format_bytes", "format_seconds"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: Sequence[tuple],
+    title: str = "",
+) -> str:
+    """Render one or more y-series against a shared x axis.
+
+    ``series`` is a sequence of ``(label, values)`` pairs.
+    """
+    headers = [x_label] + [label for label, _ in series]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [values[i] for _, values in series])
+    return render_table(headers, rows, title=title)
+
+
+def format_bytes(n: Optional[float]) -> str:
+    """Human-readable byte count."""
+    if n is None:
+        return "-"
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0 or unit == "GiB":
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    return f"{value:.1f} GiB"
+
+
+def format_seconds(s: Optional[float]) -> str:
+    """Human-readable duration."""
+    if s is None:
+        return "-"
+    if s < 1e-3:
+        return f"{s * 1e6:.0f} us"
+    if s < 1.0:
+        return f"{s * 1e3:.1f} ms"
+    return f"{s:.2f} s"
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,66 @@
+"""Shared machinery for the experiment modules."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Tuple
+
+from ..baselines import ExhIndex
+from ..core.index import SegDiffIndex
+from ..datagen import TimeSeries
+
+__all__ = ["build_segdiff", "build_exh", "time_query", "Timer"]
+
+
+def build_segdiff(
+    series: TimeSeries,
+    epsilon: float,
+    window: float,
+    backend: str = "sqlite",
+    path: Optional[str] = None,
+) -> SegDiffIndex:
+    """Build a finalized SegDiff index for an experiment."""
+    return SegDiffIndex.build(
+        series, epsilon=epsilon, window=window, backend=backend, path=path
+    )
+
+
+def build_exh(
+    series: TimeSeries,
+    window: float,
+    backend: str = "sqlite",
+    path: Optional[str] = None,
+) -> ExhIndex:
+    """Build a finalized Exh index for an experiment."""
+    return ExhIndex.build(series, window=window, backend=backend, path=path)
+
+
+def time_query(fn: Callable[[], object], repeats: int = 3) -> Tuple[float, int]:
+    """Run ``fn`` ``repeats`` times; return (best wall time, result size).
+
+    The minimum over repeats is the conventional low-noise estimator for
+    micro-benchmarks; result size is taken from the last run.
+    """
+    best = float("inf")
+    n_results = 0
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+        try:
+            n_results = len(out)  # type: ignore[arg-type]
+        except TypeError:
+            n_results = 0
+    return best, n_results
+
+
+class Timer:
+    """Context-manager stopwatch: ``with Timer() as t: ...; t.elapsed``."""
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        self.elapsed = 0.0
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._t0

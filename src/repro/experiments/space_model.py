@@ -1,0 +1,130 @@
+"""Section 5.2's analytic space model, validated against measurement.
+
+The paper derives that Exh uses ``(c1/c2) * (n_w/m_w) * r`` times
+SegDiff's space, where
+
+* ``c1 = 3`` — columns per Exh row;
+* ``c2`` — columns per stored boundary (5-7 depending on corner count);
+* ``n_w`` — observations per time window;
+* ``m_w`` — data segments per time window;
+* ``r`` — segmentation compression rate,
+
+and itself cautions that ``m_w`` is not constant and ``r`` is an
+estimate, so "it is important to evaluate their empirical performance".
+This experiment does both: it instantiates the model from measured
+quantities and compares the prediction against the actually measured
+cell-count and byte ratios, per tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..storage.schema import COLUMNS_EXH, space_saving_ratio
+from . import datasets
+from .report import render_table
+from .runner import build_exh, build_segdiff
+
+__all__ = ["run", "main", "ModelRow"]
+
+
+@dataclass(frozen=True)
+class ModelRow:
+    """Model inputs and both ratio measurements for one tolerance."""
+
+    epsilon: float
+    r: float
+    n_w: float
+    m_w: float
+    c2_effective: float
+    predicted_ratio: float
+    measured_cell_ratio: float
+    measured_byte_ratio: float
+
+
+def run(
+    epsilons: Sequence[float] = datasets.EPSILON_SWEEP,
+    days: int = 7,
+    window: float = datasets.DEFAULT_WINDOW,
+) -> Dict[float, ModelRow]:
+    series = datasets.standard_series(days=days)
+    sampling = series.sampling_interval()
+    n_w = window / sampling  # observations per window
+
+    exh = build_exh(series, window, backend="sqlite")
+    try:
+        exh_rows = exh.n_pairs()
+        exh_cells = exh_rows * COLUMNS_EXH
+        exh_bytes = exh.feature_bytes()
+    finally:
+        exh.close()
+
+    rows: Dict[float, ModelRow] = {}
+    for eps in epsilons:
+        index = build_segdiff(series, eps, window, backend="sqlite")
+        try:
+            stats = index.stats()
+            ext = stats.extraction
+            r = stats.compression_rate
+            # mean segments per extraction window (the paper's m_w):
+            # every new segment pairs with the in-window history
+            m_w = ext.n_pairs / max(ext.n_segments, 1)
+            # effective stored columns per collection event: corners + 4
+            # identifying columns (Section 5.2's c2)
+            c2 = ext.effective_corner_count() + 4.0
+            predicted = space_saving_ratio(COLUMNS_EXH, c2, n_w, m_w, r)
+
+            # measured cells: one collection event stores c2(corners)
+            # columns; count via the corner histogram (+ self-pairs at
+            # 2 corners each)
+            segdiff_cells = sum(
+                count * (corners + 4)
+                for corners, count in ext.corner_histogram.items()
+            ) + ext.n_self_pairs * (2 + 4)
+            measured_cells = exh_cells / segdiff_cells
+            measured_bytes = exh_bytes / index.store.feature_bytes()
+            rows[eps] = ModelRow(
+                epsilon=eps,
+                r=r,
+                n_w=n_w,
+                m_w=m_w,
+                c2_effective=c2,
+                predicted_ratio=predicted,
+                measured_cell_ratio=measured_cells,
+                measured_byte_ratio=measured_bytes,
+            )
+        finally:
+            index.close()
+    return rows
+
+
+def main(days: int = 7) -> str:
+    rows = run(days=days)
+    table = render_table(
+        ["epsilon", "r", "n_w", "m_w", "c2 (eff)",
+         "predicted ratio", "measured (cells)", "measured (bytes)"],
+        [
+            [
+                row.epsilon,
+                f"{row.r:.2f}",
+                f"{row.n_w:.0f}",
+                f"{row.m_w:.2f}",
+                f"{row.c2_effective:.2f}",
+                f"{row.predicted_ratio:.1f}",
+                f"{row.measured_cell_ratio:.1f}",
+                f"{row.measured_byte_ratio:.1f}",
+            ]
+            for row in rows.values()
+        ],
+        title=(
+            "Section 5.2 space model: predicted (c1/c2)(n_w/m_w)r vs "
+            "measured Exh/SegDiff ratios"
+        ),
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

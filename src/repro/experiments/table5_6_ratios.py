@@ -1,0 +1,81 @@
+"""Tables 5 and 6: all four Exh/SegDiff ratios with ε varied.
+
+Combines the size measurements of :mod:`fig7_9_feature_sizes` with the
+time measurements of :mod:`fig10_11_query_time`:
+
+* Table 5 — ``r_f`` (feature size) and ``r_st`` (sequential scan time);
+* Table 6 — ``r_d`` (disk size) and ``r_it`` (indexed time).
+
+Paper: at ε = 0.2, r_f = 11.95, r_st = 6.69, r_d = 8.66, r_it = 21.35,
+all four growing with ε.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from . import datasets, fig7_9_feature_sizes, fig10_11_query_time
+from .report import render_table
+
+__all__ = ["run", "main", "RatioRow", "PAPER_RATIOS"]
+
+#: (r_f, r_st, r_d, r_it) from the paper's Tables 5 and 6.
+PAPER_RATIOS = {
+    0.1: (5.88, 3.19, 4.26, 5.88),
+    0.2: (11.95, 6.69, 8.66, 21.35),
+    0.4: (23.96, 11.20, 17.37, 85.93),
+    0.8: (48.57, 17.65, 35.33, 217.00),
+    1.0: (61.71, 19.22, 44.42, 279.34),
+}
+
+
+@dataclass(frozen=True)
+class RatioRow:
+    """All four Exh/SegDiff ratios for one tolerance."""
+
+    epsilon: float
+    r_f: float
+    r_st: float
+    r_d: float
+    r_it: float
+
+
+def run(
+    epsilons: Sequence[float] = datasets.EPSILON_SWEEP, days: int = 7
+) -> Dict[float, RatioRow]:
+    sizes = fig7_9_feature_sizes.run(epsilons, days=days)
+    times = fig10_11_query_time.run(epsilons, days=days)
+    return {
+        eps: RatioRow(
+            epsilon=eps,
+            r_f=sizes[eps].r_f,
+            r_st=times[eps].r_st,
+            r_d=sizes[eps].r_d,
+            r_it=times[eps].r_it,
+        )
+        for eps in epsilons
+    }
+
+
+def main(days: int = 7) -> str:
+    rows = run(days=days)
+    table = render_table(
+        ["epsilon", "r_f", "r_st", "r_d", "r_it",
+         "paper r_f", "paper r_st", "paper r_d", "paper r_it"],
+        [
+            [
+                r.epsilon,
+                f"{r.r_f:.2f}", f"{r.r_st:.2f}", f"{r.r_d:.2f}", f"{r.r_it:.2f}",
+                *PAPER_RATIOS.get(r.epsilon, ("-",) * 4),
+            ]
+            for r in rows.values()
+        ],
+        title="Tables 5-6: Exh/SegDiff ratios with epsilon varied",
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Piecewise-linear segmentation substrate (Section 4.1 of the paper).
+
+The paper uses the generic *online sliding window* algorithm of Keogh et
+al. (ICDM 2001) with linear interpolation and maximum error ``epsilon/2``.
+:class:`SlidingWindowSegmenter` implements it with an O(1)-per-point slope
+funnel.  Batch alternatives (:class:`BottomUpSegmenter`,
+:class:`SWABSegmenter`) are provided for the ablation study.
+"""
+
+from .base import Segmenter, segment_series
+from .sliding_window import SlidingWindowSegmenter
+from .bottom_up import BottomUpSegmenter
+from .swab import SWABSegmenter
+from .metrics import (
+    compression_rate,
+    max_abs_error,
+    mean_abs_error,
+    verify_tolerance,
+)
+
+__all__ = [
+    "Segmenter",
+    "segment_series",
+    "SlidingWindowSegmenter",
+    "BottomUpSegmenter",
+    "SWABSegmenter",
+    "compression_rate",
+    "max_abs_error",
+    "mean_abs_error",
+    "verify_tolerance",
+]

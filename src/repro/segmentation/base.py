@@ -1,0 +1,74 @@
+"""Segmenter protocol and shared helpers.
+
+A segmenter turns a sampled :class:`~repro.datagen.series.TimeSeries` into
+contiguous :class:`~repro.types.DataSegment` objects forming a piecewise
+linear approximation ``f`` with ``|f(t_i) - v_i| <= epsilon/2`` at every
+sample (Definition 2 / Lemma 1 of the paper).
+
+All segmenters in this package are *interpolating*: segment endpoints are
+actual observations, so ``f`` passes through them exactly and consecutive
+segments share their boundary point — the input convention Algorithm 1
+(feature extraction) requires.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol
+
+from ..datagen.series import TimeSeries
+from ..errors import InvalidParameterError, InvalidSeriesError
+from ..types import DataSegment
+
+__all__ = ["Segmenter", "segment_series", "validate_epsilon", "check_contiguous"]
+
+
+class Segmenter(Protocol):
+    """Anything that can segment a series under an error tolerance."""
+
+    epsilon: float
+
+    def segment(self, series: TimeSeries) -> List[DataSegment]:
+        """Return contiguous segments approximating ``series``."""
+        ...
+
+
+def validate_epsilon(epsilon: float) -> float:
+    """Validate the user error tolerance ``epsilon >= 0`` (Definition 2)."""
+    if not (epsilon >= 0.0):
+        raise InvalidParameterError(f"epsilon must be >= 0, got {epsilon}")
+    return float(epsilon)
+
+
+def check_contiguous(segments: List[DataSegment]) -> None:
+    """Assert segments connect end-to-start; raise otherwise."""
+    for prev, cur in zip(segments, segments[1:]):
+        if prev.t_end != cur.t_start or prev.v_end != cur.v_start:
+            raise InvalidSeriesError(
+                f"segments not contiguous at t={prev.t_end}"
+            )
+
+
+def segment_series(
+    series: TimeSeries, epsilon: float, method: str = "sliding-window"
+) -> List[DataSegment]:
+    """Segment ``series`` with the named method.
+
+    ``method`` is one of ``"sliding-window"`` (the paper's choice),
+    ``"bottom-up"``, or ``"swab"``.
+    """
+    # imported here to avoid a circular import at package load
+    from .sliding_window import SlidingWindowSegmenter
+    from .bottom_up import BottomUpSegmenter
+    from .swab import SWABSegmenter
+
+    segmenters = {
+        "sliding-window": SlidingWindowSegmenter,
+        "bottom-up": BottomUpSegmenter,
+        "swab": SWABSegmenter,
+    }
+    if method not in segmenters:
+        raise InvalidParameterError(
+            f"unknown segmentation method {method!r}; "
+            f"choose from {sorted(segmenters)}"
+        )
+    return segmenters[method](epsilon).segment(series)

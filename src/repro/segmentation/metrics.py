@@ -1,0 +1,76 @@
+"""Approximation-quality metrics for segmentations.
+
+``compression_rate`` is the paper's ``r`` — "the number of observations
+represented by one data segment on average" (Table 1) — the quantity Table
+3 sweeps against the error tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..datagen.model import PiecewiseLinearSignal
+from ..datagen.series import TimeSeries
+from ..errors import InvalidParameterError
+from ..types import DataSegment
+from .base import check_contiguous
+
+__all__ = [
+    "compression_rate",
+    "max_abs_error",
+    "mean_abs_error",
+    "verify_tolerance",
+]
+
+
+def compression_rate(series: TimeSeries, segments: Sequence[DataSegment]) -> float:
+    """The paper's ``r``: observations per segment, ``n / m``."""
+    if not segments:
+        raise InvalidParameterError("no segments")
+    return len(series) / len(segments)
+
+
+def _approximation(segments: Sequence[DataSegment]) -> PiecewiseLinearSignal:
+    segs: List[DataSegment] = list(segments)
+    check_contiguous(segs)
+    return PiecewiseLinearSignal.from_segments(segs)
+
+
+def _errors_at_samples(
+    series: TimeSeries, segments: Sequence[DataSegment]
+) -> np.ndarray:
+    f = _approximation(segments)
+    if f.t_start > series.t_start or f.t_end < series.t_end:
+        raise InvalidParameterError(
+            "segments do not cover the series time extent"
+        )
+    return np.abs(f(series.times) - series.values)
+
+
+def max_abs_error(series: TimeSeries, segments: Sequence[DataSegment]) -> float:
+    """``max_i |f(t_i) - v_i|`` over the sampled observations.
+
+    By Lemma 1, the same bound then holds for *every* point of the Model G
+    signal, not just the samples.
+    """
+    return float(_errors_at_samples(series, segments).max())
+
+
+def mean_abs_error(series: TimeSeries, segments: Sequence[DataSegment]) -> float:
+    """Mean absolute deviation at the sampled observations."""
+    return float(_errors_at_samples(series, segments).mean())
+
+
+def verify_tolerance(
+    series: TimeSeries,
+    segments: Sequence[DataSegment],
+    epsilon: float,
+    slack: float = 1e-9,
+) -> bool:
+    """Whether the segmentation satisfies Definition 2 (error <= eps/2).
+
+    ``slack`` absorbs float rounding in the chord evaluations.
+    """
+    return max_abs_error(series, segments) <= epsilon / 2.0 + slack

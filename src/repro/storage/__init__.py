@@ -1,0 +1,38 @@
+"""Feature storage substrate.
+
+SegDiff stores its ε-shifted corner features "in a relational database"
+and answers searches with standard range queries.  Two interchangeable
+backends implement :class:`FeatureStore`:
+
+* :class:`SqliteFeatureStore` — the paper-faithful backend: B-tree
+  indexed tables in SQLite, with forced sequential-scan or forced-index
+  query plans and warm/cold cache modes (the paper used MySQL; see
+  DESIGN.md §2).
+* :class:`MemoryFeatureStore` — numpy arrays in RAM with an optional
+  sort-based index analogue; used for fast tests and the backend ablation.
+"""
+
+from .base import FeatureStore, StoreCounts
+from .grid_index import GridIndex
+from .memory_store import MemoryFeatureStore
+from .minidb import MiniDbFeatureStore
+from .sqlite_store import SqliteFeatureStore
+from .schema import (
+    SEGDIFF_TABLES,
+    space_saving_ratio,
+    COLUMNS_EXH,
+    columns_for_corner_count,
+)
+
+__all__ = [
+    "FeatureStore",
+    "StoreCounts",
+    "GridIndex",
+    "MemoryFeatureStore",
+    "MiniDbFeatureStore",
+    "SqliteFeatureStore",
+    "SEGDIFF_TABLES",
+    "space_saving_ratio",
+    "COLUMNS_EXH",
+    "columns_for_corner_count",
+]

@@ -1,0 +1,114 @@
+"""Abstract interface every feature store implements."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Union
+
+from ..core.corners import FeatureSet
+from ..core.queries import DropQuery, JumpQuery
+from ..types import SegmentPair
+
+__all__ = ["FeatureStore", "StoreCounts", "Query"]
+
+Query = Union[DropQuery, JumpQuery]
+
+
+@dataclass(frozen=True)
+class StoreCounts:
+    """Row counts per feature table."""
+
+    drop_points: int
+    drop_lines: int
+    jump_points: int
+    jump_lines: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.drop_points + self.drop_lines + self.jump_points + self.jump_lines
+        )
+
+
+class FeatureStore(abc.ABC):
+    """Persistent home of the ε-shifted features of one SegDiff index.
+
+    Lifecycle: ``add()`` feature sets while extraction runs, ``finalize()``
+    once (builds indexes / freezes arrays), then ``search()`` any number of
+    times.  ``add()`` after ``finalize()`` reopens the store for appends;
+    backends must make that legal (it is how incremental-ingest
+    experiments grow the index group by group).
+    """
+
+    @abc.abstractmethod
+    def add(self, features: FeatureSet) -> None:
+        """Persist one parallelogram's features."""
+
+    @abc.abstractmethod
+    def finalize(self) -> None:
+        """Flush buffers and build (or rebuild) secondary indexes."""
+
+    @abc.abstractmethod
+    def search(self, query: Query, mode: str = "index") -> List[SegmentPair]:
+        """Run a drop/jump search; ``mode`` is ``"index"`` or ``"scan"``.
+
+        Returns distinct segment pairs (the union of the point and line
+        query results, Section 4.4).
+        """
+
+    @abc.abstractmethod
+    def counts(self) -> StoreCounts:
+        """Current row counts."""
+
+    @abc.abstractmethod
+    def add_segment(self, segment) -> None:
+        """Record one data segment so a reopened index can rebuild its
+        approximation (called by the index alongside feature adds)."""
+
+    @abc.abstractmethod
+    def load_segments(self) -> list:
+        """All recorded data segments in ingestion order."""
+
+    @abc.abstractmethod
+    def set_meta(self, key: str, value: float) -> None:
+        """Persist one scalar of build metadata (epsilon, window, ...)."""
+
+    @abc.abstractmethod
+    def get_meta(self, key: str):
+        """Read back build metadata; ``None`` when absent."""
+
+    @abc.abstractmethod
+    def sample_points(self, kind: str, n: int):
+        """A deterministic (dt, dv) row sample from the ``kind`` point
+        table as an ``(m, 2)`` numpy array (``m <= n``), or ``None`` when
+        the table is empty.  Used by the adaptive query planner."""
+
+    @abc.abstractmethod
+    def extreme_feature_dv(self, kind: str) -> "float | None":
+        """The most extreme stored Δv for the search type: the minimum
+        over drop features, the maximum over jump features; ``None`` when
+        no features of that type exist.  Used by top-k search to bound
+        its threshold sweep."""
+
+    @abc.abstractmethod
+    def feature_bytes(self) -> int:
+        """Bytes used by the feature tables (excluding indexes)."""
+
+    @abc.abstractmethod
+    def index_bytes(self) -> int:
+        """Bytes used by secondary indexes."""
+
+    def disk_bytes(self) -> int:
+        """Features plus indexes — the paper's 'disk size'."""
+        return self.feature_bytes() + self.index_bytes()
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release resources; the store must not be used afterwards."""
+
+    def __enter__(self) -> "FeatureStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,154 @@
+"""A uniform 2-D grid index over (Δt, Δv) point features.
+
+The similarity-search literature the paper builds on ([1], [4], [7])
+reaches for spatial access methods (R*-trees) where SegDiff uses composite
+B-trees.  This module provides the simplest spatial competitor — a
+bucketed uniform grid — as a third access path for the in-memory store
+(``mode="grid"``), so the access-method choice can be ablated:
+
+* cells fully inside the query region contribute all their rows;
+* boundary cells are filtered row-by-row;
+* cells fully outside are skipped.
+
+Grids shine when queries are small relative to the data extent and
+degrade toward a scan for the hard top-right queries — the same geometry
+that defeats the B-tree in the paper's Figures 19-20.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+
+__all__ = ["GridIndex"]
+
+
+class GridIndex:
+    """Immutable grid over the first two columns of a row array.
+
+    Parameters
+    ----------
+    rows:
+        ``(m, k)`` float array; column 0 is Δt, column 1 is Δv.
+    cells_per_axis:
+        Grid resolution (same along both axes).
+    """
+
+    def __init__(self, rows: np.ndarray, cells_per_axis: int = 64) -> None:
+        if rows.ndim != 2 or rows.shape[1] < 2:
+            raise InvalidParameterError(
+                "rows must be a 2-D array with at least (dt, dv) columns"
+            )
+        if cells_per_axis < 1:
+            raise InvalidParameterError("cells_per_axis must be >= 1")
+        self.rows = rows
+        self.n = cells_per_axis
+        m = rows.shape[0]
+        if m == 0:
+            self._order = np.empty(0, dtype=np.intp)
+            self._offsets = np.zeros(cells_per_axis**2 + 1, dtype=np.intp)
+            self._dt_lo = self._dv_lo = 0.0
+            self._dt_step = self._dv_step = 1.0
+            return
+
+        dt = rows[:, 0]
+        dv = rows[:, 1]
+        self._dt_lo = float(dt.min())
+        self._dv_lo = float(dv.min())
+        dt_span = max(float(dt.max()) - self._dt_lo, 1e-12)
+        dv_span = max(float(dv.max()) - self._dv_lo, 1e-12)
+        self._dt_step = dt_span / self.n
+        self._dv_step = dv_span / self.n
+
+        ci = self._cell_of(dt, dv)
+        self._order = np.argsort(ci, kind="stable")
+        sorted_cells = ci[self._order]
+        self._offsets = np.searchsorted(
+            sorted_cells, np.arange(self.n**2 + 1)
+        ).astype(np.intp)
+
+    def _cell_of(self, dt: np.ndarray, dv: np.ndarray) -> np.ndarray:
+        i = np.clip(((dt - self._dt_lo) / self._dt_step).astype(int), 0, self.n - 1)
+        j = np.clip(((dv - self._dv_lo) / self._dv_step).astype(int), 0, self.n - 1)
+        return i * self.n + j
+
+    def _cell_bounds(self, i: int, j: int) -> Tuple[float, float, float, float]:
+        return (
+            self._dt_lo + i * self._dt_step,
+            self._dt_lo + (i + 1) * self._dt_step,
+            self._dv_lo + j * self._dv_step,
+            self._dv_lo + (j + 1) * self._dv_step,
+        )
+
+    def query(self, kind: str, t_thr: float, v_thr: float) -> np.ndarray:
+        """Rows matching the point predicate, via grid pruning.
+
+        Returns the matching rows (not indices), in no particular order.
+        """
+        if kind not in ("drop", "jump"):
+            raise InvalidParameterError(f"unknown kind {kind!r}")
+        if self.rows.shape[0] == 0:
+            return self.rows
+
+        # candidate dt cells: those whose low edge is <= T
+        i_max = int(
+            min(
+                self.n - 1,
+                math.floor((t_thr - self._dt_lo) / self._dt_step),
+            )
+        )
+        if t_thr < self._dt_lo:
+            return self.rows[:0]
+
+        chunks = []
+        for i in range(0, i_max + 1):
+            for j in range(self.n):
+                dt_lo, dt_hi, dv_lo, dv_hi = self._cell_bounds(i, j)
+                if kind == "drop":
+                    outside = dv_lo > v_thr
+                    inside = dt_hi <= t_thr and dv_hi <= v_thr
+                else:
+                    outside = dv_hi < v_thr
+                    inside = dt_hi <= t_thr and dv_lo >= v_thr
+                if outside:
+                    continue
+                lo = self._offsets[i * self.n + j]
+                hi = self._offsets[i * self.n + j + 1]
+                if lo == hi:
+                    continue
+                block = self.rows[self._order[lo:hi]]
+                if inside:
+                    chunks.append(block)
+                else:
+                    mask = block[:, 0] <= t_thr
+                    if kind == "drop":
+                        mask &= block[:, 1] <= v_thr
+                    else:
+                        mask &= block[:, 1] >= v_thr
+                    if mask.any():
+                        chunks.append(block[mask])
+        if not chunks:
+            return self.rows[:0]
+        return np.vstack(chunks)
+
+    def cells_examined(self, t_thr: float, v_thr: float, kind: str) -> int:
+        """How many grid cells a query touches (for the ablation report)."""
+        if self.rows.shape[0] == 0 or t_thr < self._dt_lo:
+            return 0
+        i_max = int(
+            min(self.n - 1, math.floor((t_thr - self._dt_lo) / self._dt_step))
+        )
+        count = 0
+        for i in range(0, i_max + 1):
+            for j in range(self.n):
+                _dt_lo, _dt_hi, dv_lo, dv_hi = self._cell_bounds(i, j)
+                if kind == "drop" and dv_lo > v_thr:
+                    continue
+                if kind == "jump" and dv_hi < v_thr:
+                    continue
+                count += 1
+        return count

@@ -1,0 +1,256 @@
+"""In-memory feature store backed by numpy arrays.
+
+This backend exists for two reasons: it makes the large property-based
+test suite fast, and it serves as the "no database" ablation point —
+``mode="scan"`` is a straight vectorized filter, ``mode="index"`` sorts
+the point tables by ``dt`` once at ``finalize()`` and narrows candidates
+with a binary search before applying the value predicate (a faithful
+analogue of a ``(dt, dv)`` B-tree's leading-column pruning).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.corners import FeatureSet
+from ..core.queries import line_mask, point_mask
+from ..errors import InvalidParameterError, StorageError
+from ..types import SegmentPair
+from .base import FeatureStore, Query, StoreCounts
+from .grid_index import GridIndex
+
+__all__ = ["MemoryFeatureStore"]
+
+_POINT_WIDTH = 6  # dt, dv, t_d, t_c, t_b, t_a
+_LINE_WIDTH = 8  # dt1, dv1, dt2, dv2, t_d, t_c, t_b, t_a
+
+
+class _Table:
+    """An append buffer that freezes into a 2-D float array."""
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        self._rows: List[tuple] = []
+        self._frozen: Optional[np.ndarray] = None
+        self._order: Optional[np.ndarray] = None  # sort permutation by col 0
+        self._grid: Optional[GridIndex] = None  # built lazily on demand
+
+    def append(self, row: tuple) -> None:
+        if self._frozen is not None:
+            # reopen for appends: thaw back into the row buffer
+            self._rows = [tuple(r) for r in self._frozen]
+            self._frozen = None
+            self._order = None
+            self._grid = None
+        self._rows.append(row)
+
+    def freeze(self) -> None:
+        if self._frozen is None:
+            if self._rows:
+                self._frozen = np.asarray(self._rows, dtype=float)
+            else:
+                self._frozen = np.empty((0, self.width), dtype=float)
+            self._rows = []
+        self._order = np.argsort(self._frozen[:, 0], kind="stable")
+
+    @property
+    def data(self) -> np.ndarray:
+        if self._frozen is None:
+            raise StorageError("store not finalized; call finalize() first")
+        return self._frozen
+
+    @property
+    def sorted_by_dt(self) -> np.ndarray:
+        return self.data[self._order]
+
+    @property
+    def grid(self) -> GridIndex:
+        if self._grid is None:
+            self._grid = GridIndex(self.data)
+        return self._grid
+
+    def __len__(self) -> int:
+        if self._frozen is not None:
+            return self._frozen.shape[0]
+        return len(self._rows)
+
+    def nbytes(self) -> int:
+        if self._frozen is not None:
+            return int(self._frozen.nbytes)
+        return len(self._rows) * self.width * 8
+
+    def index_nbytes(self) -> int:
+        if self._order is None:
+            return 0
+        return int(self._order.nbytes)
+
+
+class MemoryFeatureStore(FeatureStore):
+    """Numpy-backed feature store (see module docstring)."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, _Table] = {
+            "drop_points": _Table(_POINT_WIDTH),
+            "drop_lines": _Table(_LINE_WIDTH),
+            "jump_points": _Table(_POINT_WIDTH),
+            "jump_lines": _Table(_LINE_WIDTH),
+        }
+        self._segments: List = []
+        self._meta: Dict[str, float] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+
+    def add(self, features: FeatureSet) -> None:
+        self._check_open()
+        ident = features.pair.as_tuple()
+        for p in features.drop_points:
+            self._tables["drop_points"].append((p.dt, p.dv) + ident)
+        for seg in features.drop_lines:
+            self._tables["drop_lines"].append(
+                (seg.p.dt, seg.p.dv, seg.q.dt, seg.q.dv) + ident
+            )
+        for p in features.jump_points:
+            self._tables["jump_points"].append((p.dt, p.dv) + ident)
+        for seg in features.jump_lines:
+            self._tables["jump_lines"].append(
+                (seg.p.dt, seg.p.dv, seg.q.dt, seg.q.dv) + ident
+            )
+
+    def finalize(self) -> None:
+        self._check_open()
+        for table in self._tables.values():
+            table.freeze()
+
+    def add_segment(self, segment) -> None:
+        self._check_open()
+        self._segments.append(segment)
+
+    def load_segments(self) -> List:
+        self._check_open()
+        return list(self._segments)
+
+    def set_meta(self, key: str, value: float) -> None:
+        self._check_open()
+        self._meta[key] = float(value)
+
+    def get_meta(self, key: str):
+        self._check_open()
+        return self._meta.get(key)
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+
+    def search(self, query: Query, mode: str = "index") -> List[SegmentPair]:
+        """Search with plan ``mode``: ``"scan"``, ``"index"`` (dt-sorted
+        binary search), or ``"grid"`` (2-D bucket grid over points)."""
+        self._check_open()
+        if mode not in ("index", "scan", "grid"):
+            raise InvalidParameterError(
+                f"mode must be 'index', 'scan' or 'grid', got {mode!r}"
+            )
+        kind = query.kind
+        t_thr, v_thr = query.t_threshold, query.v_threshold
+
+        hits: set = set()
+        points = self._tables[f"{kind}_points"]
+        lines = self._tables[f"{kind}_lines"]
+
+        if mode == "grid":
+            matched = points.grid.query(kind, t_thr, v_thr)
+            for row in matched:
+                hits.add(tuple(float(x) for x in row[2:6]))
+            cand = points.data[:0]
+            mask = np.zeros(0, dtype=bool)
+        elif mode == "index":
+            data = points.sorted_by_dt
+            cut = int(np.searchsorted(data[:, 0], t_thr, side="right"))
+            cand = data[:cut]
+            mask = point_mask(kind, cand[:, 0], cand[:, 1], t_thr, v_thr)
+        else:
+            cand = points.data
+            mask = point_mask(kind, cand[:, 0], cand[:, 1], t_thr, v_thr)
+        for row in cand[mask]:
+            hits.add(tuple(float(x) for x in row[2:6]))
+
+        ldata = lines.data
+        if mode in ("index", "grid"):
+            # line features use the dt1-sorted path in both modes: a grid
+            # cannot prune on the crossing predicate's interpolated value
+            ldata = lines.sorted_by_dt
+            cut = int(np.searchsorted(ldata[:, 0], t_thr, side="right"))
+            ldata = ldata[:cut]
+        lmask = line_mask(
+            kind,
+            ldata[:, 0],
+            ldata[:, 1],
+            ldata[:, 2],
+            ldata[:, 3],
+            t_thr,
+            v_thr,
+        )
+        for row in ldata[lmask]:
+            hits.add(tuple(float(x) for x in row[4:8]))
+
+        return [SegmentPair(*h) for h in sorted(hits)]
+
+    def sample_points(self, kind: str, n: int) -> Optional[np.ndarray]:
+        """Evenly strided (dt, dv) sample of the point table (see base)."""
+        self._check_open()
+        if kind not in ("drop", "jump"):
+            raise InvalidParameterError(f"unknown kind {kind!r}")
+        data = self._tables[f"{kind}_points"].data
+        if data.shape[0] == 0:
+            return None
+        step = max(1, data.shape[0] // max(n, 1))
+        return data[::step][:n, :2].copy()
+
+    def extreme_feature_dv(self, kind: str) -> Optional[float]:
+        """Min (drop) / max (jump) stored Δv across points and lines."""
+        self._check_open()
+        if kind not in ("drop", "jump"):
+            raise InvalidParameterError(f"unknown kind {kind!r}")
+        points = self._tables[f"{kind}_points"].data
+        lines = self._tables[f"{kind}_lines"].data
+        candidates = []
+        if points.shape[0]:
+            candidates.append(points[:, 1])
+        if lines.shape[0]:
+            candidates.append(lines[:, 1])
+            candidates.append(lines[:, 3])
+        if not candidates:
+            return None
+        stacked = np.concatenate(candidates)
+        return float(stacked.min() if kind == "drop" else stacked.max())
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+
+    def counts(self) -> StoreCounts:
+        self._check_open()
+        return StoreCounts(
+            drop_points=len(self._tables["drop_points"]),
+            drop_lines=len(self._tables["drop_lines"]),
+            jump_points=len(self._tables["jump_points"]),
+            jump_lines=len(self._tables["jump_lines"]),
+        )
+
+    def feature_bytes(self) -> int:
+        return sum(t.nbytes() for t in self._tables.values())
+
+    def index_bytes(self) -> int:
+        return sum(t.index_nbytes() for t in self._tables.values())
+
+    def close(self) -> None:
+        self._tables = {}
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("store is closed")

@@ -1,0 +1,40 @@
+"""MiniDB: a from-scratch page-based storage engine.
+
+The paper's experiments hinge on storage-engine behaviour — B-tree versus
+sequential scan, warm versus flushed caches, index height versus data
+volume.  SQLite reproduces those effects but hides the mechanism; MiniDB
+exposes it.  It is a deliberately small but real engine:
+
+* :mod:`pager` — a page file with an LRU buffer pool and hit/miss/IO
+  counters; the cache can be dropped at will (the paper's "flush the OS
+  cache" made exact);
+* :mod:`heapfile` — chained heap pages of fixed-width float rows with
+  sequential scans and rid-based random access;
+* :mod:`btree` — a bulk-loaded B+tree over composite float keys with
+  leaf-chained range scans (the Section 4.4 indexes);
+* :mod:`database` — catalog, tables, indexes, persistence;
+* :mod:`store` — :class:`MiniDbFeatureStore`, a drop-in
+  :class:`~repro.storage.base.FeatureStore` backend whose queries report
+  exactly how many pages they touched.
+
+With it, Figures 17-24 can be re-measured in *page reads* — a
+hardware-independent cost unit (``repro.experiments.page_cost``).
+"""
+
+from .pager import PAGE_SIZE, Pager, PagerStats
+from .heapfile import HeapFile, RID
+from .btree import BPlusTree
+from .database import MiniDatabase, Table
+from .store import MiniDbFeatureStore
+
+__all__ = [
+    "PAGE_SIZE",
+    "Pager",
+    "PagerStats",
+    "HeapFile",
+    "RID",
+    "BPlusTree",
+    "MiniDatabase",
+    "Table",
+    "MiniDbFeatureStore",
+]

@@ -1,0 +1,272 @@
+"""MiniDB catalog, tables, and indexes.
+
+A database is one page file.  Page 0 anchors the **catalog**: a JSON
+document (spanning a chain of pages) describing every table's heap chain,
+row count, and indexes, plus a free-form metadata map.  ``checkpoint()``
+persists the catalog and flushes dirty pages, after which the file can be
+reopened cold.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ...errors import InvalidParameterError, StorageError
+from .btree import BPlusTree
+from .heapfile import RID, HeapFile
+from .pager import PAGE_SIZE, Pager, PagerStats
+
+__all__ = ["MiniDatabase", "Table"]
+
+_MAGIC = b"MINIDB01"
+_HEAD = struct.Struct("<8sii")  # magic, total_len, next_page
+_CONT = struct.Struct("<i")  # next_page
+
+
+class Table:
+    """One heap-backed table with optional B+tree indexes."""
+
+    def __init__(self, db: "MiniDatabase", name: str, info: Dict) -> None:
+        self._db = db
+        self.name = name
+        self._info = info
+        self.heap = HeapFile(
+            db.pager,
+            info["width"],
+            first_page=info["first_page"],
+            last_page=info["last_page"],
+            n_rows=info["n_rows"],
+        )
+        info["first_page"] = self.heap.first_page
+        info["last_page"] = self.heap.last_page
+        self._indexes: Dict[str, BPlusTree] = {}
+        for iname, iinfo in info["indexes"].items():
+            self._indexes[iname] = BPlusTree(
+                db.pager, len(iinfo["key_cols"]), root=iinfo["root"]
+            )
+
+    @property
+    def width(self) -> int:
+        return self._info["width"]
+
+    @property
+    def n_rows(self) -> int:
+        return self.heap.n_rows
+
+    def insert(self, row: Sequence[float]) -> RID:
+        """Append one row (indexes are NOT maintained; rebuild them)."""
+        rid = self.heap.append(row)
+        self._info["n_rows"] = self.heap.n_rows
+        self._info["last_page"] = self.heap.last_page
+        return rid
+
+    def insert_many(self, rows) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.insert(row)
+
+    def insert_indexed(self, row: Sequence[float]) -> RID:
+        """Append one row and update every index incrementally."""
+        rid = self.insert(row)
+        for iname, tree in self._indexes.items():
+            cols = self._info["indexes"][iname]["key_cols"]
+            tree.insert(tuple(row[c] for c in cols), rid)
+            self._info["indexes"][iname]["root"] = tree.root
+        return rid
+
+    def get(self, rid: RID) -> Tuple[float, ...]:
+        return self.heap.get(rid)
+
+    def scan(self) -> Iterator[Tuple[RID, Tuple[float, ...]]]:
+        return self.heap.scan()
+
+    # ------------------------------------------------------------------ #
+    # indexes
+    # ------------------------------------------------------------------ #
+
+    def create_index(self, name: str, key_cols: Sequence[int]) -> BPlusTree:
+        """(Re)build a B+tree on the given column positions."""
+        cols = [int(c) for c in key_cols]
+        if not cols or any(not (0 <= c < self.width) for c in cols):
+            raise InvalidParameterError(
+                f"key columns {cols} invalid for width {self.width}"
+            )
+        entries = sorted(
+            ((tuple(row[c] for c in cols), rid) for rid, row in self.scan()),
+            key=lambda entry: entry[0],
+        )
+        tree = BPlusTree(self._db.pager, len(cols))
+        tree.bulk_load(entries)
+        self._indexes[name] = tree
+        self._info["indexes"][name] = {"key_cols": cols, "root": tree.root}
+        return tree
+
+    def has_index(self, name: str) -> bool:
+        return name in self._indexes
+
+    def index(self, name: str) -> BPlusTree:
+        if name not in self._indexes:
+            raise InvalidParameterError(
+                f"table {self.name!r} has no index {name!r}"
+            )
+        return self._indexes[name]
+
+    def index_scan_leading(
+        self, name: str, first_max: float
+    ) -> Iterator[Tuple[Tuple[float, ...], RID]]:
+        """Index entries with leading key column <= ``first_max``.
+
+        Yields ``(key, rid)``; fetching the full row via :meth:`get` is
+        the caller's (deliberately visible) random-I/O cost.
+        """
+        return self.index(name).scan_leading_upto(first_max)
+
+    def index_pages(self) -> int:
+        """Total pages across this table's indexes."""
+        return sum(tree.n_pages() for tree in self._indexes.values())
+
+    def heap_pages(self) -> int:
+        """Pages in the heap chain."""
+        return self.heap.n_pages()
+
+
+class MiniDatabase:
+    """A page file with a catalog of tables (see module docstring)."""
+
+    def __init__(self, path: str, cache_pages: int = 256) -> None:
+        self.pager = Pager(path, cache_pages=cache_pages)
+        self._tables: Dict[str, Table] = {}
+        self._catalog: Dict = {"tables": {}, "meta": {}}
+        if self.pager.n_pages == 0:
+            root = self.pager.allocate()
+            assert root == 0
+            self._write_catalog()
+        else:
+            self._read_catalog()
+            for name, info in self._catalog["tables"].items():
+                self._tables[name] = Table(self, name, info)
+
+    # ------------------------------------------------------------------ #
+    # catalog persistence
+    # ------------------------------------------------------------------ #
+
+    def _write_catalog(self) -> None:
+        payload = json.dumps(self._catalog).encode()
+        total = len(payload)
+        # reuse the existing chain where possible
+        chain: List[int] = [0]
+        page = self.pager.read(0)
+        magic, _len, next_page = _HEAD.unpack_from(page, 0)
+        if magic == _MAGIC:
+            while next_page != -1:
+                chain.append(next_page)
+                (next_page,) = _CONT.unpack_from(self.pager.read(next_page), 0)
+
+        head_cap = PAGE_SIZE - _HEAD.size
+        cont_cap = PAGE_SIZE - _CONT.size
+        needed = 1
+        remaining = total - head_cap
+        while remaining > 0:
+            needed += 1
+            remaining -= cont_cap
+        while len(chain) < needed:
+            chain.append(self.pager.allocate())
+
+        offset = 0
+        for i, page_id in enumerate(chain[:needed]):
+            nxt = chain[i + 1] if i + 1 < needed else -1
+            buf = bytearray(PAGE_SIZE)
+            if i == 0:
+                _HEAD.pack_into(buf, 0, _MAGIC, total, nxt)
+                body = head_cap
+                start = _HEAD.size
+            else:
+                _CONT.pack_into(buf, 0, nxt)
+                body = cont_cap
+                start = _CONT.size
+            piece = payload[offset : offset + body]
+            buf[start : start + len(piece)] = piece
+            offset += len(piece)
+            self.pager.write(page_id, bytes(buf))
+
+    def _read_catalog(self) -> None:
+        page = self.pager.read(0)
+        magic, total, next_page = _HEAD.unpack_from(page, 0)
+        if magic != _MAGIC:
+            raise StorageError(f"{self.pager.path} is not a MiniDB file")
+        payload = bytearray(page[_HEAD.size : _HEAD.size + total])
+        while len(payload) < total and next_page != -1:
+            page = self.pager.read(next_page)
+            (next_page,) = _CONT.unpack_from(page, 0)
+            take = min(total - len(payload), PAGE_SIZE - _CONT.size)
+            payload.extend(page[_CONT.size : _CONT.size + take])
+        if len(payload) != total:
+            raise StorageError("truncated MiniDB catalog")
+        self._catalog = json.loads(bytes(payload).decode())
+
+    # ------------------------------------------------------------------ #
+    # tables
+    # ------------------------------------------------------------------ #
+
+    def create_table(self, name: str, width: int) -> Table:
+        if name in self._tables:
+            raise InvalidParameterError(f"table {name!r} already exists")
+        info = {
+            "width": int(width),
+            "first_page": -1,
+            "last_page": -1,
+            "n_rows": 0,
+            "indexes": {},
+        }
+        self._catalog["tables"][name] = info
+        table = Table(self, name, info)
+        self._tables[name] = table
+        return table
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table(self, name: str) -> Table:
+        if name not in self._tables:
+            raise InvalidParameterError(f"no table {name!r}")
+        return self._tables[name]
+
+    @property
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    # ------------------------------------------------------------------ #
+    # metadata and lifecycle
+    # ------------------------------------------------------------------ #
+
+    def set_meta(self, key: str, value) -> None:
+        """Store one JSON-serializable metadata value."""
+        self._catalog["meta"][key] = value
+
+    def get_meta(self, key: str):
+        return self._catalog["meta"].get(key)
+
+    def checkpoint(self) -> None:
+        """Persist the catalog and flush dirty pages."""
+        self._write_catalog()
+        self.pager.flush()
+
+    def drop_cache(self) -> None:
+        """Exact cold cache: flush and empty the buffer pool."""
+        self.pager.drop_cache()
+
+    def stats(self) -> PagerStats:
+        """Cumulative pager counters."""
+        return self.pager.stats
+
+    def close(self) -> None:
+        self.checkpoint()
+        self.pager.close()
+
+    def __enter__(self) -> "MiniDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,195 @@
+"""Page file with an LRU buffer pool.
+
+All MiniDB structures live in fixed-size pages of one file.  The pager is
+the only component that touches the file, so its counters account for
+every logical and physical I/O in the system:
+
+* ``hits`` / ``misses`` — buffer-pool lookups;
+* ``disk_reads`` / ``disk_writes`` — actual file operations.
+
+``drop_cache()`` empties the pool (writing back dirty pages first), which
+is the exact, deterministic version of the paper's between-query OS-cache
+flush.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ...errors import InvalidParameterError, StorageError
+
+__all__ = ["PAGE_SIZE", "Pager", "PagerStats"]
+
+PAGE_SIZE = 4096
+
+
+@dataclass
+class PagerStats:
+    """Cumulative buffer-pool and disk counters."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_reads: int = 0
+    disk_writes: int = 0
+
+    def snapshot(self) -> "PagerStats":
+        return PagerStats(self.hits, self.misses, self.disk_reads, self.disk_writes)
+
+    def delta(self, earlier: "PagerStats") -> "PagerStats":
+        """Counters accumulated since ``earlier``."""
+        return PagerStats(
+            self.hits - earlier.hits,
+            self.misses - earlier.misses,
+            self.disk_reads - earlier.disk_reads,
+            self.disk_writes - earlier.disk_writes,
+        )
+
+    @property
+    def page_reads(self) -> int:
+        """Logical page reads (hits + misses) — the cost unit the
+        page-cost experiment reports."""
+        return self.hits + self.misses
+
+
+class Pager:
+    """Fixed-size pages in one file, behind an LRU pool.
+
+    Parameters
+    ----------
+    path:
+        Backing file; created if missing.
+    cache_pages:
+        Buffer-pool capacity in pages (>= 1).
+    """
+
+    def __init__(self, path: str, cache_pages: int = 256) -> None:
+        if cache_pages < 1:
+            raise InvalidParameterError("cache_pages must be >= 1")
+        self.path = path
+        self.cache_pages = cache_pages
+        self.stats = PagerStats()
+        # "r+b" (not "a+b"!) — append mode would force every write-back
+        # to the end of the file regardless of the seek position
+        if not os.path.exists(path):
+            open(path, "xb").close()
+        self._file = open(path, "r+b")
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        if size % PAGE_SIZE != 0:
+            self._file.close()
+            raise StorageError(
+                f"{path}: size {size} is not a multiple of the page size"
+            )
+        self._n_pages = size // PAGE_SIZE
+        # page_id -> bytearray; OrderedDict used as the LRU queue
+        self._pool: "OrderedDict[int, bytearray]" = OrderedDict()
+        self._dirty: set = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # allocation
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_pages(self) -> int:
+        """Pages allocated so far."""
+        return self._n_pages
+
+    def allocate(self) -> int:
+        """Allocate a fresh zeroed page; returns its page id."""
+        self._check_open()
+        page_id = self._n_pages
+        self._n_pages += 1
+        self._install(page_id, bytearray(PAGE_SIZE))
+        self._dirty.add(page_id)
+        return page_id
+
+    # ------------------------------------------------------------------ #
+    # read / write
+    # ------------------------------------------------------------------ #
+
+    def read(self, page_id: int) -> bytes:
+        """Page contents (immutable view for callers)."""
+        return bytes(self._fetch(page_id))
+
+    def write(self, page_id: int, data: bytes) -> None:
+        """Replace a page's contents (must be exactly one page)."""
+        self._check_open()
+        if len(data) != PAGE_SIZE:
+            raise InvalidParameterError(
+                f"page write must be exactly {PAGE_SIZE} bytes, got {len(data)}"
+            )
+        self._check_page_id(page_id)
+        if page_id in self._pool:
+            self._pool[page_id][:] = data
+            self._pool.move_to_end(page_id)
+        else:
+            self._install(page_id, bytearray(data))
+        self._dirty.add(page_id)
+
+    def _fetch(self, page_id: int) -> bytearray:
+        self._check_open()
+        self._check_page_id(page_id)
+        if page_id in self._pool:
+            self.stats.hits += 1
+            self._pool.move_to_end(page_id)
+            return self._pool[page_id]
+        self.stats.misses += 1
+        self.stats.disk_reads += 1
+        self._file.seek(page_id * PAGE_SIZE)
+        data = bytearray(self._file.read(PAGE_SIZE))
+        if len(data) < PAGE_SIZE:  # allocated but never evicted/written
+            data.extend(b"\x00" * (PAGE_SIZE - len(data)))
+        self._install(page_id, data)
+        return data
+
+    def _install(self, page_id: int, data: bytearray) -> None:
+        self._pool[page_id] = data
+        self._pool.move_to_end(page_id)
+        while len(self._pool) > self.cache_pages:
+            victim, victim_data = self._pool.popitem(last=False)
+            if victim in self._dirty:
+                self._write_back(victim, victim_data)
+
+    def _write_back(self, page_id: int, data: bytearray) -> None:
+        self.stats.disk_writes += 1
+        self._file.seek(page_id * PAGE_SIZE)
+        self._file.write(data)
+        self._dirty.discard(page_id)
+
+    # ------------------------------------------------------------------ #
+    # cache control
+    # ------------------------------------------------------------------ #
+
+    def flush(self) -> None:
+        """Write back every dirty page (pool keeps its contents)."""
+        self._check_open()
+        for page_id in sorted(self._dirty):
+            self._write_back(page_id, self._pool[page_id])
+        self._file.flush()
+
+    def drop_cache(self) -> None:
+        """Flush, then empty the buffer pool — the exact 'cold cache'."""
+        self.flush()
+        self._pool.clear()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.flush()
+        self._file.close()
+        self._pool.clear()
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("pager is closed")
+
+    def _check_page_id(self, page_id: int) -> None:
+        if not (0 <= page_id < self._n_pages):
+            raise InvalidParameterError(
+                f"page id {page_id} out of range [0, {self._n_pages})"
+            )

@@ -1,0 +1,282 @@
+"""The MiniDB-backed feature store.
+
+A drop-in third backend for :class:`~repro.storage.base.FeatureStore`
+whose every query reports exactly which pages it touched
+(``last_query_stats``) — the instrumented substrate behind
+``repro.experiments.page_cost``.
+
+Plan semantics mirror the SQLite backend:
+
+* ``mode="scan"`` — sequential heap scans of the point and line tables;
+* ``mode="index"`` — B+tree leading-column range scans; each *matching*
+  entry pays one heap fetch for its identifying timestamps (the random
+  I/O that makes indexes lose on hard queries);
+* ``cache="cold"`` — the buffer pool is dropped before the query, making
+  the paper's flushed-cache runs exact and deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Dict, List, Optional
+
+from ...errors import InvalidParameterError, StorageError
+from ...types import DataSegment, SegmentPair
+from ..base import FeatureStore, Query, StoreCounts
+from ...core.corners import FeatureSet
+from .database import MiniDatabase
+from .pager import PAGE_SIZE, PagerStats
+
+__all__ = ["MiniDbFeatureStore"]
+
+_POINT_TABLES = {"drop": "drop_points", "jump": "jump_points"}
+_LINE_TABLES = {"drop": "drop_lines", "jump": "jump_lines"}
+_FEATURE_TABLES = ("drop_points", "drop_lines", "jump_points", "jump_lines")
+
+
+class MiniDbFeatureStore(FeatureStore):
+    """Feature store over a MiniDB page file.
+
+    ``path=None`` uses a private temporary file removed on close;
+    ``cache_pages`` sizes the buffer pool (warm-cache capacity).
+    """
+
+    def __init__(
+        self, path: Optional[str] = None, cache_pages: int = 256
+    ) -> None:
+        if path is None:
+            fd, path = tempfile.mkstemp(prefix="segdiff-", suffix=".minidb")
+            os.close(fd)
+            os.unlink(path)
+            self._owns_file = True
+        else:
+            self._owns_file = False
+        self.path = path
+        self.db = MiniDatabase(path, cache_pages=cache_pages)
+        for name, width in (
+            ("drop_points", 6),
+            ("jump_points", 6),
+            ("drop_lines", 8),
+            ("jump_lines", 8),
+            ("segments", 4),
+        ):
+            if not self.db.has_table(name):
+                self.db.create_table(name, width)
+        self._closed = False
+        self._indexed_rows: Dict[str, int] = {
+            t: -1 for t in _FEATURE_TABLES
+        }
+        for t in _FEATURE_TABLES:
+            if self.db.table(t).has_index("by_key"):
+                self._indexed_rows[t] = self.db.table(t).n_rows
+        #: Pager counters accumulated by the most recent search().
+        self.last_query_stats: Optional[PagerStats] = None
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+
+    def add(self, features: FeatureSet) -> None:
+        self._check_open()
+        ident = features.pair.as_tuple()
+        for p in features.drop_points:
+            self.db.table("drop_points").insert((p.dt, p.dv) + ident)
+        for seg in features.drop_lines:
+            self.db.table("drop_lines").insert(
+                (seg.p.dt, seg.p.dv, seg.q.dt, seg.q.dv) + ident
+            )
+        for p in features.jump_points:
+            self.db.table("jump_points").insert((p.dt, p.dv) + ident)
+        for seg in features.jump_lines:
+            self.db.table("jump_lines").insert(
+                (seg.p.dt, seg.p.dv, seg.q.dt, seg.q.dv) + ident
+            )
+
+    def finalize(self) -> None:
+        """(Re)build the Section 4.4 B+trees and checkpoint the file."""
+        self._check_open()
+        for name in _FEATURE_TABLES:
+            table = self.db.table(name)
+            if table.n_rows == self._indexed_rows[name]:
+                continue  # index already current
+            key_cols = (0, 1) if table.width == 6 else (0, 1, 2, 3)
+            table.create_index("by_key", key_cols)
+            self._indexed_rows[name] = table.n_rows
+        self.db.checkpoint()
+
+    def add_segment(self, segment) -> None:
+        self._check_open()
+        self.db.table("segments").insert(
+            (segment.t_start, segment.v_start, segment.t_end, segment.v_end)
+        )
+
+    def load_segments(self) -> list:
+        self._check_open()
+        return [
+            DataSegment(*row) for _rid, row in self.db.table("segments").scan()
+        ]
+
+    def set_meta(self, key: str, value: float) -> None:
+        self._check_open()
+        self.db.set_meta(key, float(value))
+        self.db.checkpoint()
+
+    def get_meta(self, key: str):
+        self._check_open()
+        value = self.db.get_meta(key)
+        return None if value is None else float(value)
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+
+    def search(
+        self, query: Query, mode: str = "index", cache: str = "warm"
+    ) -> List[SegmentPair]:
+        self._check_open()
+        if mode not in ("index", "scan"):
+            raise InvalidParameterError(
+                f"mode must be 'index' or 'scan', got {mode!r}"
+            )
+        if cache not in ("warm", "cold"):
+            raise InvalidParameterError(
+                f"cache must be 'warm' or 'cold', got {cache!r}"
+            )
+        kind = query.kind
+        t_thr, v_thr = query.t_threshold, query.v_threshold
+        if mode == "index":
+            for name in (_POINT_TABLES[kind], _LINE_TABLES[kind]):
+                if self.db.table(name).n_rows != self._indexed_rows[name]:
+                    raise StorageError(
+                        "indexes stale or missing; call finalize() first"
+                    )
+        if cache == "cold":
+            self.db.drop_cache()
+
+        before = self.db.stats().snapshot()
+        hits: set = set()
+        self._search_points(kind, t_thr, v_thr, mode, hits)
+        self._search_lines(kind, t_thr, v_thr, mode, hits)
+        self.last_query_stats = self.db.stats().delta(before)
+        return [SegmentPair(*h) for h in sorted(hits)]
+
+    def _point_match(self, kind: str, dv: float, v_thr: float) -> bool:
+        return dv <= v_thr if kind == "drop" else dv >= v_thr
+
+    def _search_points(self, kind, t_thr, v_thr, mode, hits) -> None:
+        table = self.db.table(_POINT_TABLES[kind])
+        if mode == "scan":
+            for _rid, row in table.scan():
+                if row[0] <= t_thr and self._point_match(kind, row[1], v_thr):
+                    hits.add(row[2:6])
+        else:
+            for key, rid in table.index_scan_leading("by_key", t_thr):
+                if self._point_match(kind, key[1], v_thr):
+                    hits.add(table.get(rid)[2:6])
+
+    def _line_match(
+        self, kind: str, row_key, t_thr: float, v_thr: float
+    ) -> bool:
+        dt1, dv1, dt2, dv2 = row_key[:4]
+        if kind == "drop":
+            if not (dt1 <= t_thr and dv1 > v_thr and dt2 > t_thr and dv2 < v_thr):
+                return False
+            value = dv1 + (dv2 - dv1) / (dt2 - dt1) * (t_thr - dt1)
+            return value <= v_thr
+        if not (dt1 <= t_thr and dv1 < v_thr and dt2 > t_thr and dv2 > v_thr):
+            return False
+        value = dv1 + (dv2 - dv1) / (dt2 - dt1) * (t_thr - dt1)
+        return value >= v_thr
+
+    def _search_lines(self, kind, t_thr, v_thr, mode, hits) -> None:
+        table = self.db.table(_LINE_TABLES[kind])
+        if mode == "scan":
+            for _rid, row in table.scan():
+                if self._line_match(kind, row, t_thr, v_thr):
+                    hits.add(row[4:8])
+        else:
+            for key, rid in table.index_scan_leading("by_key", t_thr):
+                if self._line_match(kind, key, t_thr, v_thr):
+                    hits.add(table.get(rid)[4:8])
+
+    # ------------------------------------------------------------------ #
+    # sampling / extremes (planner and top-k support)
+    # ------------------------------------------------------------------ #
+
+    def sample_points(self, kind: str, n: int):
+        import numpy as np
+
+        self._check_open()
+        if kind not in _POINT_TABLES:
+            raise InvalidParameterError(f"unknown kind {kind!r}")
+        table = self.db.table(_POINT_TABLES[kind])
+        total = table.n_rows
+        if total == 0:
+            return None
+        step = max(1, total // max(n, 1))
+        out = []
+        for i, (_rid, row) in enumerate(table.scan()):
+            if i % step == 0:
+                out.append(row[:2])
+                if len(out) >= n:
+                    break
+        return np.asarray(out, dtype=float)
+
+    def extreme_feature_dv(self, kind: str):
+        self._check_open()
+        if kind not in _POINT_TABLES:
+            raise InvalidParameterError(f"unknown kind {kind!r}")
+        best: Optional[float] = None
+        want_min = kind == "drop"
+
+        def consider(value: float) -> None:
+            nonlocal best
+            if best is None or (value < best if want_min else value > best):
+                best = value
+
+        for _rid, row in self.db.table(_POINT_TABLES[kind]).scan():
+            consider(row[1])
+        for _rid, row in self.db.table(_LINE_TABLES[kind]).scan():
+            consider(row[1])
+            consider(row[3])
+        return best
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+
+    def counts(self) -> StoreCounts:
+        self._check_open()
+        return StoreCounts(
+            drop_points=self.db.table("drop_points").n_rows,
+            drop_lines=self.db.table("drop_lines").n_rows,
+            jump_points=self.db.table("jump_points").n_rows,
+            jump_lines=self.db.table("jump_lines").n_rows,
+        )
+
+    def feature_bytes(self) -> int:
+        self._check_open()
+        pages = sum(
+            self.db.table(t).heap_pages() for t in _FEATURE_TABLES
+        )
+        return pages * PAGE_SIZE
+
+    def index_bytes(self) -> int:
+        self._check_open()
+        pages = sum(
+            self.db.table(t).index_pages() for t in _FEATURE_TABLES
+        )
+        return pages * PAGE_SIZE
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.db.close()
+        self._closed = True
+        if self._owns_file and os.path.exists(self.path):
+            os.unlink(self.path)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("store is closed")

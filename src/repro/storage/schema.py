@@ -1,0 +1,122 @@
+"""Relational schema shared by the storage backends, plus the paper's
+space-accounting model (Section 5.2).
+
+Four feature tables hold the ε-shifted corners and boundary edges:
+
+* ``drop_points(dt, dv, t_d, t_c, t_b, t_a)``
+* ``drop_lines(dt1, dv1, dt2, dv2, t_d, t_c, t_b, t_a)``
+* ``jump_points`` / ``jump_lines`` — identical shapes.
+
+Every row carries the four boundary timestamps of its segment pair so a
+query hit is self-describing (the paper stores three timestamps and
+recomputes the fourth; we spend one extra column for clarity — the size
+*ratios* the experiments report are unaffected because both SegDiff and
+Exh carry their identifying timestamps).
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidParameterError
+
+__all__ = [
+    "SEGDIFF_TABLES",
+    "POINT_TABLES",
+    "LINE_TABLES",
+    "CREATE_TABLE_SQL",
+    "CREATE_INDEX_SQL",
+    "INDEX_NAMES",
+    "SEGMENTS_DDL",
+    "META_DDL",
+    "COLUMNS_EXH",
+    "columns_for_corner_count",
+    "space_saving_ratio",
+]
+
+POINT_TABLES = {"drop": "drop_points", "jump": "jump_points"}
+LINE_TABLES = {"drop": "drop_lines", "jump": "jump_lines"}
+SEGDIFF_TABLES = tuple(POINT_TABLES.values()) + tuple(LINE_TABLES.values())
+
+_POINT_DDL = (
+    "CREATE TABLE {name} ("
+    "dt REAL NOT NULL, dv REAL NOT NULL, "
+    "t_d REAL NOT NULL, t_c REAL NOT NULL, "
+    "t_b REAL NOT NULL, t_a REAL NOT NULL)"
+)
+_LINE_DDL = (
+    "CREATE TABLE {name} ("
+    "dt1 REAL NOT NULL, dv1 REAL NOT NULL, "
+    "dt2 REAL NOT NULL, dv2 REAL NOT NULL, "
+    "t_d REAL NOT NULL, t_c REAL NOT NULL, "
+    "t_b REAL NOT NULL, t_a REAL NOT NULL)"
+)
+
+CREATE_TABLE_SQL = {
+    "drop_points": _POINT_DDL.format(name="drop_points"),
+    "jump_points": _POINT_DDL.format(name="jump_points"),
+    "drop_lines": _LINE_DDL.format(name="drop_lines"),
+    "jump_lines": _LINE_DDL.format(name="jump_lines"),
+}
+
+#: Side tables making an index file self-describing: the data segments
+#: (so a reopened index can rebuild its approximation) and scalar build
+#: metadata (epsilon, window).  Neither counts as "features" in the size
+#: accounting — the paper's Exh carries the raw series implicitly too.
+SEGMENTS_DDL = (
+    "CREATE TABLE IF NOT EXISTS segments ("
+    "seq INTEGER PRIMARY KEY, "
+    "t_start REAL NOT NULL, v_start REAL NOT NULL, "
+    "t_end REAL NOT NULL, v_end REAL NOT NULL)"
+)
+META_DDL = (
+    "CREATE TABLE IF NOT EXISTS segdiff_meta "
+    "(key TEXT PRIMARY KEY, value REAL NOT NULL)"
+)
+
+# B-tree indexes per Section 4.4: concatenation of (dt, dv) for point
+# queries, (dt1, dv1, dt2, dv2) for line queries.
+INDEX_NAMES = {
+    "drop_points": "idx_drop_points",
+    "jump_points": "idx_jump_points",
+    "drop_lines": "idx_drop_lines",
+    "jump_lines": "idx_jump_lines",
+}
+CREATE_INDEX_SQL = {
+    "drop_points": "CREATE INDEX idx_drop_points ON drop_points(dt, dv)",
+    "jump_points": "CREATE INDEX idx_jump_points ON jump_points(dt, dv)",
+    "drop_lines": (
+        "CREATE INDEX idx_drop_lines ON drop_lines(dt1, dv1, dt2, dv2)"
+    ),
+    "jump_lines": (
+        "CREATE INDEX idx_jump_lines ON jump_lines(dt1, dv1, dt2, dv2)"
+    ),
+}
+
+#: Columns per Exh row: time span, difference, one absolute time stamp
+#: (Section 5.2: c1 = 3).
+COLUMNS_EXH = 3
+
+
+def columns_for_corner_count(corners: int) -> int:
+    """The paper's ``c2``: columns per stored parallelogram boundary.
+
+    One corner needs 5 columns, two need 6, three need 7 (Section 5.2).
+    """
+    if corners not in (1, 2, 3):
+        raise InvalidParameterError(
+            f"corner count must be 1, 2 or 3, got {corners}"
+        )
+    return corners + 4
+
+
+def space_saving_ratio(
+    c1: float, c2: float, n_w: float, m_w: float, r: float
+) -> float:
+    """Section 5.2's analytic space saving ``(c1/c2) * (n_w/m_w) * r``.
+
+    ``n_w``/``m_w`` are observations / segments per window, ``r`` the
+    segmentation compression rate.  Exh uses this many times SegDiff's
+    space under the model's assumptions.
+    """
+    if min(c1, c2, n_w, m_w, r) <= 0:
+        raise InvalidParameterError("all model quantities must be positive")
+    return (c1 / c2) * (n_w / m_w) * r

@@ -1,0 +1,377 @@
+"""SQLite-backed feature store — the paper-faithful backend.
+
+The paper stored features in MySQL 5.0 with B-tree indexes and measured
+both sequential-scan and index plans, with and without caches.  This store
+reproduces all four regimes on SQLite:
+
+* ``mode="scan"`` forces a table scan with ``NOT INDEXED``;
+* ``mode="index"`` forces the Section 4.4 B-trees with ``INDEXED BY``;
+* ``cache="warm"`` reuses the long-lived connection (page cache primed);
+* ``cache="cold"`` opens a fresh connection with a minimal page cache for
+  the single query, emulating the paper's flushed-cache runs (the OS page
+  cache cannot be flushed portably — DESIGN.md §5.7).
+
+Sizes are measured with the ``dbstat`` virtual table (pages actually used
+per table/index) when available, falling back to a row-size model.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import tempfile
+import threading
+from typing import Dict, List, Optional
+
+from ..core.corners import FeatureSet
+from ..core.queries import line_query_sql, point_query_sql
+from ..errors import InvalidParameterError, StorageError
+from ..types import SegmentPair
+from .base import FeatureStore, Query, StoreCounts
+from .schema import (
+    CREATE_INDEX_SQL,
+    CREATE_TABLE_SQL,
+    INDEX_NAMES,
+    LINE_TABLES,
+    META_DDL,
+    POINT_TABLES,
+    SEGDIFF_TABLES,
+    SEGMENTS_DDL,
+)
+
+__all__ = ["SqliteFeatureStore"]
+
+_BATCH = 5_000
+
+
+class SqliteFeatureStore(FeatureStore):
+    """Feature store over a SQLite file (see module docstring).
+
+    ``path=None`` creates a private temporary database file removed on
+    :meth:`close`.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        if path is None:
+            fd, path = tempfile.mkstemp(prefix="segdiff-", suffix=".sqlite")
+            os.close(fd)
+            os.unlink(path)  # let sqlite create it fresh
+            self._owns_file = True
+        else:
+            self._owns_file = False
+        self.path = path
+        self._owner_thread = threading.get_ident()
+        self._conn = self._connect()
+        self._buffers: Dict[str, List[tuple]] = {t: [] for t in SEGDIFF_TABLES}
+        self._indexed = False
+        self._closed = False
+        # SQLite connections are bound to their creating thread; reads
+        # from other threads (e.g. a dashboard serving many users) get
+        # lazy per-thread connections.  Writes stay owner-thread-only.
+        self._read_conns = threading.local()
+        self._spawned_conns: List[sqlite3.Connection] = []
+        self._spawn_lock = threading.Lock()
+        self._create_tables()
+
+    def _connect(self, cross_thread: bool = False) -> sqlite3.Connection:
+        # cross_thread connections are used by exactly one reader thread
+        # (via thread-local storage) but must be closable by the owner
+        conn = sqlite3.connect(self.path, check_same_thread=not cross_thread)
+        try:
+            conn.execute("PRAGMA journal_mode = OFF")
+            conn.execute("PRAGMA synchronous = OFF")
+        except sqlite3.DatabaseError as exc:
+            conn.close()
+            raise StorageError(
+                f"{self.path} is not a SQLite database: {exc}"
+            ) from exc
+        return conn
+
+    def _create_tables(self) -> None:
+        try:
+            existing = {
+                row[0]
+                for row in self._conn.execute(
+                    "SELECT name FROM sqlite_master WHERE type='table'"
+                )
+            }
+        except sqlite3.DatabaseError as exc:
+            self._conn.close()
+            raise StorageError(
+                f"{self.path} is not a SQLite database: {exc}"
+            ) from exc
+        for table, ddl in CREATE_TABLE_SQL.items():
+            if table not in existing:
+                self._conn.execute(ddl)
+        self._conn.execute(SEGMENTS_DDL)
+        self._conn.execute(META_DDL)
+        self._indexed = self._indexes_present()
+        self._conn.commit()
+
+    def _indexes_present(self) -> bool:
+        names = {
+            row[0]
+            for row in self._conn.execute(
+                "SELECT name FROM sqlite_master WHERE type='index'"
+            )
+        }
+        return all(idx in names for idx in INDEX_NAMES.values())
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+
+    def add(self, features: FeatureSet) -> None:
+        self._check_open()
+        ident = features.pair.as_tuple()
+        buf = self._buffers
+        for p in features.drop_points:
+            buf["drop_points"].append((p.dt, p.dv) + ident)
+        for seg in features.drop_lines:
+            buf["drop_lines"].append(
+                (seg.p.dt, seg.p.dv, seg.q.dt, seg.q.dv) + ident
+            )
+        for p in features.jump_points:
+            buf["jump_points"].append((p.dt, p.dv) + ident)
+        for seg in features.jump_lines:
+            buf["jump_lines"].append(
+                (seg.p.dt, seg.p.dv, seg.q.dt, seg.q.dv) + ident
+            )
+        if any(len(rows) >= _BATCH for rows in buf.values()):
+            self._flush()
+
+    def _flush(self) -> None:
+        for table, rows in self._buffers.items():
+            if not rows:
+                continue
+            width = 6 if table in POINT_TABLES.values() else 8
+            placeholders = ",".join("?" * width)
+            self._conn.executemany(
+                f"INSERT INTO {table} VALUES ({placeholders})", rows
+            )
+            rows.clear()
+        self._conn.commit()
+
+    def finalize(self) -> None:
+        """Flush pending rows and (re)build the Section 4.4 B-trees."""
+        self._check_open()
+        self._flush()
+        if not self._indexed:
+            for ddl in CREATE_INDEX_SQL.values():
+                self._conn.execute(ddl)
+            self._conn.execute("ANALYZE")
+            self._conn.commit()
+            self._indexed = True
+
+    def add_segment(self, segment) -> None:
+        self._check_open()
+        self._conn.execute(
+            "INSERT INTO segments (t_start, v_start, t_end, v_end) "
+            "VALUES (?, ?, ?, ?)",
+            (segment.t_start, segment.v_start, segment.t_end, segment.v_end),
+        )
+
+    def load_segments(self) -> list:
+        from ..types import DataSegment
+
+        self._check_open()
+        rows = self._conn.execute(
+            "SELECT t_start, v_start, t_end, v_end FROM segments "
+            "ORDER BY seq"
+        ).fetchall()
+        return [DataSegment(*row) for row in rows]
+
+    def set_meta(self, key: str, value: float) -> None:
+        self._check_open()
+        self._conn.execute(
+            "INSERT OR REPLACE INTO segdiff_meta VALUES (?, ?)",
+            (key, float(value)),
+        )
+        self._conn.commit()
+
+    def get_meta(self, key: str):
+        self._check_open()
+        row = self._conn.execute(
+            "SELECT value FROM segdiff_meta WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else float(row[0])
+
+    def drop_indexes(self) -> None:
+        """Remove the B-trees (to measure pure feature size)."""
+        self._check_open()
+        for idx in INDEX_NAMES.values():
+            self._conn.execute(f"DROP INDEX IF EXISTS {idx}")
+        self._conn.commit()
+        self._indexed = False
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+
+    def search(
+        self, query: Query, mode: str = "index", cache: str = "warm"
+    ) -> List[SegmentPair]:
+        self._check_open()
+        if mode not in ("index", "scan"):
+            raise InvalidParameterError(
+                f"mode must be 'index' or 'scan', got {mode!r}"
+            )
+        if cache not in ("warm", "cold"):
+            raise InvalidParameterError(
+                f"cache must be 'warm' or 'cold', got {cache!r}"
+            )
+        if mode == "index" and not self._indexed:
+            raise StorageError("indexes not built; call finalize() first")
+
+        kind = query.kind
+        point_table = POINT_TABLES[kind]
+        line_table = LINE_TABLES[kind]
+        if mode == "scan":
+            point_hint = line_hint = "NOT INDEXED"
+        else:
+            point_hint = f"INDEXED BY {INDEX_NAMES[point_table]}"
+            line_hint = f"INDEXED BY {INDEX_NAMES[line_table]}"
+
+        sql = (
+            point_query_sql(kind, point_table, point_hint)
+            + " UNION "
+            + line_query_sql(kind, line_table, line_hint)
+        )
+        params = {"T": query.t_threshold, "V": query.v_threshold}
+
+        if cache == "cold":
+            if threading.get_ident() == self._owner_thread:
+                self._conn.commit()
+            conn = self._connect()
+            try:
+                conn.execute("PRAGMA cache_size = -64")  # 64 KiB only
+                rows = conn.execute(sql, params).fetchall()
+            finally:
+                conn.close()
+        else:
+            rows = self._reader().execute(sql, params).fetchall()
+        return [SegmentPair(*row) for row in sorted(set(rows))]
+
+    def _reader(self) -> sqlite3.Connection:
+        """The connection to read from in the current thread."""
+        if threading.get_ident() == self._owner_thread:
+            return self._conn
+        conn = getattr(self._read_conns, "conn", None)
+        if conn is None:
+            conn = self._connect(cross_thread=True)
+            self._read_conns.conn = conn
+            with self._spawn_lock:
+                self._spawned_conns.append(conn)
+        return conn
+
+    def sample_points(self, kind: str, n: int):
+        """Evenly strided (dt, dv) sample of the point table (see base)."""
+        import numpy as np
+
+        self._check_open()
+        if kind not in POINT_TABLES:
+            raise InvalidParameterError(f"unknown kind {kind!r}")
+        self._flush()
+        table = POINT_TABLES[kind]
+        total = self._conn.execute(
+            f"SELECT COUNT(*) FROM {table}"
+        ).fetchone()[0]
+        if total == 0:
+            return None
+        step = max(1, total // max(n, 1))
+        rows = self._conn.execute(
+            f"SELECT dt, dv FROM {table} WHERE rowid % ? = 0 LIMIT ?",
+            (step, n),
+        ).fetchall()
+        if not rows:  # tiny tables whose rowids all miss the stride
+            rows = self._conn.execute(
+                f"SELECT dt, dv FROM {table} LIMIT ?", (n,)
+            ).fetchall()
+        return np.asarray(rows, dtype=float)
+
+    def extreme_feature_dv(self, kind: str):
+        """Min (drop) / max (jump) stored Δv across points and lines."""
+        self._check_open()
+        if kind not in POINT_TABLES:
+            raise InvalidParameterError(f"unknown kind {kind!r}")
+        self._flush()
+        agg = "MIN" if kind == "drop" else "MAX"
+        p = self._conn.execute(
+            f"SELECT {agg}(dv) FROM {POINT_TABLES[kind]}"
+        ).fetchone()[0]
+        l1, l2 = self._conn.execute(
+            f"SELECT {agg}(dv1), {agg}(dv2) FROM {LINE_TABLES[kind]}"
+        ).fetchone()
+        values = [v for v in (p, l1, l2) if v is not None]
+        if not values:
+            return None
+        return float(min(values) if kind == "drop" else max(values))
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+
+    def counts(self) -> StoreCounts:
+        self._check_open()
+        self._flush()
+        get = lambda t: self._conn.execute(  # noqa: E731
+            f"SELECT COUNT(*) FROM {t}"
+        ).fetchone()[0]
+        return StoreCounts(
+            drop_points=get("drop_points"),
+            drop_lines=get("drop_lines"),
+            jump_points=get("jump_points"),
+            jump_lines=get("jump_lines"),
+        )
+
+    def _dbstat_bytes(self) -> Optional[Dict[str, int]]:
+        try:
+            rows = self._conn.execute(
+                "SELECT name, SUM(pgsize) FROM dbstat GROUP BY name"
+            ).fetchall()
+        except sqlite3.Error:
+            return None
+        return {name: int(size) for name, size in rows}
+
+    def feature_bytes(self) -> int:
+        self._check_open()
+        self._flush()
+        sizes = self._dbstat_bytes()
+        if sizes is not None:
+            return sum(sizes.get(t, 0) for t in SEGDIFF_TABLES)
+        counts = self.counts()
+        # fallback model: 8 bytes per column + ~14 bytes row overhead
+        return (counts.drop_points + counts.jump_points) * (6 * 8 + 14) + (
+            counts.drop_lines + counts.jump_lines
+        ) * (8 * 8 + 14)
+
+    def index_bytes(self) -> int:
+        self._check_open()
+        if not self._indexed:
+            return 0
+        sizes = self._dbstat_bytes()
+        if sizes is not None:
+            return sum(sizes.get(i, 0) for i in INDEX_NAMES.values())
+        counts = self.counts()
+        return (counts.drop_points + counts.jump_points) * (2 * 8 + 12) + (
+            counts.drop_lines + counts.jump_lines
+        ) * (4 * 8 + 12)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        with self._spawn_lock:
+            for conn in self._spawned_conns:
+                try:
+                    conn.close()
+                except sqlite3.Error:  # already closed by its thread
+                    pass
+            self._spawned_conns = []
+        self._conn.close()
+        self._closed = True
+        if self._owns_file and os.path.exists(self.path):
+            os.unlink(self.path)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("store is closed")

@@ -1,0 +1,5 @@
+"""Query workloads for the experiments (Section 6.4's random queries)."""
+
+from .random_queries import QueryGrid, random_drop_queries, cad_query_set
+
+__all__ = ["QueryGrid", "random_drop_queries", "cad_query_set"]

@@ -1,0 +1,86 @@
+"""Random drop-query workloads over the ``(T, V)`` plane.
+
+Section 6.4 evaluates both systems on random queries whose coverage of
+the query plane is shown in Figure 16; Figures 17–24 then plot per-query
+execution times and their ratios.  :func:`random_drop_queries` reproduces
+that workload: ``T`` uniform over ``(0, w]``, ``V`` uniform over the
+data's drop range (the paper's data spans drops of 0 to −35 °C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.queries import DropQuery
+from ..errors import InvalidParameterError
+
+__all__ = ["QueryGrid", "random_drop_queries", "cad_query_set"]
+
+
+@dataclass(frozen=True)
+class QueryGrid:
+    """A set of drop queries with their positions in the query plane."""
+
+    queries: Tuple[DropQuery, ...]
+
+    def __iter__(self) -> Iterator[DropQuery]:
+        return iter(self.queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def coverage(self) -> List[Tuple[float, float]]:
+        """``(T, V)`` scatter — what Figure 16 plots."""
+        return [(q.t_threshold, q.v_threshold) for q in self.queries]
+
+
+def random_drop_queries(
+    n: int,
+    window: float,
+    v_range: Tuple[float, float] = (-35.0, -0.5),
+    t_min: float = 300.0,
+    seed: Optional[int] = 16,
+) -> QueryGrid:
+    """``n`` random drop queries with ``T in [t_min, w]``, ``V`` in range.
+
+    ``v_range`` is ``(deepest, shallowest)`` — both negative.
+    """
+    if n < 1:
+        raise InvalidParameterError("need at least one query")
+    if window <= t_min:
+        raise InvalidParameterError("window must exceed t_min")
+    deep, shallow = v_range
+    if not (deep < 0 and shallow < 0 and deep <= shallow):
+        raise InvalidParameterError(
+            "v_range must be (deepest, shallowest) with both negative"
+        )
+    rng = np.random.default_rng(seed)
+    ts = rng.uniform(t_min, window, size=n)
+    vs = rng.uniform(deep, shallow, size=n)
+    return QueryGrid(tuple(DropQuery(float(t), float(v)) for t, v in zip(ts, vs)))
+
+
+def cad_query_set(window: float = 8 * 3600.0) -> QueryGrid:
+    """The biologists' exploratory queries from the introduction.
+
+    Variations around the canonical CAD definition — "a drop of no less
+    than 3 degree Celsius within 1 hour" — with looser and tighter
+    thresholds, capped at the index window.
+    """
+    hours = 3600.0
+    candidates = [
+        (1.0 * hours, -3.0),   # the canonical CAD query
+        (0.5 * hours, -2.0),   # faster, shallower drainage
+        (1.0 * hours, -5.0),   # severe events only
+        (2.0 * hours, -4.0),   # slower, deeper pooling
+        (4.0 * hours, -8.0),   # major cold pools
+    ]
+    queries = [
+        DropQuery(t, v) for t, v in candidates if t <= window
+    ]
+    if not queries:
+        raise InvalidParameterError("window too small for the CAD query set")
+    return QueryGrid(tuple(queries))

@@ -1,0 +1,119 @@
+"""Tests for the batch bottom-up and SWAB segmenters (ablation substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datagen import TimeSeries, piecewise_series
+from repro.errors import InvalidParameterError, InvalidSeriesError
+from repro.segmentation import (
+    BottomUpSegmenter,
+    SlidingWindowSegmenter,
+    SWABSegmenter,
+    max_abs_error,
+    segment_series,
+    verify_tolerance,
+)
+
+finite_vals = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+@pytest.mark.parametrize("cls", [BottomUpSegmenter, SWABSegmenter])
+class TestCommonBehaviour:
+    def test_straight_line_merges_to_one(self, cls):
+        s = TimeSeries(np.arange(20.0), 3.0 * np.arange(20.0))
+        segs = cls(0.1).segment(s)
+        assert len(segs) == 1
+
+    def test_two_points(self, cls):
+        s = TimeSeries([0.0, 1.0], [0.0, 2.0])
+        segs = cls(0.1).segment(s)
+        assert len(segs) == 1
+        assert segs[0].rise == 2.0
+
+    def test_single_point_rejected(self, cls):
+        with pytest.raises(InvalidSeriesError):
+            cls(0.1).segment(TimeSeries([0.0], [0.0]))
+
+    def test_error_bound_respected(self, cls, walk_series):
+        epsilon = 1.0
+        segs = cls(epsilon).segment(walk_series)
+        assert verify_tolerance(walk_series, segs, epsilon)
+
+    def test_contiguous_output(self, cls, walk_series):
+        segs = cls(0.8).segment(walk_series)
+        for a, b in zip(segs, segs[1:]):
+            assert (a.t_end, a.v_end) == (b.t_start, b.v_start)
+        assert segs[0].t_start == walk_series.t_start
+        assert segs[-1].t_end == walk_series.t_end
+
+
+class TestBottomUp:
+    def test_recovers_exact_breakpoints(self):
+        s = piecewise_series(
+            [0.0, 400.0, 900.0, 1500.0], [0.0, 8.0, -4.0, -4.0], dt=100.0
+        )
+        segs = BottomUpSegmenter(0.0).segment(s)
+        assert [g.t_start for g in segs] == [0.0, 400.0, 900.0]
+
+    def test_usually_no_worse_than_sliding_window(self, cad_week):
+        """Bottom-up's global merges should compress at least as well on
+        smooth sensor data (the claim the ablation bench quantifies)."""
+        eps = 0.5
+        sw = SlidingWindowSegmenter(eps).segment(cad_week)
+        bu = BottomUpSegmenter(eps).segment(cad_week)
+        assert len(bu) <= len(sw) * 1.2
+
+    @given(
+        values=st.lists(finite_vals, min_size=2, max_size=50),
+        epsilon=st.floats(min_value=0.0, max_value=10.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_error_bound_property(self, values, epsilon):
+        series = TimeSeries(np.arange(len(values), dtype=float), values)
+        segs = BottomUpSegmenter(epsilon).segment(series)
+        assert max_abs_error(series, segs) <= epsilon / 2.0 + 1e-6
+
+
+class TestSWAB:
+    def test_buffer_size_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SWABSegmenter(0.1, buffer_size=3)
+
+    def test_small_series_delegates_to_bottom_up(self):
+        s = TimeSeries(np.arange(10.0), np.arange(10.0) ** 2)
+        swab = SWABSegmenter(1.0, buffer_size=50).segment(s)
+        bu = BottomUpSegmenter(1.0).segment(s)
+        assert swab == bu
+
+    def test_long_series_progress_and_bound(self):
+        rngv = np.cumsum(np.random.default_rng(3).normal(0, 1, size=500))
+        s = TimeSeries(np.arange(500.0), rngv)
+        segs = SWABSegmenter(1.0, buffer_size=60).segment(s)
+        assert verify_tolerance(s, segs, 1.0)
+        assert segs[-1].t_end == s.t_end
+
+    @given(
+        values=st.lists(finite_vals, min_size=2, max_size=80),
+        epsilon=st.floats(min_value=0.0, max_value=10.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_error_bound_property(self, values, epsilon):
+        series = TimeSeries(np.arange(len(values), dtype=float), values)
+        segs = SWABSegmenter(epsilon, buffer_size=10).segment(series)
+        assert max_abs_error(series, segs) <= epsilon / 2.0 + 1e-6
+
+
+class TestDispatch:
+    def test_segment_series_methods(self, walk_series):
+        for method in ("sliding-window", "bottom-up", "swab"):
+            segs = segment_series(walk_series, 0.5, method=method)
+            assert verify_tolerance(walk_series, segs, 0.5)
+
+    def test_unknown_method_rejected(self, walk_series):
+        with pytest.raises(InvalidParameterError, match="unknown"):
+            segment_series(walk_series, 0.5, method="top-down")
+
+    def test_negative_epsilon_rejected(self, walk_series):
+        with pytest.raises(InvalidParameterError):
+            segment_series(walk_series, -0.5)

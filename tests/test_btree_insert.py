@@ -1,0 +1,136 @@
+"""Tests for incremental B+tree inserts (node splits)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.storage.minidb import BPlusTree, MiniDatabase, Pager, RID
+
+
+@pytest.fixture
+def pager(tmp_path):
+    p = Pager(str(tmp_path / "t.pages"), cache_pages=16)
+    yield p
+    p.close()
+
+
+def fresh_tree(pager, key_width=1):
+    tree = BPlusTree(pager, key_width)
+    tree.bulk_load([])
+    return tree
+
+
+class TestInsert:
+    def test_single_insert(self, pager):
+        tree = fresh_tree(pager)
+        tree.insert((5.0,), RID(0, 0))
+        assert [k for k, _ in tree.scan_from()] == [(5.0,)]
+
+    def test_wrong_key_width_rejected(self, pager):
+        tree = fresh_tree(pager, key_width=2)
+        with pytest.raises(InvalidParameterError):
+            tree.insert((1.0,), RID(0, 0))
+
+    def test_many_inserts_sorted_scan(self, pager):
+        tree = fresh_tree(pager)
+        n = 2000  # far beyond one leaf: forces leaf and internal splits
+        for i in range(n):
+            key = float((i * 7919) % n)  # scrambled order
+            tree.insert((key,), RID(0, i))
+        keys = [k[0] for k, _ in tree.scan_from()]
+        assert keys == sorted(keys)
+        assert len(keys) == n
+        assert tree.height() >= 2
+
+    def test_duplicates_kept(self, pager):
+        tree = fresh_tree(pager)
+        for i in range(10):
+            tree.insert((1.0,), RID(0, i))
+        entries = list(tree.scan_from())
+        assert len(entries) == 10
+        assert {rid.slot for _k, rid in entries} == set(range(10))
+
+    def test_insert_into_bulk_loaded_tree(self, pager):
+        base = [((float(i),), RID(0, i)) for i in range(0, 100, 2)]
+        tree = BPlusTree(pager, 1)
+        tree.bulk_load(base)
+        for i in range(1, 100, 2):
+            tree.insert((float(i),), RID(1, i))
+        keys = [k[0] for k, _ in tree.scan_from()]
+        assert keys == [float(i) for i in range(100)]
+
+    def test_root_split_preserves_leading_scan(self, pager):
+        tree = fresh_tree(pager, key_width=2)
+        for i in range(1500):
+            tree.insert((float(i % 40), float(i)), RID(0, i))
+        got = [k for k, _ in tree.scan_leading_upto(5.0)]
+        assert got == sorted(got)
+        assert all(k[0] <= 5.0 for k in got)
+        assert len(got) == sum(1 for i in range(1500) if i % 40 <= 5)
+
+    @given(
+        keys=st.lists(
+            st.floats(min_value=-1000, max_value=1000, allow_nan=False),
+            min_size=0,
+            max_size=600,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_equivalent_to_bulk_load(self, tmp_path_factory, keys):
+        """Arbitrary insert order == bulk load of the sorted entries."""
+        path = str(tmp_path_factory.mktemp("bti") / "t.pages")
+        pager = Pager(path)
+        try:
+            incremental = BPlusTree(pager, 1)
+            incremental.bulk_load([])
+            for i, k in enumerate(keys):
+                incremental.insert((k,), RID(0, i))
+            bulk = BPlusTree(pager, 1)
+            bulk.bulk_load(
+                sorted(
+                    (((k,), RID(0, i)) for i, k in enumerate(keys)),
+                    key=lambda e: e[0],
+                )
+            )
+            inc_keys = [k for k, _ in incremental.scan_from()]
+            bulk_keys = [k for k, _ in bulk.scan_from()]
+            assert inc_keys == bulk_keys
+        finally:
+            pager.close()
+
+
+class TestTableInsertIndexed:
+    def test_incremental_index_maintenance(self, tmp_path):
+        path = str(tmp_path / "d.mdb")
+        db = MiniDatabase(path)
+        t = db.create_table("t", 2)
+        t.create_index("by_key", (0,))
+        for i in range(500):
+            t.insert_indexed((float((i * 31) % 500), float(i)))
+        got = [k[0] for k, _ in t.index_scan_leading("by_key", 50.0)]
+        assert got == sorted(got)
+        assert len(got) == 51
+        db.close()
+
+        # root changes from splits must be persisted via the catalog
+        db2 = MiniDatabase(path)
+        try:
+            got2 = [
+                k[0]
+                for k, _ in db2.table("t").index_scan_leading("by_key", 50.0)
+            ]
+            assert got2 == got
+        finally:
+            db2.close()
+
+    def test_rows_fetchable_through_index(self, tmp_path):
+        with MiniDatabase(str(tmp_path / "d.mdb")) as db:
+            t = db.create_table("t", 3)
+            t.create_index("i", (0, 1))
+            rids = {}
+            for i in range(100):
+                row = (float(i), float(-i), float(i * i))
+                rids[row] = t.insert_indexed(row)
+            for key, rid in t.index_scan_leading("i", 10.0):
+                row = t.get(rid)
+                assert row[:2] == key

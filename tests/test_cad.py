@@ -1,0 +1,132 @@
+"""Tests for the synthetic CAD transect generator."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import CADConfig, CADTransectGenerator, generate_cad_day
+from repro.datagen.cad import DAY
+from repro.errors import InvalidParameterError
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        CADConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_sensors": 0},
+            {"sampling_interval": 0.0},
+            {"days": 0},
+            {"event_probability": 1.5},
+            {"event_depth_min": -1.0},
+            {"event_depth_max": 1.0, "event_depth_min": 2.0},
+            {"event_duration_min": 0.0},
+            {"event_duration_max": 60.0, "event_duration_min": 120.0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            CADConfig(**kwargs)
+
+
+class TestLayout:
+    def test_sensor_names_two_lines(self):
+        gen = CADTransectGenerator(CADConfig(n_sensors=25, days=1))
+        names = gen.sensor_names()
+        assert len(names) == 25
+        assert names[0].startswith("L0-")
+        assert names[1].startswith("L1-")
+        assert len(set(names)) == 25
+
+    def test_depth_factor_profile(self):
+        gen = CADTransectGenerator(CADConfig(n_sensors=25, days=1))
+        factors = [gen.depth_factor(i) for i in range(25)]
+        assert all(0.0 <= f <= 1.0 for f in factors)
+        # the middle of the transect is the canyon bottom
+        mid = max(range(25), key=lambda i: factors[i])
+        assert 8 <= mid <= 17
+
+
+class TestGeneration:
+    def test_cadence_and_length(self):
+        cfg = CADConfig(days=2, sampling_interval=300.0, n_sensors=3, seed=9)
+        series = CADTransectGenerator(cfg).generate(0)
+        assert len(series) == 2 * int(DAY / 300.0)
+        assert np.allclose(np.diff(series.times), 300.0)
+
+    def test_reproducible_with_seed(self):
+        cfg = CADConfig(days=1, seed=5, n_sensors=3)
+        a = CADTransectGenerator(cfg).generate(1)
+        b = CADTransectGenerator(cfg).generate(1)
+        assert a == b
+
+    def test_sensors_differ(self):
+        cfg = CADConfig(days=1, seed=5, n_sensors=3)
+        gen = CADTransectGenerator(cfg)
+        assert gen.generate(0) != gen.generate(2)
+
+    def test_generate_all_covers_every_sensor(self):
+        cfg = CADConfig(days=1, seed=5, n_sensors=5)
+        gen = CADTransectGenerator(cfg)
+        data = gen.generate_all()
+        assert sorted(data) == sorted(gen.sensor_names())
+
+    def test_out_of_range_sensor_rejected(self):
+        gen = CADTransectGenerator(CADConfig(days=1, n_sensors=2))
+        with pytest.raises(InvalidParameterError):
+            gen.generate(2)
+
+    def test_temperatures_plausible(self):
+        cfg = CADConfig(days=5, seed=31, n_sensors=3)
+        series = CADTransectGenerator(cfg).generate(0)
+        assert series.values.min() > -60.0
+        assert series.values.max() < 60.0
+
+
+class TestEvents:
+    def test_event_log_populated(self):
+        cfg = CADConfig(days=10, seed=13, n_sensors=3, event_probability=0.9)
+        gen = CADTransectGenerator(cfg)
+        gen.generate(2)
+        assert gen.events, "10 nights at p=0.9 should produce events"
+
+    def test_events_visible_in_data(self):
+        """Around each logged event the series must actually drop."""
+        cfg = CADConfig(
+            days=10, seed=13, n_sensors=3, event_probability=0.9,
+            anomaly_rate=0.0, noise_std=0.05,
+        )
+        gen = CADTransectGenerator(cfg)
+        series = gen.generate(2)
+        for ev in gen.events:
+            if ev.t_bottom > series.t_end:
+                continue
+            before = series.slice_time(ev.t_onset - 600, ev.t_onset).values.mean()
+            after = series.slice_time(ev.t_bottom, ev.t_bottom + 600).values.mean()
+            # diurnal trend can offset a bit; the pulse must dominate
+            assert after < before - 0.5 * ev.depth + 1.0
+
+    def test_event_depth_range_respected(self):
+        cfg = CADConfig(days=30, seed=7, n_sensors=3, event_probability=0.9)
+        gen = CADTransectGenerator(cfg)
+        gen.generate(2)
+        depths = [e.depth for e in gen.events]
+        assert min(depths) > 0.0
+
+    def test_no_events_when_probability_zero(self):
+        cfg = CADConfig(days=5, seed=3, n_sensors=2, event_probability=0.0)
+        gen = CADTransectGenerator(cfg)
+        gen.generate(0)
+        assert gen.events == []
+
+
+class TestGenerateCadDay:
+    def test_returns_day_with_event(self):
+        series, events = generate_cad_day(seed=3)
+        assert series.duration <= DAY
+        assert events
+
+    def test_without_event_requirement(self):
+        series, _events = generate_cad_day(seed=3, with_event=False)
+        assert len(series) > 0

@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    path = str(tmp_path / "data.csv")
+    assert main(["generate", "--days", "2", "--seed", "3", "--out", path]) == 0
+    return path
+
+
+@pytest.fixture
+def index_path(tmp_path, csv_path):
+    smooth = str(tmp_path / "smooth.csv")
+    assert main(["smooth", csv_path, "--out", smooth]) == 0
+    idx = str(tmp_path / "cad.idx")
+    assert (
+        main(
+            ["build", smooth, "--epsilon", "0.2", "--window-hours", "8",
+             "--index", idx]
+        )
+        == 0
+    )
+    return idx
+
+
+class TestGenerate:
+    def test_writes_csv(self, csv_path):
+        from repro.datagen import load_series_csv
+
+        series = load_series_csv(csv_path)
+        assert len(series) == 2 * 288
+
+    def test_output_message(self, capsys, tmp_path):
+        path = str(tmp_path / "x.csv")
+        main(["generate", "--days", "1", "--out", path])
+        out = capsys.readouterr().out
+        assert "288 observations" in out
+
+
+class TestBuildAndSearch:
+    def test_drop_search(self, index_path, capsys):
+        assert main(["search", index_path, "--drop", "-3"]) == 0
+        out = capsys.readouterr().out
+        assert "matching periods" in out
+
+    def test_jump_search(self, index_path, capsys):
+        assert main(["search", index_path, "--jump", "2"]) == 0
+        assert "matching periods" in capsys.readouterr().out
+
+    def test_search_with_refinement(self, index_path, tmp_path, capsys, csv_path):
+        smooth = str(tmp_path / "smooth.csv")
+        assert (
+            main(
+                ["search", index_path, "--drop", "-3", "--data", smooth,
+                 "--limit", "3"]
+            )
+            == 0
+        )
+
+    def test_requires_exactly_one_threshold(self, index_path, capsys):
+        assert main(["search", index_path]) == 2
+        assert main(["search", index_path, "--drop", "-3", "--jump", "3"]) == 2
+        assert (
+            main(["search", index_path, "--drop", "-3", "--deepest", "5"]) == 2
+        )
+
+    def test_deepest_search(self, index_path, capsys):
+        assert main(["search", index_path, "--deepest", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "deepest drops" in out
+
+    def test_deepest_search_with_data(self, index_path, tmp_path, capsys):
+        smooth = str(tmp_path / "smooth.csv")
+        assert (
+            main(["search", index_path, "--deepest", "2", "--data", smooth])
+            == 0
+        )
+
+    def test_auto_mode(self, index_path):
+        assert main(["search", index_path, "--drop", "-3", "--mode", "auto"]) == 0
+
+    def test_summary_output(self, index_path, tmp_path, capsys):
+        smooth = str(tmp_path / "smooth.csv")
+        assert (
+            main(["search", index_path, "--drop", "-3", "--data", smooth,
+                  "--summary"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "witnessed events" in out
+
+    def test_scan_mode(self, index_path):
+        assert main(["search", index_path, "--drop", "-3", "--mode", "scan"]) == 0
+
+    def test_stats(self, index_path, capsys):
+        assert main(["stats", index_path]) == 0
+        out = capsys.readouterr().out
+        assert "epsilon:  0.2" in out
+        assert "rows:" in out
+
+    def test_search_garbage_index_fails_cleanly(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.idx"
+        bogus.write_text("not a database")
+        assert main(["search", str(bogus), "--drop", "-3"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_meta_fails_cleanly(self, tmp_path, capsys):
+        import sqlite3
+
+        path = str(tmp_path / "empty.sqlite")
+        sqlite3.connect(path).close()
+        assert main(["search", path, "--drop", "-3"]) == 1
+
+
+class TestSmoothing:
+    def test_smooth_roundtrip(self, tmp_path, csv_path):
+        out = str(tmp_path / "s.csv")
+        assert main(["smooth", csv_path, "--out", out]) == 0
+        from repro.datagen import load_series_csv
+
+        a = load_series_csv(csv_path)
+        b = load_series_csv(out)
+        assert len(a) == len(b)

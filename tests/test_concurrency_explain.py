@@ -1,0 +1,97 @@
+"""Tests for concurrent reads (SQLite backend) and the explain facility."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.index import SegDiffIndex
+from repro.datagen import random_walk_series
+from repro.errors import InvalidParameterError, QueryError
+
+HOUR = 3600.0
+
+
+@pytest.fixture(scope="module")
+def sqlite_index():
+    series = random_walk_series(300, dt=300.0, step_std=0.8, seed=33)
+    index = SegDiffIndex.build(series, 0.2, 8 * HOUR, backend="sqlite")
+    yield index
+    index.close()
+
+
+class TestConcurrentReads:
+    def test_parallel_searches_agree(self, sqlite_index):
+        expected = sqlite_index.search_drops(HOUR, -2.0)
+
+        def query(_i):
+            return sqlite_index.search_drops(HOUR, -2.0)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(query, range(32)))
+        assert all(r == expected for r in results)
+
+    def test_parallel_mixed_queries(self, sqlite_index):
+        jobs = [
+            (HOUR, -2.0, "index"),
+            (2 * HOUR, -1.0, "scan"),
+            (0.5 * HOUR, -4.0, "index"),
+        ] * 6
+        expected = {
+            job: sqlite_index.search_drops(job[0], job[1], mode=job[2])
+            for job in set(jobs)
+        }
+
+        def query(job):
+            return job, sqlite_index.search_drops(job[0], job[1], mode=job[2])
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            for job, result in pool.map(query, jobs):
+                assert result == expected[job]
+
+    def test_parallel_cold_cache_queries(self, sqlite_index):
+        expected = sqlite_index.search_drops(HOUR, -2.0)
+
+        def query(_i):
+            return sqlite_index.search_drops(HOUR, -2.0, cache="cold")
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(query, range(8)))
+        assert all(r == expected for r in results)
+
+
+class TestExplain:
+    def test_reports_plan_and_estimates(self, sqlite_index):
+        plan = sqlite_index.explain("drop", HOUR, -2.0)
+        assert plan["epsilon"] == 0.2
+        assert plan["false_positive_bound"] == 0.4
+        assert 0.0 <= plan["estimated_selectivity"] <= 1.0
+        assert plan["chosen_mode"] in ("scan", "index")
+        assert plan["point_rows"] > 0
+        assert plan["query"].t_threshold == HOUR
+
+    def test_selective_query_chooses_index(self, sqlite_index):
+        plan = sqlite_index.explain("drop", 600.0, -1e6)
+        assert plan["estimated_selectivity"] == 0.0
+        assert plan["chosen_mode"] == "index"
+        assert plan["estimated_matches"] == 0
+
+    def test_hard_query_chooses_scan(self, sqlite_index):
+        plan = sqlite_index.explain("drop", 8 * HOUR, -1e-9)
+        assert plan["chosen_mode"] == "scan"
+        assert plan["estimated_matches"] > 0
+
+    def test_jump_explain(self, sqlite_index):
+        plan = sqlite_index.explain("jump", HOUR, 2.0)
+        assert plan["point_rows"] > 0
+
+    def test_validation(self, sqlite_index):
+        with pytest.raises(InvalidParameterError):
+            sqlite_index.explain("dip", HOUR, -2.0)
+        with pytest.raises(QueryError):
+            sqlite_index.explain("drop", 100 * HOUR, -2.0)
+
+    def test_explain_agrees_with_auto_mode(self, sqlite_index):
+        plan = sqlite_index.explain("drop", HOUR, -2.0)
+        auto = sqlite_index.search_drops(HOUR, -2.0, mode="auto")
+        forced = sqlite_index.search_drops(HOUR, -2.0, mode=plan["chosen_mode"])
+        assert auto == forced

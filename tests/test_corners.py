@@ -1,0 +1,227 @@
+"""Tests for the Table 2 / appendix corner reduction.
+
+The load-bearing property: for ANY pair of data segments and ANY query,
+the stored (ε-shifted) corner features answer "does the query region
+intersect the shifted parallelogram?" exactly — via the union of the
+Section 4.4 point and line predicates — matching an exact polygon-clipping
+oracle.  That is precisely the claim of the case analysis, and a wrong
+boundary choice, guard condition, or shift direction fails this test.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.corners import SlopeCase, classify_case, collect_features
+from repro.core.feature_space import QueryRegion
+from repro.core.parallelogram import Parallelogram
+from repro.core.queries import line_mask, point_mask
+from repro.types import DataSegment
+
+coords = st.integers(min_value=-8, max_value=8)
+
+
+@st.composite
+def segment_pairs(draw, adjacent_allowed=True):
+    t_d = draw(st.integers(min_value=0, max_value=5))
+    t_c = draw(st.integers(min_value=t_d + 1, max_value=9))
+    min_b = t_c if adjacent_allowed else t_c + 1
+    t_b = draw(st.integers(min_value=min_b, max_value=12))
+    t_a = draw(st.integers(min_value=t_b + 1, max_value=16))
+    v_d, v_c, v_b, v_a = (draw(coords) for _ in range(4))
+    cd = DataSegment(float(t_d), float(v_d), float(t_c), float(v_c))
+    ab = DataSegment(float(t_b), float(v_b), float(t_a), float(v_a))
+    return cd, ab
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "k_cd, k_ab, expected",
+        [
+            (1.0, -1.0, SlopeCase.CASE1),
+            (1.0, 0.0, SlopeCase.CASE1),
+            (0.0, 0.0, SlopeCase.CASE1),  # tie: k_AB <= 0 wins
+            (1.0, 2.0, SlopeCase.CASE2),
+            (1.0, 1.0, SlopeCase.CASE2),
+            (0.0, 3.0, SlopeCase.CASE2),
+            (2.0, 1.0, SlopeCase.CASE3),
+            (-1.0, 0.0, SlopeCase.CASE4),
+            (-1.0, 5.0, SlopeCase.CASE4),
+            (-1.0, -1.0, SlopeCase.CASE5),
+            (-1.0, -2.0, SlopeCase.CASE5),
+            (-2.0, -1.0, SlopeCase.CASE6),
+        ],
+    )
+    def test_case_table(self, k_cd, k_ab, expected):
+        assert classify_case(k_cd, k_ab) == expected
+
+    @given(
+        k_cd=st.floats(min_value=-10, max_value=10, allow_nan=False),
+        k_ab=st.floats(min_value=-10, max_value=10, allow_nan=False),
+    )
+    def test_every_slope_pair_is_classified(self, k_cd, k_ab):
+        case = classify_case(k_cd, k_ab)
+        assert case in set(SlopeCase) - {SlopeCase.SELF}
+
+
+class TestCollectedShapes:
+    def test_case1_drop_keeps_bc_ac(self):
+        cd = DataSegment(0.0, 0.0, 2.0, 4.0)  # k >= 0
+        ab = DataSegment(3.0, 6.0, 6.0, 0.0)  # k <= 0
+        fs = collect_features(Parallelogram.from_segments(cd, ab), epsilon=0.0)
+        assert fs.case == SlopeCase.CASE1
+        assert fs.drop_corner_count == 2
+        p = Parallelogram.from_segments(cd, ab)
+        assert fs.drop_points[0] == p.bc
+        assert fs.drop_points[1] == p.ac
+        assert len(fs.drop_lines) == 1
+
+    def test_case2_drop_keeps_only_bc(self):
+        cd = DataSegment(0.0, 0.0, 2.0, 2.0)
+        ab = DataSegment(3.0, 0.0, 5.0, 6.0)  # k_ab=3 >= k_cd=1
+        fs = collect_features(Parallelogram.from_segments(cd, ab), epsilon=0.5)
+        assert fs.case == SlopeCase.CASE2
+        assert fs.drop_corner_count == 1
+        assert len(fs.drop_points) == 1
+        assert not fs.drop_lines  # a single corner has no boundary edges
+
+    def test_case5_drop_three_corners(self):
+        cd = DataSegment(0.0, 4.0, 2.0, 2.0)  # k = -1
+        ab = DataSegment(3.0, 2.0, 5.0, -4.0)  # k = -3 <= -1
+        fs = collect_features(Parallelogram.from_segments(cd, ab), epsilon=0.0)
+        assert fs.case == SlopeCase.CASE5
+        assert fs.drop_corner_count == 3
+        assert len(fs.drop_lines) == 2
+
+    def test_shift_direction(self):
+        cd = DataSegment(0.0, 0.0, 2.0, 4.0)
+        ab = DataSegment(3.0, 6.0, 6.0, 0.0)
+        p = Parallelogram.from_segments(cd, ab)
+        fs = collect_features(p, epsilon=1.0)
+        if fs.drop_points:
+            assert fs.drop_points[0].dv == p.bc.dv - 1.0
+        if fs.jump_points:
+            assert fs.jump_points[0].dv == p.bc.dv + 1.0
+
+    def test_guard_prunes_impossible_drops(self):
+        # both segments rising, AB starting above CD's end: no drop possible
+        cd = DataSegment(0.0, 0.0, 2.0, 4.0)
+        ab = DataSegment(3.0, 5.0, 5.0, 9.0)
+        fs = collect_features(Parallelogram.from_segments(cd, ab), epsilon=0.1)
+        assert fs.drop_corner_count == 0
+        assert not fs.drop_points
+
+    def test_self_pair_always_collects_both(self):
+        fs = collect_features(
+            Parallelogram.self_pair(DataSegment(0.0, 0.0, 2.0, 4.0)), 0.2
+        )
+        assert fs.case == SlopeCase.SELF
+        assert len(fs.drop_points) == 2
+        assert len(fs.jump_points) == 2
+        assert len(fs.drop_lines) == 1
+
+    def test_polyline_ordered_by_dt(self):
+        for _ in range(1):
+            cd = DataSegment(0.0, 4.0, 2.0, 2.0)
+            ab = DataSegment(3.0, 2.0, 5.0, -4.0)
+            fs = collect_features(Parallelogram.from_segments(cd, ab), 0.3)
+            dts = [p.dt for p in fs.drop_points]
+            assert dts == sorted(dts)
+
+
+def _query_says_hit(fs, kind: str, t_thr: float, v_thr: float) -> bool:
+    """Union of the Section 4.4 point and line predicates over features."""
+    points = fs.drop_points if kind == "drop" else fs.jump_points
+    lines = fs.drop_lines if kind == "drop" else fs.jump_lines
+    if points:
+        dt = np.array([p.dt for p in points])
+        dv = np.array([p.dv for p in points])
+        if point_mask(kind, dt, dv, t_thr, v_thr).any():
+            return True
+    if lines:
+        dt1 = np.array([s.p.dt for s in lines])
+        dv1 = np.array([s.p.dv for s in lines])
+        dt2 = np.array([s.q.dt for s in lines])
+        dv2 = np.array([s.q.dv for s in lines])
+        if line_mask(kind, dt1, dv1, dt2, dv2, t_thr, v_thr).any():
+            return True
+    return False
+
+
+def _razor_edge(fs, kind, t_thr, v_thr, tol=1e-7) -> bool:
+    """Whether the query sits numerically on a decision boundary."""
+    points = fs.drop_points if kind == "drop" else fs.jump_points
+    lines = fs.drop_lines if kind == "drop" else fs.jump_lines
+    for p in points:
+        if abs(p.dt - t_thr) < tol or abs(p.dv - v_thr) < tol:
+            return True
+    for seg in lines:
+        for p in (seg.p, seg.q):
+            if abs(p.dt - t_thr) < tol or abs(p.dv - v_thr) < tol:
+                return True
+        if seg.p.dt <= t_thr <= seg.q.dt and seg.q.dt > seg.p.dt:
+            if abs(seg.value_at(max(seg.p.dt, min(t_thr, seg.q.dt))) - v_thr) < tol:
+                return True
+    return False
+
+
+shifted_eps = st.sampled_from([0.0, 0.25, 0.5, 1.0])
+query_T = st.floats(min_value=0.3, max_value=20.0)
+
+
+class TestQueryEquivalence:
+    """Predicates over collected corners == exact shifted-parallelogram
+    intersection, for all six cases and the self-pair."""
+
+    @given(
+        pair=segment_pairs(),
+        eps=shifted_eps,
+        t_thr=query_T,
+        v_depth=st.floats(min_value=0.05, max_value=15.0),
+    )
+    @settings(max_examples=1000, deadline=None)
+    def test_drop_equivalence(self, pair, eps, t_thr, v_depth):
+        cd, ab = pair
+        v_thr = -(eps + v_depth)  # V < -eps: realistic tolerance regime
+        para = Parallelogram.from_segments(cd, ab)
+        fs = collect_features(para, eps)
+        assume(not _razor_edge(fs, "drop", t_thr, v_thr))
+        region = QueryRegion.drop(t_thr, v_thr)
+        shifted = [(dt, dv - eps) for dt, dv in para.vertices()]
+        oracle = region.intersects_polygon(shifted)
+        assert _query_says_hit(fs, "drop", t_thr, v_thr) == oracle
+
+    @given(
+        pair=segment_pairs(),
+        eps=shifted_eps,
+        t_thr=query_T,
+        v_height=st.floats(min_value=0.05, max_value=15.0),
+    )
+    @settings(max_examples=1000, deadline=None)
+    def test_jump_equivalence(self, pair, eps, t_thr, v_height):
+        cd, ab = pair
+        v_thr = eps + v_height  # V > eps
+        para = Parallelogram.from_segments(cd, ab)
+        fs = collect_features(para, eps)
+        assume(not _razor_edge(fs, "jump", t_thr, v_thr))
+        region = QueryRegion.jump(t_thr, v_thr)
+        shifted = [(dt, dv + eps) for dt, dv in para.vertices()]
+        oracle = region.intersects_polygon(shifted)
+        assert _query_says_hit(fs, "jump", t_thr, v_thr) == oracle
+
+    @given(
+        seg=segment_pairs().map(lambda pr: pr[0]),
+        eps=shifted_eps,
+        t_thr=query_T,
+        v_depth=st.floats(min_value=0.05, max_value=15.0),
+    )
+    @settings(max_examples=500, deadline=None)
+    def test_self_pair_drop_equivalence(self, seg, eps, t_thr, v_depth):
+        v_thr = -(eps + v_depth)
+        para = Parallelogram.self_pair(seg)
+        fs = collect_features(para, eps)
+        assume(not _razor_edge(fs, "drop", t_thr, v_thr))
+        region = QueryRegion.drop(t_thr, v_thr)
+        shifted = [(dt, dv - eps) for dt, dv in para.vertices()]
+        oracle = region.intersects_polygon(shifted)
+        assert _query_says_hit(fs, "drop", t_thr, v_thr) == oracle

@@ -1,0 +1,155 @@
+"""Tests for feature-space primitives: points, segments, regions, clipping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.feature_space import (
+    FeaturePoint,
+    FeatureSegment,
+    QueryRegion,
+    clip_halfplane,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestFeaturePoint:
+    def test_shift(self):
+        p = FeaturePoint(2.0, -1.0)
+        assert p.shifted(-0.5) == FeaturePoint(2.0, -1.5)
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FeaturePoint(-1.0, 0.0)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FeaturePoint(float("inf"), 0.0)
+
+    def test_as_tuple(self):
+        assert FeaturePoint(1.0, 2.0).as_tuple() == (1.0, 2.0)
+
+
+class TestFeatureSegment:
+    def test_ordering_enforced(self):
+        with pytest.raises(InvalidParameterError):
+            FeatureSegment(FeaturePoint(2.0, 0.0), FeaturePoint(1.0, 0.0))
+
+    def test_value_interpolation(self):
+        seg = FeatureSegment(FeaturePoint(0.0, 0.0), FeaturePoint(10.0, -5.0))
+        assert seg.value_at(4.0) == -2.0
+
+    def test_value_outside_span_rejected(self):
+        seg = FeatureSegment(FeaturePoint(1.0, 0.0), FeaturePoint(2.0, 0.0))
+        with pytest.raises(InvalidParameterError):
+            seg.value_at(3.0)
+
+    def test_vertical_segment_value(self):
+        seg = FeatureSegment(FeaturePoint(1.0, -4.0), FeaturePoint(1.0, 2.0))
+        assert seg.value_at(1.0) == -4.0  # lower end by convention
+
+    def test_shift(self):
+        seg = FeatureSegment(FeaturePoint(0.0, 0.0), FeaturePoint(1.0, 1.0))
+        up = seg.shifted(0.5)
+        assert up.p.dv == 0.5 and up.q.dv == 1.5
+
+
+class TestQueryRegion:
+    def test_drop_requires_negative_v(self):
+        with pytest.raises(InvalidParameterError):
+            QueryRegion.drop(10.0, 1.0)
+
+    def test_jump_requires_positive_v(self):
+        with pytest.raises(InvalidParameterError):
+            QueryRegion.jump(10.0, -1.0)
+
+    def test_nonpositive_t_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            QueryRegion.drop(0.0, -1.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            QueryRegion("dip", 1.0, -1.0)
+
+    def test_drop_membership(self):
+        r = QueryRegion.drop(10.0, -3.0)
+        assert r.contains(FeaturePoint(5.0, -3.0))
+        assert r.contains(FeaturePoint(10.0, -4.0))
+        assert not r.contains(FeaturePoint(0.0, -4.0))  # dt must be > 0
+        assert not r.contains(FeaturePoint(11.0, -4.0))
+        assert not r.contains(FeaturePoint(5.0, -2.9))
+
+    def test_jump_membership(self):
+        r = QueryRegion.jump(10.0, 3.0)
+        assert r.contains(FeaturePoint(5.0, 3.0))
+        assert not r.contains(FeaturePoint(5.0, 2.9))
+
+    def test_segment_intersection_endpoint_inside(self):
+        r = QueryRegion.drop(10.0, -3.0)
+        seg = FeatureSegment(FeaturePoint(1.0, -5.0), FeaturePoint(2.0, 0.0))
+        assert r.intersects_segment(seg)
+
+    def test_segment_intersection_crossing(self):
+        r = QueryRegion.drop(10.0, -3.0)
+        # both ends outside: left end above V, right end beyond T but below V
+        seg = FeatureSegment(FeaturePoint(5.0, -1.0), FeaturePoint(15.0, -6.0))
+        assert r.intersects_segment(seg)
+
+    def test_segment_near_miss(self):
+        r = QueryRegion.drop(10.0, -3.0)
+        # crosses V = -3 only after dt = 10
+        seg = FeatureSegment(FeaturePoint(9.0, -1.0), FeaturePoint(11.0, -3.5))
+        assert not r.intersects_segment(seg)
+
+    def test_segment_entirely_at_dt_zero_excluded(self):
+        r = QueryRegion.drop(10.0, -3.0)
+        seg = FeatureSegment(FeaturePoint(0.0, -5.0), FeaturePoint(0.0, -4.0))
+        assert not r.intersects_segment(seg)
+
+
+class TestClipHalfplane:
+    SQUARE = [(0.0, 0.0), (2.0, 0.0), (2.0, 2.0), (0.0, 2.0)]
+
+    def test_no_clip(self):
+        out = clip_halfplane(self.SQUARE, 1.0, 0.0, -1.0, keep_geq=True)
+        assert len(out) == 4
+
+    def test_full_clip(self):
+        out = clip_halfplane(self.SQUARE, 1.0, 0.0, 5.0, keep_geq=True)
+        assert out == []
+
+    def test_half_clip(self):
+        out = clip_halfplane(self.SQUARE, 1.0, 0.0, 1.0, keep_geq=False)
+        xs = [p[0] for p in out]
+        assert max(xs) == pytest.approx(1.0)
+        assert min(xs) == pytest.approx(0.0)
+
+    def test_segment_input(self):
+        seg = [(0.0, 0.0), (2.0, 2.0)]
+        out = clip_halfplane(seg, 1.0, 0.0, 1.0, keep_geq=False)
+        assert (0.0, 0.0) in out
+        assert any(abs(p[0] - 1.0) < 1e-9 for p in out)
+
+    def test_single_point(self):
+        assert clip_halfplane([(1.0, 1.0)], 1.0, 0.0, 0.0, keep_geq=True)
+        assert clip_halfplane([(1.0, 1.0)], 1.0, 0.0, 2.0, keep_geq=True) == []
+
+    def test_empty_input(self):
+        assert clip_halfplane([], 1.0, 0.0, 0.0, keep_geq=True) == []
+
+
+@given(
+    t=st.floats(min_value=0.1, max_value=100),
+    v=st.floats(min_value=-50, max_value=-0.1),
+    dt=st.one_of(st.just(0.0), st.floats(min_value=0.001, max_value=120)),
+    dv=st.floats(min_value=-60, max_value=60),
+)
+def test_point_membership_matches_polygon_clip(t, v, dt, dv):
+    """QueryRegion.contains agrees with clipping a degenerate polygon."""
+    from hypothesis import assume
+
+    # keep away from razor-edge boundaries where float tolerance may flip
+    assume(abs(dt - t) > 1e-6 and abs(dv - v) > 1e-6)
+    region = QueryRegion.drop(t, v)
+    point = FeaturePoint(dt, dv)
+    by_clip = region.intersects_polygon([point.as_tuple()])
+    assert by_clip == region.contains(point)

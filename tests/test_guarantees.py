@@ -1,0 +1,218 @@
+"""Theorem 1 end-to-end: completeness and soundness audits.
+
+These are the most important tests in the suite: they run the full
+pipeline (segmentation → extraction → storage → queries) on adversarial
+series and check the paper's two guarantees against brute-force ground
+truth computed on the Model G signal.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.guarantees import (
+    audit_completeness,
+    audit_soundness,
+    covers,
+    deepest_drop_between,
+    extreme_event_between,
+    highest_jump_between,
+    true_event_witnesses,
+)
+from repro.core.index import SegDiffIndex
+from repro.core.queries import DropQuery, JumpQuery
+from repro.datagen import PiecewiseLinearSignal, TimeSeries, piecewise_series
+from repro.errors import InvalidParameterError
+from repro.types import SegmentPair
+
+HOUR = 3600.0
+
+
+class TestExtremeEventBetween:
+    def test_simple_drop(self):
+        sig = PiecewiseLinearSignal([0.0, 10.0, 20.0], [10.0, 0.0, 10.0])
+        ev = deepest_drop_between(sig, (0.0, 10.0), (0.0, 20.0), t_budget=20.0)
+        assert ev.dv == pytest.approx(-10.0)
+        assert ev.t_first == 0.0
+        assert ev.t_second == 10.0
+
+    def test_budget_limits_depth(self):
+        sig = PiecewiseLinearSignal([0.0, 10.0], [10.0, 0.0])
+        ev = deepest_drop_between(sig, (0.0, 10.0), (0.0, 10.0), t_budget=4.0)
+        assert ev.dv == pytest.approx(-4.0)
+        assert ev.dt == pytest.approx(4.0)
+
+    def test_jump(self):
+        sig = PiecewiseLinearSignal([0.0, 10.0], [0.0, 10.0])
+        ev = highest_jump_between(sig, (0.0, 10.0), (0.0, 10.0), t_budget=3.0)
+        assert ev.dv == pytest.approx(3.0)
+
+    def test_disjoint_interval_gap_exceeds_budget(self):
+        sig = PiecewiseLinearSignal([0.0, 100.0], [0.0, 0.0])
+        assert (
+            extreme_event_between(sig, (0.0, 10.0), (50.0, 60.0), 10.0, True)
+            is None
+        )
+
+    def test_end_before_start_returns_none(self):
+        sig = PiecewiseLinearSignal([0.0, 100.0], [0.0, 0.0])
+        assert (
+            extreme_event_between(sig, (50.0, 60.0), (0.0, 10.0), 100.0, True)
+            is None
+        )
+
+    def test_invalid_budget_rejected(self):
+        sig = PiecewiseLinearSignal([0.0, 1.0], [0.0, 0.0])
+        with pytest.raises(InvalidParameterError):
+            extreme_event_between(sig, (0.0, 1.0), (0.0, 1.0), 0.0, True)
+
+    def test_multi_piece_optimum(self):
+        # peak at t=10 (v=8), valley at t=30 (v=-5): deepest drop -13
+        sig = PiecewiseLinearSignal(
+            [0.0, 10.0, 30.0, 40.0], [0.0, 8.0, -5.0, 0.0]
+        )
+        ev = deepest_drop_between(sig, (0.0, 40.0), (0.0, 40.0), t_budget=40.0)
+        assert ev.dv == pytest.approx(-13.0)
+        assert (ev.t_first, ev.t_second) == (10.0, 30.0)
+
+
+class TestWitnesses:
+    def test_witnesses_satisfy_query(self):
+        sig = PiecewiseLinearSignal(
+            [0.0, 10.0, 30.0, 40.0], [0.0, 8.0, -5.0, 0.0]
+        )
+        q = DropQuery(40.0, -3.0)
+        ws = true_event_witnesses(sig, q)
+        assert ws
+        for ev in ws:
+            assert ev.dv <= -3.0
+            assert 0 < ev.dt <= 40.0
+
+    def test_no_witnesses_when_flat(self):
+        sig = PiecewiseLinearSignal([0.0, 100.0], [5.0, 5.0])
+        assert true_event_witnesses(sig, DropQuery(50.0, -1.0)) == []
+
+    def test_covers(self):
+        pairs = [SegmentPair(0.0, 10.0, 20.0, 30.0)]
+        sig = PiecewiseLinearSignal([0.0, 30.0], [0.0, -30.0])
+        ev = sig.event_between(5.0, 25.0)
+        assert covers(pairs, ev)
+        assert not covers(pairs, sig.event_between(15.0, 25.0))
+
+
+def _audit_series(series: TimeSeries, epsilon: float, queries) -> None:
+    """Build an index and assert Theorem 1 for every query."""
+    window = 8 * HOUR
+    idx = SegDiffIndex.build(series, epsilon, window)
+    signal = PiecewiseLinearSignal.from_series(series)
+    for q in queries:
+        if isinstance(q, DropQuery):
+            pairs = idx.search_drops(q.t_threshold, q.v_threshold)
+        else:
+            pairs = idx.search_jumps(q.t_threshold, q.v_threshold)
+        missed = audit_completeness(pairs, signal, q)
+        assert not missed, f"{q}: missed true events {missed[:3]}"
+        bad = audit_soundness(pairs, signal, q, epsilon)
+        assert not bad, f"{q}: unsound pairs {bad[:3]}"
+
+
+class TestTheorem1EndToEnd:
+    QUERIES = [
+        DropQuery(1 * HOUR, -3.0),
+        DropQuery(2 * HOUR, -1.0),
+        DropQuery(0.5 * HOUR, -5.0),
+        JumpQuery(1 * HOUR, 3.0),
+        JumpQuery(2 * HOUR, 1.0),
+    ]
+
+    @pytest.mark.parametrize("epsilon", [0.0, 0.2, 0.5, 1.5])
+    def test_piecewise_scenario(self, epsilon):
+        series = piecewise_series(
+            [0, 2 * HOUR, 2.2 * HOUR, 3 * HOUR, 4 * HOUR, 4.5 * HOUR, 6 * HOUR],
+            [10.0, 10.0, 4.0, 6.0, 2.0, 11.0, 10.5],
+            dt=300.0,
+        )
+        _audit_series(series, epsilon, self.QUERIES)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("epsilon", [0.2, 1.0])
+    def test_random_walks(self, seed, epsilon):
+        rng = np.random.default_rng(seed)
+        n = 120
+        t = np.cumsum(rng.uniform(120.0, 600.0, size=n))
+        v = np.cumsum(rng.normal(0.0, 1.5, size=n))
+        series = TimeSeries(t, v)
+        _audit_series(series, epsilon, self.QUERIES)
+
+    def test_cad_day(self, cad_day):
+        series, _events = cad_day
+        _audit_series(series, 0.2, [DropQuery(HOUR, -3.0), JumpQuery(HOUR, 3.0)])
+
+    def test_cad_injected_events_found(self, cad_day):
+        """Every injected CAD event deep enough for the query is covered."""
+        series, events = cad_day
+        idx = SegDiffIndex.build(series, 0.2, 8 * HOUR)
+        signal = PiecewiseLinearSignal.from_series(series)
+        pairs = idx.search_drops(HOUR, -3.0)
+        for ev in events:
+            if ev.t_bottom > series.t_end or ev.duration > HOUR:
+                continue
+            if ev.depth < 4.0:  # leave margin for diurnal offset
+                continue
+            witness = deepest_drop_between(
+                signal,
+                (ev.t_onset - 900, ev.t_onset + 900),
+                (ev.t_bottom - 900, ev.t_bottom + 900),
+                HOUR,
+            )
+            if witness is None or witness.dv > -3.0:
+                continue  # the pulse got masked by other components
+            assert covers(pairs, witness)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    epsilon=st.sampled_from([0.0, 0.3, 1.0]),
+    v_thr=st.floats(min_value=-6.0, max_value=-0.5),
+    t_thr_minutes=st.integers(min_value=10, max_value=180),
+)
+@settings(max_examples=40, deadline=None)
+def test_theorem1_property(seed, epsilon, v_thr, t_thr_minutes):
+    """Hypothesis sweep of Theorem 1 over random walks and queries."""
+    rng = np.random.default_rng(seed)
+    n = 60
+    t = np.cumsum(rng.uniform(60.0, 900.0, size=n))
+    v = np.cumsum(rng.normal(0.0, 1.2, size=n))
+    series = TimeSeries(t, v)
+    window = 4 * HOUR
+    t_thr = min(float(t_thr_minutes) * 60.0, window)
+    idx = SegDiffIndex.build(series, epsilon, window)
+    signal = PiecewiseLinearSignal.from_series(series)
+    q = DropQuery(t_thr, v_thr)
+    pairs = idx.search_drops(t_thr, v_thr)
+    assert not audit_completeness(pairs, signal, q)
+    assert not audit_soundness(pairs, signal, q, epsilon)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    epsilon=st.sampled_from([0.0, 0.3, 1.0]),
+    v_thr=st.floats(min_value=0.5, max_value=6.0),
+    t_thr_minutes=st.integers(min_value=10, max_value=180),
+)
+@settings(max_examples=25, deadline=None)
+def test_theorem1_property_jumps(seed, epsilon, v_thr, t_thr_minutes):
+    """The symmetric jump-search guarantee under the same sweep."""
+    rng = np.random.default_rng(seed)
+    n = 60
+    t = np.cumsum(rng.uniform(60.0, 900.0, size=n))
+    v = np.cumsum(rng.normal(0.0, 1.2, size=n))
+    series = TimeSeries(t, v)
+    window = 4 * HOUR
+    t_thr = min(float(t_thr_minutes) * 60.0, window)
+    idx = SegDiffIndex.build(series, epsilon, window)
+    signal = PiecewiseLinearSignal.from_series(series)
+    q = JumpQuery(t_thr, v_thr)
+    pairs = idx.search_jumps(t_thr, v_thr)
+    assert not audit_completeness(pairs, signal, q)
+    assert not audit_soundness(pairs, signal, q, epsilon)

@@ -1,0 +1,152 @@
+"""Tests for the SegDiffIndex API."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import SegDiffIndex
+from repro.datagen import TimeSeries, piecewise_series
+from repro.errors import InvalidParameterError, QueryError, StorageError
+
+HOUR = 3600.0
+
+
+@pytest.fixture
+def drop_series():
+    """Flat at 10, drops to 4 in 10 minutes, flat, recovers."""
+    return piecewise_series(
+        [0.0, 2 * HOUR, 2 * HOUR + 600.0, 4 * HOUR, 5 * HOUR],
+        [10.0, 10.0, 4.0, 4.0, 12.0],
+        dt=300.0,
+    )
+
+
+class TestBuild:
+    def test_build_memory(self, drop_series):
+        idx = SegDiffIndex.build(drop_series, epsilon=0.1, window=8 * HOUR)
+        assert idx.stats().n_observations == len(drop_series)
+        assert idx.stats().n_segments >= 4
+
+    def test_build_sqlite(self, drop_series, tmp_path):
+        idx = SegDiffIndex.build(
+            drop_series, 0.1, 8 * HOUR,
+            backend="sqlite", path=str(tmp_path / "ix.sqlite"),
+        )
+        try:
+            assert idx.search_drops(HOUR, -3.0)
+        finally:
+            idx.close()
+
+    def test_unknown_backend_rejected(self, drop_series):
+        with pytest.raises(InvalidParameterError):
+            SegDiffIndex.build(drop_series, 0.1, HOUR, backend="csv")
+
+    def test_streaming_matches_batch(self, drop_series):
+        batch = SegDiffIndex.build(drop_series, 0.1, 8 * HOUR)
+        stream = SegDiffIndex(0.1, 8 * HOUR)
+        for t, v in zip(drop_series.times, drop_series.values):
+            stream.append(float(t), float(v))
+        stream.finalize()
+        q = (HOUR, -3.0)
+        assert stream.search_drops(*q) == batch.search_drops(*q)
+        assert stream.stats().n_segments == batch.stats().n_segments
+
+    def test_append_after_finalize_rejected(self, drop_series):
+        idx = SegDiffIndex.build(drop_series, 0.1, HOUR)
+        with pytest.raises(StorageError):
+            idx.append(1e9, 0.0)
+
+    def test_checkpoint_makes_searchable_midstream(self, drop_series):
+        idx = SegDiffIndex(0.1, 8 * HOUR)
+        for t, v in zip(drop_series.times, drop_series.values):
+            idx.append(float(t), float(v))
+        idx.checkpoint()
+        hits = idx.search_drops(HOUR, -3.0)
+        assert hits  # drop happened early; visible before finalize
+        idx.finalize()
+        assert len(idx.search_drops(HOUR, -3.0)) >= len(hits)
+
+
+class TestSearch:
+    def test_finds_the_drop(self, drop_series):
+        idx = SegDiffIndex.build(drop_series, 0.1, 8 * HOUR)
+        hits = idx.search_drops(HOUR, -3.0)
+        assert hits
+        # the drop ends at 2h+600s; some hit must cover that moment
+        assert any(p.t_b <= 2 * HOUR + 600.0 <= p.t_a for p in hits)
+
+    def test_finds_the_jump(self, drop_series):
+        idx = SegDiffIndex.build(drop_series, 0.1, 8 * HOUR)
+        hits = idx.search_jumps(2 * HOUR, 5.0)
+        assert hits
+        assert any(p.t_b <= 5 * HOUR <= p.t_a for p in hits)
+
+    def test_no_hits_for_impossible_drop(self, drop_series):
+        idx = SegDiffIndex.build(drop_series, 0.1, 8 * HOUR)
+        assert idx.search_drops(HOUR, -30.0) == []
+
+    def test_t_beyond_window_rejected(self, drop_series):
+        idx = SegDiffIndex.build(drop_series, 0.1, window=HOUR)
+        with pytest.raises(QueryError):
+            idx.search_drops(2 * HOUR, -3.0)
+
+    def test_invalid_thresholds_rejected(self, drop_series):
+        idx = SegDiffIndex.build(drop_series, 0.1, 8 * HOUR)
+        with pytest.raises(InvalidParameterError):
+            idx.search_drops(HOUR, 3.0)
+        with pytest.raises(InvalidParameterError):
+            idx.search_jumps(HOUR, -3.0)
+
+    def test_scan_equals_index_mode(self, drop_series):
+        idx = SegDiffIndex.build(drop_series, 0.1, 8 * HOUR)
+        assert idx.search_drops(HOUR, -3.0, mode="scan") == idx.search_drops(
+            HOUR, -3.0, mode="index"
+        )
+
+    def test_refined_search_ranks_by_severity(self, drop_series):
+        idx = SegDiffIndex.build(drop_series, 0.1, 8 * HOUR)
+        hits = idx.search_drops_refined(HOUR, -3.0, drop_series)
+        assert hits
+        sevs = [h.severity for h in hits]
+        assert sevs == sorted(sevs, reverse=True)
+        assert hits[0].witness.dv <= -3.0
+
+    def test_verified_only_removes_tolerance_fps(self, drop_series):
+        idx = SegDiffIndex.build(drop_series, epsilon=1.0, window=8 * HOUR)
+        all_hits = idx.search_drops_refined(HOUR, -5.9, drop_series)
+        strict = idx.search_drops_refined(
+            HOUR, -5.9, drop_series, verified_only=True
+        )
+        assert len(strict) <= len(all_hits)
+        for h in strict:
+            assert h.witness.dv <= -5.9
+
+
+class TestIntrospection:
+    def test_stats_fields(self, drop_series):
+        idx = SegDiffIndex.build(drop_series, 0.1, 8 * HOUR)
+        st = idx.stats()
+        assert st.epsilon == 0.1
+        assert st.window == 8 * HOUR
+        assert st.compression_rate == pytest.approx(
+            st.n_observations / st.n_segments
+        )
+        assert st.disk_bytes == st.feature_bytes + st.index_bytes
+
+    def test_approximation_respects_tolerance(self, drop_series):
+        eps = 0.5
+        idx = SegDiffIndex.build(drop_series, eps, 8 * HOUR)
+        f = idx.approximation()
+        errors = np.abs(f(drop_series.times) - drop_series.values)
+        assert errors.max() <= eps / 2.0 + 1e-9
+
+    def test_segments_copy_isolated(self, drop_series):
+        idx = SegDiffIndex.build(drop_series, 0.1, 8 * HOUR)
+        segs = idx.segments
+        segs.clear()
+        assert idx.segments  # internal list untouched
+
+    def test_context_manager_closes(self, drop_series):
+        with SegDiffIndex.build(drop_series, 0.1, 8 * HOUR) as idx:
+            assert idx.search_drops(HOUR, -3.0)
+        with pytest.raises(StorageError):
+            idx.search_drops(HOUR, -3.0)

@@ -1,0 +1,144 @@
+"""Cross-cutting integration properties of the whole pipeline.
+
+These complement the Theorem 1 audits in ``test_guarantees.py`` with
+structural invariants: backend equivalence, window semantics, query
+monotonicity, baseline coverage, and streaming growth.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import ExhIndex
+from repro.core.index import SegDiffIndex
+from repro.datagen import TimeSeries
+
+HOUR = 3600.0
+
+
+def make_walk(seed: int, n: int = 80) -> TimeSeries:
+    rng = np.random.default_rng(seed)
+    t = np.cumsum(rng.uniform(120.0, 600.0, size=n))
+    v = np.cumsum(rng.normal(0.0, 1.5, size=n))
+    return TimeSeries(t, v)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    v_thr=st.floats(min_value=-8.0, max_value=-0.5),
+    t_minutes=st.integers(min_value=10, max_value=240),
+)
+@settings(max_examples=25, deadline=None)
+def test_backends_identical_on_random_walks(seed, v_thr, t_minutes):
+    """Memory and SQLite stores return exactly the same pairs."""
+    series = make_walk(seed)
+    t_thr = t_minutes * 60.0
+    mem = SegDiffIndex.build(series, 0.3, 4 * HOUR, backend="memory")
+    sql = SegDiffIndex.build(series, 0.3, 4 * HOUR, backend="sqlite")
+    try:
+        assert mem.search_drops(t_thr, v_thr) == sql.search_drops(t_thr, v_thr)
+        assert mem.search_jumps(t_thr, -v_thr) == sql.search_jumps(
+            t_thr, -v_thr
+        )
+    finally:
+        mem.close()
+        sql.close()
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_no_pair_reaches_back_past_the_window(seed):
+    """Algorithm 1's window: a result's start period begins at most ``w``
+    before its end period begins (t_b - t_d <= w)."""
+    series = make_walk(seed)
+    window = 2 * HOUR
+    idx = SegDiffIndex.build(series, 0.3, window)
+    for pairs in (
+        idx.search_drops(window, -0.5),
+        idx.search_jumps(window, 0.5),
+    ):
+        for p in pairs:
+            assert p.t_b - p.t_d <= window + 1e-6
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    v_shallow=st.floats(min_value=-3.0, max_value=-0.5),
+    extra_depth=st.floats(min_value=0.1, max_value=5.0),
+    t_small=st.integers(min_value=10, max_value=120),
+    t_extra=st.integers(min_value=1, max_value=120),
+)
+@settings(max_examples=25, deadline=None)
+def test_query_monotonicity(seed, v_shallow, extra_depth, t_small, t_extra):
+    """Larger regions can only return more pairs."""
+    series = make_walk(seed, n=60)
+    idx = SegDiffIndex.build(series, 0.3, 4 * HOUR)
+    small = set(
+        p.as_tuple() for p in idx.search_drops(t_small * 60.0, v_shallow - extra_depth)
+    )
+    large = set(
+        p.as_tuple()
+        for p in idx.search_drops((t_small + t_extra) * 60.0, v_shallow)
+    )
+    assert small <= large
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    v_thr=st.floats(min_value=-6.0, max_value=-0.5),
+)
+@settings(max_examples=20, deadline=None)
+def test_segdiff_covers_every_exh_event(seed, v_thr):
+    """Exh's sampled events are true events, so SegDiff must cover each."""
+    series = make_walk(seed, n=60)
+    t_thr = HOUR
+    idx = SegDiffIndex.build(series, 0.3, 4 * HOUR)
+    exh = ExhIndex.build(series, 4 * HOUR)
+    pairs = idx.search_drops(t_thr, v_thr)
+    for ev in exh.search_drops(t_thr, v_thr):
+        covered = any(
+            p.t_d - 1e-9 <= ev.t_first <= p.t_c + 1e-9
+            and p.t_b - 1e-9 <= ev.t_second <= p.t_a + 1e-9
+            for p in pairs
+        )
+        assert covered, f"Exh event {ev} escaped SegDiff"
+
+
+def test_streaming_results_grow_monotonically():
+    """As the stream advances, a fixed query's result set only grows."""
+    series = make_walk(99, n=200)
+    idx = SegDiffIndex(0.3, 4 * HOUR)
+    seen: set = set()
+    chunk = len(series) // 4
+    for i in range(4):
+        lo, hi = i * chunk, min((i + 1) * chunk, len(series))
+        for j in range(lo, hi):
+            obs = series[j]
+            idx.append(obs.t, obs.v)
+        idx.checkpoint()
+        current = {p.as_tuple() for p in idx.search_drops(HOUR, -1.0)}
+        assert seen <= current, "earlier results disappeared mid-stream"
+        seen = current
+    idx.finalize()
+    final = {p.as_tuple() for p in idx.search_drops(HOUR, -1.0)}
+    assert seen <= final
+    idx.close()
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    epsilon=st.sampled_from([0.0, 0.5]),
+)
+@settings(max_examples=15, deadline=None)
+def test_verified_hits_meet_threshold_exactly(seed, epsilon):
+    """rank_hits(verified_only=True) filters to exact-threshold events."""
+    from repro.core.queries import DropQuery
+    from repro.core.results import rank_hits
+
+    series = make_walk(seed, n=60)
+    idx = SegDiffIndex.build(series, epsilon, 4 * HOUR)
+    q = DropQuery(HOUR, -2.0)
+    pairs = idx.search_drops(q.t_threshold, q.v_threshold)
+    for hit in rank_hits(pairs, series, q, verified_only=True):
+        assert hit.witness.dv <= q.v_threshold + 1e-9
+        assert 0 < hit.witness.dt <= q.t_threshold + 1e-9

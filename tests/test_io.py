@@ -1,0 +1,59 @@
+"""Tests for CSV series IO."""
+
+import pytest
+
+from repro.datagen import load_series_csv, random_walk_series, save_series_csv
+from repro.errors import InvalidSeriesError
+
+
+class TestRoundTrip:
+    def test_exact_round_trip(self, tmp_path):
+        series = random_walk_series(100, seed=5)
+        path = tmp_path / "series.csv"
+        save_series_csv(series, path)
+        loaded = load_series_csv(path, name=series.name)
+        assert loaded == series
+
+    def test_load_sets_name(self, tmp_path):
+        series = random_walk_series(3, seed=5)
+        path = tmp_path / "s.csv"
+        save_series_csv(series, path)
+        assert load_series_csv(path, name="abc").name == "abc"
+        assert str(path) in load_series_csv(path).name
+
+
+class TestMalformedInput:
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0,1\n1,2\n")
+        with pytest.raises(InvalidSeriesError, match="header"):
+            load_series_csv(path)
+
+    def test_wrong_field_count(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("t,v\n0,1,2\n")
+        with pytest.raises(InvalidSeriesError, match="2 fields"):
+            load_series_csv(path)
+
+    def test_non_numeric_field(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("t,v\n0,abc\n")
+        with pytest.raises(InvalidSeriesError, match="non-numeric"):
+            load_series_csv(path)
+
+    def test_empty_body(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("t,v\n")
+        with pytest.raises(InvalidSeriesError, match="no observations"):
+            load_series_csv(path)
+
+    def test_error_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("t,v\n0,1\n1,zzz\n")
+        with pytest.raises(InvalidSeriesError, match=":3"):
+            load_series_csv(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "ok.csv"
+        path.write_text("t,v\n0,1\n\n1,2\n")
+        assert len(load_series_csv(path)) == 2

@@ -1,0 +1,71 @@
+"""Tests for segmentation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import TimeSeries
+from repro.errors import InvalidParameterError
+from repro.segmentation import (
+    SlidingWindowSegmenter,
+    compression_rate,
+    max_abs_error,
+    mean_abs_error,
+    verify_tolerance,
+)
+from repro.types import DataSegment
+
+
+@pytest.fixture
+def line_series():
+    return TimeSeries(np.arange(10.0), np.arange(10.0))
+
+
+class TestCompressionRate:
+    def test_single_segment(self, line_series):
+        segs = [DataSegment(0.0, 0.0, 9.0, 9.0)]
+        assert compression_rate(line_series, segs) == 10.0
+
+    def test_no_segments_rejected(self, line_series):
+        with pytest.raises(InvalidParameterError):
+            compression_rate(line_series, [])
+
+    def test_matches_paper_definition(self, walk_series):
+        segs = SlidingWindowSegmenter(0.5).segment(walk_series)
+        assert compression_rate(walk_series, segs) == len(walk_series) / len(segs)
+
+
+class TestErrorMetrics:
+    def test_exact_fit_zero_error(self, line_series):
+        segs = [DataSegment(0.0, 0.0, 9.0, 9.0)]
+        assert max_abs_error(line_series, segs) == 0.0
+        assert mean_abs_error(line_series, segs) == 0.0
+
+    def test_known_deviation(self):
+        series = TimeSeries([0.0, 1.0, 2.0], [0.0, 1.0, 0.0])
+        segs = [DataSegment(0.0, 0.0, 2.0, 0.0)]
+        assert max_abs_error(series, segs) == 1.0
+        assert mean_abs_error(series, segs) == pytest.approx(1.0 / 3.0)
+
+    def test_partial_coverage_rejected(self):
+        series = TimeSeries([0.0, 1.0, 2.0], [0.0, 1.0, 0.0])
+        segs = [DataSegment(0.0, 0.0, 1.0, 1.0)]
+        with pytest.raises(InvalidParameterError, match="cover"):
+            max_abs_error(series, segs)
+
+    def test_non_contiguous_rejected(self):
+        series = TimeSeries([0.0, 1.0, 2.0], [0.0, 1.0, 0.0])
+        segs = [DataSegment(0.0, 0.0, 0.5, 1.0), DataSegment(1.0, 1.0, 2.0, 0.0)]
+        with pytest.raises(Exception):
+            max_abs_error(series, segs)
+
+
+class TestVerifyTolerance:
+    def test_accepts_within(self):
+        series = TimeSeries([0.0, 1.0, 2.0], [0.0, 0.4, 0.0])
+        segs = [DataSegment(0.0, 0.0, 2.0, 0.0)]
+        assert verify_tolerance(series, segs, epsilon=1.0)
+
+    def test_rejects_beyond(self):
+        series = TimeSeries([0.0, 1.0, 2.0], [0.0, 2.0, 0.0])
+        segs = [DataSegment(0.0, 0.0, 2.0, 0.0)]
+        assert not verify_tolerance(series, segs, epsilon=1.0)

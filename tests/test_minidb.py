@@ -1,0 +1,298 @@
+"""Tests for the MiniDB storage engine (pager, heap, B+tree, catalog)."""
+
+import os
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidParameterError, StorageError
+from repro.storage.minidb import (
+    PAGE_SIZE,
+    BPlusTree,
+    HeapFile,
+    MiniDatabase,
+    Pager,
+    RID,
+)
+
+
+@pytest.fixture
+def pager(tmp_path):
+    p = Pager(str(tmp_path / "db.pages"), cache_pages=8)
+    yield p
+    p.close()
+
+
+class TestPager:
+    def test_allocate_and_roundtrip(self, pager):
+        pid = pager.allocate()
+        data = bytes([7]) * PAGE_SIZE
+        pager.write(pid, data)
+        assert pager.read(pid) == data
+
+    def test_wrong_size_write_rejected(self, pager):
+        pid = pager.allocate()
+        with pytest.raises(InvalidParameterError):
+            pager.write(pid, b"short")
+
+    def test_out_of_range_read_rejected(self, pager):
+        with pytest.raises(InvalidParameterError):
+            pager.read(5)
+
+    def test_persistence_across_reopen(self, tmp_path):
+        path = str(tmp_path / "p.pages")
+        p = Pager(path)
+        pids = [p.allocate() for _ in range(5)]
+        for i, pid in enumerate(pids):
+            p.write(pid, bytes([i]) * PAGE_SIZE)
+        p.close()
+        p2 = Pager(path)
+        try:
+            assert p2.n_pages == 5
+            for i, pid in enumerate(pids):
+                assert p2.read(pid) == bytes([i]) * PAGE_SIZE
+        finally:
+            p2.close()
+
+    def test_eviction_writes_back_dirty_pages(self, tmp_path):
+        path = str(tmp_path / "p.pages")
+        p = Pager(path, cache_pages=2)
+        pids = [p.allocate() for _ in range(10)]
+        for i, pid in enumerate(pids):
+            p.write(pid, bytes([i]) * PAGE_SIZE)
+        # most pages were evicted by now; all must read back correctly
+        for i, pid in enumerate(pids):
+            assert p.read(pid)[0] == i
+        p.close()
+
+    def test_cache_counters(self, pager):
+        pid = pager.allocate()
+        pager.write(pid, bytes(PAGE_SIZE))
+        before = pager.stats.snapshot()
+        pager.read(pid)  # hit
+        pager.drop_cache()
+        pager.read(pid)  # miss
+        delta = pager.stats.delta(before)
+        assert delta.hits == 1
+        assert delta.misses == 1
+        assert delta.page_reads == 2
+
+    def test_drop_cache_preserves_data(self, pager):
+        pid = pager.allocate()
+        pager.write(pid, bytes([9]) * PAGE_SIZE)
+        pager.drop_cache()
+        assert pager.read(pid) == bytes([9]) * PAGE_SIZE
+
+    def test_closed_pager_unusable(self, tmp_path):
+        p = Pager(str(tmp_path / "x.pages"))
+        p.close()
+        with pytest.raises(StorageError):
+            p.allocate()
+
+    def test_invalid_cache_size(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            Pager(str(tmp_path / "y.pages"), cache_pages=0)
+
+    def test_non_page_aligned_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.pages"
+        path.write_bytes(b"x" * 100)
+        with pytest.raises(StorageError):
+            Pager(str(path))
+
+
+class TestHeapFile:
+    def test_append_get_roundtrip(self, pager):
+        heap = HeapFile(pager, 3)
+        rid = heap.append((1.0, 2.0, 3.0))
+        assert heap.get(rid) == (1.0, 2.0, 3.0)
+
+    def test_wrong_width_rejected(self, pager):
+        heap = HeapFile(pager, 3)
+        with pytest.raises(InvalidParameterError):
+            heap.append((1.0,))
+
+    def test_invalid_rid_rejected(self, pager):
+        heap = HeapFile(pager, 3)
+        heap.append((1.0, 2.0, 3.0))
+        with pytest.raises(StorageError):
+            heap.get(RID(heap.first_page, 5))
+
+    def test_scan_order_and_page_spill(self, pager):
+        heap = HeapFile(pager, 6)
+        n = heap.rows_per_page * 3 + 5  # force several pages
+        for i in range(n):
+            heap.append((float(i),) * 6)
+        rows = [row for _rid, row in heap.scan()]
+        assert len(rows) == n
+        assert [r[0] for r in rows] == [float(i) for i in range(n)]
+        assert heap.n_pages() == 4
+
+    def test_interleaved_heaps_stay_disjoint(self, pager):
+        """Two heaps sharing one pager must never cross pages (the
+        regression that caught the append-mode file bug)."""
+        h6 = HeapFile(pager, 6)
+        h8 = HeapFile(pager, 8)
+        for i in range(500):
+            h6.append((float(i),) * 6)
+            h8.append((float(-i),) * 8)
+        assert all(r[0] == float(i) for i, (_, r) in enumerate(h6.scan()))
+        assert all(r[0] == float(-i) for i, (_, r) in enumerate(h8.scan()))
+
+
+def tree_with(pager, entries, key_width=2):
+    heap_entries = [
+        (tuple(k), RID(0, i)) for i, k in enumerate(entries)
+    ]
+    tree = BPlusTree(pager, key_width)
+    tree.bulk_load(sorted(heap_entries, key=lambda e: e[0]))
+    return tree
+
+
+class TestBPlusTree:
+    def test_empty_tree(self, pager):
+        tree = BPlusTree(pager, 2)
+        tree.bulk_load([])
+        assert list(tree.scan_from()) == []
+        assert tree.height() == 1
+
+    def test_unsorted_input_rejected(self, pager):
+        tree = BPlusTree(pager, 1)
+        with pytest.raises(InvalidParameterError):
+            tree.bulk_load([((2.0,), RID(0, 0)), ((1.0,), RID(0, 1))])
+
+    def test_unbuilt_tree_rejected(self, pager):
+        tree = BPlusTree(pager, 1)
+        with pytest.raises(StorageError):
+            list(tree.scan_from())
+
+    def test_full_scan_in_order(self, pager):
+        keys = [(float(i), float(-i)) for i in range(1000)]
+        tree = tree_with(pager, keys)
+        got = [k for k, _rid in tree.scan_from()]
+        assert got == sorted(keys)
+        assert tree.height() >= 2  # 1000 entries exceed one leaf
+
+    def test_scan_from_lower_bound(self, pager):
+        keys = [(float(i),) for i in range(500)]
+        tree = tree_with(pager, keys, key_width=1)
+        got = [k[0] for k, _ in tree.scan_from((250.0,))]
+        assert got == [float(i) for i in range(250, 500)]
+
+    def test_scan_leading_upto(self, pager):
+        keys = [(float(i % 50), float(i)) for i in range(600)]
+        tree = tree_with(pager, keys)
+        got = [k for k, _ in tree.scan_leading_upto(10.0)]
+        expected = sorted(k for k in keys if k[0] <= 10.0)
+        assert got == expected
+
+    def test_rids_preserved(self, pager):
+        keys = [(float(i),) for i in range(100)]
+        tree = tree_with(pager, keys, key_width=1)
+        for key, rid in tree.scan_from():
+            assert rid.slot == int(key[0])
+
+    @given(
+        values=st.lists(
+            st.tuples(
+                st.floats(min_value=-100, max_value=100, allow_nan=False),
+                st.floats(min_value=-100, max_value=100, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=400,
+        ),
+        bound=st.floats(min_value=-120, max_value=120, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_leading_scan_matches_filter(self, tmp_path_factory, values, bound):
+        path = str(tmp_path_factory.mktemp("bt") / "t.pages")
+        pager = Pager(path)
+        try:
+            tree = tree_with(pager, values)
+            got = sorted(k for k, _ in tree.scan_leading_upto(bound))
+            expected = sorted(tuple(v) for v in values if v[0] <= bound)
+            assert got == expected
+        finally:
+            pager.close()
+
+
+class TestMiniDatabase:
+    def test_create_insert_scan(self, tmp_path):
+        with MiniDatabase(str(tmp_path / "d.mdb")) as db:
+            t = db.create_table("t", 3)
+            t.insert((1.0, 2.0, 3.0))
+            t.insert((4.0, 5.0, 6.0))
+            assert t.n_rows == 2
+            assert [r for _rid, r in t.scan()] == [
+                (1.0, 2.0, 3.0),
+                (4.0, 5.0, 6.0),
+            ]
+
+    def test_duplicate_table_rejected(self, tmp_path):
+        with MiniDatabase(str(tmp_path / "d.mdb")) as db:
+            db.create_table("t", 2)
+            with pytest.raises(InvalidParameterError):
+                db.create_table("t", 2)
+
+    def test_unknown_table_rejected(self, tmp_path):
+        with MiniDatabase(str(tmp_path / "d.mdb")) as db:
+            with pytest.raises(InvalidParameterError):
+                db.table("nope")
+
+    def test_reopen_recovers_everything(self, tmp_path):
+        path = str(tmp_path / "d.mdb")
+        db = MiniDatabase(path)
+        t = db.create_table("t", 2)
+        for i in range(300):
+            t.insert((float(i), float(-i)))
+        t.create_index("by_key", (0, 1))
+        db.set_meta("epsilon", 0.25)
+        db.close()
+
+        db2 = MiniDatabase(path)
+        try:
+            t2 = db2.table("t")
+            assert t2.n_rows == 300
+            assert db2.get_meta("epsilon") == 0.25
+            keys = [k for k, _ in t2.index_scan_leading("by_key", 10.0)]
+            assert len(keys) == 11
+            rows = [r for _rid, r in t2.scan()]
+            assert rows[0] == (0.0, 0.0) and rows[-1] == (299.0, -299.0)
+        finally:
+            db2.close()
+
+    def test_large_catalog_spans_pages(self, tmp_path):
+        """Many tables force a multi-page catalog blob."""
+        path = str(tmp_path / "big.mdb")
+        db = MiniDatabase(path)
+        for i in range(200):
+            db.create_table(f"table_with_a_rather_long_name_{i:04d}", 2)
+        db.close()
+        db2 = MiniDatabase(path)
+        try:
+            assert len(db2.table_names) == 200
+        finally:
+            db2.close()
+
+    def test_non_minidb_file_rejected(self, tmp_path):
+        path = tmp_path / "x.mdb"
+        path.write_bytes(b"\x01" * PAGE_SIZE)
+        with pytest.raises(StorageError):
+            MiniDatabase(str(path))
+
+    def test_index_requires_valid_columns(self, tmp_path):
+        with MiniDatabase(str(tmp_path / "d.mdb")) as db:
+            t = db.create_table("t", 2)
+            with pytest.raises(InvalidParameterError):
+                t.create_index("i", (5,))
+            with pytest.raises(InvalidParameterError):
+                t.index("missing")
+
+    def test_page_accounting(self, tmp_path):
+        with MiniDatabase(str(tmp_path / "d.mdb")) as db:
+            t = db.create_table("t", 2)
+            for i in range(2000):
+                t.insert((float(i), 0.0))
+            t.create_index("i", (0,))
+            assert t.heap_pages() >= 8
+            assert t.index_pages() >= 2

@@ -1,0 +1,158 @@
+"""Tests for the Data Generating Model G (PiecewiseLinearSignal)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datagen import PiecewiseLinearSignal, TimeSeries
+from repro.errors import InvalidParameterError, InvalidSeriesError
+from repro.types import DataSegment
+
+
+def make_signal():
+    return PiecewiseLinearSignal([0.0, 10.0, 20.0], [0.0, 10.0, 0.0])
+
+
+class TestConstruction:
+    def test_needs_two_breakpoints(self):
+        with pytest.raises(InvalidSeriesError):
+            PiecewiseLinearSignal([0.0], [1.0])
+
+    def test_from_series_matches_samples(self):
+        series = TimeSeries([0.0, 5.0, 7.0], [1.0, -1.0, 3.0])
+        sig = PiecewiseLinearSignal.from_series(series)
+        assert np.allclose(sig(series.times), series.values)
+
+    def test_from_segments_contiguous(self):
+        segs = [DataSegment(0, 0, 1, 5), DataSegment(1, 5, 3, 1)]
+        sig = PiecewiseLinearSignal.from_segments(segs)
+        assert sig(1.0) == 5.0
+        assert sig(3.0) == 1.0
+
+    def test_from_segments_gap_rejected(self):
+        segs = [DataSegment(0, 0, 1, 5), DataSegment(2, 5, 3, 1)]
+        with pytest.raises(InvalidSeriesError):
+            PiecewiseLinearSignal.from_segments(segs)
+
+    def test_from_segments_value_mismatch_rejected(self):
+        segs = [DataSegment(0, 0, 1, 5), DataSegment(1, 4, 3, 1)]
+        with pytest.raises(InvalidSeriesError):
+            PiecewiseLinearSignal.from_segments(segs)
+
+    def test_from_segments_empty_rejected(self):
+        with pytest.raises(InvalidSeriesError):
+            PiecewiseLinearSignal.from_segments([])
+
+
+class TestEvaluation:
+    def test_interpolates_linearly(self):
+        sig = make_signal()
+        assert sig(5.0) == 5.0
+        assert sig(15.0) == 5.0
+
+    def test_exact_at_breakpoints(self):
+        sig = make_signal()
+        assert sig(0.0) == 0.0
+        assert sig(10.0) == 10.0
+        assert sig(20.0) == 0.0
+
+    def test_vectorized_evaluation(self):
+        sig = make_signal()
+        out = sig(np.array([0.0, 5.0, 10.0]))
+        assert np.allclose(out, [0.0, 5.0, 10.0])
+
+    def test_outside_domain_rejected(self):
+        sig = make_signal()
+        with pytest.raises(InvalidParameterError):
+            sig(-0.1)
+        with pytest.raises(InvalidParameterError):
+            sig(20.1)
+
+    def test_event_between(self):
+        sig = make_signal()
+        ev = sig.event_between(5.0, 15.0)
+        assert ev.dt == 10.0
+        assert ev.dv == 0.0
+        ev2 = sig.event_between(10.0, 20.0)
+        assert ev2.dv == -10.0
+
+    def test_event_requires_order(self):
+        with pytest.raises(InvalidParameterError):
+            make_signal().event_between(15.0, 5.0)
+
+
+class TestPieces:
+    def test_pieces_roundtrip(self):
+        sig = make_signal()
+        pieces = list(sig.pieces())
+        assert len(pieces) == 2
+        assert pieces[0] == DataSegment(0.0, 0.0, 10.0, 10.0)
+        assert pieces[1] == DataSegment(10.0, 10.0, 20.0, 0.0)
+
+    def test_pieces_overlapping_selects(self):
+        sig = PiecewiseLinearSignal([0, 1, 2, 3, 4], [0, 1, 0, 1, 0])
+        hits = list(sig.pieces_overlapping(1.5, 2.5))
+        assert [p.t_start for p in hits] == [1.0, 2.0]
+
+    def test_pieces_overlapping_empty_range(self):
+        sig = make_signal()
+        assert list(sig.pieces_overlapping(5.0, 4.0)) == []
+
+
+class TestExtrema:
+    def test_min_max_on_full_domain(self):
+        sig = make_signal()
+        assert sig.min_max_on(0.0, 20.0) == (0.0, 10.0)
+
+    def test_min_max_within_piece(self):
+        sig = make_signal()
+        lo, hi = sig.min_max_on(2.0, 4.0)
+        assert (lo, hi) == (2.0, 4.0)
+
+    def test_min_max_empty_interval_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            make_signal().min_max_on(4.0, 2.0)
+
+    def test_max_abs_error_vs_self_is_zero(self):
+        sig = make_signal()
+        assert sig.max_abs_error_vs(sig) == 0.0
+
+    def test_max_abs_error_vs_shifted(self):
+        a = PiecewiseLinearSignal([0.0, 10.0], [0.0, 0.0])
+        b = PiecewiseLinearSignal([0.0, 10.0], [2.0, 2.0])
+        assert a.max_abs_error_vs(b) == 2.0
+
+    def test_max_abs_error_detects_interior_breakpoint(self):
+        a = PiecewiseLinearSignal([0.0, 10.0], [0.0, 0.0])
+        b = PiecewiseLinearSignal([0.0, 5.0, 10.0], [0.0, 3.0, 0.0])
+        assert a.max_abs_error_vs(b) == 3.0
+
+    def test_non_overlapping_signals_rejected(self):
+        a = PiecewiseLinearSignal([0.0, 1.0], [0.0, 0.0])
+        b = PiecewiseLinearSignal([2.0, 3.0], [0.0, 0.0])
+        with pytest.raises(InvalidParameterError):
+            a.max_abs_error_vs(b)
+
+
+def test_resample_round_trip():
+    sig = make_signal()
+    series = sig.resample([0.0, 2.5, 20.0], name="rs")
+    assert series.name == "rs"
+    assert np.allclose(series.values, [0.0, 2.5, 0.0])
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        min_size=2,
+        max_size=20,
+    ),
+    frac=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_interpolation_stays_within_local_bounds(values, frac):
+    """Model G never exceeds the values of its bracketing samples."""
+    times = list(range(len(values)))
+    sig = PiecewiseLinearSignal(times, values)
+    t = times[0] + frac * (times[-1] - times[0])
+    lo, hi = sig.min_max_on(times[0], times[-1])
+    assert lo - 1e-9 <= sig(t) <= hi + 1e-9

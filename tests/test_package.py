@@ -1,0 +1,76 @@
+"""Public API surface tests: everything advertised is importable and sane."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.core.feature_space",
+            "repro.core.parallelogram",
+            "repro.core.corners",
+            "repro.core.extraction",
+            "repro.core.queries",
+            "repro.core.index",
+            "repro.core.results",
+            "repro.core.reporting",
+            "repro.core.guarantees",
+            "repro.core.planner",
+            "repro.core.tiered",
+            "repro.core.transect",
+            "repro.datagen",
+            "repro.segmentation",
+            "repro.storage",
+            "repro.storage.minidb",
+            "repro.baselines",
+            "repro.workloads",
+            "repro.experiments",
+            "repro.cli",
+        ],
+    )
+    def test_submodules_import(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__doc__, f"{module} must have a module docstring"
+
+    def test_subpackage_all_names_resolve(self):
+        for module_name in (
+            "repro.core",
+            "repro.datagen",
+            "repro.segmentation",
+            "repro.storage",
+            "repro.baselines",
+            "repro.workloads",
+        ):
+            mod = importlib.import_module(module_name)
+            for name in getattr(mod, "__all__", []):
+                assert hasattr(mod, name), f"{module_name}.{name} missing"
+
+    def test_public_classes_documented(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if isinstance(obj, type):
+                assert obj.__doc__, f"repro.{name} lacks a docstring"
+
+    def test_quickstart_snippet_from_readme(self):
+        """The README's quickstart must keep working verbatim."""
+        from repro import SegDiffIndex
+        from repro.datagen import generate_cad_day
+
+        series, _truth = generate_cad_day()
+        index = SegDiffIndex.build(series, epsilon=0.2, window=8 * 3600)
+        pairs = index.search_drops(t_threshold=3600, v_threshold=-3.0)
+        assert isinstance(pairs, list)
+        index.close()

@@ -1,0 +1,194 @@
+"""Tests for the Lemma 3 parallelogram construction and geometry."""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.feature_space import FeaturePoint, QueryRegion
+from repro.core.parallelogram import Parallelogram
+from repro.errors import InvalidParameterError
+from repro.types import DataSegment
+
+coords = st.integers(min_value=-10, max_value=10)
+
+
+@st.composite
+def segment_pairs(draw):
+    """Two ordered data segments with integer endpoints (t_B >= t_C)."""
+    t_d = draw(st.integers(min_value=0, max_value=6))
+    t_c = draw(st.integers(min_value=t_d + 1, max_value=10))
+    t_b = draw(st.integers(min_value=t_c, max_value=14))
+    t_a = draw(st.integers(min_value=t_b + 1, max_value=18))
+    v_d, v_c, v_b, v_a = (draw(coords) for _ in range(4))
+    cd = DataSegment(float(t_d), float(v_d), float(t_c), float(v_c))
+    ab = DataSegment(float(t_b), float(v_b), float(t_a), float(v_a))
+    return cd, ab
+
+
+class TestConstruction:
+    def test_corner_formulas(self):
+        cd = DataSegment(0.0, 5.0, 2.0, 7.0)
+        ab = DataSegment(4.0, 6.0, 7.0, 3.0)
+        p = Parallelogram.from_segments(cd, ab)
+        assert p.bc == FeaturePoint(2.0, -1.0)  # (4-2, 6-7)
+        assert p.bd == FeaturePoint(4.0, 1.0)  # (4-0, 6-5)
+        assert p.ad == FeaturePoint(7.0, -2.0)  # (7-0, 3-5)
+        assert p.ac == FeaturePoint(5.0, -4.0)  # (7-2, 3-7)
+
+    def test_out_of_order_segments_rejected(self):
+        cd = DataSegment(5.0, 0.0, 8.0, 0.0)
+        ab = DataSegment(0.0, 0.0, 2.0, 0.0)
+        with pytest.raises(InvalidParameterError):
+            Parallelogram.from_segments(cd, ab)
+
+    def test_adjacent_segments_allowed(self):
+        cd = DataSegment(0.0, 0.0, 2.0, 1.0)
+        ab = DataSegment(2.0, 1.0, 4.0, 0.0)
+        p = Parallelogram.from_segments(cd, ab)
+        assert p.bc == FeaturePoint(0.0, 0.0)
+
+    def test_self_pair_degenerates(self):
+        seg = DataSegment(0.0, 10.0, 4.0, 2.0)
+        p = Parallelogram.self_pair(seg)
+        assert p.is_self_pair
+        assert p.bc == FeaturePoint(0.0, 0.0)
+        assert p.ad == FeaturePoint(4.0, -8.0)
+        assert len(p.vertices()) == 2
+
+    def test_segment_pair_tuple(self):
+        cd = DataSegment(0.0, 5.0, 2.0, 7.0)
+        ab = DataSegment(4.0, 6.0, 7.0, 3.0)
+        pair = Parallelogram.from_segments(cd, ab).segment_pair()
+        assert pair.as_tuple() == (0.0, 2.0, 4.0, 7.0)
+
+    @given(segment_pairs())
+    def test_is_a_parallelogram(self, pair):
+        """Opposite sides have equal direction vectors (Lemma 3 part 1)."""
+        cd, ab = pair
+        p = Parallelogram.from_segments(cd, ab)
+        bc, bd, ad, ac = p.bc, p.bd, p.ad, p.ac
+        # BC->BD direction equals AC->AD direction (the CD direction)
+        assert bd.dt - bc.dt == pytest.approx(ad.dt - ac.dt)
+        assert bd.dv - bc.dv == pytest.approx(ad.dv - ac.dv)
+        # BC->AC direction equals BD->AD direction (the AB direction)
+        assert ac.dt - bc.dt == pytest.approx(ad.dt - bd.dt)
+        assert ac.dv - bc.dv == pytest.approx(ad.dv - bd.dv)
+        # directions match the data segments
+        assert bd.dt - bc.dt == pytest.approx(cd.duration)
+        assert bd.dv - bc.dv == pytest.approx(cd.rise)
+        assert ac.dt - bc.dt == pytest.approx(ab.duration)
+        assert ac.dv - bc.dv == pytest.approx(ab.rise)
+
+
+class TestLemma3Containment:
+    @given(
+        pair=segment_pairs(),
+        s=st.floats(min_value=0, max_value=1),
+        r=st.floats(min_value=0, max_value=1),
+    )
+    @settings(max_examples=300)
+    def test_cross_segment_features_are_inside(self, pair, s, r):
+        """The feature of any (point on CD, point on AB) pair lies in the
+        parallelogram (Lemma 3 part 2)."""
+        cd, ab = pair
+        p = Parallelogram.from_segments(cd, ab)
+        t1 = cd.t_start + s * cd.duration
+        t2 = ab.t_start + r * ab.duration
+        feature = FeaturePoint(t2 - t1, ab.value_at(t2) - cd.value_at(t1))
+        assert p.contains(feature, tol=1e-6)
+
+    @given(
+        seg=segment_pairs().map(lambda pr: pr[0]),
+        s=st.floats(min_value=0, max_value=1),
+        r=st.floats(min_value=0, max_value=1),
+    )
+    def test_within_segment_features_inside_self_pair(self, seg, s, r):
+        lo, hi = sorted([s, r])
+        p = Parallelogram.self_pair(seg)
+        t1 = seg.t_start + lo * seg.duration
+        t2 = seg.t_start + hi * seg.duration
+        feature = FeaturePoint(t2 - t1, seg.value_at(t2) - seg.value_at(t1))
+        assert p.contains(feature, tol=1e-6)
+
+    def test_point_outside_is_rejected(self):
+        cd = DataSegment(0.0, 0.0, 1.0, 0.0)
+        ab = DataSegment(2.0, 0.0, 3.0, 0.0)
+        p = Parallelogram.from_segments(cd, ab)
+        # parallelogram is the segment dt in [1, 3], dv = 0
+        assert not p.contains(FeaturePoint(2.0, 1.0))
+        assert not p.contains(FeaturePoint(4.0, 0.0))
+        assert p.contains(FeaturePoint(2.0, 0.0))
+
+
+class TestRegionIntersection:
+    def make(self):
+        # CD rises 0->4 over [0,2]; AB falls 6->0 over [4,7]
+        cd = DataSegment(0.0, 0.0, 2.0, 4.0)
+        ab = DataSegment(4.0, 6.0, 7.0, 0.0)
+        return Parallelogram.from_segments(cd, ab)
+
+    def test_intersects_when_corner_inside(self):
+        p = self.make()
+        # corner AC = (5, -4): a drop of 4 over 5 time units
+        assert p.intersects(QueryRegion.drop(5.0, -3.5))
+
+    def test_no_intersection_when_too_deep(self):
+        p = self.make()
+        assert not p.intersects(QueryRegion.drop(10.0, -7.0))
+
+    def test_no_intersection_when_too_fast(self):
+        p = self.make()
+        # any drop needs at least some time: BC=(2,2), deepest at AC=(5,-4);
+        # with T=2 the reachable dv minimum is at dt=2 on edge (BC..), all >= 0
+        assert not p.intersects(QueryRegion.drop(2.0, -1.0))
+
+
+class TestExtremes:
+    def test_min_dv_within_budget(self):
+        cd = DataSegment(0.0, 0.0, 2.0, 4.0)
+        ab = DataSegment(4.0, 6.0, 7.0, 0.0)
+        p = Parallelogram.from_segments(cd, ab)
+        # unconstrained minimum is corner AC = (5, -4)
+        assert p.min_dv_within(10.0) == pytest.approx(-4.0)
+        # at T=3.5 the best is on the lower-left edge between BC(2,2) and AC(5,-4)
+        assert p.min_dv_within(3.5) == pytest.approx(2.0 + (3.5 - 2.0) * (-6.0 / 3.0))
+
+    def test_max_dv_within_budget(self):
+        cd = DataSegment(0.0, 4.0, 2.0, 0.0)
+        ab = DataSegment(4.0, 0.0, 7.0, 6.0)
+        p = Parallelogram.from_segments(cd, ab)
+        # highest jump: AB's top (6 at t=7) minus CD's bottom (0 at t=2),
+        # i.e. corner AC = (5, 6)
+        assert p.max_dv_within(10.0) == pytest.approx(6.0)
+
+    def test_budget_before_parallelogram_returns_none(self):
+        cd = DataSegment(0.0, 0.0, 2.0, 0.0)
+        ab = DataSegment(5.0, 0.0, 7.0, 0.0)
+        p = Parallelogram.from_segments(cd, ab)
+        assert p.min_dv_within(2.0) is None  # min dt of pairs is 3
+
+    def test_nonpositive_budget_rejected(self):
+        p = Parallelogram.self_pair(DataSegment(0.0, 0.0, 1.0, 1.0))
+        with pytest.raises(InvalidParameterError):
+            p.min_dv_within(0.0)
+
+    @given(pair=segment_pairs(), budget=st.integers(min_value=1, max_value=25))
+    @settings(max_examples=200)
+    def test_extremes_bound_sampled_features(self, pair, budget):
+        """Every achievable feature within the budget lies between the
+        reported min and max."""
+        cd, ab = pair
+        p = Parallelogram.from_segments(cd, ab)
+        lo = p.min_dv_within(float(budget))
+        hi = p.max_dv_within(float(budget))
+        found_any = False
+        for s in (0.0, 0.25, 0.5, 0.75, 1.0):
+            for r in (0.0, 0.25, 0.5, 0.75, 1.0):
+                t1 = cd.t_start + s * cd.duration
+                t2 = ab.t_start + r * ab.duration
+                if t2 - t1 > budget or t2 <= t1:
+                    continue
+                found_any = True
+                dv = ab.value_at(t2) - cd.value_at(t1)
+                assert lo - 1e-6 <= dv <= hi + 1e-6
+        if found_any:
+            assert lo is not None and hi is not None

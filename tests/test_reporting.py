@@ -1,0 +1,110 @@
+"""Tests for result summaries."""
+
+import pytest
+
+from repro.core.reporting import HitSummary, render_summary, summarize_hits
+from repro.core.results import SearchHit
+from repro.errors import InvalidParameterError
+from repro.types import Event, SegmentPair
+
+HOUR = 3600.0
+DAY = 86400.0
+
+
+def hit(day: int, hour: float, depth: float, minutes: float) -> SearchHit:
+    end = day * DAY + hour * HOUR
+    start = end - minutes * 60.0
+    return SearchHit(
+        SegmentPair(start - 600, start, end - 300, end + 300),
+        Event(start, end, -depth),
+    )
+
+
+@pytest.fixture
+def hits():
+    return [
+        hit(0, 3.0, 4.0, 40.0),
+        hit(0, 4.0, 3.2, 30.0),
+        hit(1, 3.5, 6.0, 55.0),
+        hit(2, 3.2, 3.0, 25.0),
+        hit(2, 3.8, 5.0, 45.0),
+        hit(2, 15.0, 3.5, 20.0),  # an afternoon outlier
+        SearchHit(SegmentPair(0, 1, 2, 3), None),  # unwitnessed
+    ]
+
+
+class TestSummarize:
+    def test_counts(self, hits):
+        s = summarize_hits(hits)
+        assert s.n_hits == 7
+        assert s.n_witnessed == 6
+
+    def test_per_day(self, hits):
+        s = summarize_hits(hits)
+        assert s.events_per_day == {0: 2, 1: 1, 2: 3}
+        assert s.busiest_day == 2
+
+    def test_peak_hour_is_early_morning(self, hits):
+        s = summarize_hits(hits)
+        assert s.peak_hour == 3
+        assert s.events_per_hour_of_day[3] == 4
+
+    def test_depth_stats(self, hits):
+        s = summarize_hits(hits)
+        assert s.deepest == 6.0
+        q25, q50, q75 = s.depth_quantiles
+        assert q25 <= q50 <= q75
+        assert 3.0 <= q50 <= 6.0
+
+    def test_duration_stats(self, hits):
+        s = summarize_hits(hits)
+        assert s.longest == 55.0 * 60.0
+
+    def test_empty(self):
+        s = summarize_hits([])
+        assert s.n_hits == 0
+        assert s.busiest_day == -1
+        assert s.peak_hour == -1
+
+    def test_all_unwitnessed(self):
+        s = summarize_hits([SearchHit(SegmentPair(0, 1, 2, 3), None)])
+        assert s.n_hits == 1
+        assert s.n_witnessed == 0
+
+
+class TestRender:
+    def test_report_contents(self, hits):
+        text = render_summary(summarize_hits(hits))
+        assert "6 with witnessed events" in text
+        assert "deepest 6.00" in text
+        assert "peak hour: 03:00" in text
+        assert "03h    4" in text
+
+    def test_empty_report(self):
+        text = render_summary(summarize_hits([]))
+        assert "0 with witnessed events" in text
+
+    def test_bar_width_validation(self, hits):
+        with pytest.raises(InvalidParameterError):
+            render_summary(summarize_hits(hits), bar_width=0)
+
+    def test_histogram_covers_24_hours(self, hits):
+        text = render_summary(summarize_hits(hits))
+        for hour in range(24):
+            assert f"{hour:02d}h" in text
+
+
+class TestEndToEnd:
+    def test_summary_of_real_search(self, cad_week):
+        from repro.core.index import SegDiffIndex
+        from repro.core.queries import DropQuery
+        from repro.core.results import rank_hits
+
+        index = SegDiffIndex.build(cad_week, 0.2, 8 * HOUR)
+        pairs = index.search_drops(HOUR, -3.0)
+        hits = rank_hits(pairs, cad_week, DropQuery(HOUR, -3.0))
+        summary = summarize_hits(hits)
+        assert summary.n_witnessed > 0
+        # CAD events end in the early morning (onset 2-5 am + <=1 h drop)
+        assert 0 <= summary.peak_hour <= 9
+        index.close()

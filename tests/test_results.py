@@ -1,0 +1,85 @@
+"""Tests for result refinement (witness events, ranking)."""
+
+import pytest
+
+from repro.core.queries import DropQuery, JumpQuery
+from repro.core.results import SearchHit, rank_hits, witness_event
+from repro.datagen import PiecewiseLinearSignal, piecewise_series
+from repro.types import Event, SegmentPair
+
+HOUR = 3600.0
+
+
+@pytest.fixture
+def series():
+    return piecewise_series(
+        [0.0, HOUR, HOUR + 600.0, 2 * HOUR, 3 * HOUR],
+        [10.0, 10.0, 3.0, 3.0, 11.0],
+        dt=300.0,
+    )
+
+
+class TestWitnessEvent:
+    def test_locates_the_drop(self, series):
+        pair = SegmentPair(0.0, HOUR, HOUR, HOUR + 600.0)
+        ev = witness_event(pair, series, DropQuery(HOUR, -3.0))
+        assert ev is not None
+        assert ev.dv == pytest.approx(-7.0)
+        assert HOUR - 1e-6 <= ev.t_first <= HOUR + 1e-6 or ev.t_first < HOUR
+
+    def test_respects_t_budget(self, series):
+        pair = SegmentPair(0.0, HOUR, HOUR, HOUR + 600.0)
+        ev = witness_event(pair, series, DropQuery(300.0, -1.0))
+        assert ev.dt <= 300.0 + 1e-6
+        # in 300s the signal can only fall half the 600-second ramp
+        assert ev.dv == pytest.approx(-3.5)
+
+    def test_jump_witness(self, series):
+        pair = SegmentPair(HOUR, 2 * HOUR, 2 * HOUR, 3 * HOUR)
+        ev = witness_event(pair, series, JumpQuery(HOUR, 3.0))
+        assert ev.dv > 0
+
+    def test_accepts_signal_input(self, series):
+        sig = PiecewiseLinearSignal.from_series(series)
+        pair = SegmentPair(0.0, HOUR, HOUR, HOUR + 600.0)
+        a = witness_event(pair, series, DropQuery(HOUR, -3.0))
+        b = witness_event(pair, sig, DropQuery(HOUR, -3.0))
+        assert a == b
+
+    def test_pair_outside_data_returns_none(self, series):
+        pair = SegmentPair(10 * HOUR, 11 * HOUR, 11 * HOUR, 12 * HOUR)
+        assert witness_event(pair, series, DropQuery(HOUR, -3.0)) is None
+
+
+class TestRankHits:
+    def make_pairs(self):
+        return [
+            SegmentPair(0.0, HOUR, HOUR, HOUR + 600.0),  # the real drop
+            SegmentPair(HOUR + 600.0, 2 * HOUR, HOUR + 600.0, 2 * HOUR),  # flat
+        ]
+
+    def test_sorted_by_severity(self, series):
+        hits = rank_hits(self.make_pairs(), series, DropQuery(HOUR, -3.0))
+        assert len(hits) == 2
+        assert hits[0].severity >= hits[1].severity
+        assert hits[0].pair == self.make_pairs()[0]
+
+    def test_verified_only_filters(self, series):
+        hits = rank_hits(
+            self.make_pairs(), series, DropQuery(HOUR, -3.0), verified_only=True
+        )
+        assert len(hits) == 1
+        assert hits[0].witness.dv <= -3.0
+
+    def test_empty_input(self, series):
+        assert rank_hits([], series, DropQuery(HOUR, -3.0)) == []
+
+
+class TestSearchHit:
+    def test_severity_without_witness(self):
+        hit = SearchHit(SegmentPair(0, 1, 1, 2), None)
+        assert hit.severity == 0.0
+
+    def test_severity_magnitude(self):
+        hit = SearchHit(SegmentPair(0, 1, 1, 2), Event(0.0, 1.0, -4.5))
+        assert hit.severity == 4.5

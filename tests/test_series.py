@@ -1,0 +1,143 @@
+"""Unit and property tests for the TimeSeries container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datagen import TimeSeries
+from repro.errors import InvalidSeriesError
+from repro.types import Observation
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = TimeSeries([0.0, 1.0, 2.0], [5.0, 6.0, 7.0], name="x")
+        assert len(s) == 3
+        assert s.name == "x"
+        assert s.t_start == 0.0
+        assert s.t_end == 2.0
+        assert s.duration == 2.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InvalidSeriesError):
+            TimeSeries([0.0, 1.0], [5.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidSeriesError):
+            TimeSeries([], [])
+
+    def test_non_monotonic_rejected(self):
+        with pytest.raises(InvalidSeriesError):
+            TimeSeries([0.0, 2.0, 1.0], [1.0, 2.0, 3.0])
+
+    def test_duplicate_timestamps_rejected(self):
+        with pytest.raises(InvalidSeriesError):
+            TimeSeries([0.0, 1.0, 1.0], [1.0, 2.0, 3.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(InvalidSeriesError):
+            TimeSeries([0.0, 1.0], [1.0, float("nan")])
+
+    def test_2d_rejected(self):
+        with pytest.raises(InvalidSeriesError):
+            TimeSeries([[0.0, 1.0]], [[1.0, 2.0]])
+
+    def test_arrays_are_read_only(self):
+        s = TimeSeries([0.0, 1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            s.times[0] = 99.0
+        with pytest.raises(ValueError):
+            s.values[0] = 99.0
+
+    def test_input_arrays_not_aliased(self):
+        t = np.array([0.0, 1.0])
+        v = np.array([1.0, 2.0])
+        s = TimeSeries(t, v)
+        t[0] = 42.0
+        assert s.times[0] == 0.0
+
+
+class TestProtocol:
+    def test_iteration_yields_observations(self):
+        s = TimeSeries([0.0, 1.0], [5.0, 6.0])
+        obs = list(s)
+        assert obs == [Observation(0.0, 5.0), Observation(1.0, 6.0)]
+
+    def test_indexing(self):
+        s = TimeSeries([0.0, 1.0], [5.0, 6.0])
+        assert s[1] == Observation(1.0, 6.0)
+
+    def test_equality_by_content(self):
+        a = TimeSeries([0.0, 1.0], [5.0, 6.0])
+        b = TimeSeries([0.0, 1.0], [5.0, 6.0])
+        c = TimeSeries([0.0, 1.0], [5.0, 7.0])
+        assert a == b
+        assert a != c
+
+    def test_repr_contains_name_and_length(self):
+        s = TimeSeries([0.0, 1.0], [5.0, 6.0], name="s1")
+        assert "s1" in repr(s)
+        assert "n=2" in repr(s)
+
+
+class TestDerivedSeries:
+    def test_slice_time(self):
+        s = TimeSeries([0.0, 1.0, 2.0, 3.0], [1.0, 2.0, 3.0, 4.0])
+        sub = s.slice_time(1.0, 2.0)
+        assert list(sub.times) == [1.0, 2.0]
+
+    def test_slice_time_empty_raises(self):
+        s = TimeSeries([0.0, 1.0], [1.0, 2.0])
+        with pytest.raises(InvalidSeriesError):
+            s.slice_time(5.0, 6.0)
+
+    def test_head(self):
+        s = TimeSeries([0.0, 1.0, 2.0], [1.0, 2.0, 3.0])
+        assert len(s.head(2)) == 2
+        with pytest.raises(InvalidSeriesError):
+            s.head(0)
+
+    def test_with_values(self):
+        s = TimeSeries([0.0, 1.0], [1.0, 2.0])
+        s2 = s.with_values([9.0, 8.0])
+        assert list(s2.values) == [9.0, 8.0]
+        assert np.array_equal(s2.times, s.times)
+
+    def test_shift_time(self):
+        s = TimeSeries([0.0, 1.0], [1.0, 2.0])
+        assert s.shift_time(10.0).t_start == 10.0
+
+    def test_concat(self):
+        a = TimeSeries([0.0, 1.0], [1.0, 2.0])
+        b = TimeSeries([2.0, 3.0], [3.0, 4.0])
+        assert len(a.concat(b)) == 4
+
+    def test_concat_overlapping_rejected(self):
+        a = TimeSeries([0.0, 2.0], [1.0, 2.0])
+        b = TimeSeries([1.0, 3.0], [3.0, 4.0])
+        with pytest.raises(InvalidSeriesError):
+            a.concat(b)
+
+    def test_from_observations(self):
+        s = TimeSeries.from_observations([(0.0, 1.0), (1.0, 2.0)])
+        assert len(s) == 2
+        with pytest.raises(InvalidSeriesError):
+            TimeSeries.from_observations([])
+
+    def test_sampling_interval_median(self):
+        s = TimeSeries([0.0, 10.0, 20.0, 25.0], [0, 0, 0, 0])
+        assert s.sampling_interval() == 10.0
+        assert TimeSeries([0.0], [0.0]).sampling_interval() == 0.0
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_series_accepts_any_finite_values(values):
+    s = TimeSeries(list(range(len(values))), values)
+    assert len(s) == len(values)
+    assert list(s.values) == [float(v) for v in values]

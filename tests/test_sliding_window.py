@@ -1,0 +1,198 @@
+"""Tests for the online sliding-window segmenter.
+
+Includes a quadratic reference implementation (re-scan the window on
+every extension, exactly as Keogh et al. describe it) and property tests
+asserting the O(1)-per-point slope-funnel version produces identical
+segments and respects the Definition 2 / Lemma 1 error bound.
+"""
+
+from typing import List
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datagen import PiecewiseLinearSignal, TimeSeries, piecewise_series
+from repro.errors import InvalidSeriesError
+from repro.segmentation import (
+    SlidingWindowSegmenter,
+    compression_rate,
+    max_abs_error,
+    verify_tolerance,
+)
+from repro.types import DataSegment
+
+
+def reference_sliding_window(series: TimeSeries, epsilon: float):
+    """Quadratic re-scan version of the same algorithm (test oracle).
+
+    Also returns the smallest decision margin ``| |chord - v| - eps/2 |``
+    encountered: when it is at float-rounding scale, the accept/reject
+    choice is arithmetically ambiguous and an O(1) reformulation may
+    legitimately decide differently, so equivalence tests skip such
+    inputs.
+    """
+    t, v = series.times, series.values
+    max_err = epsilon / 2.0
+    segments = []
+    min_margin = float("inf")
+    anchor = 0
+    end = 1
+    i = 2
+    while i < len(t):
+        # try to extend the segment to point i
+        slope = (v[i] - v[anchor]) / (t[i] - t[anchor])
+        ok = True
+        for j in range(anchor + 1, i):
+            chord = v[anchor] + slope * (t[j] - t[anchor])
+            deviation = abs(chord - v[j])
+            min_margin = min(min_margin, abs(deviation - max_err))
+            if deviation > max_err:
+                ok = False
+                break
+        if ok:
+            end = i
+        else:
+            segments.append(
+                DataSegment(t[anchor], v[anchor], t[end], v[end])
+            )
+            anchor = end
+            end = i
+        i += 1
+    segments.append(DataSegment(t[anchor], v[anchor], t[end], v[end]))
+    return segments, min_margin
+
+
+finite_vals = st.floats(min_value=-1000, max_value=1000, allow_nan=False)
+
+
+class TestBasics:
+    def test_straight_line_one_segment(self):
+        s = TimeSeries(np.arange(10.0), 2.0 * np.arange(10.0))
+        segs = SlidingWindowSegmenter(0.1).segment(s)
+        assert len(segs) == 1
+        assert segs[0].t_start == 0.0 and segs[0].t_end == 9.0
+
+    def test_two_point_series(self):
+        s = TimeSeries([0.0, 1.0], [0.0, 5.0])
+        segs = SlidingWindowSegmenter(0.5).segment(s)
+        assert segs == [DataSegment(0.0, 0.0, 1.0, 5.0)]
+
+    def test_single_point_rejected(self):
+        with pytest.raises(InvalidSeriesError):
+            SlidingWindowSegmenter(0.5).segment(TimeSeries([0.0], [0.0]))
+
+    def test_v_shape_two_segments(self):
+        s = piecewise_series([0.0, 500.0, 1000.0], [0.0, -10.0, 0.0], dt=100.0)
+        segs = SlidingWindowSegmenter(0.01).segment(s)
+        assert len(segs) == 2
+        assert segs[0].t_end == 500.0
+
+    def test_zero_epsilon_recovers_breakpoints(self):
+        s = piecewise_series(
+            [0.0, 300.0, 600.0, 1200.0], [0.0, 3.0, -2.0, -2.0], dt=100.0
+        )
+        segs = SlidingWindowSegmenter(0.0).segment(s)
+        boundaries = {g.t_start for g in segs} | {segs[-1].t_end}
+        assert {0.0, 300.0, 600.0, 1200.0} <= boundaries
+
+    def test_segments_are_contiguous_and_interpolating(self):
+        s = TimeSeries(np.arange(50.0), np.sin(np.arange(50.0)))
+        segs = SlidingWindowSegmenter(0.3).segment(s)
+        for a, b in zip(segs, segs[1:]):
+            assert a.t_end == b.t_start
+            assert a.v_end == b.v_start
+        # endpoints are actual samples
+        sample_map = dict(zip(s.times, s.values))
+        for seg in segs:
+            assert sample_map[seg.t_start] == seg.v_start
+            assert sample_map[seg.t_end] == seg.v_end
+
+    def test_larger_epsilon_never_more_segments(self):
+        s = TimeSeries(np.arange(200.0), np.sin(np.arange(200.0) / 3.0) * 5)
+        counts = [
+            len(SlidingWindowSegmenter(eps).segment(s))
+            for eps in (0.1, 0.5, 1.0, 2.0)
+        ]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestStreaming:
+    def test_push_finish_equals_batch(self):
+        s = TimeSeries(np.arange(100.0), np.cumsum(np.sin(np.arange(100.0))))
+        batch = SlidingWindowSegmenter(0.4).segment(s)
+        stream = SlidingWindowSegmenter(0.4)
+        out = []
+        for t, v in zip(s.times, s.values):
+            out.extend(stream.push(float(t), float(v)))
+        out.extend(stream.finish())
+        assert out == batch
+
+    def test_non_increasing_time_rejected(self):
+        seg = SlidingWindowSegmenter(0.1)
+        seg.push(0.0, 0.0)
+        seg.push(1.0, 0.0)
+        with pytest.raises(InvalidSeriesError):
+            seg.push(1.0, 5.0)
+
+    def test_finish_resets_state(self):
+        seg = SlidingWindowSegmenter(0.1)
+        seg.push(0.0, 0.0)
+        seg.push(1.0, 1.0)
+        assert len(seg.finish()) == 1
+        assert seg.finish() == []  # nothing pending after reset
+
+
+class TestErrorBound:
+    @pytest.mark.parametrize("epsilon", [0.0, 0.1, 0.5, 2.0])
+    def test_definition2_error_bound(self, epsilon, walk_series):
+        segs = SlidingWindowSegmenter(epsilon).segment(walk_series)
+        assert verify_tolerance(walk_series, segs, epsilon)
+
+    def test_lemma1_holds_between_samples(self, walk_series):
+        """|f(t) - G(t)| <= eps/2 at non-sampled times too (Lemma 1)."""
+        epsilon = 1.0
+        segs = SlidingWindowSegmenter(epsilon).segment(walk_series)
+        f = PiecewiseLinearSignal.from_segments(segs)
+        g = PiecewiseLinearSignal.from_series(walk_series)
+        assert f.max_abs_error_vs(g) <= epsilon / 2.0 + 1e-9
+
+
+class TestFunnelMatchesReference:
+    @given(
+        values=st.lists(finite_vals, min_size=2, max_size=60),
+        epsilon=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_equivalent_to_quadratic_rescan(self, values, epsilon):
+        from hypothesis import assume
+
+        series = TimeSeries(np.arange(len(values), dtype=float), values)
+        fast = SlidingWindowSegmenter(epsilon).segment(series)
+        slow, margin = reference_sliding_window(series, epsilon)
+        # skip arithmetically ambiguous inputs (decision exactly on the
+        # eps/2 boundary, where rounding order legitimately differs)
+        assume(margin > 1e-7)
+        assert fast == slow
+
+    @given(
+        values=st.lists(finite_vals, min_size=2, max_size=80),
+        epsilon=st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_error_bound_property(self, values, epsilon):
+        series = TimeSeries(np.arange(len(values), dtype=float), values)
+        segs = SlidingWindowSegmenter(epsilon).segment(series)
+        assert max_abs_error(series, segs) <= epsilon / 2.0 + 1e-6
+
+    @given(
+        values=st.lists(finite_vals, min_size=2, max_size=80),
+        epsilon=st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_segments_partition_series(self, values, epsilon):
+        series = TimeSeries(np.arange(len(values), dtype=float), values)
+        segs = SlidingWindowSegmenter(epsilon).segment(series)
+        assert segs[0].t_start == series.t_start
+        assert segs[-1].t_end == series.t_end
+        assert compression_rate(series, segs) >= 1.0

@@ -1,0 +1,96 @@
+"""Tests for the robust smoothing preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import TimeSeries, robust_loess, moving_average, sinusoid_series
+from repro.errors import InvalidParameterError
+
+
+def spiked_line(n=60, spike_at=30, spike=15.0):
+    t = np.arange(n, dtype=float)
+    v = 0.5 * t  # clean line
+    v[spike_at] += spike
+    return TimeSeries(t, v), 0.5 * t
+
+
+class TestRobustLoess:
+    def test_removes_isolated_spike(self):
+        series, clean = spiked_line()
+        smoothed = robust_loess(series, span=7, iterations=2)
+        residual = np.abs(smoothed.values - clean)
+        assert residual.max() < 0.5, "spike should be rejected by bisquare"
+
+    def test_plain_loess_keeps_spike_influence(self):
+        """Without robust iterations the spike leaks into the fit."""
+        series, clean = spiked_line()
+        plain = robust_loess(series, span=7, iterations=0)
+        robust = robust_loess(series, span=7, iterations=2)
+        leak_plain = np.abs(plain.values - clean).max()
+        leak_robust = np.abs(robust.values - clean).max()
+        assert leak_plain > leak_robust
+
+    def test_preserves_genuine_sharp_drop(self):
+        """A multi-sample CAD-like drop must survive smoothing."""
+        t = np.arange(100, dtype=float)
+        v = np.where(t < 50, 10.0, 2.0)  # sustained 8-degree drop
+        series = TimeSeries(t, v)
+        smoothed = robust_loess(series, span=7, iterations=2)
+        assert smoothed.values[:45].mean() > 9.0
+        assert smoothed.values[55:].mean() < 3.0
+
+    def test_exact_on_straight_line(self):
+        t = np.arange(30, dtype=float)
+        series = TimeSeries(t, 2.0 * t + 1.0)
+        smoothed = robust_loess(series, span=7)
+        assert np.allclose(smoothed.values, series.values, atol=1e-8)
+
+    def test_short_series_global_fit(self):
+        series = TimeSeries([0.0, 1.0, 2.0], [0.0, 1.0, 2.0])
+        smoothed = robust_loess(series, span=9)
+        assert np.allclose(smoothed.values, series.values, atol=1e-8)
+
+    def test_reduces_noise_variance(self):
+        noisy = sinusoid_series(300, noise_std=0.5, seed=2)
+        clean = sinusoid_series(300, noise_std=0.0)
+        smoothed = robust_loess(noisy, span=9, iterations=1)
+        err_before = np.std(noisy.values - clean.values)
+        err_after = np.std(smoothed.values - clean.values)
+        assert err_after < err_before
+
+    @pytest.mark.parametrize("kwargs", [
+        {"span": 2},
+        {"span": 8},
+        {"iterations": -1},
+    ])
+    def test_invalid_params_rejected(self, kwargs):
+        series = TimeSeries(np.arange(20.0), np.zeros(20))
+        with pytest.raises(InvalidParameterError):
+            robust_loess(series, **kwargs)
+
+    def test_keeps_timestamps(self):
+        series = sinusoid_series(50, noise_std=0.1, seed=1)
+        smoothed = robust_loess(series)
+        assert np.array_equal(smoothed.times, series.times)
+
+
+class TestMovingAverage:
+    def test_flattens_noise(self):
+        noisy = sinusoid_series(200, noise_std=0.5, seed=4)
+        clean = sinusoid_series(200, noise_std=0.0)
+        smoothed = moving_average(noisy, window=5)
+        assert np.std(smoothed.values - clean.values) < np.std(
+            noisy.values - clean.values
+        )
+
+    def test_identity_window_one(self):
+        s = sinusoid_series(20)
+        assert moving_average(s, window=1) == s
+
+    def test_even_window_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            moving_average(sinusoid_series(20), window=4)
+
+    def test_nonpositive_window_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            moving_average(sinusoid_series(20), window=0)

@@ -1,0 +1,70 @@
+"""Tests for the generic synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import piecewise_series, random_walk_series, sinusoid_series
+from repro.errors import InvalidParameterError
+
+
+class TestRandomWalk:
+    def test_shape_and_cadence(self):
+        s = random_walk_series(100, dt=60.0, seed=1)
+        assert len(s) == 100
+        assert np.allclose(np.diff(s.times), 60.0)
+
+    def test_seed_reproducible(self):
+        assert random_walk_series(50, seed=3) == random_walk_series(50, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert random_walk_series(50, seed=3) != random_walk_series(50, seed=4)
+
+    def test_starts_at_zero(self):
+        s = random_walk_series(10, seed=5)
+        assert s.values[0] == 0.0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            random_walk_series(0)
+        with pytest.raises(InvalidParameterError):
+            random_walk_series(10, dt=0.0)
+
+
+class TestSinusoid:
+    def test_noise_free_matches_formula(self):
+        s = sinusoid_series(10, dt=100.0, period=1000.0, amplitude=2.0, mean=5.0)
+        expected = 5.0 + 2.0 * np.sin(2 * np.pi * s.times / 1000.0)
+        assert np.allclose(s.values, expected)
+
+    def test_noise_is_seeded(self):
+        a = sinusoid_series(50, noise_std=0.5, seed=7)
+        b = sinusoid_series(50, noise_std=0.5, seed=7)
+        assert a == b
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            sinusoid_series(10, period=0.0)
+        with pytest.raises(InvalidParameterError):
+            sinusoid_series(10, noise_std=-1.0)
+
+
+class TestPiecewise:
+    def test_includes_breakpoints_as_samples(self):
+        s = piecewise_series([0.0, 950.0, 2000.0], [0.0, 5.0, 0.0], dt=300.0)
+        assert 950.0 in s.times
+        assert 0.0 in s.times
+        assert 2000.0 in s.times
+
+    def test_samples_lie_on_polyline(self):
+        bp_t = [0.0, 1000.0, 2000.0]
+        bp_v = [0.0, 10.0, -10.0]
+        s = piecewise_series(bp_t, bp_v, dt=250.0)
+        assert np.allclose(s.values, np.interp(s.times, bp_t, bp_v))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            piecewise_series([0.0], [1.0])
+        with pytest.raises(InvalidParameterError):
+            piecewise_series([0.0, 0.0], [1.0, 2.0])
+        with pytest.raises(InvalidParameterError):
+            piecewise_series([0.0, 1.0], [1.0, 2.0], dt=0.0)

@@ -1,0 +1,153 @@
+"""Tests for the multi-sensor TransectIndex."""
+
+import numpy as np
+import pytest
+
+from repro.core.transect import CorroboratedEvent, TransectIndex
+from repro.datagen import TimeSeries, piecewise_series
+from repro.errors import InvalidParameterError
+
+HOUR = 3600.0
+
+
+def sensor_with_drop(drop_at: float, depth: float, name: str) -> TimeSeries:
+    """Flat 10, drop of `depth` at `drop_at` over 10 min, recover later."""
+    series = piecewise_series(
+        [0.0, drop_at, drop_at + 600.0, drop_at + 3 * HOUR, drop_at + 4 * HOUR],
+        [10.0, 10.0, 10.0 - depth, 10.0 - depth, 10.0],
+        dt=300.0,
+    )
+    return TimeSeries(series.times, series.values, name=name)
+
+
+@pytest.fixture
+def transect():
+    sensors = {
+        "bottom": sensor_with_drop(2 * HOUR, 8.0, "bottom"),
+        "mid": sensor_with_drop(2 * HOUR + 900.0, 5.0, "mid"),
+        "rim": sensor_with_drop(12 * HOUR, 4.0, "rim"),  # unrelated, later
+        "flat": piecewise_series([0.0, 20 * HOUR], [10.0, 10.0], dt=300.0),
+    }
+    t = TransectIndex.build(sensors, epsilon=0.1, window=8 * HOUR)
+    yield t
+    t.close()
+
+
+class TestBuild:
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            TransectIndex.build({}, 0.1, HOUR)
+
+    def test_sensor_access(self, transect):
+        assert len(transect) == 4
+        assert transect.sensor_names == ["bottom", "flat", "mid", "rim"]
+        assert transect.index_for("bottom").stats().n_observations > 0
+        with pytest.raises(InvalidParameterError):
+            transect.index_for("nope")
+
+    def test_stats_aggregate(self, transect):
+        stats = transect.stats()
+        assert stats["sensors"] == 4
+        assert stats["observations"] == sum(
+            s.n_observations for s in stats["per_sensor"].values()
+        )
+
+
+class TestPerSensorSearch:
+    def test_drop_search_omits_quiet_sensors(self, transect):
+        hits = transect.search_drops(HOUR, -3.0)
+        assert "flat" not in hits
+        assert {"bottom", "mid", "rim"} <= set(hits)
+
+    def test_depth_filter(self, transect):
+        hits = transect.search_drops(HOUR, -6.0)
+        assert set(hits) == {"bottom"}
+
+    def test_jump_search(self, transect):
+        hits = transect.search_jumps(2 * HOUR, 3.0)
+        assert "bottom" in hits  # the recovery ramp rises 8 degrees
+        assert "flat" not in hits
+
+
+class TestCorroboration:
+    def test_finds_aligned_event(self, transect):
+        events = transect.search_corroborated(
+            HOUR, -3.0, min_sensors=2, slack=HOUR
+        )
+        assert events
+        best = max(events, key=lambda e: e.n_sensors)
+        assert {"bottom", "mid"} <= set(best.sensors)
+        lo, hi = best.window
+        assert lo <= 2 * HOUR + 900.0 + 600.0 <= hi + HOUR
+
+    def test_unaligned_sensor_not_grouped_with_early_event(self, transect):
+        events = transect.search_corroborated(
+            HOUR, -3.5, min_sensors=2, slack=900.0
+        )
+        for ev in events:
+            assert not ({"rim"} == set(ev.sensors))
+            if "rim" in ev.sensors:
+                # rim's drop is 10 hours later; it must not share a group
+                # with the bottom/mid event
+                pytest.fail(f"rim grouped into {ev.sensors}")
+
+    def test_min_sensors_filter(self, transect):
+        all_events = transect.search_corroborated(
+            HOUR, -3.0, min_sensors=1, slack=900.0
+        )
+        strict = transect.search_corroborated(
+            HOUR, -3.0, min_sensors=3, slack=900.0
+        )
+        assert len(strict) <= len(all_events)
+
+    def test_validation(self, transect):
+        with pytest.raises(InvalidParameterError):
+            transect.search_corroborated(HOUR, -3.0, min_sensors=0)
+        with pytest.raises(InvalidParameterError):
+            transect.search_corroborated(HOUR, -3.0, min_sensors=99)
+        with pytest.raises(InvalidParameterError):
+            transect.search_corroborated(HOUR, -3.0, slack=-1.0)
+
+    def test_no_hits_no_events(self, transect):
+        assert transect.search_corroborated(HOUR, -30.0) == []
+
+    def test_event_structure(self, transect):
+        events = transect.search_corroborated(HOUR, -3.0, min_sensors=2,
+                                              slack=HOUR)
+        for ev in events:
+            assert isinstance(ev, CorroboratedEvent)
+            assert ev.n_sensors == len(ev.hits)
+            lo, hi = ev.window
+            assert lo <= hi
+
+
+class TestCadTransect:
+    def test_canyon_bottom_dominates(self):
+        """On real-shaped CAD data, bottom sensors report more drops."""
+        from repro.datagen import CADConfig, CADTransectGenerator
+
+        cfg = CADConfig(
+            days=20, seed=9, n_sensors=7, anomaly_rate=0.0,
+            event_probability=0.9,
+        )
+        gen = CADTransectGenerator(cfg)
+        data = gen.generate_all()
+        transect = TransectIndex.build(data, 0.2, 8 * HOUR)
+        try:
+            depths = {
+                name: gen.depth_factor(i)
+                for i, name in enumerate(gen.sensor_names())
+            }
+            deepest = max(depths, key=depths.get)
+            shallowest = min(depths, key=depths.get)
+
+            def deepest_witness(sensor: str) -> float:
+                hits = transect.index_for(sensor).search_deepest_drops(
+                    1, 2 * HOUR, data=data[sensor]
+                )
+                return hits[0].witness.dv if hits else 0.0
+
+            # the canyon bottom's worst drop is deeper than the rim's
+            assert deepest_witness(deepest) < deepest_witness(shallowest)
+        finally:
+            transect.close()

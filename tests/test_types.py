@@ -1,0 +1,131 @@
+"""Unit tests for core value types and the exception hierarchy."""
+
+import math
+
+import pytest
+
+from repro.errors import (
+    InvalidParameterError,
+    InvalidSegmentError,
+    InvalidSeriesError,
+    QueryError,
+    ReproError,
+    StorageError,
+)
+from repro.types import DataSegment, Event, Observation, SegmentPair
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for exc in (
+            InvalidSeriesError,
+            InvalidParameterError,
+            InvalidSegmentError,
+            StorageError,
+            QueryError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_repro_error_derives_from_exception(self):
+        assert issubclass(ReproError, Exception)
+
+
+class TestObservation:
+    def test_unpacks_as_pair(self):
+        t, v = Observation(1.0, 2.0)
+        assert (t, v) == (1.0, 2.0)
+
+    def test_is_hashable_and_equal_by_value(self):
+        assert Observation(1.0, 2.0) == Observation(1.0, 2.0)
+        assert len({Observation(1.0, 2.0), Observation(1.0, 2.0)}) == 1
+
+
+class TestDataSegment:
+    def test_basic_properties(self):
+        seg = DataSegment(0.0, 10.0, 4.0, 2.0)
+        assert seg.duration == 4.0
+        assert seg.rise == -8.0
+        assert seg.slope == -2.0
+
+    def test_value_at_interior_and_extension(self):
+        seg = DataSegment(0.0, 0.0, 2.0, 4.0)
+        assert seg.value_at(1.0) == 2.0
+        assert seg.value_at(3.0) == 6.0  # extrapolation along the line
+
+    def test_contains_time(self):
+        seg = DataSegment(1.0, 0.0, 3.0, 0.0)
+        assert seg.contains_time(1.0)
+        assert seg.contains_time(3.0)
+        assert not seg.contains_time(3.1)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(InvalidSegmentError):
+            DataSegment(1.0, 0.0, 1.0, 5.0)
+
+    def test_reversed_times_rejected(self):
+        with pytest.raises(InvalidSegmentError):
+            DataSegment(2.0, 0.0, 1.0, 5.0)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(InvalidSegmentError):
+            DataSegment(0.0, math.nan, 1.0, 5.0)
+        with pytest.raises(InvalidSegmentError):
+            DataSegment(0.0, 0.0, 1.0, math.inf)
+
+    def test_truncation_keeps_line(self):
+        seg = DataSegment(0.0, 0.0, 10.0, 10.0)
+        cut = seg.truncated_to_start(4.0)
+        assert cut.t_start == 4.0
+        assert cut.v_start == 4.0
+        assert cut.t_end == 10.0
+        assert cut.slope == seg.slope
+
+    def test_truncation_noop_before_start(self):
+        seg = DataSegment(5.0, 0.0, 10.0, 10.0)
+        assert seg.truncated_to_start(1.0) is seg
+
+    def test_truncation_beyond_end_rejected(self):
+        seg = DataSegment(0.0, 0.0, 10.0, 10.0)
+        with pytest.raises(InvalidSegmentError):
+            seg.truncated_to_start(10.0)
+
+
+class TestEvent:
+    def test_dt_and_classification(self):
+        ev = Event(0.0, 600.0, -4.0)
+        assert ev.dt == 600.0
+        assert ev.is_drop(v_threshold=-3.0, t_threshold=3600.0)
+        assert not ev.is_drop(v_threshold=-5.0, t_threshold=3600.0)
+        assert not ev.is_drop(v_threshold=-3.0, t_threshold=300.0)
+
+    def test_jump_classification(self):
+        ev = Event(0.0, 600.0, 4.0)
+        assert ev.is_jump(v_threshold=3.0, t_threshold=3600.0)
+        assert not ev.is_jump(v_threshold=5.0, t_threshold=3600.0)
+
+    def test_zero_span_is_neither(self):
+        ev = Event(5.0, 5.0, 0.0)
+        assert not ev.is_drop(-1.0, 100.0)
+        assert not ev.is_jump(1.0, 100.0)
+
+
+class TestSegmentPair:
+    def test_periods(self):
+        pair = SegmentPair(0.0, 10.0, 10.0, 25.0)
+        assert pair.start_period == (0.0, 10.0)
+        assert pair.end_period == (10.0, 25.0)
+        assert not pair.is_self_pair
+
+    def test_self_pair_detection(self):
+        pair = SegmentPair(3.0, 9.0, 3.0, 9.0)
+        assert pair.is_self_pair
+
+    def test_round_trips_as_tuple(self):
+        pair = SegmentPair(0.0, 1.0, 2.0, 3.0)
+        assert SegmentPair(*pair.as_tuple()) == pair
+
+    def test_out_of_order_rejected(self):
+        with pytest.raises(InvalidSegmentError):
+            SegmentPair(10.0, 0.0, 10.0, 25.0)
+        with pytest.raises(InvalidSegmentError):
+            SegmentPair(0.0, 10.0, 25.0, 10.0)

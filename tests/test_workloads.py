@@ -1,0 +1,56 @@
+"""Tests for query workload generators."""
+
+import pytest
+
+from repro.core.queries import DropQuery
+from repro.errors import InvalidParameterError
+from repro.workloads import cad_query_set, random_drop_queries
+
+HOUR = 3600.0
+
+
+class TestRandomDropQueries:
+    def test_count_and_bounds(self):
+        grid = random_drop_queries(50, window=8 * HOUR, seed=1)
+        assert len(grid) == 50
+        for q in grid:
+            assert 300.0 <= q.t_threshold <= 8 * HOUR
+            assert -35.0 <= q.v_threshold <= -0.5
+
+    def test_seed_reproducible(self):
+        a = random_drop_queries(20, 8 * HOUR, seed=5)
+        b = random_drop_queries(20, 8 * HOUR, seed=5)
+        assert a.coverage() == b.coverage()
+
+    def test_coverage_matches_queries(self):
+        grid = random_drop_queries(10, 8 * HOUR, seed=2)
+        cov = grid.coverage()
+        assert len(cov) == 10
+        assert cov[0] == (
+            grid.queries[0].t_threshold,
+            grid.queries[0].v_threshold,
+        )
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            random_drop_queries(0, 8 * HOUR)
+        with pytest.raises(InvalidParameterError):
+            random_drop_queries(5, window=100.0, t_min=300.0)
+        with pytest.raises(InvalidParameterError):
+            random_drop_queries(5, 8 * HOUR, v_range=(-1.0, -5.0))
+        with pytest.raises(InvalidParameterError):
+            random_drop_queries(5, 8 * HOUR, v_range=(-1.0, 5.0))
+
+
+class TestCadQuerySet:
+    def test_contains_canonical_query(self):
+        grid = cad_query_set()
+        assert DropQuery(HOUR, -3.0) in set(grid.queries)
+
+    def test_respects_window_cap(self):
+        grid = cad_query_set(window=HOUR)
+        assert all(q.t_threshold <= HOUR for q in grid)
+
+    def test_tiny_window_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            cad_query_set(window=60.0)
