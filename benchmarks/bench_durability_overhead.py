@@ -1,0 +1,76 @@
+"""Bench for the MiniDB durability layer's overhead.
+
+Measures the same transactional insert workload with the durability
+features (page checksums + write-ahead log) on and off, and asserts the
+overhead stays within an order of magnitude — durability must not change
+the storage engine's complexity class, only its constant factor.
+"""
+
+import pytest
+
+from repro.storage.minidb import MiniDatabase
+
+WIDTH = 8
+N_ROWS = 3_000
+
+
+def insert_workload(path, checksums, wal):
+    db = MiniDatabase(path, cache_pages=16, checksums=checksums, wal=wal)
+    t = db.create_table("events", WIDTH)
+    if wal:
+        with db.transaction():
+            for i in range(N_ROWS):
+                t.insert(tuple(float(i + c) for c in range(WIDTH)))
+            t.create_index("ix", (0, 1))
+    else:
+        for i in range(N_ROWS):
+            t.insert(tuple(float(i + c) for c in range(WIDTH)))
+        t.create_index("ix", (0, 1))
+    db.close()
+
+
+def scan_workload(path, checksums, wal):
+    db = MiniDatabase(path, cache_pages=16, checksums=checksums, wal=wal)
+    db.drop_cache()  # cold pool: every read verifies its checksum
+    n = sum(1 for _ in db.table("events").scan())
+    db.close()
+    return n
+
+
+@pytest.mark.parametrize("durable", [True, False], ids=["on", "off"])
+def test_insert_throughput(benchmark, tmp_path_factory, durable):
+    counter = iter(range(10_000))
+
+    def run():
+        d = tmp_path_factory.mktemp("dur")
+        insert_workload(
+            str(d / f"w{next(counter)}.mdb"), checksums=durable, wal=durable
+        )
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("durable", [True, False], ids=["on", "off"])
+def test_cold_scan_throughput(benchmark, tmp_path_factory, durable):
+    d = tmp_path_factory.mktemp("dur")
+    path = str(d / "scan.mdb")
+    insert_workload(path, checksums=durable, wal=durable)
+
+    def run():
+        assert scan_workload(path, checksums=durable, wal=durable) == N_ROWS
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_durability_overhead_is_bounded(tmp_path):
+    """Checksums + WAL may cost real time, but never an order of
+    magnitude on this insert-heavy workload."""
+    import time
+
+    timings = {}
+    for durable in (True, False):
+        path = str(tmp_path / f"bound_{durable}.mdb")
+        start = time.perf_counter()
+        insert_workload(path, checksums=durable, wal=durable)
+        timings[durable] = time.perf_counter() - start
+    assert timings[True] < 10 * max(timings[False], 1e-4)

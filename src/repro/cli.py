@@ -7,6 +7,7 @@ Subcommands:
 * ``build``    — build a persistent SegDiff index (SQLite) from CSV;
 * ``search``   — run a drop/jump search against a built index;
 * ``stats``    — report a built index's sizes and composition;
+* ``fsck``     — check a database file (MiniDB or SQLite) for corruption;
 * ``experiments`` — run the paper's evaluation tables.
 
 Example session::
@@ -63,9 +64,24 @@ def cmd_smooth(args: argparse.Namespace) -> int:
 def cmd_build(args: argparse.Namespace) -> int:
     series = load_series_csv(args.input)
     window = args.window_hours * HOUR
-    store = SqliteFeatureStore(args.index)
-    index = SegDiffIndex(args.epsilon, window, store)
-    index.ingest(series)
+    if args.resume:
+        index = SegDiffIndex.resume(args.index)
+        if index.epsilon != args.epsilon or index.window != window:
+            print(
+                f"note: resuming with checkpointed epsilon={index.epsilon}, "
+                f"window={index.window / HOUR:.1f}h (flags ignored)",
+                file=sys.stderr,
+            )
+    else:
+        store = SqliteFeatureStore(args.index)
+        index = SegDiffIndex(args.epsilon, window, store)
+    if args.checkpoint_every > 0:
+        for i, (t, v) in enumerate(zip(series.times, series.values), start=1):
+            index.append(float(t), float(v))
+            if i % args.checkpoint_every == 0:
+                index.checkpoint()
+    else:
+        index.ingest(series)
     index.finalize()
     stats = index.stats()
     print(
@@ -177,6 +193,46 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fsck(args: argparse.Namespace) -> int:
+    """Integrity-check a MiniDB or SQLite database file."""
+    try:
+        with open(args.db, "rb") as fh:
+            magic = fh.read(16)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if magic.startswith(b"SQLite format 3"):
+        import sqlite3
+
+        conn = sqlite3.connect(args.db)
+        try:
+            rows = conn.execute("PRAGMA integrity_check").fetchall()
+            problems = [r[0] for r in rows if r[0] != "ok"]
+        except sqlite3.DatabaseError as exc:
+            problems = [str(exc)]
+        finally:
+            conn.close()
+        kind = "sqlite"
+    else:
+        from .storage.minidb import MiniDatabase
+
+        kind = "minidb"
+        try:
+            with MiniDatabase(args.db) as db:
+                problems = [str(p) for p in db.check()]
+        except ReproError as exc:
+            problems = [str(exc)]
+
+    if problems:
+        print(f"{args.db} ({kind}): {len(problems)} problem(s)")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"{args.db} ({kind}): ok")
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments.__main__ import main as experiments_main
 
@@ -211,6 +267,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epsilon", type=float, default=0.2)
     p.add_argument("--window-hours", type=float, default=8.0)
     p.add_argument("--index", required=True)
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                   help="checkpoint the index every N observations so an "
+                        "interrupted build can be resumed")
+    p.add_argument("--resume", action="store_true",
+                   help="continue a checkpointed build; already-ingested "
+                        "observations in the input are skipped")
     p.set_defaults(func=cmd_build)
 
     p = sub.add_parser("search", help="search a built index")
@@ -234,6 +296,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="report a built index's composition")
     p.add_argument("index")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("fsck", help="check a database file for corruption")
+    p.add_argument("db", help="a MiniDB (.mdb) or SQLite file")
+    p.set_defaults(func=cmd_fsck)
 
     p = sub.add_parser("experiments", help="run the paper's evaluation")
     p.add_argument("--quick", action="store_true")

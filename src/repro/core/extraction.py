@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional
+from typing import Deque, Dict, Iterable, Optional
 
 from ..errors import InvalidParameterError, InvalidSeriesError
 from ..storage.base import FeatureStore
@@ -172,6 +172,30 @@ class FeatureExtractor:
         """
         self._history.clear()
         self._last = None
+
+    def prime_history(self, segments: Iterable[DataSegment]) -> None:
+        """Seed the pairing history without emitting any features.
+
+        Used when resuming a crashed/stopped stream from a checkpoint:
+        ``segments`` are segments *already stored* (in temporal order)
+        whose features were extracted in the previous run.  They must
+        still be pairable against future segments, but re-emitting them
+        would duplicate stored features.
+        """
+        self._history.clear()
+        self._last = None
+        for segment in segments:
+            if self._last is not None and segment.t_start != self._last.t_end:
+                raise InvalidSeriesError(
+                    "primed segments must be contiguous: got start "
+                    f"{segment.t_start}, expected {self._last.t_end}"
+                )
+            self._history.append(segment)
+            self._last = segment
+        if self._last is not None:
+            horizon = self._last.t_end - self.window
+            while self._history and self._history[0].t_end <= horizon:
+                self._history.popleft()
 
     def _emit(self, features: FeatureSet) -> None:
         self.stats._absorb(features)

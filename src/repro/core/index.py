@@ -94,7 +94,11 @@ class SegDiffIndex:
         )
         self._segments: List[DataSegment] = []
         self._n_observations = 0
+        # observations covered by *closed* segments — what a checkpoint
+        # can claim durably (the segmenter's open tail is memory-only)
+        self._n_obs_covered = 0
         self._sealed = False
+        self._resume_t: Optional[float] = None
         self._planner: Optional[QueryPlanner] = None
 
     # ------------------------------------------------------------------ #
@@ -152,6 +156,13 @@ class SegDiffIndex:
             raise StorageError(
                 f"{path} is not a finalized SegDiff index (missing metadata)"
             )
+        sealed = store.get_meta("sealed")
+        if sealed is not None and not sealed:
+            store.close()
+            raise StorageError(
+                f"{path} is a mid-stream checkpoint, not a finalized index; "
+                "use SegDiffIndex.resume() to continue it"
+            )
         index = cls(epsilon, window, store)
         index._segments = store.load_segments()
         n_obs = store.get_meta("n_observations")
@@ -159,13 +170,87 @@ class SegDiffIndex:
         index._sealed = True
         return index
 
+    @classmethod
+    def resume(cls, path: str, backend: str = "sqlite") -> "SegDiffIndex":
+        """Reopen a mid-stream checkpoint and continue ingesting.
+
+        The returned index has the stored segments reloaded, the
+        extractor's pairing history re-primed (without re-emitting
+        features), and the segmenter re-anchored at the last stored
+        segment's endpoint.  Re-feeding observations at or before the
+        checkpoint boundary is safe: :meth:`append` silently skips
+        ``t <= resume_t`` so a producer may simply replay its source from
+        a little before the crash.
+
+        Observations that arrived after the last :meth:`checkpoint` were
+        only in memory and are re-ingested from the replayed stream;
+        ``n_observations`` restarts from the checkpointed count.
+        """
+        if backend == "sqlite":
+            store: FeatureStore = SqliteFeatureStore(path)
+        elif backend == "minidb":
+            from ..storage.minidb import MiniDbFeatureStore
+
+            store = MiniDbFeatureStore(path)
+        else:
+            raise InvalidParameterError(
+                f"backend must be 'sqlite' or 'minidb', got {backend!r}"
+            )
+        epsilon = store.get_meta("epsilon")
+        window = store.get_meta("window")
+        if epsilon is None or window is None:
+            store.close()
+            raise StorageError(
+                f"{path} has no SegDiff checkpoint metadata; was "
+                "checkpoint() ever called?"
+            )
+        if store.get_meta("sealed"):
+            store.close()
+            raise StorageError(
+                f"{path} is sealed; use SegDiffIndex.open() to search it"
+            )
+        index = cls(epsilon, window, store)
+        index._segments = store.load_segments()
+        n_obs = store.get_meta("n_observations")
+        index._n_observations = int(n_obs) if n_obs is not None else 0
+        index._n_obs_covered = index._n_observations
+        if index._segments:
+            last = index._segments[-1]
+            horizon = last.t_end - index.window
+            # only the contiguous suffix (the current gap episode) that a
+            # future window can still reach may pair with new segments
+            recent: List[DataSegment] = []
+            for seg in reversed(index._segments):
+                if seg.t_end <= horizon:
+                    break
+                if recent and (
+                    seg.t_end != recent[-1].t_start
+                    or seg.v_end != recent[-1].v_start
+                ):
+                    break
+                recent.append(seg)
+            index._extractor.prime_history(reversed(recent))
+            # re-anchor the segmenter at the stored approximation's
+            # endpoint so the next segment stays contiguous in t and v
+            index._segmenter.push(last.t_end, last.v_end)
+            index._resume_t = last.t_end
+        return index
+
     def append(self, t: float, v: float) -> None:
         """Stream one observation into the index."""
         if self._sealed:
             raise StorageError("index is sealed; build a new one to extend")
+        if self._resume_t is not None and t <= self._resume_t:
+            return  # replayed observation already covered by the checkpoint
         self._n_observations += 1
+        closed = False
         for segment in self._segmenter.push(t, v):
             self._register_segment(segment)
+            closed = True
+        if closed:
+            # every observation before the current one lies at or before
+            # the newest closed segment's end
+            self._n_obs_covered = self._n_observations - 1
 
     def _register_segment(self, segment: DataSegment) -> None:
         self._segments.append(segment)
@@ -192,6 +277,7 @@ class SegDiffIndex:
             raise StorageError("index is sealed")
         for segment in self._segmenter.finish():
             self._register_segment(segment)
+        self._n_obs_covered = self._n_observations
         self._extractor.reset_history()
 
     def ingest_episodes(
@@ -232,14 +318,18 @@ class SegDiffIndex:
             return
         for segment in self._segmenter.finish():
             self._register_segment(segment)
+        self._n_obs_covered = self._n_observations
         self.store.finalize()
-        self._write_meta()
         self._sealed = True
+        self._write_meta()
 
     def _write_meta(self) -> None:
         self.store.set_meta("epsilon", self.epsilon)
         self.store.set_meta("window", self.window)
-        self.store.set_meta("n_observations", float(self._n_observations))
+        # a checkpoint may only claim observations that closed segments
+        # cover; the open tail is re-ingested from the replayed stream
+        self.store.set_meta("n_observations", float(self._n_obs_covered))
+        self.store.set_meta("sealed", 1.0 if self._sealed else 0.0)
 
     # ------------------------------------------------------------------ #
     # search

@@ -8,6 +8,7 @@ with any spreadsheet or fed back into the library byte-for-byte.
 from __future__ import annotations
 
 import csv
+import math
 import os
 from typing import Union
 
@@ -31,9 +32,11 @@ def save_series_csv(series: TimeSeries, path: PathLike) -> None:
 def load_series_csv(path: PathLike, name: str = "") -> TimeSeries:
     """Read a series written by :func:`save_series_csv`.
 
-    The header row is required; rows must contain exactly two numeric
-    fields.  Structural problems raise :class:`InvalidSeriesError` with the
-    offending line number.
+    The header row is required; rows must contain exactly two finite
+    numeric fields with strictly increasing timestamps.  Structural
+    problems raise :class:`InvalidSeriesError` with the offending line
+    number — NaN/±inf values and out-of-order timestamps are rejected
+    here, at the boundary, rather than deep inside the pipeline.
     """
     times = []
     values = []
@@ -52,12 +55,23 @@ def load_series_csv(path: PathLike, name: str = "") -> TimeSeries:
                     f"{path}:{lineno}: expected 2 fields, got {len(row)}"
                 )
             try:
-                times.append(float(row[0]))
-                values.append(float(row[1]))
+                t = float(row[0])
+                v = float(row[1])
             except ValueError as exc:
                 raise InvalidSeriesError(
                     f"{path}:{lineno}: non-numeric field: {row!r}"
                 ) from exc
+            if not (math.isfinite(t) and math.isfinite(v)):
+                raise InvalidSeriesError(
+                    f"{path}:{lineno}: non-finite value: {row!r}"
+                )
+            if times and t <= times[-1]:
+                raise InvalidSeriesError(
+                    f"{path}:{lineno}: timestamp {t!r} does not increase "
+                    f"(previous {times[-1]!r})"
+                )
+            times.append(t)
+            values.append(v)
     if not times:
         raise InvalidSeriesError(f"{path}: no observations")
     return TimeSeries(times, values, name=name or str(path))

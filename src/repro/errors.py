@@ -43,6 +43,26 @@ class StorageError(ReproError):
     """
 
 
+class CorruptionError(StorageError):
+    """Stored bytes fail an integrity check.
+
+    Raised when a page's CRC32 trailer does not match its contents, when a
+    write-ahead-log frame is torn, or when ``MiniDatabase.check()`` finds a
+    structural inconsistency (broken heap chain, unsorted B+tree leaves,
+    dangling rids).  Corrupt data is *never* silently returned.
+    """
+
+
+class RecoveryError(StorageError):
+    """Crash recovery could not restore a consistent database.
+
+    Raised when the write-ahead log itself is unusable (bad magic, wrong
+    page size) or when replaying committed frames fails.  Distinct from
+    :class:`CorruptionError` so callers can tell "the main file is bad"
+    from "the recovery protocol failed".
+    """
+
+
 class QueryError(ReproError):
     """A search request could not be answered.
 

@@ -1,0 +1,199 @@
+"""Deterministic I/O fault injection for durability testing.
+
+The MiniDB pager and WAL accept an ``opener`` hook; a
+:class:`FaultInjector` provides one that wraps every file it opens in a
+:class:`FaultyFile`.  All wrapped files share one operation counter, so a
+:class:`FaultPolicy` can say "fail the Nth write across the whole
+database" — the precision needed to enumerate every crash point of a
+workload::
+
+    injector = FaultInjector(FaultPolicy(fail_at=17, mode="crash"))
+    db = MiniDatabase(path, opener=injector.open)
+    try:
+        workload(db)
+    except FaultInjected:
+        pass                       # the "machine" died mid-write
+    injector.close_all()
+    db = MiniDatabase(path)        # recovery replays the WAL
+    assert db.check() == []
+
+Fault modes:
+
+* ``"crash"`` — the op does nothing; this and every later I/O raises
+  :class:`FaultInjected`.  Because files are opened unbuffered, the disk
+  state is frozen exactly at the preceding operation, like a power cut.
+* ``"torn"`` — the write persists only its first ``torn_bytes`` bytes,
+  then the file freezes as for ``"crash"`` — a partial sector write.
+* ``"error"`` — the op raises :class:`OSError` once and the file keeps
+  working; a transient fault the caller may retry or roll back.
+
+:class:`FaultInjected` deliberately does **not** derive from
+``ReproError``: library code must never accidentally swallow a simulated
+power cut.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = ["FaultInjected", "FaultPolicy", "FaultInjector", "FaultyFile"]
+
+
+class FaultInjected(Exception):
+    """A simulated I/O fault (crash, torn write, or transient error)."""
+
+
+@dataclass
+class FaultPolicy:
+    """When and how to fail.
+
+    Parameters
+    ----------
+    fail_at:
+        1-based index of the counted operation that triggers the fault;
+        ``None`` disables injection (pass-through).
+    mode:
+        ``"crash"``, ``"torn"``, or ``"error"`` (see module docstring).
+    torn_bytes:
+        For ``"torn"``: how many bytes of the failing write reach disk.
+        A deliberately odd default lands mid-record in every structure.
+    ops:
+        Which operations count toward ``fail_at``.
+    """
+
+    fail_at: Optional[int] = None
+    mode: str = "crash"
+    torn_bytes: int = 97
+    ops: Tuple[str, ...] = ("write", "truncate", "fsync")
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("crash", "torn", "error"):
+            raise ValueError(f"unknown fault mode {self.mode!r}")
+
+
+class FaultInjector:
+    """Shared op counter + policy for a set of :class:`FaultyFile` s.
+
+    Use :attr:`op_count` after a fault-free run to learn how many crash
+    points a workload exposes, then re-run once per point.
+    """
+
+    def __init__(self, policy: Optional[FaultPolicy] = None) -> None:
+        self.policy = policy or FaultPolicy()
+        self.op_count = 0
+        self.crashed = False
+        self._files: List[FaultyFile] = []
+
+    def open(self, path: str, mode: str) -> "FaultyFile":
+        """The ``opener`` hook: open ``path`` unbuffered and wrap it."""
+        if self.crashed:
+            raise FaultInjected("cannot open files after a crash")
+        raw = open(path, mode, buffering=0)
+        wrapped = FaultyFile(raw, self)
+        self._files.append(wrapped)
+        return wrapped
+
+    def arm(self, policy: FaultPolicy) -> None:
+        """Swap in a new policy (counter keeps running)."""
+        self.policy = policy
+
+    def _account(self, op: str) -> Optional[str]:
+        """Count one op; return the fault mode to apply, if any."""
+        if self.crashed:
+            raise FaultInjected(f"{op} after simulated crash")
+        if op not in self.policy.ops:
+            return None
+        self.op_count += 1
+        if self.policy.fail_at is not None and self.op_count == self.policy.fail_at:
+            return self.policy.mode
+        return None
+
+    def close_all(self) -> None:
+        """Release every OS handle (safe after a crash)."""
+        for f in self._files:
+            f._raw_close()
+        self._files = []
+
+
+class FaultyFile:
+    """An unbuffered binary file that fails on command (see module doc)."""
+
+    def __init__(self, raw, injector: FaultInjector) -> None:
+        self._raw = raw
+        self._injector = injector
+
+    # -- counted, failable operations ---------------------------------- #
+
+    def write(self, data: bytes) -> int:
+        fault = self._injector._account("write")
+        if fault == "crash":
+            self._injector.crashed = True
+            raise FaultInjected("injected crash during write")
+        if fault == "torn":
+            self._raw.write(data[: self._injector.policy.torn_bytes])
+            self._injector.crashed = True
+            raise FaultInjected(
+                f"injected torn write ({self._injector.policy.torn_bytes}"
+                f"/{len(data)} bytes reached disk)"
+            )
+        if fault == "error":
+            raise OSError("injected transient I/O error")
+        return self._raw.write(data)
+
+    def truncate(self, size: Optional[int] = None) -> int:
+        fault = self._injector._account("truncate")
+        if fault in ("crash", "torn"):
+            self._injector.crashed = True
+            raise FaultInjected("injected crash during truncate")
+        if fault == "error":
+            raise OSError("injected transient I/O error")
+        return self._raw.truncate(size)
+
+    def fsync(self) -> None:
+        fault = self._injector._account("fsync")
+        if fault in ("crash", "torn"):
+            self._injector.crashed = True
+            raise FaultInjected("injected crash during fsync")
+        if fault == "error":
+            raise OSError("injected transient I/O error")
+        os.fsync(self._raw.fileno())
+
+    # -- pass-through operations --------------------------------------- #
+
+    def read(self, n: int = -1) -> bytes:
+        if self._injector.crashed:
+            raise FaultInjected("read after simulated crash")
+        return self._raw.read(n)
+
+    def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:
+        if self._injector.crashed:
+            raise FaultInjected("seek after simulated crash")
+        return self._raw.seek(offset, whence)
+
+    def tell(self) -> int:
+        return self._raw.tell()
+
+    def flush(self) -> None:
+        if self._injector.crashed:
+            raise FaultInjected("flush after simulated crash")
+        # unbuffered: nothing to do
+
+    def fileno(self) -> int:
+        return self._raw.fileno()
+
+    def close(self) -> None:
+        # closing is always allowed — the state on disk stays frozen
+        # because writes are unbuffered
+        self._raw_close()
+
+    def _raw_close(self) -> None:
+        try:
+            self._raw.close()
+        except OSError:
+            pass
+
+    @property
+    def closed(self) -> bool:
+        return self._raw.closed

@@ -12,7 +12,11 @@ exposes it.  It is a deliberately small but real engine:
   sequential scans and rid-based random access;
 * :mod:`btree` — a bulk-loaded B+tree over composite float keys with
   leaf-chained range scans (the Section 4.4 indexes);
-* :mod:`database` — catalog, tables, indexes, persistence;
+* :mod:`wal` — a physical write-ahead log so multi-page operations
+  commit atomically and crashes recover to the committed prefix
+  (docs/durability.md);
+* :mod:`database` — catalog, tables, indexes, persistence, transactions,
+  and the ``check()`` fsck pass;
 * :mod:`store` — :class:`MiniDbFeatureStore`, a drop-in
   :class:`~repro.storage.base.FeatureStore` backend whose queries report
   exactly how many pages they touched.
@@ -21,15 +25,18 @@ With it, Figures 17-24 can be re-measured in *page reads* — a
 hardware-independent cost unit (``repro.experiments.page_cost``).
 """
 
-from .pager import PAGE_SIZE, Pager, PagerStats
+from .pager import PAGE_CAPACITY, PAGE_SIZE, Pager, PagerStats
 from .heapfile import HeapFile, RID
 from .btree import BPlusTree
 from .database import MiniDatabase, Table
 from .store import MiniDbFeatureStore
+from .wal import WriteAheadLog
 
 __all__ = [
+    "PAGE_CAPACITY",
     "PAGE_SIZE",
     "Pager",
+    "WriteAheadLog",
     "PagerStats",
     "HeapFile",
     "RID",

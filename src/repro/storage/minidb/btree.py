@@ -30,7 +30,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ...errors import InvalidParameterError, StorageError
 from .heapfile import RID
-from .pager import PAGE_SIZE, Pager
+from .pager import PAGE_CAPACITY, PAGE_SIZE, Pager
 
 __all__ = ["BPlusTree"]
 
@@ -63,9 +63,11 @@ class BPlusTree:
         self._key = struct.Struct("<" + "d" * key_width)
         self._leaf_entry = struct.Struct("<" + "d" * key_width + "ii")
         self._int_entry = struct.Struct("<" + "d" * key_width + "i")
-        self.leaf_fanout = (PAGE_SIZE - _LEAF_HEADER.size) // self._leaf_entry.size
+        self.leaf_fanout = (
+            PAGE_CAPACITY - _LEAF_HEADER.size
+        ) // self._leaf_entry.size
         self.internal_fanout = (
-            PAGE_SIZE - _INT_HEADER.size
+            PAGE_CAPACITY - _INT_HEADER.size
         ) // self._int_entry.size
         if self.leaf_fanout < 2 or self.internal_fanout < 2:
             raise InvalidParameterError(

@@ -1,22 +1,40 @@
-"""MiniDB catalog, tables, and indexes.
+"""MiniDB catalog, tables, indexes, transactions, and fsck.
 
 A database is one page file.  Page 0 anchors the **catalog**: a JSON
 document (spanning a chain of pages) describing every table's heap chain,
 row count, and indexes, plus a free-form metadata map.  ``checkpoint()``
 persists the catalog and flushes dirty pages, after which the file can be
 reopened cold.
+
+Durability (docs/durability.md):
+
+* :meth:`MiniDatabase.transaction` groups multi-page mutations (heap
+  appends, B+tree splits, catalog updates) into one atomic unit — the
+  catalog and every dirtied page are committed together through the
+  pager's write-ahead log, and an exception rolls all of it back;
+* reopening a file after a crash replays the WAL's committed prefix, so
+  exactly the committed transactions are visible;
+* :meth:`MiniDatabase.check` is the fsck pass: it walks catalog → heaps
+  → indexes and reports every inconsistency as a structured
+  :class:`~repro.errors.CorruptionError` (page checksums are verified on
+  every read as a matter of course).
 """
 
 from __future__ import annotations
 
 import json
 import struct
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from ...errors import InvalidParameterError, StorageError
+from ...errors import (
+    CorruptionError,
+    InvalidParameterError,
+    StorageError,
+)
 from .btree import BPlusTree
 from .heapfile import RID, HeapFile
-from .pager import PAGE_SIZE, Pager, PagerStats
+from .pager import PAGE_CAPACITY, PAGE_SIZE, Pager, PagerStats
 
 __all__ = ["MiniDatabase", "Table"]
 
@@ -73,7 +91,9 @@ class Table:
         for iname, tree in self._indexes.items():
             cols = self._info["indexes"][iname]["key_cols"]
             tree.insert(tuple(row[c] for c in cols), rid)
-            self._info["indexes"][iname]["root"] = tree.root
+            iinfo = self._info["indexes"][iname]
+            iinfo["root"] = tree.root
+            iinfo["n_entries"] = iinfo.get("n_entries", 0) + 1
         return rid
 
     def get(self, rid: RID) -> Tuple[float, ...]:
@@ -100,7 +120,11 @@ class Table:
         tree = BPlusTree(self._db.pager, len(cols))
         tree.bulk_load(entries)
         self._indexes[name] = tree
-        self._info["indexes"][name] = {"key_cols": cols, "root": tree.root}
+        self._info["indexes"][name] = {
+            "key_cols": cols,
+            "root": tree.root,
+            "n_entries": len(entries),
+        }
         return tree
 
     def has_index(self, name: str) -> bool:
@@ -133,20 +157,54 @@ class Table:
 
 
 class MiniDatabase:
-    """A page file with a catalog of tables (see module docstring)."""
+    """A page file with a catalog of tables (see module docstring).
 
-    def __init__(self, path: str, cache_pages: int = 256) -> None:
-        self.pager = Pager(path, cache_pages=cache_pages)
+    Parameters
+    ----------
+    path:
+        Backing page file.
+    cache_pages:
+        Buffer-pool capacity.
+    checksums / wal / fsync / opener:
+        Durability knobs, passed through to :class:`Pager`.  With the
+        defaults every :meth:`transaction` is atomic and crash recovery
+        runs automatically on open.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        cache_pages: int = 256,
+        checksums: bool = True,
+        wal: bool = True,
+        fsync: bool = False,
+        opener: Optional[Callable] = None,
+    ) -> None:
+        self.pager = Pager(
+            path,
+            cache_pages=cache_pages,
+            checksums=checksums,
+            wal=wal,
+            fsync=fsync,
+            opener=opener,
+        )
         self._tables: Dict[str, Table] = {}
         self._catalog: Dict = {"tables": {}, "meta": {}}
+        self._txn_depth = 0
+        self._closed = False
         if self.pager.n_pages == 0:
             root = self.pager.allocate()
             assert root == 0
             self._write_catalog()
+            self.pager.commit()  # an empty database is a committed state
         else:
             self._read_catalog()
-            for name, info in self._catalog["tables"].items():
-                self._tables[name] = Table(self, name, info)
+            self._load_tables()
+
+    def _load_tables(self) -> None:
+        self._tables = {}
+        for name, info in self._catalog["tables"].items():
+            self._tables[name] = Table(self, name, info)
 
     # ------------------------------------------------------------------ #
     # catalog persistence
@@ -164,8 +222,8 @@ class MiniDatabase:
                 chain.append(next_page)
                 (next_page,) = _CONT.unpack_from(self.pager.read(next_page), 0)
 
-        head_cap = PAGE_SIZE - _HEAD.size
-        cont_cap = PAGE_SIZE - _CONT.size
+        head_cap = PAGE_CAPACITY - _HEAD.size
+        cont_cap = PAGE_CAPACITY - _CONT.size
         needed = 1
         remaining = total - head_cap
         while remaining > 0:
@@ -196,15 +254,68 @@ class MiniDatabase:
         magic, total, next_page = _HEAD.unpack_from(page, 0)
         if magic != _MAGIC:
             raise StorageError(f"{self.pager.path} is not a MiniDB file")
-        payload = bytearray(page[_HEAD.size : _HEAD.size + total])
+        head_take = min(total, PAGE_CAPACITY - _HEAD.size)
+        payload = bytearray(page[_HEAD.size : _HEAD.size + head_take])
         while len(payload) < total and next_page != -1:
             page = self.pager.read(next_page)
             (next_page,) = _CONT.unpack_from(page, 0)
-            take = min(total - len(payload), PAGE_SIZE - _CONT.size)
+            take = min(total - len(payload), PAGE_CAPACITY - _CONT.size)
             payload.extend(page[_CONT.size : _CONT.size + take])
         if len(payload) != total:
-            raise StorageError("truncated MiniDB catalog")
-        self._catalog = json.loads(bytes(payload).decode())
+            raise CorruptionError(
+                f"{self.pager.path}: truncated MiniDB catalog"
+            )
+        try:
+            self._catalog = json.loads(bytes(payload).decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CorruptionError(
+                f"{self.pager.path}: catalog is not valid JSON: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------ #
+    # transactions
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def transaction(self) -> Iterator["MiniDatabase"]:
+        """Atomic scope: commit on success, roll back on exception.
+
+        Nested uses join the outermost transaction (commit/rollback
+        happen only when the outermost scope exits).
+        """
+        self._check_open()
+        self._txn_depth += 1
+        try:
+            yield self
+        except BaseException:
+            self._txn_depth -= 1
+            if self._txn_depth == 0:
+                self.rollback()
+            raise
+        else:
+            self._txn_depth -= 1
+            if self._txn_depth == 0:
+                try:
+                    self.commit()
+                except BaseException:
+                    # a failed commit must not leave half-applied state
+                    # visible in memory; the WAL tail is uncommitted so
+                    # rollback restores the last durable snapshot
+                    self.rollback()
+                    raise
+
+    def commit(self) -> None:
+        """Persist the catalog and atomically commit all dirty pages."""
+        self._check_open()
+        self._write_catalog()
+        self.pager.commit()
+
+    def rollback(self) -> None:
+        """Discard uncommitted changes; reload catalog and tables."""
+        self._check_open()
+        self.pager.rollback()
+        self._read_catalog()
+        self._load_tables()
 
     # ------------------------------------------------------------------ #
     # tables
@@ -249,7 +360,8 @@ class MiniDatabase:
         return self._catalog["meta"].get(key)
 
     def checkpoint(self) -> None:
-        """Persist the catalog and flush dirty pages."""
+        """Persist the catalog and flush dirty pages (WAL transferred)."""
+        self._check_open()
         self._write_catalog()
         self.pager.flush()
 
@@ -262,11 +374,248 @@ class MiniDatabase:
         return self.pager.stats
 
     def close(self) -> None:
-        self.checkpoint()
-        self.pager.close()
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._write_catalog()
+        finally:
+            self.pager.close()
 
     def __enter__(self) -> "MiniDatabase":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("database is closed")
+
+    # ------------------------------------------------------------------ #
+    # fsck
+    # ------------------------------------------------------------------ #
+
+    def check(self) -> List[CorruptionError]:
+        """Walk catalog → heaps → indexes; return every inconsistency.
+
+        Page checksums are verified for *every* allocated page, then each
+        table's heap chain and B+trees are validated structurally:
+        in-range page ids, no chain cycles, header row counts within
+        capacity, catalog row counts matching the chains, sorted index
+        keys, rids that resolve to live rows, and index entry counts
+        matching the catalog.  An empty list means the file is clean.
+        """
+        self._check_open()
+        problems: List[CorruptionError] = []
+
+        # verify disk state, not pool copies — but never as a side effect
+        # of fsck commit someone's in-flight changes
+        if not self.pager.has_uncommitted:
+            self.pager.drop_cache()
+
+        # 1. every allocated page must pass its checksum
+        for page_id in range(self.pager.n_pages):
+            try:
+                self.pager.read(page_id)
+            except CorruptionError as exc:
+                problems.append(exc)
+
+        # 2. the catalog must parse (it did at open; re-verify structure)
+        try:
+            self._read_catalog()
+        except CorruptionError as exc:
+            problems.append(exc)
+            return problems  # nothing else is walkable
+        except StorageError as exc:
+            problems.append(CorruptionError(str(exc)))
+            return problems
+        # keep live Table objects wired to the freshly parsed catalog
+        self._load_tables()
+
+        claimed: Dict[int, str] = {0: "catalog"}
+        page = self.pager.read(0)
+        _magic, _total, next_page = _HEAD.unpack_from(page, 0)
+        while next_page != -1:
+            claimed[next_page] = "catalog"
+            (next_page,) = _CONT.unpack_from(self.pager.read(next_page), 0)
+
+        for name in self.table_names:
+            table = self.table(name)
+            heap_counts = self._check_heap(table, claimed, problems)
+            for iname in sorted(table._indexes):
+                self._check_index(table, iname, heap_counts, claimed, problems)
+        return problems
+
+    def _claim(
+        self,
+        page_id: int,
+        owner: str,
+        claimed: Dict[int, str],
+        problems: List[CorruptionError],
+    ) -> bool:
+        """Record page ownership; report double-claims and range errors."""
+        if not (0 <= page_id < self.pager.n_pages):
+            problems.append(
+                CorruptionError(
+                    f"{owner}: page id {page_id} out of range "
+                    f"[0, {self.pager.n_pages})"
+                )
+            )
+            return False
+        if page_id in claimed:
+            problems.append(
+                CorruptionError(
+                    f"{owner}: page {page_id} already belongs to "
+                    f"{claimed[page_id]}"
+                )
+            )
+            return False
+        claimed[page_id] = owner
+        return True
+
+    def _check_heap(
+        self,
+        table: Table,
+        claimed: Dict[int, str],
+        problems: List[CorruptionError],
+    ) -> Dict[int, int]:
+        """Walk one heap chain; returns {page_id: row count} for rid checks."""
+        owner = f"table {table.name!r} heap"
+        heap = table.heap
+        counts: Dict[int, int] = {}
+        total = 0
+        page_id = heap.first_page
+        last_seen = page_id
+        while page_id != -1:
+            if not self._claim(page_id, owner, claimed, problems):
+                break  # cycle or bad link: stop walking
+            try:
+                count, next_page = heap._read_header(self.pager.read(page_id))
+            except CorruptionError:
+                break  # already reported by the checksum sweep
+            if not (0 <= count <= heap.rows_per_page):
+                problems.append(
+                    CorruptionError(
+                        f"{owner}: page {page_id} claims {count} rows "
+                        f"(capacity {heap.rows_per_page})"
+                    )
+                )
+                break
+            counts[page_id] = count
+            total += count
+            last_seen = page_id
+            page_id = next_page
+        if total != table._info["n_rows"]:
+            problems.append(
+                CorruptionError(
+                    f"{owner}: chain holds {total} rows but the catalog "
+                    f"records {table._info['n_rows']}"
+                )
+            )
+        if last_seen != heap.last_page:
+            problems.append(
+                CorruptionError(
+                    f"{owner}: chain ends at page {last_seen} but the "
+                    f"catalog records last_page={heap.last_page}"
+                )
+            )
+        return counts
+
+    def _check_index(
+        self,
+        table: Table,
+        iname: str,
+        heap_counts: Dict[int, int],
+        claimed: Dict[int, str],
+        problems: List[CorruptionError],
+    ) -> None:
+        owner = f"table {table.name!r} index {iname!r}"
+        tree = table._indexes[iname]
+        iinfo = table._info["indexes"][iname]
+        if tree.root < 0:
+            problems.append(CorruptionError(f"{owner}: no root page"))
+            return
+        # BFS over internal nodes, collecting leaves
+        frontier = [tree.root]
+        leaves: Set[int] = set()
+        while frontier:
+            page_id = frontier.pop()
+            if not self._claim(page_id, owner, claimed, problems):
+                return
+            try:
+                node = tree._decode(page_id)
+            except (CorruptionError, struct.error):
+                problems.append(
+                    CorruptionError(f"{owner}: page {page_id} is undecodable")
+                )
+                return
+            if node[0] == "leaf":
+                leaves.add(page_id)
+            elif node[0] == "internal":
+                frontier.extend(node[2])
+            else:
+                problems.append(
+                    CorruptionError(
+                        f"{owner}: page {page_id} has unknown node kind"
+                    )
+                )
+                return
+        # walk the leaf chain explicitly (cycle-safe: every visited page
+        # must be a leaf the BFS discovered, and none may repeat), checking
+        # sorted keys and resolvable rids
+        entries = 0
+        prev_key = None
+        visited: Set[int] = set()
+        try:
+            page_id = tree._leftmost_leaf()
+            while page_id != -1:
+                if page_id not in leaves or page_id in visited:
+                    problems.append(
+                        CorruptionError(
+                            f"{owner}: leaf chain escapes the tree at page "
+                            f"{page_id}"
+                        )
+                    )
+                    return
+                visited.add(page_id)
+                _kind, leaf_entries, page_id = tree._decode(page_id)
+                for key, rid in leaf_entries:
+                    entries += 1
+                    if prev_key is not None and key < prev_key:
+                        problems.append(
+                            CorruptionError(
+                                f"{owner}: keys out of order at entry "
+                                f"{entries}"
+                            )
+                        )
+                    prev_key = key
+                    if rid.page_id not in heap_counts:
+                        problems.append(
+                            CorruptionError(
+                                f"{owner}: entry {entries} points at page "
+                                f"{rid.page_id}, not in the table's heap "
+                                "chain"
+                            )
+                        )
+                    elif not (0 <= rid.slot < heap_counts[rid.page_id]):
+                        problems.append(
+                            CorruptionError(
+                                f"{owner}: entry {entries} slot {rid.slot} "
+                                f"exceeds page {rid.page_id}'s "
+                                f"{heap_counts[rid.page_id]} rows"
+                            )
+                        )
+        except (CorruptionError, StorageError, struct.error) as exc:
+            problems.append(
+                CorruptionError(f"{owner}: leaf chain walk failed: {exc}")
+            )
+            return
+        expected = iinfo.get("n_entries")
+        if expected is not None and entries != expected:
+            problems.append(
+                CorruptionError(
+                    f"{owner}: {entries} entries but the catalog records "
+                    f"{expected}"
+                )
+            )

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Iterator, Sequence, Tuple
 
 from ...errors import InvalidParameterError, StorageError
-from .pager import PAGE_SIZE, Pager
+from .pager import PAGE_CAPACITY, PAGE_SIZE, Pager
 
 __all__ = ["HeapFile", "RID"]
 
@@ -58,7 +58,7 @@ class HeapFile:
     ) -> None:
         if width < 1:
             raise InvalidParameterError("row width must be >= 1")
-        self.rows_per_page = (PAGE_SIZE - _HEADER.size) // (8 * width)
+        self.rows_per_page = (PAGE_CAPACITY - _HEADER.size) // (8 * width)
         if self.rows_per_page < 1:
             raise InvalidParameterError(
                 f"row width {width} does not fit a {PAGE_SIZE}-byte page"

@@ -1,29 +1,46 @@
-"""Page file with an LRU buffer pool.
+"""Page file with an LRU buffer pool, page checksums, and a WAL.
 
 All MiniDB structures live in fixed-size pages of one file.  The pager is
 the only component that touches the file, so its counters account for
 every logical and physical I/O in the system:
 
 * ``hits`` / ``misses`` — buffer-pool lookups;
-* ``disk_reads`` / ``disk_writes`` — actual file operations.
+* ``disk_reads`` / ``disk_writes`` — actual file operations (main file
+  and write-ahead log combined).
 
 ``drop_cache()`` empties the pool (writing back dirty pages first), which
 is the exact, deterministic version of the paper's between-query OS-cache
 flush.
+
+Durability (docs/durability.md):
+
+* every page reserves its last 4 bytes for a CRC32 **trailer**, stamped
+  on each write to the main file and verified on each read from it —
+  callers may only use the first ``PAGE_CAPACITY`` bytes;
+* with ``wal=True`` dirty pages are appended to ``<path>.wal`` instead of
+  being written in place; :meth:`commit` seals them atomically and
+  :meth:`flush` transfers committed frames into the main file.  Opening a
+  file with a leftover WAL replays its committed prefix first.
 """
 
 from __future__ import annotations
 
 import os
+import struct
+import zlib
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Callable, Optional
 
-from ...errors import InvalidParameterError, StorageError
+from ...errors import CorruptionError, InvalidParameterError, StorageError
+from .wal import WriteAheadLog
 
-__all__ = ["PAGE_SIZE", "Pager", "PagerStats"]
+__all__ = ["PAGE_SIZE", "PAGE_CAPACITY", "Pager", "PagerStats"]
 
 PAGE_SIZE = 4096
+_TRAILER = struct.Struct("<I")  # crc32 of the first PAGE_CAPACITY bytes
+#: Bytes of a page available to callers (the trailer is the pager's).
+PAGE_CAPACITY = PAGE_SIZE - _TRAILER.size
 
 
 @dataclass
@@ -60,34 +77,93 @@ class Pager:
     Parameters
     ----------
     path:
-        Backing file; created if missing.
+        Backing file; created if missing.  With ``wal=True`` a sibling
+        ``<path>.wal`` file holds in-flight transactions; it is replayed
+        (committed prefix only) when reopening after a crash and removed
+        on clean :meth:`close`.
     cache_pages:
         Buffer-pool capacity in pages (>= 1).
+    checksums:
+        Stamp/verify the CRC32 page trailer (on by default).
+    wal:
+        Route write-backs through the write-ahead log so multi-page
+        operations can :meth:`commit` atomically (on by default).
+    fsync:
+        Issue real ``fsync`` barriers at commit/flush points.
+    opener:
+        ``(path, mode) -> file`` hook used for both files, so the fault
+        harness (:mod:`repro.storage.faults`) can fail, tear, or freeze
+        any I/O.
     """
 
-    def __init__(self, path: str, cache_pages: int = 256) -> None:
+    def __init__(
+        self,
+        path: str,
+        cache_pages: int = 256,
+        checksums: bool = True,
+        wal: bool = True,
+        fsync: bool = False,
+        opener: Optional[Callable] = None,
+    ) -> None:
         if cache_pages < 1:
             raise InvalidParameterError("cache_pages must be >= 1")
         self.path = path
         self.cache_pages = cache_pages
+        self.checksums = checksums
+        self.fsync = fsync
+        self._opener = opener or _default_opener
         self.stats = PagerStats()
         # "r+b" (not "a+b"!) — append mode would force every write-back
         # to the end of the file regardless of the seek position
         if not os.path.exists(path):
-            open(path, "xb").close()
-        self._file = open(path, "r+b")
+            self._opener(path, "xb").close()
+        self._file = self._opener(path, "r+b")
+        self.wal: Optional[WriteAheadLog] = None
+        if wal:
+            try:
+                self.wal = WriteAheadLog(
+                    path + ".wal", PAGE_SIZE, fsync=fsync, opener=self._opener
+                )
+            except BaseException:
+                self._file.close()
+                raise
         self._file.seek(0, os.SEEK_END)
         size = self._file.tell()
         if size % PAGE_SIZE != 0:
-            self._file.close()
-            raise StorageError(
-                f"{path}: size {size} is not a multiple of the page size"
-            )
+            # a torn append at the end of the main file: recoverable when
+            # the WAL holds the page's committed image, fatal otherwise
+            if self.wal is not None and not self.wal.is_empty:
+                size -= size % PAGE_SIZE
+                self._file.truncate(size)
+            else:
+                self._file.close()
+                if self.wal is not None:
+                    # don't leave behind the (empty) WAL just created
+                    # for a file that is not a page file at all
+                    self.wal.close(delete=self.wal.is_empty)
+                raise StorageError(
+                    f"{path}: size {size} is not a multiple of the page size"
+                )
         self._n_pages = size // PAGE_SIZE
+        if self.wal is not None:
+            self._n_pages = max(self._n_pages, self.wal.max_committed_page + 1)
         # page_id -> bytearray; OrderedDict used as the LRU queue
         self._pool: "OrderedDict[int, bytearray]" = OrderedDict()
         self._dirty: set = set()
         self._closed = False
+        self._stable_n_pages = self._n_pages
+        if self.wal is not None and not self.wal.is_empty:
+            self._replay_wal()
+
+    def _replay_wal(self) -> None:
+        """Transfer committed WAL frames into the main file (idempotent:
+        the WAL is only truncated after the main file is safely updated)."""
+        for page_id in self.wal.committed_pages():
+            self._write_main(page_id, self.wal.read(page_id))
+        self._file.flush()
+        if self.fsync:
+            self._fsync(self._file)
+        self.wal.reset()
 
     # ------------------------------------------------------------------ #
     # allocation
@@ -116,7 +192,11 @@ class Pager:
         return bytes(self._fetch(page_id))
 
     def write(self, page_id: int, data: bytes) -> None:
-        """Replace a page's contents (must be exactly one page)."""
+        """Replace a page's contents (must be exactly one page).
+
+        Only the first :data:`PAGE_CAPACITY` bytes belong to the caller;
+        the trailer is overwritten with the checksum on disk writes.
+        """
         self._check_open()
         if len(data) != PAGE_SIZE:
             raise InvalidParameterError(
@@ -139,10 +219,14 @@ class Pager:
             return self._pool[page_id]
         self.stats.misses += 1
         self.stats.disk_reads += 1
-        self._file.seek(page_id * PAGE_SIZE)
-        data = bytearray(self._file.read(PAGE_SIZE))
-        if len(data) < PAGE_SIZE:  # allocated but never evicted/written
-            data.extend(b"\x00" * (PAGE_SIZE - len(data)))
+        if self.wal is not None and page_id in self.wal:
+            data = bytearray(self.wal.read(page_id))
+        else:
+            self._file.seek(page_id * PAGE_SIZE)
+            data = bytearray(self._file.read(PAGE_SIZE))
+            if len(data) < PAGE_SIZE:  # allocated but never evicted/written
+                data.extend(b"\x00" * (PAGE_SIZE - len(data)))
+            self._verify(page_id, data)
         self._install(page_id, data)
         return data
 
@@ -156,20 +240,107 @@ class Pager:
 
     def _write_back(self, page_id: int, data: bytearray) -> None:
         self.stats.disk_writes += 1
-        self._file.seek(page_id * PAGE_SIZE)
-        self._file.write(data)
+        if self.wal is not None:
+            self.wal.append(page_id, bytes(data))
+        else:
+            self._write_main(page_id, data)
         self._dirty.discard(page_id)
+
+    def _write_main(self, page_id: int, data) -> None:
+        self._file.seek(page_id * PAGE_SIZE)
+        self._file.write(self._stamp(data))
+
+    # ------------------------------------------------------------------ #
+    # checksums
+    # ------------------------------------------------------------------ #
+
+    def _stamp(self, data) -> bytes:
+        """Return ``data`` with the CRC32 trailer filled in."""
+        if not self.checksums:
+            return bytes(data)
+        buf = bytearray(data)
+        crc = zlib.crc32(bytes(buf[:PAGE_CAPACITY]))
+        _TRAILER.pack_into(buf, PAGE_CAPACITY, crc)
+        return bytes(buf)
+
+    def _verify(self, page_id: int, data: bytearray) -> None:
+        if not self.checksums:
+            return
+        if not any(data):
+            return  # a hole / never-written page: all zeros is valid
+        (stored,) = _TRAILER.unpack_from(data, PAGE_CAPACITY)
+        actual = zlib.crc32(bytes(data[:PAGE_CAPACITY]))
+        if stored != actual:
+            raise CorruptionError(
+                f"{self.path}: page {page_id} checksum mismatch "
+                f"(stored {stored:#010x}, computed {actual:#010x})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # transactions
+    # ------------------------------------------------------------------ #
+
+    def commit(self) -> None:
+        """Make everything written so far durable and atomic.
+
+        With a WAL: append every dirty pool page as a frame and seal the
+        batch with a commit record.  Without one: degrade to writing the
+        dirty pages to the main file (no atomicity).
+        """
+        self._check_open()
+        for page_id in sorted(self._dirty):
+            if page_id in self._pool:
+                self._write_back(page_id, self._pool[page_id])
+        self._dirty.clear()
+        if self.wal is not None:
+            self.wal.commit()
+        else:
+            self._file.flush()
+            if self.fsync:
+                self._fsync(self._file)
+        self._stable_n_pages = self._n_pages
+
+    def rollback(self) -> None:
+        """Discard all uncommitted page changes (pool and WAL tail)."""
+        self._check_open()
+        if self.wal is not None:
+            self.wal.rollback()
+        # drop the pool wholesale: any page may hold uncommitted bytes
+        self._pool.clear()
+        self._dirty.clear()
+        self._n_pages = self._stable_n_pages
 
     # ------------------------------------------------------------------ #
     # cache control
     # ------------------------------------------------------------------ #
 
     def flush(self) -> None:
-        """Write back every dirty page (pool keeps its contents)."""
+        """Commit, then transfer committed WAL frames to the main file
+        (pool keeps its contents).  Without a WAL this just writes back
+        every dirty page, as before."""
         self._check_open()
-        for page_id in sorted(self._dirty):
-            self._write_back(page_id, self._pool[page_id])
+        if self.wal is None:
+            for page_id in sorted(self._dirty):
+                self._write_back(page_id, self._pool[page_id])
+            self._file.flush()
+            return
+        if not self._dirty and self.wal.is_empty:
+            return  # nothing to persist
+        self.commit()
+        for page_id in self.wal.committed_pages():
+            self.stats.disk_writes += 1
+            self._write_main(page_id, self.wal.read(page_id))
         self._file.flush()
+        if self.fsync:
+            self._fsync(self._file)
+        self.wal.reset()
+
+    @property
+    def has_uncommitted(self) -> bool:
+        """True when dirty pool pages or unsealed WAL frames exist."""
+        if self._dirty:
+            return True
+        return self.wal is not None and not self.wal.is_empty
 
     def drop_cache(self) -> None:
         """Flush, then empty the buffer pool — the exact 'cold cache'."""
@@ -179,10 +350,32 @@ class Pager:
     def close(self) -> None:
         if self._closed:
             return
-        self.flush()
-        self._file.close()
-        self._pool.clear()
-        self._closed = True
+        try:
+            self.flush()
+            clean = True
+        finally:
+            self._closed = True
+            self._file.close()
+            self._pool.clear()
+            self._dirty.clear()
+        if self.wal is not None:
+            # after a clean flush the WAL holds nothing: remove it so a
+            # closed database is exactly one self-contained file
+            self.wal.close(delete=clean)
+
+    def __enter__(self) -> "Pager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @staticmethod
+    def _fsync(file) -> None:
+        fsync = getattr(file, "fsync", None)
+        if fsync is not None:
+            fsync()
+        else:
+            os.fsync(file.fileno())
 
     def _check_open(self) -> None:
         if self._closed:
@@ -193,3 +386,7 @@ class Pager:
             raise InvalidParameterError(
                 f"page id {page_id} out of range [0, {self._n_pages})"
             )
+
+
+def _default_opener(path: str, mode: str):
+    return open(path, mode)

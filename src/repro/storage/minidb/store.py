@@ -40,10 +40,18 @@ class MiniDbFeatureStore(FeatureStore):
 
     ``path=None`` uses a private temporary file removed on close;
     ``cache_pages`` sizes the buffer pool (warm-cache capacity).
+    ``checksums`` / ``wal`` / ``fsync`` are the durability knobs (all
+    page writes checksummed and every write batch atomic by default —
+    see docs/durability.md).
     """
 
     def __init__(
-        self, path: Optional[str] = None, cache_pages: int = 256
+        self,
+        path: Optional[str] = None,
+        cache_pages: int = 256,
+        checksums: bool = True,
+        wal: bool = True,
+        fsync: bool = False,
     ) -> None:
         if path is None:
             fd, path = tempfile.mkstemp(prefix="segdiff-", suffix=".minidb")
@@ -53,16 +61,23 @@ class MiniDbFeatureStore(FeatureStore):
         else:
             self._owns_file = False
         self.path = path
-        self.db = MiniDatabase(path, cache_pages=cache_pages)
-        for name, width in (
-            ("drop_points", 6),
-            ("jump_points", 6),
-            ("drop_lines", 8),
-            ("jump_lines", 8),
-            ("segments", 4),
-        ):
-            if not self.db.has_table(name):
-                self.db.create_table(name, width)
+        self.db = MiniDatabase(
+            path,
+            cache_pages=cache_pages,
+            checksums=checksums,
+            wal=wal,
+            fsync=fsync,
+        )
+        with self.db.transaction():
+            for name, width in (
+                ("drop_points", 6),
+                ("jump_points", 6),
+                ("drop_lines", 8),
+                ("jump_lines", 8),
+                ("segments", 4),
+            ):
+                if not self.db.has_table(name):
+                    self.db.create_table(name, width)
         self._closed = False
         self._indexed_rows: Dict[str, int] = {
             t: -1 for t in _FEATURE_TABLES
@@ -78,7 +93,16 @@ class MiniDbFeatureStore(FeatureStore):
     # ------------------------------------------------------------------ #
 
     def add(self, features: FeatureSet) -> None:
+        # deliberately NOT a transaction of its own: committing per
+        # feature set would make a segment durable before all of its
+        # pairs are, and a crash in between is unrecoverable (resume()
+        # only regenerates pairs for segments after the last stored
+        # one).  Work stays in the pool/WAL-pending until a checkpoint
+        # boundary (finalize/set_meta) commits it.
         self._check_open()
+        self._add(features)
+
+    def _add(self, features: FeatureSet) -> None:
         ident = features.pair.as_tuple()
         for p in features.drop_points:
             self.db.table("drop_points").insert((p.dt, p.dv) + ident)
@@ -96,16 +120,18 @@ class MiniDbFeatureStore(FeatureStore):
     def finalize(self) -> None:
         """(Re)build the Section 4.4 B+trees and checkpoint the file."""
         self._check_open()
-        for name in _FEATURE_TABLES:
-            table = self.db.table(name)
-            if table.n_rows == self._indexed_rows[name]:
-                continue  # index already current
-            key_cols = (0, 1) if table.width == 6 else (0, 1, 2, 3)
-            table.create_index("by_key", key_cols)
-            self._indexed_rows[name] = table.n_rows
+        with self.db.transaction():
+            for name in _FEATURE_TABLES:
+                table = self.db.table(name)
+                if table.n_rows == self._indexed_rows[name]:
+                    continue  # index already current
+                key_cols = (0, 1) if table.width == 6 else (0, 1, 2, 3)
+                table.create_index("by_key", key_cols)
+                self._indexed_rows[name] = table.n_rows
         self.db.checkpoint()
 
     def add_segment(self, segment) -> None:
+        # uncommitted until the next checkpoint boundary — see add()
         self._check_open()
         self.db.table("segments").insert(
             (segment.t_start, segment.v_start, segment.t_end, segment.v_end)
@@ -269,13 +295,20 @@ class MiniDbFeatureStore(FeatureStore):
         )
         return pages * PAGE_SIZE
 
+    def check(self):
+        """Run the MiniDB fsck pass; returns a list of CorruptionErrors."""
+        self._check_open()
+        return self.db.check()
+
     def close(self) -> None:
         if self._closed:
             return
         self.db.close()
         self._closed = True
-        if self._owns_file and os.path.exists(self.path):
-            os.unlink(self.path)
+        if self._owns_file:
+            for leftover in (self.path, self.path + ".wal"):
+                if os.path.exists(leftover):
+                    os.unlink(leftover)
 
     def _check_open(self) -> None:
         if self._closed:

@@ -1,0 +1,244 @@
+"""Physical write-ahead log for the MiniDB pager.
+
+The WAL makes multi-page operations atomic: instead of updating the main
+page file in place, the pager appends **after-images** of dirty pages to
+``<path>.wal`` and seals each batch with a commit record.  Only committed
+frames are ever copied back into the main file (a *checkpoint transfer*),
+so a crash at any instant leaves one of two recoverable states:
+
+* the main file untouched plus a WAL whose committed prefix replays the
+  transaction, or
+* the main file partially/fully updated plus the same WAL — replay is
+  idempotent.
+
+File layout (little-endian)::
+
+    header:  8s magic "MDBWAL01" | i32 page_size
+    frame:   u8 kind=1 | i32 page_id | u32 crc32(payload) | payload
+    commit:  u8 kind=2 | i32 sequence | u32 crc32(first 5 bytes)
+
+Recovery scans the file from the header; a short read, unknown kind, or
+CRC mismatch ends the scan, and everything after the last intact commit
+record is discarded (truncated).  That tail is by construction exactly
+the uncommitted/torn suffix, so recovery never loses committed data and
+never resurrects a partial transaction.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from ...errors import CorruptionError, RecoveryError
+
+__all__ = ["WriteAheadLog"]
+
+_MAGIC = b"MDBWAL01"
+_HEADER = struct.Struct("<8si")  # magic, page_size
+_RECORD = struct.Struct("<BiI")  # kind, page_id | sequence, crc32
+_FRAME = 1
+_COMMIT = 2
+
+
+def _default_opener(path: str, mode: str):
+    # buffering=0 so every logical write is one OS write — the unit the
+    # fault-injection harness counts and tears
+    return open(path, mode, buffering=0)
+
+
+class WriteAheadLog:
+    """Append-only page log with commit records (see module docstring).
+
+    Parameters
+    ----------
+    path:
+        Log file; created (with a fresh header) if missing.
+    page_size:
+        Size of every frame payload; must match the pager's.
+    fsync:
+        Issue a real ``fsync`` after each commit record.  Off by default:
+        the crash model exercised by the test harness is at the file-API
+        level, and tests/benchmarks should not pay for disk barriers.
+    opener:
+        ``(path, mode) -> file`` hook so the fault harness can interpose.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        page_size: int,
+        fsync: bool = False,
+        opener: Optional[Callable] = None,
+    ) -> None:
+        self.path = path
+        self.page_size = page_size
+        self.fsync = fsync
+        opener = opener or _default_opener
+        fresh = not os.path.exists(path)
+        if fresh:
+            opener(path, "xb").close()
+        self._file = opener(path, "r+b")
+        # page_id -> (payload offset, crc) for frames sealed by a commit
+        self._committed: Dict[int, Tuple[int, int]] = {}
+        # same, for frames of the in-flight transaction
+        self._pending: Dict[int, Tuple[int, int]] = {}
+        self._sequence = 0
+        if fresh:
+            self._file.write(_HEADER.pack(_MAGIC, page_size))
+            self._commit_end = self._end = _HEADER.size
+        else:
+            self._recover()
+
+    # ------------------------------------------------------------------ #
+    # recovery
+    # ------------------------------------------------------------------ #
+
+    def _recover(self) -> None:
+        """Rebuild the committed index; truncate the uncommitted tail."""
+        self._file.seek(0)
+        header = self._file.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            # torn header: the log never held a commit, start over
+            self._file.seek(0)
+            self._file.truncate(0)
+            self._file.write(_HEADER.pack(_MAGIC, self.page_size))
+            self._commit_end = self._end = _HEADER.size
+            return
+        magic, page_size = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise RecoveryError(f"{self.path}: not a MiniDB WAL file")
+        if page_size != self.page_size:
+            raise RecoveryError(
+                f"{self.path}: WAL page size {page_size} does not match "
+                f"pager page size {self.page_size}"
+            )
+        pos = _HEADER.size
+        commit_end = pos
+        pending: Dict[int, Tuple[int, int]] = {}
+        while True:
+            rec = self._file.read(_RECORD.size)
+            if len(rec) < _RECORD.size:
+                break
+            kind, field, crc = _RECORD.unpack(rec)
+            if kind == _FRAME:
+                payload = self._file.read(self.page_size)
+                if len(payload) < self.page_size:
+                    break  # torn frame
+                if zlib.crc32(payload) != crc:
+                    break  # torn/corrupt frame
+                pending[field] = (pos + _RECORD.size, crc)
+                pos += _RECORD.size + self.page_size
+            elif kind == _COMMIT:
+                if zlib.crc32(rec[:5]) != crc:
+                    break  # torn commit record
+                self._committed.update(pending)
+                pending.clear()
+                self._sequence = field
+                pos += _RECORD.size
+                commit_end = pos
+            else:
+                break  # garbage
+        self._file.truncate(commit_end)
+        self._commit_end = self._end = commit_end
+
+    # ------------------------------------------------------------------ #
+    # logging
+    # ------------------------------------------------------------------ #
+
+    def append(self, page_id: int, data: bytes) -> None:
+        """Log one page after-image (uncommitted until :meth:`commit`)."""
+        if len(data) != self.page_size:
+            raise RecoveryError(
+                f"WAL frame must be {self.page_size} bytes, got {len(data)}"
+            )
+        crc = zlib.crc32(data)
+        self._file.seek(self._end)
+        # one write call per frame: a torn frame is a prefix of this record
+        self._file.write(_RECORD.pack(_FRAME, page_id, crc) + data)
+        self._pending[page_id] = (self._end + _RECORD.size, crc)
+        self._end += _RECORD.size + self.page_size
+
+    def commit(self) -> None:
+        """Seal every pending frame with a commit record (+ optional fsync)."""
+        if not self._pending:
+            return
+        self._sequence += 1
+        rec = _RECORD.pack(_COMMIT, self._sequence, 0)
+        rec = rec[:5] + struct.pack("<I", zlib.crc32(rec[:5]))
+        self._file.seek(self._end)
+        self._file.write(rec)
+        self._file.flush()
+        if self.fsync:
+            self._fsync()
+        self._end += _RECORD.size
+        self._commit_end = self._end
+        self._committed.update(self._pending)
+        self._pending.clear()
+
+    def rollback(self) -> None:
+        """Discard the in-flight transaction's frames."""
+        self._pending.clear()
+        self._file.truncate(self._commit_end)
+        self._end = self._commit_end
+
+    def reset(self) -> None:
+        """Empty the log (after its pages were transferred + fsynced)."""
+        self._pending.clear()
+        self._committed.clear()
+        self._file.truncate(_HEADER.size)
+        self._commit_end = self._end = _HEADER.size
+
+    def _fsync(self) -> None:
+        fsync = getattr(self._file, "fsync", None)
+        if fsync is not None:
+            fsync()
+        else:
+            os.fsync(self._file.fileno())
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pending or page_id in self._committed
+
+    def read(self, page_id: int) -> bytes:
+        """Latest logged image of a page (pending wins over committed)."""
+        entry = self._pending.get(page_id) or self._committed.get(page_id)
+        if entry is None:
+            raise RecoveryError(f"page {page_id} is not in the WAL")
+        offset, crc = entry
+        self._file.seek(offset)
+        data = self._file.read(self.page_size)
+        if len(data) < self.page_size or zlib.crc32(data) != crc:
+            raise CorruptionError(
+                f"{self.path}: WAL frame for page {page_id} is corrupt"
+            )
+        return data
+
+    def committed_pages(self) -> Iterable[int]:
+        """Page ids with a committed frame (checkpoint-transfer work list)."""
+        return sorted(self._committed)
+
+    @property
+    def max_committed_page(self) -> int:
+        """Highest committed page id, or -1 when the log is empty."""
+        return max(self._committed) if self._committed else -1
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._committed and not self._pending
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self, delete: bool = False) -> None:
+        """Close the log file; ``delete=True`` after a clean checkpoint."""
+        try:
+            self._file.close()
+        finally:
+            if delete and os.path.exists(self.path):
+                os.unlink(self.path)

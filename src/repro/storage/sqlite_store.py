@@ -21,7 +21,8 @@ import os
 import sqlite3
 import tempfile
 import threading
-from typing import Dict, List, Optional
+import time
+from typing import Callable, Dict, List, Optional, TypeVar
 
 from ..core.corners import FeatureSet
 from ..core.queries import line_query_sql, point_query_sql
@@ -42,16 +43,35 @@ from .schema import (
 __all__ = ["SqliteFeatureStore"]
 
 _BATCH = 5_000
+_T = TypeVar("_T")
+
+
+def _is_transient(exc: sqlite3.OperationalError) -> bool:
+    """Lock contention errors that a retry can cure."""
+    msg = str(exc).lower()
+    return "locked" in msg or "busy" in msg
 
 
 class SqliteFeatureStore(FeatureStore):
     """Feature store over a SQLite file (see module docstring).
 
     ``path=None`` creates a private temporary database file removed on
-    :meth:`close`.
+    :meth:`close`.  ``busy_timeout`` (seconds) makes SQLite itself wait
+    on locked databases; on top of it, transient
+    ``sqlite3.OperationalError`` s ("database is locked"/"busy") are
+    retried up to ``max_retries`` times with exponential backoff before
+    surfacing as :class:`StorageError` — a writer no longer falls over
+    because a dashboard reader held the file for a moment.
     """
 
-    def __init__(self, path: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        busy_timeout: float = 5.0,
+        max_retries: int = 5,
+    ) -> None:
+        self.busy_timeout = float(busy_timeout)
+        self.max_retries = int(max_retries)
         if path is None:
             fd, path = tempfile.mkstemp(prefix="segdiff-", suffix=".sqlite")
             os.close(fd)
@@ -76,10 +96,23 @@ class SqliteFeatureStore(FeatureStore):
     def _connect(self, cross_thread: bool = False) -> sqlite3.Connection:
         # cross_thread connections are used by exactly one reader thread
         # (via thread-local storage) but must be closable by the owner
-        conn = sqlite3.connect(self.path, check_same_thread=not cross_thread)
+        conn = sqlite3.connect(
+            self.path,
+            timeout=self.busy_timeout,
+            check_same_thread=not cross_thread,
+        )
         try:
-            conn.execute("PRAGMA journal_mode = OFF")
+            # the default rollback journal (DELETE) is required for
+            # crash safety: with journaling OFF a process killed
+            # mid-commit leaves a malformed database that no resume can
+            # salvage.  synchronous=OFF only skips fsync barriers —
+            # safe against process death, not power loss — and keeps
+            # the build benchmarks honest.
+            conn.execute("PRAGMA journal_mode = DELETE")
             conn.execute("PRAGMA synchronous = OFF")
+            conn.execute(
+                f"PRAGMA busy_timeout = {int(self.busy_timeout * 1000)}"
+            )
         except sqlite3.DatabaseError as exc:
             conn.close()
             raise StorageError(
@@ -117,6 +150,22 @@ class SqliteFeatureStore(FeatureStore):
         }
         return all(idx in names for idx in INDEX_NAMES.values())
 
+    def _with_retry(self, fn: Callable[[], _T]) -> _T:
+        """Run ``fn``, retrying transient lock errors with backoff."""
+        delay = 0.02
+        attempts = max(1, self.max_retries)
+        for attempt in range(attempts):
+            try:
+                return fn()
+            except sqlite3.OperationalError as exc:
+                if not _is_transient(exc) or attempt == attempts - 1:
+                    raise StorageError(
+                        f"{self.path}: {exc} "
+                        f"(after {attempt + 1} attempt(s))"
+                    ) from exc
+                time.sleep(delay)
+                delay *= 2
+
     # ------------------------------------------------------------------ #
     # writes
     # ------------------------------------------------------------------ #
@@ -146,54 +195,80 @@ class SqliteFeatureStore(FeatureStore):
                 continue
             width = 6 if table in POINT_TABLES.values() else 8
             placeholders = ",".join("?" * width)
-            self._conn.executemany(
-                f"INSERT INTO {table} VALUES ({placeholders})", rows
+            self._with_retry(
+                lambda: self._conn.executemany(
+                    f"INSERT INTO {table} VALUES ({placeholders})", rows
+                )
             )
             rows.clear()
-        self._conn.commit()
+        # no commit here: a buffer flush mid-stream must never create a
+        # durable cut, or a crash could persist a segment without the
+        # rest of its feature pairs (resume() would not regenerate them);
+        # only finalize()/checkpoint boundaries commit
 
     def finalize(self) -> None:
         """Flush pending rows and (re)build the Section 4.4 B-trees."""
         self._check_open()
         self._flush()
         if not self._indexed:
-            for ddl in CREATE_INDEX_SQL.values():
-                self._conn.execute(ddl)
-            self._conn.execute("ANALYZE")
-            self._conn.commit()
+
+            def build() -> None:
+                for ddl in CREATE_INDEX_SQL.values():
+                    self._conn.execute(ddl)
+                self._conn.execute("ANALYZE")
+
+            self._with_retry(build)
             self._indexed = True
+        self._with_retry(self._conn.commit)
 
     def add_segment(self, segment) -> None:
         self._check_open()
-        self._conn.execute(
-            "INSERT INTO segments (t_start, v_start, t_end, v_end) "
-            "VALUES (?, ?, ?, ?)",
-            (segment.t_start, segment.v_start, segment.t_end, segment.v_end),
+        self._with_retry(
+            lambda: self._conn.execute(
+                "INSERT INTO segments (t_start, v_start, t_end, v_end) "
+                "VALUES (?, ?, ?, ?)",
+                (
+                    segment.t_start,
+                    segment.v_start,
+                    segment.t_end,
+                    segment.v_end,
+                ),
+            )
         )
 
     def load_segments(self) -> list:
         from ..types import DataSegment
 
         self._check_open()
-        rows = self._conn.execute(
-            "SELECT t_start, v_start, t_end, v_end FROM segments "
-            "ORDER BY seq"
-        ).fetchall()
+        try:
+            rows = self._conn.execute(
+                "SELECT t_start, v_start, t_end, v_end FROM segments "
+                "ORDER BY seq"
+            ).fetchall()
+        except sqlite3.DatabaseError as exc:
+            raise StorageError(f"{self.path}: {exc}") from exc
         return [DataSegment(*row) for row in rows]
 
     def set_meta(self, key: str, value: float) -> None:
         self._check_open()
-        self._conn.execute(
-            "INSERT OR REPLACE INTO segdiff_meta VALUES (?, ?)",
-            (key, float(value)),
-        )
-        self._conn.commit()
+
+        def write() -> None:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO segdiff_meta VALUES (?, ?)",
+                (key, float(value)),
+            )
+            self._conn.commit()
+
+        self._with_retry(write)
 
     def get_meta(self, key: str):
         self._check_open()
-        row = self._conn.execute(
-            "SELECT value FROM segdiff_meta WHERE key = ?", (key,)
-        ).fetchone()
+        try:
+            row = self._conn.execute(
+                "SELECT value FROM segdiff_meta WHERE key = ?", (key,)
+            ).fetchone()
+        except sqlite3.DatabaseError as exc:
+            raise StorageError(f"{self.path}: {exc}") from exc
         return None if row is None else float(row[0])
 
     def drop_indexes(self) -> None:
@@ -241,15 +316,19 @@ class SqliteFeatureStore(FeatureStore):
 
         if cache == "cold":
             if threading.get_ident() == self._owner_thread:
-                self._conn.commit()
+                self._with_retry(self._conn.commit)
             conn = self._connect()
             try:
                 conn.execute("PRAGMA cache_size = -64")  # 64 KiB only
-                rows = conn.execute(sql, params).fetchall()
+                rows = self._with_retry(
+                    lambda: conn.execute(sql, params).fetchall()
+                )
             finally:
                 conn.close()
         else:
-            rows = self._reader().execute(sql, params).fetchall()
+            rows = self._with_retry(
+                lambda: self._reader().execute(sql, params).fetchall()
+            )
         return [SegmentPair(*row) for row in sorted(set(rows))]
 
     def _reader(self) -> sqlite3.Connection:

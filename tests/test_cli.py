@@ -125,3 +125,108 @@ class TestSmoothing:
         a = load_series_csv(csv_path)
         b = load_series_csv(out)
         assert len(a) == len(b)
+
+
+class TestFsck:
+    def test_clean_sqlite_index(self, index_path, capsys):
+        assert main(["fsck", index_path]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_clean_minidb(self, tmp_path, capsys):
+        from repro.storage.minidb import MiniDatabase
+
+        path = str(tmp_path / "t.mdb")
+        with MiniDatabase(path) as db:
+            t = db.create_table("t", 2)
+            for i in range(100):
+                t.insert((float(i), 0.0))
+        assert main(["fsck", path]) == 0
+        assert "(minidb): ok" in capsys.readouterr().out
+
+    def test_corrupted_minidb_reported(self, tmp_path, capsys):
+        from repro.storage.minidb import PAGE_SIZE, MiniDatabase
+
+        path = str(tmp_path / "t.mdb")
+        with MiniDatabase(path) as db:
+            t = db.create_table("t", 2)
+            for i in range(100):
+                t.insert((float(i), 0.0))
+        with open(path, "r+b") as fh:
+            fh.seek(PAGE_SIZE + 17)
+            fh.write(b"\xff")
+        assert main(["fsck", path]) == 1
+        out = capsys.readouterr().out
+        assert "problem" in out and "checksum" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["fsck", str(tmp_path / "nope.mdb")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBuildResume:
+    def test_build_with_checkpoints(self, tmp_path, csv_path, capsys):
+        idx = str(tmp_path / "ck.idx")
+        assert (
+            main(["build", csv_path, "--index", idx,
+                  "--checkpoint-every", "100"])
+            == 0
+        )
+        assert "built" in capsys.readouterr().out
+        assert main(["fsck", idx]) == 0
+
+    def test_resume_interrupted_build(self, tmp_path, csv_path, capsys):
+        from repro.core.index import SegDiffIndex
+        from repro.datagen import load_series_csv
+        from repro.storage.sqlite_store import SqliteFeatureStore
+
+        series = load_series_csv(csv_path)
+        idx = str(tmp_path / "part.idx")
+        # interrupt a build mid-stream (checkpoint, then "crash")
+        partial = SegDiffIndex(0.2, 8 * 3600.0, SqliteFeatureStore(idx))
+        for t, v in zip(series.times[:200], series.values[:200]):
+            partial.append(float(t), float(v))
+        partial.checkpoint()
+        partial.store._conn.close()
+
+        assert (
+            main(["build", csv_path, "--index", idx, "--resume"]) == 0
+        )
+        assert "built" in capsys.readouterr().out
+        # the resumed index equals a from-scratch build
+        ref_idx = str(tmp_path / "ref.idx")
+        assert main(["build", csv_path, "--index", ref_idx]) == 0
+        capsys.readouterr()
+        resumed = SegDiffIndex.open(idx)
+        ref = SegDiffIndex.open(ref_idx)
+        try:
+            assert set(resumed.search_drops(3600.0, -3.0)) == set(
+                ref.search_drops(3600.0, -3.0)
+            )
+        finally:
+            resumed.close()
+            ref.close()
+
+    def test_resume_ignores_divergent_flags(self, tmp_path, csv_path, capsys):
+        from repro.core.index import SegDiffIndex
+        from repro.datagen import load_series_csv
+        from repro.storage.sqlite_store import SqliteFeatureStore
+
+        series = load_series_csv(csv_path)
+        idx = str(tmp_path / "p.idx")
+        partial = SegDiffIndex(0.2, 8 * 3600.0, SqliteFeatureStore(idx))
+        for t, v in zip(series.times[:100], series.values[:100]):
+            partial.append(float(t), float(v))
+        partial.checkpoint()
+        partial.store._conn.close()
+
+        assert (
+            main(["build", csv_path, "--index", idx, "--resume",
+                  "--epsilon", "0.9"])
+            == 0
+        )
+        assert "flags ignored" in capsys.readouterr().err
+        reopened = SegDiffIndex.open(idx)
+        try:
+            assert reopened.epsilon == 0.2
+        finally:
+            reopened.close()

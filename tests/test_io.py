@@ -57,3 +57,28 @@ class TestMalformedInput:
         path = tmp_path / "ok.csv"
         path.write_text("t,v\n0,1\n\n1,2\n")
         assert len(load_series_csv(path)) == 2
+
+    @pytest.mark.parametrize("bad", ["nan", "inf", "-inf", "NaN", "Infinity"])
+    def test_non_finite_value_rejected(self, tmp_path, bad):
+        path = tmp_path / "bad.csv"
+        path.write_text(f"t,v\n0,1\n1,{bad}\n")
+        with pytest.raises(InvalidSeriesError, match="non-finite"):
+            load_series_csv(path)
+
+    def test_non_finite_timestamp_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("t,v\n0,1\ninf,2\n")
+        with pytest.raises(InvalidSeriesError, match=r":3.*non-finite"):
+            load_series_csv(path)
+
+    def test_decreasing_timestamp_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("t,v\n0,1\n5,2\n3,4\n")
+        with pytest.raises(InvalidSeriesError, match=r":4.*does not increase"):
+            load_series_csv(path)
+
+    def test_duplicate_timestamp_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("t,v\n0,1\n0,2\n")
+        with pytest.raises(InvalidSeriesError, match="does not increase"):
+            load_series_csv(path)

@@ -8,6 +8,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import InvalidParameterError, StorageError
 from repro.storage.minidb import (
+    PAGE_CAPACITY,
     PAGE_SIZE,
     BPlusTree,
     HeapFile,
@@ -15,6 +16,11 @@ from repro.storage.minidb import (
     Pager,
     RID,
 )
+
+
+def page_of(fill: int) -> bytes:
+    """A full page whose caller-owned capacity bytes are ``fill``."""
+    return bytes([fill]) * PAGE_CAPACITY + bytes(PAGE_SIZE - PAGE_CAPACITY)
 
 
 @pytest.fixture
@@ -27,9 +33,9 @@ def pager(tmp_path):
 class TestPager:
     def test_allocate_and_roundtrip(self, pager):
         pid = pager.allocate()
-        data = bytes([7]) * PAGE_SIZE
+        data = page_of(7)
         pager.write(pid, data)
-        assert pager.read(pid) == data
+        assert pager.read(pid)[:PAGE_CAPACITY] == data[:PAGE_CAPACITY]
 
     def test_wrong_size_write_rejected(self, pager):
         pid = pager.allocate()
@@ -45,13 +51,13 @@ class TestPager:
         p = Pager(path)
         pids = [p.allocate() for _ in range(5)]
         for i, pid in enumerate(pids):
-            p.write(pid, bytes([i]) * PAGE_SIZE)
+            p.write(pid, page_of(i))
         p.close()
         p2 = Pager(path)
         try:
             assert p2.n_pages == 5
             for i, pid in enumerate(pids):
-                assert p2.read(pid) == bytes([i]) * PAGE_SIZE
+                assert p2.read(pid)[:PAGE_CAPACITY] == page_of(i)[:PAGE_CAPACITY]
         finally:
             p2.close()
 
@@ -60,7 +66,7 @@ class TestPager:
         p = Pager(path, cache_pages=2)
         pids = [p.allocate() for _ in range(10)]
         for i, pid in enumerate(pids):
-            p.write(pid, bytes([i]) * PAGE_SIZE)
+            p.write(pid, page_of(i))
         # most pages were evicted by now; all must read back correctly
         for i, pid in enumerate(pids):
             assert p.read(pid)[0] == i
@@ -80,9 +86,9 @@ class TestPager:
 
     def test_drop_cache_preserves_data(self, pager):
         pid = pager.allocate()
-        pager.write(pid, bytes([9]) * PAGE_SIZE)
+        pager.write(pid, page_of(9))
         pager.drop_cache()
-        assert pager.read(pid) == bytes([9]) * PAGE_SIZE
+        assert pager.read(pid)[:PAGE_CAPACITY] == page_of(9)[:PAGE_CAPACITY]
 
     def test_closed_pager_unusable(self, tmp_path):
         p = Pager(str(tmp_path / "x.pages"))

@@ -1,0 +1,137 @@
+"""Tests for SqliteFeatureStore's lock-contention hardening.
+
+Transient ``database is locked`` / ``database is busy`` errors must be
+retried with backoff and only then surface as ``StorageError``;
+non-transient OperationalErrors must not be retried at all.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.core.corners import collect_features
+from repro.core.parallelogram import Parallelogram
+from repro.errors import StorageError
+from repro.storage import sqlite_store
+from repro.storage.sqlite_store import SqliteFeatureStore
+
+
+@pytest.fixture(autouse=True)
+def no_real_sleep(monkeypatch):
+    """Retries must not slow the test suite down."""
+    sleeps = []
+    monkeypatch.setattr(sqlite_store.time, "sleep", sleeps.append)
+    return sleeps
+
+
+class Flaky:
+    """Callable failing ``n`` times with the given error, then returning."""
+
+    def __init__(self, n, message="database is locked", result="ok"):
+        self.remaining = n
+        self.message = message
+        self.result = result
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise sqlite3.OperationalError(self.message)
+        return self.result
+
+
+class TestWithRetry:
+    def test_transient_error_retried_until_success(self, no_real_sleep):
+        store = SqliteFeatureStore()
+        try:
+            fn = Flaky(3)
+            assert store._with_retry(fn) == "ok"
+            assert fn.calls == 4
+            assert len(no_real_sleep) == 3
+        finally:
+            store.close()
+
+    def test_backoff_is_exponential(self, no_real_sleep):
+        store = SqliteFeatureStore()
+        try:
+            store._with_retry(Flaky(3))
+            assert no_real_sleep == sorted(no_real_sleep)
+            assert no_real_sleep[1] == pytest.approx(no_real_sleep[0] * 2)
+        finally:
+            store.close()
+
+    def test_exhausted_retries_raise_storage_error(self, no_real_sleep):
+        store = SqliteFeatureStore(max_retries=3)
+        try:
+            fn = Flaky(99)
+            with pytest.raises(StorageError, match="3 attempt"):
+                store._with_retry(fn)
+            assert fn.calls == 3
+        finally:
+            store.close()
+
+    def test_busy_message_also_transient(self, no_real_sleep):
+        store = SqliteFeatureStore()
+        try:
+            assert store._with_retry(Flaky(1, "database is busy")) == "ok"
+        finally:
+            store.close()
+
+    def test_non_transient_error_not_retried(self, no_real_sleep):
+        store = SqliteFeatureStore()
+        try:
+            fn = Flaky(99, "no such table: nope")
+            with pytest.raises(StorageError, match="no such table"):
+                store._with_retry(fn)
+            assert fn.calls == 1
+            assert no_real_sleep == []
+        finally:
+            store.close()
+
+
+class TestConnectionConfig:
+    def test_busy_timeout_pragma_applied(self):
+        store = SqliteFeatureStore(busy_timeout=2.5)
+        try:
+            (ms,) = store._conn.execute("PRAGMA busy_timeout").fetchone()
+            assert ms == 2500
+        finally:
+            store.close()
+
+    def test_write_path_recovers_from_contention(self, tmp_path):
+        """End to end: a flush hitting a locked database succeeds once the
+        lock clears."""
+
+        class ContendedConn:
+            """Delegates to a real connection; the first few executemany
+            calls see a locked database."""
+
+            def __init__(self, conn, failures):
+                self._conn = conn
+                self._failures = failures
+
+            def executemany(self, sql, rows):
+                if self._failures > 0:
+                    self._failures -= 1
+                    raise sqlite3.OperationalError("database is locked")
+                return self._conn.executemany(sql, rows)
+
+            def __getattr__(self, name):
+                return getattr(self._conn, name)
+
+        store = SqliteFeatureStore(str(tmp_path / "s.sqlite"))
+        try:
+            from repro.types import DataSegment
+
+            cd = DataSegment(0.0, 0.0, 10.0, 8.0)
+            ab = DataSegment(10.0, 8.0, 20.0, -5.0)
+            fs = collect_features(
+                Parallelogram.from_segments(cd, ab), epsilon=0.1
+            )
+            store.add(fs)
+            store._conn = ContendedConn(store._conn, failures=2)
+            store.finalize()  # flush + index build: must survive the lock
+            assert store.counts().total > 0
+        finally:
+            store.close()
