@@ -1,0 +1,119 @@
+"""Benches for the engine's batched grid execution (ISSUE 2 tentpole).
+
+A (T, V) grid of drop queries answered through
+``QuerySession.search_batch`` fetches candidates once per operator and
+answers every query with vectorized masks over the shared arrays; the
+per-query loop pays one store round-trip per query.  The batched path
+must (a) return exactly the loop's results on every backend and (b) be
+measurably faster at least on SQLite, where the per-query round-trip
+(SQL parse + B-tree descent) dominates.
+
+Run directly for a table of numbers::
+
+    PYTHONPATH=src python benchmarks/bench_engine_batch.py
+"""
+
+import time
+
+import pytest
+
+from repro.core.index import SegDiffIndex
+from repro.core.queries import DropQuery
+from repro.datagen import random_walk_series
+from repro.engine import QuerySession
+
+HOUR = 3600.0
+BACKENDS = ("memory", "sqlite", "minidb")
+
+
+def _grid():
+    return [
+        DropQuery(t_hours * HOUR, v)
+        for t_hours in (0.5, 1.0, 2.0, 4.0, 8.0)
+        for v in (-4.0, -2.0, -1.0, -0.5)
+    ]
+
+
+@pytest.fixture(scope="module", params=BACKENDS)
+def session(request):
+    series = random_walk_series(2500, dt=300.0, step_std=0.8, seed=41)
+    index = SegDiffIndex.build(series, 0.2, 8 * HOUR, backend=request.param)
+    yield request.param, index.session
+    index.close()
+
+
+def _time(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def run(backend: str, repeats: int = 3):
+    """(loop seconds, batched seconds) per mode for one backend."""
+    series = random_walk_series(2500, dt=300.0, step_std=0.8, seed=41)
+    index = SegDiffIndex.build(series, 0.2, 8 * HOUR, backend=backend)
+    grid = _grid()
+    out = {}
+    try:
+        sess = index.session
+        for mode in ("scan", "index"):
+            loop_s, loop_res = _time(
+                lambda m=mode: [sess.search(q, mode=m) for q in grid], repeats
+            )
+            batch_s, batch_res = _time(
+                lambda m=mode: sess.search_batch(grid, mode=m), repeats
+            )
+            assert batch_res == loop_res
+            out[mode] = (loop_s, batch_s)
+    finally:
+        index.close()
+    return out
+
+
+def test_batch_equals_loop(session):
+    _backend, sess = session
+    grid = _grid()
+    assert sess.search_batch(grid, mode="index") == [
+        sess.search(q, mode="index") for q in grid
+    ]
+    assert sess.search_batch(grid, mode="scan") == [
+        sess.search(q, mode="scan") for q in grid
+    ]
+
+
+def test_batch_faster_than_loop_on_sqlite(benchmark):
+    out = run("sqlite", repeats=3)
+    loop_s, batch_s = out["index"]
+    assert batch_s < loop_s, (
+        f"batched grid ({batch_s:.3f}s) must beat the per-query loop "
+        f"({loop_s:.3f}s) on sqlite"
+    )
+    benchmark.pedantic(lambda: run("sqlite", repeats=1), rounds=1, iterations=1)
+
+
+def test_session_is_reusable_across_modes(session):
+    _backend, sess = session
+    assert isinstance(sess, QuerySession)
+    q = DropQuery(HOUR, -2.0)
+    assert sess.search(q, mode="auto") == sess.search(q, mode="scan")
+
+
+def main() -> None:
+    header = f"{'backend':<8} {'mode':<6} {'loop':>10} {'batched':>10} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    for backend in BACKENDS:
+        for mode, (loop_s, batch_s) in run(backend).items():
+            print(
+                f"{backend:<8} {mode:<6} {loop_s:>9.4f}s {batch_s:>9.4f}s "
+                f"{loop_s / batch_s:>7.1f}x"
+            )
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

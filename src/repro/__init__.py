@@ -61,6 +61,13 @@ from .core import (
     witness_event,
 )
 from .core.queries import DropQuery, JumpQuery
+from .engine import (
+    CostModel,
+    ExplainReport,
+    QueryPlan,
+    QuerySession,
+    build_plan,
+)
 from .storage import MemoryFeatureStore, SqliteFeatureStore
 from .baselines import ExhIndex, NaiveScan
 
@@ -100,6 +107,11 @@ __all__ = [
     "QueryRegion",
     "DropQuery",
     "JumpQuery",
+    "QuerySession",
+    "QueryPlan",
+    "CostModel",
+    "ExplainReport",
+    "build_plan",
     "SearchHit",
     "witness_event",
     "summarize_hits",

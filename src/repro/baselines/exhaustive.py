@@ -22,7 +22,7 @@ import os
 import sqlite3
 import tempfile
 from collections import deque
-from typing import Deque, List, Optional, Tuple, Union
+from typing import Deque, List, Optional, Tuple
 
 import numpy as np
 

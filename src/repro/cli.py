@@ -6,6 +6,8 @@ Subcommands:
 * ``smooth``   — apply the paper's robust-smoothing preprocessing;
 * ``build``    — build a persistent SegDiff index (SQLite) from CSV;
 * ``search``   — run a drop/jump search against a built index;
+* ``explain``  — show the engine's chosen plan with estimated vs actual
+  row counts (EXPLAIN ANALYZE for a search);
 * ``stats``    — report a built index's sizes and composition;
 * ``fsck``     — check a database file (MiniDB or SQLite) for corruption;
 * ``experiments`` — run the paper's evaluation tables.
@@ -109,6 +111,13 @@ def cmd_search(args: argparse.Namespace) -> int:
     if args.deepest is not None:
         return _search_deepest(args, index, t_threshold)
     try:
+        if getattr(args, "explain", False):
+            kind = "drop" if args.drop is not None else "jump"
+            threshold = args.drop if args.drop is not None else args.jump
+            report = index.explain_report(
+                kind, t_threshold, threshold, mode=args.mode
+            )
+            print(report.render())
         if args.drop is not None:
             pairs = index.search_drops(t_threshold, args.drop, mode=args.mode)
             query = DropQuery(t_threshold, args.drop)
@@ -168,6 +177,31 @@ def _search_deepest(args: argparse.Namespace, index, t_threshold: float) -> int:
                 f"(start in [{hit.pair.t_d:.0f}, {hit.pair.t_c:.0f}], "
                 f"end in [{hit.pair.t_b:.0f}, {hit.pair.t_a:.0f}])"
             )
+    finally:
+        index.close()
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """EXPLAIN ANALYZE: run the search, report the plan and row counts."""
+    if (args.drop is None) == (args.jump is None):
+        print(
+            "error: exactly one of --drop or --jump is required",
+            file=sys.stderr,
+        )
+        return 2
+    kind = "drop" if args.drop is not None else "jump"
+    threshold = args.drop if args.drop is not None else args.jump
+    index = SegDiffIndex.open(args.index)
+    try:
+        report = index.explain_report(
+            kind,
+            args.within_minutes * 60.0,
+            threshold,
+            mode=args.mode,
+            cache=args.cache,
+        )
+        print(report.render())
     finally:
         index.close()
     return 0
@@ -291,7 +325,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print an exploration summary instead of the hit "
                         "list (needs --data)")
     p.add_argument("--limit", type=int, default=20)
+    p.add_argument("--explain", action="store_true",
+                   help="print the engine's chosen plan with estimated vs "
+                        "actual row counts before the results")
     p.set_defaults(func=cmd_search)
+
+    p = sub.add_parser(
+        "explain",
+        help="show the plan a search executes, with est vs actual rows",
+    )
+    p.add_argument("index")
+    p.add_argument("--drop", type=float, help="drop threshold V < 0")
+    p.add_argument("--jump", type=float, help="jump threshold V > 0")
+    p.add_argument("--within-minutes", type=float, default=60.0)
+    p.add_argument("--mode", choices=["auto", "index", "scan"],
+                   default="auto")
+    p.add_argument("--cache", choices=["warm", "cold"], default="warm")
+    p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser("stats", help="report a built index's composition")
     p.add_argument("index")

@@ -28,6 +28,7 @@ from typing import List, Optional
 
 from ..datagen.model import PiecewiseLinearSignal
 from ..datagen.series import TimeSeries
+from ..engine.session import ExplainReport, QuerySession
 from ..errors import InvalidParameterError, QueryError, StorageError
 from ..segmentation.sliding_window import SlidingWindowSegmenter
 from ..storage.base import FeatureStore, StoreCounts
@@ -37,7 +38,7 @@ from ..types import DataSegment, SegmentPair
 from .extraction import ExtractionStats, FeatureExtractor
 from .planner import QueryPlanner
 from .queries import DropQuery, JumpQuery
-from .results import SearchHit, rank_hits, witness_event
+from .results import SearchHit, witness_event
 
 __all__ = ["SegDiffIndex", "IndexStats"]
 
@@ -99,7 +100,7 @@ class SegDiffIndex:
         self._n_obs_covered = 0
         self._sealed = False
         self._resume_t: Optional[float] = None
-        self._planner: Optional[QueryPlanner] = None
+        self._session: Optional[QuerySession] = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -139,16 +140,31 @@ class SegDiffIndex:
         index.finalize()
         return index
 
+    @staticmethod
+    def _open_store(path: str) -> FeatureStore:
+        """Open a file-backed store, sniffing the format from its header."""
+        try:
+            with open(path, "rb") as fh:
+                magic = fh.read(16)
+        except OSError:
+            magic = b""
+        if magic.startswith(b"SQLite format 3"):
+            return SqliteFeatureStore(path)
+        from ..storage.minidb import MiniDbFeatureStore
+
+        return MiniDbFeatureStore(path)
+
     @classmethod
     def open(cls, path: str) -> "SegDiffIndex":
-        """Reopen a previously built, finalized SQLite index file.
+        """Reopen a previously built, finalized index file.
 
+        The backend (SQLite or MiniDB) is sniffed from the file header.
         The file is self-describing: build parameters and the data
         segments are stored alongside the features, so the reopened index
         can search, refine witnesses against its approximation, and
         report stats.  It cannot be extended (it is sealed).
         """
-        store = SqliteFeatureStore(path)
+        store = cls._open_store(path)
         epsilon = store.get_meta("epsilon")
         window = store.get_meta("window")
         if epsilon is None or window is None:
@@ -256,6 +272,13 @@ class SegDiffIndex:
         self._segments.append(segment)
         self.store.add_segment(segment)
         self._extractor.add_segment(segment)
+        # the store grew: selectivity samples drawn before this append
+        # must not steer post-append plan choices
+        self._invalidate_plans()
+
+    def _invalidate_plans(self) -> None:
+        if self._session is not None:
+            self._session.invalidate()
 
     def ingest(self, series: TimeSeries) -> None:
         """Stream a whole series into the index."""
@@ -310,6 +333,7 @@ class SegDiffIndex:
         finalized.
         """
         self.store.finalize()
+        self._invalidate_plans()
         self._write_meta()
 
     def finalize(self) -> None:
@@ -321,6 +345,7 @@ class SegDiffIndex:
         self._n_obs_covered = self._n_observations
         self.store.finalize()
         self._sealed = True
+        self._invalidate_plans()
         self._write_meta()
 
     def _write_meta(self) -> None:
@@ -341,14 +366,13 @@ class SegDiffIndex:
         """All segment pairs containing a drop of ``<= v_threshold`` within
         ``t_threshold`` seconds (Theorem 1 guarantees apply).
 
-        ``mode`` is ``"index"``, ``"scan"``, or ``"auto"`` (selectivity-
-        estimated plan choice — see :class:`QueryPlanner`).
+        ``mode`` is ``"index"``, ``"scan"``, ``"grid"`` (backends with a
+        grid access path), or ``"auto"`` (cost-modelled per-operator plan
+        choice — see :class:`repro.engine.cost.CostModel`).
         """
         query = DropQuery(t_threshold, v_threshold)
         self._validate_query(t_threshold)
-        if mode == "auto":
-            mode = self.planner.choose_mode("drop", t_threshold, v_threshold)
-        return self.store.search(query, mode=mode, **kw)
+        return self.session.search(query, mode=mode, **kw)
 
     def search_jumps(
         self, t_threshold: float, v_threshold: float, mode: str = "index", **kw
@@ -357,9 +381,16 @@ class SegDiffIndex:
         ``t_threshold`` seconds."""
         query = JumpQuery(t_threshold, v_threshold)
         self._validate_query(t_threshold)
-        if mode == "auto":
-            mode = self.planner.choose_mode("jump", t_threshold, v_threshold)
-        return self.store.search(query, mode=mode, **kw)
+        return self.session.search(query, mode=mode, **kw)
+
+    def search_batch(
+        self, queries: List, mode: str = "auto", cache: str = "warm"
+    ) -> List[List[SegmentPair]]:
+        """Answer a whole (T, V) grid of queries in one shared pass per
+        operator (see :meth:`repro.engine.QuerySession.search_batch`)."""
+        for q in queries:
+            self._validate_query(q.t_threshold)
+        return self.session.search_batch(queries, mode=mode, cache=cache)
 
     def search_deepest_drops(
         self,
@@ -389,9 +420,7 @@ class SegDiffIndex:
         v = floor
         pairs: List[SegmentPair] = []
         while True:
-            pairs = self.store.search(
-                DropQuery(t_threshold, v), mode=mode
-            )
+            pairs = self.session.search(DropQuery(t_threshold, v), mode=mode)
             if len(pairs) >= k or v >= -1e-9:
                 break
             v = max(v / 2.0, -1e-9)
@@ -399,7 +428,7 @@ class SegDiffIndex:
         # the current threshold might still out-rank a found one
         v_wide = min(v + 2.0 * self.epsilon, -1e-9)
         if v_wide > v:
-            pairs = self.store.search(
+            pairs = self.session.search(
                 DropQuery(t_threshold, v_wide), mode=mode
             )
 
@@ -421,11 +450,13 @@ class SegDiffIndex:
         verified_only: bool = False,
         mode: str = "index",
     ) -> List[SearchHit]:
-        """Drop search plus witness refinement against the raw series."""
-        pairs = self.search_drops(t_threshold, v_threshold, mode=mode)
-        return rank_hits(
-            pairs, data, DropQuery(t_threshold, v_threshold),
-            verified_only=verified_only,
+        """Drop search plus witness refinement against the raw series.
+
+        Executes as one engine plan ending in a ``RefineOp``."""
+        query = DropQuery(t_threshold, v_threshold)
+        self._validate_query(t_threshold)
+        return self.session.search(
+            query, mode=mode, data=data, verified_only=verified_only
         )
 
     def explain(
@@ -464,14 +495,43 @@ class SegDiffIndex:
             ),
             "point_rows": point_rows,
             "line_rows": line_rows,
+            "plan": self.session.plan(query, mode="auto"),
         }
+
+    def explain_report(
+        self,
+        kind: str,
+        t_threshold: float,
+        v_threshold: float,
+        mode: str = "auto",
+        cache: str = "warm",
+    ) -> ExplainReport:
+        """EXPLAIN ANALYZE: run the search and report the chosen plan
+        with estimated vs actual row counts per operator (and pages read
+        on the MiniDB backend)."""
+        if kind not in ("drop", "jump"):
+            raise InvalidParameterError(f"unknown search kind {kind!r}")
+        self._validate_query(t_threshold)
+        query = (
+            DropQuery(t_threshold, v_threshold)
+            if kind == "drop"
+            else JumpQuery(t_threshold, v_threshold)
+        )
+        return self.session.explain(query, mode=mode, cache=cache)
+
+    @property
+    def session(self) -> QuerySession:
+        """The engine session every search routes through (lazy)."""
+        if self._session is None:
+            self._session = QuerySession(
+                self.store, cost_model=QueryPlanner(self.store)
+            )
+        return self._session
 
     @property
     def planner(self) -> QueryPlanner:
         """The adaptive plan chooser for ``mode="auto"`` (lazy)."""
-        if self._planner is None:
-            self._planner = QueryPlanner(self.store)
-        return self._planner
+        return self.session.cost
 
     def _validate_query(self, t_threshold: float) -> None:
         if t_threshold > self.window:

@@ -2,8 +2,12 @@
 
 The paper's Figures 19-24 show that forced B-tree access *hurts* on hard
 queries — the large-result region of the query plane — while it wins on
-selective ones.  The paper leaves plan choice to the operator; this
-module closes that gap with a classical selectivity estimator:
+selective ones.  The paper leaves plan choice to the operator; the query
+engine closes that gap with the selectivity-sampling cost model in
+:mod:`repro.engine.cost`.
+
+:class:`QueryPlanner` is the historical name of that model and remains
+the classical whole-query rule of thumb:
 
 * at first use, the planner draws a row sample from the point-feature
   table of the queried search type;
@@ -12,25 +16,27 @@ module closes that gap with a classical selectivity estimator:
 * estimated selectivity above ``scan_threshold`` → sequential scan,
   below → index.
 
-``SegDiffIndex.search_drops(..., mode="auto")`` routes through this.
-The ablation bench measures how close the adaptive choice gets to the
-per-query oracle.
+``SegDiffIndex.search_drops(..., mode="auto")`` routes through this (by
+way of the per-operator :meth:`~repro.engine.cost.CostModel.plan`, which
+it inherits).  The ablation bench measures how close the adaptive choice
+gets to the per-query oracle.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
-import numpy as np
-
-from ..errors import InvalidParameterError
-from .queries import point_mask
+from ..engine.cost import CostModel
 
 __all__ = ["QueryPlanner"]
 
 
-class QueryPlanner:
+class QueryPlanner(CostModel):
     """Chooses ``"scan"`` or ``"index"`` for a query against a store.
+
+    A compatibility alias of :class:`repro.engine.cost.CostModel` — the
+    constructor signature, sampling behavior (``_samples`` cache,
+    :meth:`invalidate`), :meth:`estimate_selectivity` and
+    :meth:`choose_mode` are all unchanged; the per-operator
+    ``choose_access``/``plan`` layer is inherited on top.
 
     Parameters
     ----------
@@ -43,54 +49,3 @@ class QueryPlanner:
         of 2 % matches the classical rule of thumb for secondary B-trees
         over row stores.
     """
-
-    def __init__(
-        self,
-        store,
-        sample_size: int = 512,
-        scan_threshold: float = 0.02,
-    ) -> None:
-        if sample_size < 1:
-            raise InvalidParameterError("sample_size must be >= 1")
-        if not (0.0 < scan_threshold < 1.0):
-            raise InvalidParameterError("scan_threshold must be in (0, 1)")
-        self.store = store
-        self.sample_size = sample_size
-        self.scan_threshold = scan_threshold
-        self._samples: dict = {}
-
-    def _sample(self, kind: str) -> Optional[np.ndarray]:
-        if kind not in self._samples:
-            self._samples[kind] = self.store.sample_points(
-                kind, self.sample_size
-            )
-        return self._samples[kind]
-
-    def invalidate(self) -> None:
-        """Drop cached samples (call after bulk appends)."""
-        self._samples = {}
-
-    def estimate_selectivity(
-        self, kind: str, t_threshold: float, v_threshold: float
-    ) -> float:
-        """Estimated fraction of point features the query matches.
-
-        Falls back to 1.0 (pessimistic → scan) when the store is empty,
-        which is also the cheapest plan for an empty store.
-        """
-        sample = self._sample(kind)
-        if sample is None or len(sample) == 0:
-            return 1.0
-        mask = point_mask(
-            kind, sample[:, 0], sample[:, 1], t_threshold, v_threshold
-        )
-        return float(mask.mean())
-
-    def choose_mode(
-        self, kind: str, t_threshold: float, v_threshold: float
-    ) -> str:
-        """``"scan"`` for estimated-hard queries, ``"index"`` otherwise."""
-        selectivity = self.estimate_selectivity(
-            kind, t_threshold, v_threshold
-        )
-        return "scan" if selectivity > self.scan_threshold else "index"

@@ -27,8 +27,12 @@ __all__ = [
     "JumpQuery",
     "point_mask",
     "line_mask",
+    "point_match",
+    "line_match",
     "point_query_sql",
     "line_query_sql",
+    "point_candidate_sql",
+    "line_candidate_sql",
 ]
 
 
@@ -124,10 +128,53 @@ def line_mask(
 
 
 # ---------------------------------------------------------------------- #
+# scalar predicates (row-at-a-time backends: MiniDB key filtering)
+# ---------------------------------------------------------------------- #
+
+
+def point_match(
+    kind: str, dt: float, dv: float, t_thr: float, v_thr: float
+) -> bool:
+    """Scalar form of :func:`point_mask` for one stored corner."""
+    if dt > t_thr:
+        return False
+    if kind == "drop":
+        return dv <= v_thr
+    if kind == "jump":
+        return dv >= v_thr
+    raise InvalidParameterError(f"unknown query kind {kind!r}")
+
+
+def line_match(
+    kind: str,
+    dt1: float,
+    dv1: float,
+    dt2: float,
+    dv2: float,
+    t_thr: float,
+    v_thr: float,
+) -> bool:
+    """Scalar form of :func:`line_mask` for one stored boundary edge."""
+    if kind == "drop":
+        if not (dt1 <= t_thr and dv1 > v_thr and dt2 > t_thr and dv2 < v_thr):
+            return False
+        value = dv1 + (dv2 - dv1) / (dt2 - dt1) * (t_thr - dt1)
+        return value <= v_thr
+    if kind == "jump":
+        if not (dt1 <= t_thr and dv1 < v_thr and dt2 > t_thr and dv2 > v_thr):
+            return False
+        value = dv1 + (dv2 - dv1) / (dt2 - dt1) * (t_thr - dt1)
+        return value >= v_thr
+    raise InvalidParameterError(f"unknown query kind {kind!r}")
+
+
+# ---------------------------------------------------------------------- #
 # SQL builders (sqlite store)
 # ---------------------------------------------------------------------- #
 
 _RESULT_COLS = "t_d, t_c, t_b, t_a"
+_POINT_ROW_COLS = "dt, dv, " + _RESULT_COLS
+_LINE_ROW_COLS = "dt1, dv1, dt2, dv2, " + _RESULT_COLS
 
 
 def point_query_sql(kind: str, table: str, index_hint: str = "") -> str:
@@ -157,3 +204,63 @@ def line_query_sql(kind: str, table: str, index_hint: str = "") -> str:
         f"WHERE dt1 <= :T AND dv1 {end1} :V AND dt2 > :T AND dv2 {end2} :V "
         f"AND dv1 + (dv2 - dv1) / (dt2 - dt1) * (:T - dt1) {cross} :V"
     )
+
+
+# ---------------------------------------------------------------------- #
+# candidate SQL (engine physical primitives) — full rows, optional
+# predicate pushdown
+# ---------------------------------------------------------------------- #
+
+
+def point_candidate_sql(
+    kind: str,
+    table: str,
+    index_hint: str = "",
+    with_t: bool = False,
+    with_v: bool = False,
+) -> str:
+    """Full-row point candidates for the engine's physical interface.
+
+    With neither flag this is a bare sequential pass; ``with_t`` adds the
+    index-prunable ``dt <= :T`` bound, ``with_v`` pushes the value half
+    of the predicate down too (an optimization only — the executor
+    re-applies the exact predicate either way).
+    """
+    clauses = []
+    if with_t:
+        clauses.append("dt <= :T")
+    if with_v:
+        op = "<=" if kind == "drop" else ">="
+        if kind not in ("drop", "jump"):
+            raise InvalidParameterError(f"unknown query kind {kind!r}")
+        clauses.append(f"dv {op} :V")
+    where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+    return f"SELECT {_POINT_ROW_COLS} FROM {table} {index_hint}{where}"
+
+
+def line_candidate_sql(
+    kind: str,
+    table: str,
+    index_hint: str = "",
+    with_t: bool = False,
+    with_v: bool = False,
+) -> str:
+    """Full-row line candidates; flags as in :func:`point_candidate_sql`."""
+    clauses = []
+    if with_t:
+        clauses.append("dt1 <= :T")
+    if with_v:
+        if kind == "drop":
+            end1, end2, cross = ">", "<", "<="
+        elif kind == "jump":
+            end1, end2, cross = "<", ">", ">="
+        else:
+            raise InvalidParameterError(f"unknown query kind {kind!r}")
+        clauses.append(f"dv1 {end1} :V")
+        clauses.append("dt2 > :T")
+        clauses.append(f"dv2 {end2} :V")
+        clauses.append(
+            f"dv1 + (dv2 - dv1) / (dt2 - dt1) * (:T - dt1) {cross} :V"
+        )
+    where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+    return f"SELECT {_LINE_ROW_COLS} FROM {table} {index_hint}{where}"

@@ -102,16 +102,20 @@ class TieredIndex:
         v_threshold: float,
         max_tolerance: Optional[float] = None,
         mode: str = "index",
+        cache: str = "warm",
     ) -> List[SegmentPair]:
         """Drop search routed to the coarsest admissible tier.
 
         A natural ``max_tolerance`` is a fraction of the drop magnitude,
         e.g. ``abs(v_threshold) * 0.2`` — "I accept periods whose deepest
-        drop is within 20 % of what I asked for".
+        drop is within 20 % of what I asked for".  ``mode`` and ``cache``
+        are the engine plan options of
+        :meth:`SegDiffIndex.search_drops` (``"auto"`` included), passed
+        through to the chosen tier unchanged.
         """
         eps = self.choose_tier(max_tolerance)
         return self._tiers[eps].search_drops(
-            t_threshold, v_threshold, mode=mode
+            t_threshold, v_threshold, mode=mode, cache=cache
         )
 
     def search_jumps(
@@ -120,11 +124,12 @@ class TieredIndex:
         v_threshold: float,
         max_tolerance: Optional[float] = None,
         mode: str = "index",
+        cache: str = "warm",
     ) -> List[SegmentPair]:
         """Jump search routed to the coarsest admissible tier."""
         eps = self.choose_tier(max_tolerance)
         return self._tiers[eps].search_jumps(
-            t_threshold, v_threshold, mode=mode
+            t_threshold, v_threshold, mode=mode, cache=cache
         )
 
     # ------------------------------------------------------------------ #

@@ -21,7 +21,7 @@ misses no true multi-sensor event either.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 from ..datagen.series import TimeSeries
 from ..errors import InvalidParameterError
@@ -112,23 +112,40 @@ class TransectIndex:
     # ------------------------------------------------------------------ #
 
     def search_drops(
-        self, t_threshold: float, v_threshold: float, mode: str = "index"
+        self,
+        t_threshold: float,
+        v_threshold: float,
+        mode: str = "index",
+        cache: str = "warm",
     ) -> Dict[str, List[SegmentPair]]:
-        """Per-sensor drop search; sensors with no hits are omitted."""
+        """Per-sensor drop search; sensors with no hits are omitted.
+
+        ``mode`` and ``cache`` are the engine plan options of
+        :meth:`SegDiffIndex.search_drops` (``"auto"`` included), applied
+        to every per-sensor index.
+        """
         out: Dict[str, List[SegmentPair]] = {}
         for name, index in self._indexes.items():
-            pairs = index.search_drops(t_threshold, v_threshold, mode=mode)
+            pairs = index.search_drops(
+                t_threshold, v_threshold, mode=mode, cache=cache
+            )
             if pairs:
                 out[name] = pairs
         return out
 
     def search_jumps(
-        self, t_threshold: float, v_threshold: float, mode: str = "index"
+        self,
+        t_threshold: float,
+        v_threshold: float,
+        mode: str = "index",
+        cache: str = "warm",
     ) -> Dict[str, List[SegmentPair]]:
         """Per-sensor jump search; sensors with no hits are omitted."""
         out: Dict[str, List[SegmentPair]] = {}
         for name, index in self._indexes.items():
-            pairs = index.search_jumps(t_threshold, v_threshold, mode=mode)
+            pairs = index.search_jumps(
+                t_threshold, v_threshold, mode=mode, cache=cache
+            )
             if pairs:
                 out[name] = pairs
         return out
@@ -140,6 +157,7 @@ class TransectIndex:
         min_sensors: int = 2,
         slack: float = 1800.0,
         mode: str = "index",
+        cache: str = "warm",
     ) -> List[CorroboratedEvent]:
         """Drops seen by at least ``min_sensors`` sensors within ``slack``.
 
@@ -158,7 +176,9 @@ class TransectIndex:
         if slack < 0:
             raise InvalidParameterError("slack must be >= 0")
 
-        per_sensor = self.search_drops(t_threshold, v_threshold, mode=mode)
+        per_sensor = self.search_drops(
+            t_threshold, v_threshold, mode=mode, cache=cache
+        )
         intervals: List[Tuple[float, float, str, SegmentPair]] = []
         half = slack / 2.0
         for sensor, pairs in per_sensor.items():

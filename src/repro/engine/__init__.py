@@ -1,0 +1,47 @@
+"""The unified query engine: plan → execute → refine, on any backend.
+
+Layering (docs/query_engine.md has the full walkthrough)::
+
+    SegDiffIndex / TieredIndex / TransectIndex / CLI / experiments
+                           │
+                     QuerySession          (session.py: batching, EXPLAIN,
+                           │                thread safety, auto planning)
+                 QueryPlan + CostModel     (plan.py, cost.py)
+                           │
+                       executor            (executor.py: the ONE copy of
+                           │                union/dedup/refine — §4.4)
+        scan_points / probe_point_index / scan_lines / probe_line_index
+                           │
+          MemoryFeatureStore · SqliteFeatureStore · MiniDbFeatureStore
+"""
+
+from .cost import BACKEND_COSTS, BackendCosts, CostModel
+from .executor import ExecutionResult, OperatorStats, execute, execute_batch
+from .plan import (
+    LineCrossOp,
+    PointRangeOp,
+    QueryPlan,
+    RefineOp,
+    UnionDedupOp,
+    build_plan,
+)
+from .session import ExplainReport, OperatorExplain, QuerySession
+
+__all__ = [
+    "BACKEND_COSTS",
+    "BackendCosts",
+    "CostModel",
+    "ExecutionResult",
+    "ExplainReport",
+    "LineCrossOp",
+    "OperatorExplain",
+    "OperatorStats",
+    "PointRangeOp",
+    "QueryPlan",
+    "QuerySession",
+    "RefineOp",
+    "UnionDedupOp",
+    "build_plan",
+    "execute",
+    "execute_batch",
+]

@@ -1,0 +1,246 @@
+"""Read-only, thread-safe query sessions with batching and EXPLAIN.
+
+:class:`QuerySession` is the front door of the query engine: every
+caller — ``SegDiffIndex``, ``TieredIndex``, ``TransectIndex``, the
+experiments, the CLI — routes searches through one of these.  A session
+owns a :class:`~repro.engine.cost.CostModel` for ``mode="auto"`` plan
+choice, serializes access to backends whose reads are not thread-safe
+(MiniDB's buffer pool), and exposes:
+
+* :meth:`search` — one query, any mode, optional witness refinement;
+* :meth:`search_batch` — a whole (T, V) grid in one shared pass per
+  operator (the Figures 16-24 workload);
+* :meth:`explain` — the chosen plan with estimated vs actual row counts
+  (and pages read on MiniDB).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..errors import InvalidParameterError
+from ..types import SegmentPair
+from .cost import CostModel
+from .executor import ExecutionResult, execute, execute_batch
+from .plan import Query, QueryPlan, RefineOp
+
+__all__ = ["QuerySession", "OperatorExplain", "ExplainReport"]
+
+_MODES = ("auto", "index", "scan", "grid")
+
+
+@dataclass(frozen=True)
+class OperatorExplain:
+    """EXPLAIN line for one physical operator."""
+
+    operator: str
+    table: str
+    access: str
+    estimated_rows: int
+    actual_rows: int
+    rows_fetched: int
+
+
+@dataclass(frozen=True)
+class ExplainReport:
+    """The chosen plan plus estimated-vs-actual execution statistics."""
+
+    backend: str
+    plan: QueryPlan
+    chosen_mode: str
+    estimated_selectivity: float
+    operators: List[OperatorExplain] = field(default_factory=list)
+    n_pairs: int = 0
+    pages_read: Optional[int] = None
+
+    def render(self) -> str:
+        """Human-readable EXPLAIN output (the CLI's format)."""
+        q = self.plan.query
+        lines = [
+            f"EXPLAIN {q.kind} search  T={q.t_threshold:g}s  "
+            f"V={q.v_threshold:g}  [backend={self.backend}]",
+            f"  summary mode: {self.chosen_mode}  "
+            f"(estimated selectivity {self.estimated_selectivity:.4f})",
+            "  └─ UnionDedupOp"
+            + (f"  pairs={self.n_pairs}" if self.n_pairs is not None else ""),
+        ]
+        for i, op in enumerate(self.operators):
+            branch = "├" if i < len(self.operators) - 1 else "└"
+            lines.append(
+                f"     {branch}─ {op.operator}({op.table})  "
+                f"access={op.access}  est_rows={op.estimated_rows}  "
+                f"actual_rows={op.actual_rows}  fetched={op.rows_fetched}"
+            )
+        if self.pages_read is not None:
+            lines.append(f"  pages read: {self.pages_read}")
+        return "\n".join(lines)
+
+
+class QuerySession:
+    """A read-only query session over one feature store.
+
+    Thread safety: sessions serialize store access with an internal lock
+    unless the store declares ``THREAD_SAFE_READS = True`` (the memory
+    store's frozen numpy arrays and the SQLite store's per-thread reader
+    connections both do; MiniDB's shared buffer pool does not).
+    """
+
+    def __init__(self, store, cost_model: Optional[CostModel] = None) -> None:
+        self.store = store
+        self.cost = cost_model if cost_model is not None else CostModel(store)
+        self._lock: Optional[threading.Lock] = (
+            None if getattr(store, "THREAD_SAFE_READS", False)
+            else threading.Lock()
+        )
+
+    # ------------------------------------------------------------------ #
+    # planning
+    # ------------------------------------------------------------------ #
+
+    def plan(self, query: Query, mode: str = "auto") -> QueryPlan:
+        """The plan :meth:`search` would execute for ``query``."""
+        if mode not in _MODES:
+            raise InvalidParameterError(
+                f"mode must be one of {_MODES}, got {mode!r}"
+            )
+        return self.cost.plan(query, mode=mode)
+
+    def invalidate(self) -> None:
+        """Drop cached cost-model samples (the store grew)."""
+        self.cost.invalidate()
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def _execute(self, plan: QueryPlan, cache: str, data,
+                 pushdown: bool = True) -> ExecutionResult:
+        if self._lock is None:
+            return execute(plan, self.store, cache=cache, data=data,
+                           pushdown=pushdown)
+        with self._lock:
+            return execute(plan, self.store, cache=cache, data=data,
+                           pushdown=pushdown)
+
+    def search(
+        self,
+        query: Query,
+        mode: str = "auto",
+        cache: str = "warm",
+        data=None,
+        verified_only: bool = False,
+    ) -> List[SegmentPair]:
+        """Distinct segment pairs matching ``query`` (Section 4.4).
+
+        When ``data`` is given the result is witness-refined: a list of
+        :class:`~repro.core.results.SearchHit` ordered by severity.
+        """
+        refine = (
+            RefineOp(verified_only=verified_only) if data is not None else None
+        )
+        plan = self.plan(query, mode=mode)
+        if refine is not None:
+            plan = QueryPlan(
+                query=plan.query,
+                point_op=plan.point_op,
+                line_op=plan.line_op,
+                refine_op=refine,
+            )
+        result = self._execute(plan, cache, data)
+        return result.hits if result.hits is not None else result.pairs
+
+    def search_batch(
+        self,
+        queries: Sequence[Query],
+        mode: str = "auto",
+        cache: str = "warm",
+    ) -> List[List[SegmentPair]]:
+        """Answer a whole grid of queries in one shared pass per operator.
+
+        Results align with ``queries`` by position and are identical to
+        ``[self.search(q, ...) for q in queries]``, but candidates are
+        fetched once per (kind, operator) instead of once per query.
+        """
+        if mode == "grid":
+            raise InvalidParameterError(
+                "batched execution supports 'auto', 'index' and 'scan'"
+            )
+        plans = [self.plan(q, mode=mode) for q in queries]
+        if self._lock is None:
+            results = execute_batch(plans, self.store, cache=cache)
+        else:
+            with self._lock:
+                results = execute_batch(plans, self.store, cache=cache)
+        return [r.pairs for r in results]
+
+    # ------------------------------------------------------------------ #
+    # EXPLAIN
+    # ------------------------------------------------------------------ #
+
+    def explain(
+        self, query: Query, mode: str = "auto", cache: str = "warm"
+    ) -> ExplainReport:
+        """Execute ``query`` and report the plan with est vs actual rows.
+
+        Pushdown is disabled for the run so ``rows_fetched`` reports the
+        true candidate-set size of each access path.
+        """
+        plan = self.plan(query, mode=mode)
+        counters_before = self._io_counter()
+        result = self._execute(plan, cache, None, pushdown=False)
+        pages = self._io_counter()
+        pages_read = (
+            pages - counters_before
+            if pages is not None and counters_before is not None
+            else None
+        )
+
+        counts = self.store.counts()
+        ops: List[OperatorExplain] = []
+        for stat, op in zip(
+            result.op_stats, (plan.point_op, plan.line_op)
+        ):
+            n = getattr(counts, op.table)
+            if stat.operator == "point_range":
+                est = int(
+                    round(
+                        n * self.cost.estimate_selectivity(
+                            op.kind, op.t_threshold, op.v_threshold
+                        )
+                    )
+                )
+            else:
+                sel_dt = self.cost.estimate_dt_selectivity(
+                    op.kind, op.t_threshold
+                )
+                est = int(round(n * 0.1 * sel_dt))
+            ops.append(
+                OperatorExplain(
+                    operator=stat.operator,
+                    table=stat.table,
+                    access=stat.access,
+                    estimated_rows=est,
+                    actual_rows=stat.rows_matched,
+                    rows_fetched=stat.rows_fetched,
+                )
+            )
+        return ExplainReport(
+            backend=getattr(self.store, "BACKEND", "unknown"),
+            plan=plan,
+            chosen_mode=self.cost.choose_mode(
+                query.kind, query.t_threshold, query.v_threshold
+            ),
+            estimated_selectivity=self.cost.estimate_selectivity(
+                query.kind, query.t_threshold, query.v_threshold
+            ),
+            operators=ops,
+            n_pairs=len(result.pairs),
+            pages_read=pages_read,
+        )
+
+    def _io_counter(self) -> Optional[int]:
+        """Cumulative page reads, on stores that expose a pager."""
+        fn = getattr(self.store, "page_reads", None)
+        return fn() if callable(fn) else None

@@ -37,7 +37,6 @@ from ..segmentation import (
     compression_rate,
     max_abs_error,
 )
-from ..storage import MemoryFeatureStore, SqliteFeatureStore
 from . import datasets
 from .report import format_seconds, render_table
 from .runner import Timer, time_query

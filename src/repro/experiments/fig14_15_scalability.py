@@ -15,7 +15,7 @@ with n; Exh sits an order of magnitude higher.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..baselines import ExhIndex
 from ..core.index import SegDiffIndex

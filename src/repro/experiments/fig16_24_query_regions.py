@@ -14,10 +14,11 @@ cache the index gap widens to ~20x because Exh's tall B-trees hurt
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from statistics import median
 from typing import Dict, List
 
+from ..core.queries import DropQuery
 from ..workloads import random_drop_queries
 from . import datasets
 from .report import format_seconds, render_table
@@ -55,9 +56,19 @@ def _regime_key(mode: str, cache: str) -> str:
 
 @dataclass(frozen=True)
 class RegionStudy:
-    """The full study: per-query rows plus ratio summaries."""
+    """The full study: per-query rows plus ratio summaries.
+
+    ``loop_seconds``/``batched_seconds`` compare the per-query loop with
+    the engine's batched grid execution (one shared candidate pass per
+    operator) for the whole workload, per plan mode, on SegDiff.
+    """
 
     timings: List[QueryTiming]
+    loop_seconds: Dict[str, float] = field(default_factory=dict)
+    batched_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def batch_speedup(self, mode: str) -> float:
+        return self.loop_seconds[mode] / self.batched_seconds[mode]
 
     def median_ratio(self, mode: str, cache: str) -> float:
         key = _regime_key(mode, cache)
@@ -120,10 +131,31 @@ def run(
                     exh=ex,
                 )
             )
+        # the same whole grid through the engine's batched path: one
+        # shared candidate pass per operator instead of one per query
+        queries = [DropQuery(q.t_threshold, q.v_threshold) for q in grid]
+        loop: Dict[str, float] = {}
+        batched: Dict[str, float] = {}
+        for mode in ("scan", "index"):
+            loop[mode], _ = time_query(
+                lambda m=mode: [
+                    segdiff.search_drops(q.t_threshold, q.v_threshold, mode=m)
+                    for q in queries
+                ],
+                repeats,
+            )
+            batched[mode], _ = time_query(
+                lambda m=mode: segdiff.search_batch(queries, mode=m),
+                repeats,
+            )
+            assert segdiff.search_batch(queries, mode=mode) == [
+                segdiff.search_drops(q.t_threshold, q.v_threshold, mode=mode)
+                for q in queries
+            ], "batched execution must answer exactly like the loop"
     finally:
         segdiff.close()
         exh.close()
-    return RegionStudy(timings)
+    return RegionStudy(timings, loop_seconds=loop, batched_seconds=batched)
 
 
 def main(days: int = 7) -> str:
@@ -158,6 +190,22 @@ def main(days: int = 7) -> str:
         ],
         title="Figures 21-24: time-ratio summaries",
     )
+    batch = render_table(
+        ["mode", "per-query loop", "batched grid", "speedup"],
+        [
+            [
+                mode,
+                format_seconds(study.loop_seconds[mode]),
+                format_seconds(study.batched_seconds[mode]),
+                f"{study.batch_speedup(mode):.1f}x",
+            ]
+            for mode in sorted(study.loop_seconds)
+        ],
+        title=(
+            "Batched grid execution (whole workload, one shared pass per "
+            "operator) vs per-query loop — SegDiff/SQLite"
+        ),
+    )
     hard = study.hard_queries()
     hard_note = (
         "Hard queries (top quartile of SegDiff scan time): "
@@ -166,7 +214,7 @@ def main(days: int = 7) -> str:
             for t in hard
         )
     )
-    out = "\n\n".join([per_query, summary, hard_note])
+    out = "\n\n".join([per_query, summary, batch, hard_note])
     print(out)
     return out
 

@@ -16,7 +16,7 @@ Exh's index is about half its features.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 from ..segmentation import SlidingWindowSegmenter, compression_rate
 from . import datasets

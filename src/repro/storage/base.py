@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import List, Union
+from typing import List, Optional, Union
 
 from ..core.corners import FeatureSet
 from ..core.queries import DropQuery, JumpQuery
@@ -39,7 +39,17 @@ class FeatureStore(abc.ABC):
     times.  ``add()`` after ``finalize()`` reopens the store for appends;
     backends must make that legal (it is how incremental-ingest
     experiments grow the index group by group).
+
+    Search semantics live in :mod:`repro.engine`; a store contributes
+    only the four **physical primitives** below (``scan_points``,
+    ``probe_point_index``, ``scan_lines``, ``probe_line_index``), and
+    :meth:`search` is a thin compatibility shim over the engine.
     """
+
+    #: Cost-model key (see ``repro.engine.cost.BACKEND_COSTS``).
+    BACKEND = "generic"
+    #: Whether concurrent reads need no external serialization.
+    THREAD_SAFE_READS = False
 
     @abc.abstractmethod
     def add(self, features: FeatureSet) -> None:
@@ -49,13 +59,95 @@ class FeatureStore(abc.ABC):
     def finalize(self) -> None:
         """Flush buffers and build (or rebuild) secondary indexes."""
 
-    @abc.abstractmethod
     def search(self, query: Query, mode: str = "index") -> List[SegmentPair]:
         """Run a drop/jump search; ``mode`` is ``"index"`` or ``"scan"``.
 
         Returns distinct segment pairs (the union of the point and line
-        query results, Section 4.4).
+        query results, Section 4.4).  Compatibility shim — new code
+        should go through :class:`repro.engine.QuerySession`.
         """
+        return self._engine_search(query, mode)
+
+    def _engine_search(
+        self, query: Query, mode: str, cache: str = "warm"
+    ) -> List[SegmentPair]:
+        """Delegate one search to the engine executor."""
+        from ..engine.executor import execute
+        from ..engine.plan import build_plan
+
+        plan = build_plan(query, point_access=mode)
+        return execute(plan, self, cache=cache).pairs
+
+    # ------------------------------------------------------------------ #
+    # physical primitives (the engine's narrow interface)
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def scan_points(
+        self,
+        kind: str,
+        t_threshold: Optional[float] = None,
+        v_threshold: Optional[float] = None,
+        cache: str = "warm",
+    ):
+        """Sequential pass over the ``kind`` point table.
+
+        Returns an ``(m, 6)`` row array/sequence with columns
+        ``dt, dv, t_d, t_c, t_b, t_a``.  The thresholds are *pushdown
+        hints*: a backend may pre-filter with them when that is cheap,
+        but must never drop a matching row (the executor re-applies the
+        exact predicate).  ``None`` means "no pre-filtering" — the
+        batched grid path relies on that to share one pass across
+        queries.
+        """
+
+    @abc.abstractmethod
+    def probe_point_index(
+        self,
+        kind: str,
+        t_threshold: float,
+        v_threshold: Optional[float] = None,
+        cache: str = "warm",
+    ):
+        """Point candidates with ``dt <= t_threshold`` via the index.
+
+        Same row layout and pushdown contract as :meth:`scan_points`.
+        Raises :class:`~repro.errors.StorageError` when the index has
+        not been built (call ``finalize()`` first).
+        """
+
+    @abc.abstractmethod
+    def scan_lines(
+        self,
+        kind: str,
+        t_threshold: Optional[float] = None,
+        v_threshold: Optional[float] = None,
+        cache: str = "warm",
+    ):
+        """Sequential pass over the ``kind`` line table.
+
+        Returns an ``(m, 8)`` row array/sequence with columns
+        ``dt1, dv1, dt2, dv2, t_d, t_c, t_b, t_a``.
+        """
+
+    @abc.abstractmethod
+    def probe_line_index(
+        self,
+        kind: str,
+        t_threshold: float,
+        v_threshold: Optional[float] = None,
+        cache: str = "warm",
+    ):
+        """Line candidates with ``dt1 <= t_threshold`` via the index."""
+
+    def probe_point_grid(self, kind: str, t_threshold: float,
+                         v_threshold: float):
+        """Point candidates via a 2-D grid (optional access path)."""
+        from ..errors import InvalidParameterError
+
+        raise InvalidParameterError(
+            f"the {type(self).__name__} backend has no grid access path"
+        )
 
     @abc.abstractmethod
     def counts(self) -> StoreCounts:

@@ -15,7 +15,6 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..core.corners import FeatureSet
-from ..core.queries import line_mask, point_mask
 from ..errors import InvalidParameterError, StorageError
 from ..types import SegmentPair
 from .base import FeatureStore, Query, StoreCounts
@@ -90,6 +89,11 @@ class _Table:
 class MemoryFeatureStore(FeatureStore):
     """Numpy-backed feature store (see module docstring)."""
 
+    BACKEND = "memory"
+    # frozen numpy arrays are safe to read concurrently; the session
+    # layer therefore imposes no lock on this backend
+    THREAD_SAFE_READS = True
+
     def __init__(self) -> None:
         self._tables: Dict[str, _Table] = {
             "drop_points": _Table(_POINT_WIDTH),
@@ -148,56 +152,53 @@ class MemoryFeatureStore(FeatureStore):
 
     def search(self, query: Query, mode: str = "index") -> List[SegmentPair]:
         """Search with plan ``mode``: ``"scan"``, ``"index"`` (dt-sorted
-        binary search), or ``"grid"`` (2-D bucket grid over points)."""
+        binary search), or ``"grid"`` (2-D bucket grid over points).
+
+        Compatibility shim — the union/dedup semantics live in
+        :mod:`repro.engine.executor`.
+        """
         self._check_open()
         if mode not in ("index", "scan", "grid"):
             raise InvalidParameterError(
                 f"mode must be 'index', 'scan' or 'grid', got {mode!r}"
             )
-        kind = query.kind
-        t_thr, v_thr = query.t_threshold, query.v_threshold
+        return self._engine_search(query, mode)
 
-        hits: set = set()
-        points = self._tables[f"{kind}_points"]
-        lines = self._tables[f"{kind}_lines"]
+    # -- physical primitives (engine interface) ------------------------ #
 
-        if mode == "grid":
-            matched = points.grid.query(kind, t_thr, v_thr)
-            for row in matched:
-                hits.add(tuple(float(x) for x in row[2:6]))
-            cand = points.data[:0]
-            mask = np.zeros(0, dtype=bool)
-        elif mode == "index":
-            data = points.sorted_by_dt
-            cut = int(np.searchsorted(data[:, 0], t_thr, side="right"))
-            cand = data[:cut]
-            mask = point_mask(kind, cand[:, 0], cand[:, 1], t_thr, v_thr)
-        else:
-            cand = points.data
-            mask = point_mask(kind, cand[:, 0], cand[:, 1], t_thr, v_thr)
-        for row in cand[mask]:
-            hits.add(tuple(float(x) for x in row[2:6]))
+    def scan_points(self, kind, t_threshold=None, v_threshold=None,
+                    cache="warm"):
+        """Full point table; prefiltering is left to the executor's
+        vectorized masks (equally fast on frozen numpy arrays)."""
+        self._check_open()
+        return self._tables[f"{kind}_points"].data
 
-        ldata = lines.data
-        if mode in ("index", "grid"):
-            # line features use the dt1-sorted path in both modes: a grid
-            # cannot prune on the crossing predicate's interpolated value
-            ldata = lines.sorted_by_dt
-            cut = int(np.searchsorted(ldata[:, 0], t_thr, side="right"))
-            ldata = ldata[:cut]
-        lmask = line_mask(
-            kind,
-            ldata[:, 0],
-            ldata[:, 1],
-            ldata[:, 2],
-            ldata[:, 3],
-            t_thr,
-            v_thr,
+    def probe_point_index(self, kind, t_threshold, v_threshold=None,
+                          cache="warm"):
+        """dt-sorted binary-search prune — the B-tree leading-column
+        analogue."""
+        self._check_open()
+        data = self._tables[f"{kind}_points"].sorted_by_dt
+        cut = int(np.searchsorted(data[:, 0], t_threshold, side="right"))
+        return data[:cut]
+
+    def probe_point_grid(self, kind, t_threshold, v_threshold):
+        self._check_open()
+        return self._tables[f"{kind}_points"].grid.query(
+            kind, t_threshold, v_threshold
         )
-        for row in ldata[lmask]:
-            hits.add(tuple(float(x) for x in row[4:8]))
 
-        return [SegmentPair(*h) for h in sorted(hits)]
+    def scan_lines(self, kind, t_threshold=None, v_threshold=None,
+                   cache="warm"):
+        self._check_open()
+        return self._tables[f"{kind}_lines"].data
+
+    def probe_line_index(self, kind, t_threshold, v_threshold=None,
+                         cache="warm"):
+        self._check_open()
+        data = self._tables[f"{kind}_lines"].sorted_by_dt
+        cut = int(np.searchsorted(data[:, 0], t_threshold, side="right"))
+        return data[:cut]
 
     def sample_points(self, kind: str, n: int) -> Optional[np.ndarray]:
         """Evenly strided (dt, dv) sample of the point table (see base)."""

@@ -25,6 +25,7 @@ from ...errors import InvalidParameterError, StorageError
 from ...types import DataSegment, SegmentPair
 from ..base import FeatureStore, Query, StoreCounts
 from ...core.corners import FeatureSet
+from ...core.queries import line_match, point_match
 from .database import MiniDatabase
 from .pager import PAGE_SIZE, PagerStats
 
@@ -44,6 +45,10 @@ class MiniDbFeatureStore(FeatureStore):
     page writes checksummed and every write batch atomic by default —
     see docs/durability.md).
     """
+
+    BACKEND = "minidb"
+    # reads go through a shared buffer pool with no latching
+    THREAD_SAFE_READS = False
 
     def __init__(
         self,
@@ -160,6 +165,8 @@ class MiniDbFeatureStore(FeatureStore):
     def search(
         self, query: Query, mode: str = "index", cache: str = "warm"
     ) -> List[SegmentPair]:
+        """Compatibility shim — union/dedup lives in the engine executor;
+        this store contributes page-instrumented physical primitives."""
         self._check_open()
         if mode not in ("index", "scan"):
             raise InvalidParameterError(
@@ -169,62 +176,97 @@ class MiniDbFeatureStore(FeatureStore):
             raise InvalidParameterError(
                 f"cache must be 'warm' or 'cold', got {cache!r}"
             )
-        kind = query.kind
-        t_thr, v_thr = query.t_threshold, query.v_threshold
-        if mode == "index":
-            for name in (_POINT_TABLES[kind], _LINE_TABLES[kind]):
-                if self.db.table(name).n_rows != self._indexed_rows[name]:
-                    raise StorageError(
-                        "indexes stale or missing; call finalize() first"
-                    )
+        before = self.db.stats().snapshot()
+        pairs = self._engine_search(query, mode, cache=cache)
+        self.last_query_stats = self.db.stats().delta(before)
+        return pairs
+
+    # -- physical primitives (engine interface) ------------------------ #
+
+    def _check_index_current(self, name: str) -> None:
+        if self.db.table(name).n_rows != self._indexed_rows[name]:
+            raise StorageError(
+                "indexes stale or missing; call finalize() first"
+            )
+
+    def _prepare_cache(self, cache: str) -> None:
         if cache == "cold":
+            # drop the buffer pool so this operator's page reads are the
+            # paper's flushed-cache regime, exactly and deterministically
             self.db.drop_cache()
 
-        before = self.db.stats().snapshot()
-        hits: set = set()
-        self._search_points(kind, t_thr, v_thr, mode, hits)
-        self._search_lines(kind, t_thr, v_thr, mode, hits)
-        self.last_query_stats = self.db.stats().delta(before)
-        return [SegmentPair(*h) for h in sorted(hits)]
+    def scan_points(self, kind, t_threshold=None, v_threshold=None,
+                    cache="warm"):
+        self._check_open()
+        self._prepare_cache(cache)
+        rows = []
+        for _rid, row in self.db.table(_POINT_TABLES[kind]).scan():
+            if v_threshold is not None and not point_match(
+                kind, row[0], row[1], t_threshold, v_threshold
+            ):
+                continue
+            rows.append(row)
+        return rows
 
-    def _point_match(self, kind: str, dv: float, v_thr: float) -> bool:
-        return dv <= v_thr if kind == "drop" else dv >= v_thr
+    def probe_point_index(self, kind, t_threshold, v_threshold=None,
+                          cache="warm"):
+        """B+tree leading-column probe.  The index key holds the full
+        ``(dt, dv)`` predicate columns, so with a value pushdown only
+        *matching* entries pay the heap fetch — the random I/O that makes
+        indexes lose on hard queries stays visible in the page stats."""
+        self._check_open()
+        name = _POINT_TABLES[kind]
+        self._check_index_current(name)
+        self._prepare_cache(cache)
+        table = self.db.table(name)
+        rows = []
+        for key, rid in table.index_scan_leading("by_key", t_threshold):
+            if v_threshold is not None and not point_match(
+                kind, key[0], key[1], t_threshold, v_threshold
+            ):
+                continue
+            rows.append(key[:2] + self._ident(table, rid, 2))
+        return rows
 
-    def _search_points(self, kind, t_thr, v_thr, mode, hits) -> None:
-        table = self.db.table(_POINT_TABLES[kind])
-        if mode == "scan":
-            for _rid, row in table.scan():
-                if row[0] <= t_thr and self._point_match(kind, row[1], v_thr):
-                    hits.add(row[2:6])
-        else:
-            for key, rid in table.index_scan_leading("by_key", t_thr):
-                if self._point_match(kind, key[1], v_thr):
-                    hits.add(table.get(rid)[2:6])
+    def scan_lines(self, kind, t_threshold=None, v_threshold=None,
+                   cache="warm"):
+        self._check_open()
+        self._prepare_cache(cache)
+        rows = []
+        for _rid, row in self.db.table(_LINE_TABLES[kind]).scan():
+            if v_threshold is not None and not line_match(
+                kind, row[0], row[1], row[2], row[3],
+                t_threshold, v_threshold,
+            ):
+                continue
+            rows.append(row)
+        return rows
 
-    def _line_match(
-        self, kind: str, row_key, t_thr: float, v_thr: float
-    ) -> bool:
-        dt1, dv1, dt2, dv2 = row_key[:4]
-        if kind == "drop":
-            if not (dt1 <= t_thr and dv1 > v_thr and dt2 > t_thr and dv2 < v_thr):
-                return False
-            value = dv1 + (dv2 - dv1) / (dt2 - dt1) * (t_thr - dt1)
-            return value <= v_thr
-        if not (dt1 <= t_thr and dv1 < v_thr and dt2 > t_thr and dv2 > v_thr):
-            return False
-        value = dv1 + (dv2 - dv1) / (dt2 - dt1) * (t_thr - dt1)
-        return value >= v_thr
+    def probe_line_index(self, kind, t_threshold, v_threshold=None,
+                         cache="warm"):
+        self._check_open()
+        name = _LINE_TABLES[kind]
+        self._check_index_current(name)
+        self._prepare_cache(cache)
+        table = self.db.table(name)
+        rows = []
+        for key, rid in table.index_scan_leading("by_key", t_threshold):
+            if v_threshold is not None and not line_match(
+                kind, key[0], key[1], key[2], key[3],
+                t_threshold, v_threshold,
+            ):
+                continue
+            rows.append(key[:4] + self._ident(table, rid, 4))
+        return rows
 
-    def _search_lines(self, kind, t_thr, v_thr, mode, hits) -> None:
-        table = self.db.table(_LINE_TABLES[kind])
-        if mode == "scan":
-            for _rid, row in table.scan():
-                if self._line_match(kind, row, t_thr, v_thr):
-                    hits.add(row[4:8])
-        else:
-            for key, rid in table.index_scan_leading("by_key", t_thr):
-                if self._line_match(kind, key, t_thr, v_thr):
-                    hits.add(table.get(rid)[4:8])
+    @staticmethod
+    def _ident(table, rid, key_width: int):
+        return tuple(table.get(rid)[key_width:key_width + 4])
+
+    def page_reads(self) -> int:
+        """Cumulative pager reads (the engine's EXPLAIN counter)."""
+        self._check_open()
+        return self.db.stats().page_reads
 
     # ------------------------------------------------------------------ #
     # sampling / extremes (planner and top-k support)

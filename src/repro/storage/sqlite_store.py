@@ -25,7 +25,7 @@ import time
 from typing import Callable, Dict, List, Optional, TypeVar
 
 from ..core.corners import FeatureSet
-from ..core.queries import line_query_sql, point_query_sql
+from ..core.queries import line_candidate_sql, point_candidate_sql
 from ..errors import InvalidParameterError, StorageError
 from ..types import SegmentPair
 from .base import FeatureStore, Query, StoreCounts
@@ -63,6 +63,11 @@ class SqliteFeatureStore(FeatureStore):
     surfacing as :class:`StorageError` — a writer no longer falls over
     because a dashboard reader held the file for a moment.
     """
+
+    BACKEND = "sqlite"
+    # reads off the owner thread already get lazy per-thread connections,
+    # so the session layer imposes no lock on this backend
+    THREAD_SAFE_READS = True
 
     def __init__(
         self,
@@ -286,6 +291,8 @@ class SqliteFeatureStore(FeatureStore):
     def search(
         self, query: Query, mode: str = "index", cache: str = "warm"
     ) -> List[SegmentPair]:
+        """Compatibility shim — union/dedup lives in the engine executor;
+        this store contributes SQL-backed physical primitives only."""
         self._check_open()
         if mode not in ("index", "scan"):
             raise InvalidParameterError(
@@ -295,26 +302,17 @@ class SqliteFeatureStore(FeatureStore):
             raise InvalidParameterError(
                 f"cache must be 'warm' or 'cold', got {cache!r}"
             )
-        if mode == "index" and not self._indexed:
-            raise StorageError("indexes not built; call finalize() first")
+        return self._engine_search(query, mode, cache=cache)
 
-        kind = query.kind
-        point_table = POINT_TABLES[kind]
-        line_table = LINE_TABLES[kind]
-        if mode == "scan":
-            point_hint = line_hint = "NOT INDEXED"
-        else:
-            point_hint = f"INDEXED BY {INDEX_NAMES[point_table]}"
-            line_hint = f"INDEXED BY {INDEX_NAMES[line_table]}"
+    # -- physical primitives (engine interface) ------------------------ #
 
-        sql = (
-            point_query_sql(kind, point_table, point_hint)
-            + " UNION "
-            + line_query_sql(kind, line_table, line_hint)
-        )
-        params = {"T": query.t_threshold, "V": query.v_threshold}
+    def _candidate_rows(self, sql: str, params: dict, cache: str):
+        """Run one candidate query in the requested cache regime."""
+        import numpy as np
 
         if cache == "cold":
+            # a fresh connection with a minimal page cache emulates the
+            # paper's flushed-cache runs (DESIGN.md §5.7)
             if threading.get_ident() == self._owner_thread:
                 self._with_retry(self._conn.commit)
             conn = self._connect()
@@ -329,7 +327,79 @@ class SqliteFeatureStore(FeatureStore):
             rows = self._with_retry(
                 lambda: self._reader().execute(sql, params).fetchall()
             )
-        return [SegmentPair(*row) for row in sorted(set(rows))]
+        if not rows:
+            return np.empty((0, 0))
+        return np.asarray(rows, dtype=float)
+
+    def _point_hint(self, kind: str, access: str) -> str:
+        if access == "scan":
+            return "NOT INDEXED"
+        if not self._indexed:
+            raise StorageError("indexes not built; call finalize() first")
+        return f"INDEXED BY {INDEX_NAMES[POINT_TABLES[kind]]}"
+
+    def _line_hint(self, kind: str, access: str) -> str:
+        if access == "scan":
+            return "NOT INDEXED"
+        if not self._indexed:
+            raise StorageError("indexes not built; call finalize() first")
+        return f"INDEXED BY {INDEX_NAMES[LINE_TABLES[kind]]}"
+
+    def scan_points(self, kind, t_threshold=None, v_threshold=None,
+                    cache="warm"):
+        self._check_open()
+        sql = point_candidate_sql(
+            kind,
+            POINT_TABLES[kind],
+            self._point_hint(kind, "scan"),
+            with_t=t_threshold is not None,
+            with_v=v_threshold is not None,
+        )
+        return self._candidate_rows(
+            sql, {"T": t_threshold, "V": v_threshold}, cache
+        )
+
+    def probe_point_index(self, kind, t_threshold, v_threshold=None,
+                          cache="warm"):
+        self._check_open()
+        sql = point_candidate_sql(
+            kind,
+            POINT_TABLES[kind],
+            self._point_hint(kind, "index"),
+            with_t=True,
+            with_v=v_threshold is not None,
+        )
+        return self._candidate_rows(
+            sql, {"T": t_threshold, "V": v_threshold}, cache
+        )
+
+    def scan_lines(self, kind, t_threshold=None, v_threshold=None,
+                   cache="warm"):
+        self._check_open()
+        sql = line_candidate_sql(
+            kind,
+            LINE_TABLES[kind],
+            self._line_hint(kind, "scan"),
+            with_t=t_threshold is not None,
+            with_v=v_threshold is not None,
+        )
+        return self._candidate_rows(
+            sql, {"T": t_threshold, "V": v_threshold}, cache
+        )
+
+    def probe_line_index(self, kind, t_threshold, v_threshold=None,
+                         cache="warm"):
+        self._check_open()
+        sql = line_candidate_sql(
+            kind,
+            LINE_TABLES[kind],
+            self._line_hint(kind, "index"),
+            with_t=True,
+            with_v=v_threshold is not None,
+        )
+        return self._candidate_rows(
+            sql, {"T": t_threshold, "V": v_threshold}, cache
+        )
 
     def _reader(self) -> sqlite3.Connection:
         """The connection to read from in the current thread."""

@@ -10,7 +10,7 @@ data's drop range (the paper's data spans drops of 0 to −35 °C).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 

@@ -11,7 +11,6 @@ from repro.storage.faults import (
     FaultInjected,
     FaultInjector,
     FaultPolicy,
-    FaultyFile,
 )
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.index import SegDiffIndex
-from repro.datagen import TimeSeries, piecewise_series
+from repro.datagen import piecewise_series
 from repro.errors import InvalidParameterError, QueryError, StorageError
 
 HOUR = 3600.0

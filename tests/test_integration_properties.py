@@ -6,7 +6,6 @@ monotonicity, baseline coverage, and streaming growth.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.baselines import ExhIndex

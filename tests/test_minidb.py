@@ -1,8 +1,5 @@
 """Tests for the MiniDB storage engine (pager, heap, B+tree, catalog)."""
 
-import os
-import struct
-
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -15,7 +15,6 @@ from hypothesis import settings
 from hypothesis.stateful import (
     Bundle,
     RuleBasedStateMachine,
-    initialize,
     invariant,
     rule,
 )

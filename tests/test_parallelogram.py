@@ -1,7 +1,7 @@
 """Tests for the Lemma 3 parallelogram construction and geometry."""
 
 import pytest
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.core.feature_space import FeaturePoint, QueryRegion
 from repro.core.parallelogram import Parallelogram

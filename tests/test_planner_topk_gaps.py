@@ -1,12 +1,11 @@
 """Tests for the adaptive planner, top-k deepest search, and gap episodes."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import NaiveScan
 from repro.core.index import SegDiffIndex
 from repro.core.planner import QueryPlanner
-from repro.datagen import TimeSeries, piecewise_series, random_walk_series
+from repro.datagen import piecewise_series
 from repro.errors import InvalidParameterError, StorageError
 from repro.storage import MemoryFeatureStore, SqliteFeatureStore
 

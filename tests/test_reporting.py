@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.reporting import HitSummary, render_summary, summarize_hits
+from repro.core.reporting import render_summary, summarize_hits
 from repro.core.results import SearchHit
 from repro.errors import InvalidParameterError
 from repro.types import Event, SegmentPair

@@ -6,7 +6,6 @@ asserting the O(1)-per-point slope-funnel version produces identical
 segments and respects the Definition 2 / Lemma 1 error bound.
 """
 
-from typing import List
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Tests for the multi-sensor TransectIndex."""
 
-import numpy as np
 import pytest
 
 from repro.core.transect import CorroboratedEvent, TransectIndex
