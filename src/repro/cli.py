@@ -27,7 +27,7 @@ import sys
 from typing import List, Optional
 
 from . import __version__
-from .core.index import SegDiffIndex
+from .core.index import DEFAULT_BATCH_SIZE, SegDiffIndex
 from .core.queries import DropQuery, JumpQuery
 from .core.results import rank_hits
 from .datagen import (
@@ -77,13 +77,44 @@ def cmd_build(args: argparse.Namespace) -> int:
     else:
         store = SqliteFeatureStore(args.index)
         index = SegDiffIndex(args.epsilon, window, store)
-    if args.checkpoint_every > 0:
-        for i, (t, v) in enumerate(zip(series.times, series.values), start=1):
-            index.append(float(t), float(v))
-            if i % args.checkpoint_every == 0:
-                index.checkpoint()
+    if args.checkpoint_every > 0 or args.resume:
+        # checkpointed/resumed builds stream observation-by-observation:
+        # durability bookkeeping is per-observation, not per-batch
+        if args.workers > 1:
+            print(
+                "note: --workers is ignored with --checkpoint-every/--resume",
+                file=sys.stderr,
+            )
+        if args.checkpoint_every > 0:
+            for i, (t, v) in enumerate(
+                zip(series.times, series.values), start=1
+            ):
+                index.append(float(t), float(v))
+                if i % args.checkpoint_every == 0:
+                    index.checkpoint()
+        elif args.max_gap is not None:
+            index.ingest_episodes(series, args.max_gap)
+        else:
+            index.ingest(series)
+    elif args.workers > 1:
+        index.ingest_parallel(
+            series,
+            max_gap=args.max_gap,
+            workers=args.workers,
+            batch_size=args.batch_size or DEFAULT_BATCH_SIZE,
+        )
+    elif args.batch_size == 0:
+        # scalar reference path
+        if args.max_gap is not None:
+            index.ingest_episodes(series, args.max_gap)
+        else:
+            index.ingest(series)
     else:
-        index.ingest(series)
+        index.ingest_episodes_fast(
+            series,
+            max_gap=args.max_gap,
+            batch_size=args.batch_size or DEFAULT_BATCH_SIZE,
+        )
     index.finalize()
     stats = index.stats()
     print(
@@ -307,6 +338,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="continue a checkpointed build; already-ingested "
                         "observations in the input are skipped")
+    p.add_argument("--batch-size", type=int, default=None, metavar="B",
+                   help="observations per vectorized ingest round "
+                        f"(default {DEFAULT_BATCH_SIZE}; 0 forces the "
+                        "scalar reference path)")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="fan episodes out across N processes (needs "
+                        "--max-gap to split the series into episodes)")
+    p.add_argument("--max-gap", type=float, default=None, metavar="SECONDS",
+                   help="treat sampling gaps larger than this as episode "
+                        "boundaries (no pairs across them)")
     p.set_defaults(func=cmd_build)
 
     p = sub.add_parser("search", help="search a built index")

@@ -17,13 +17,22 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterator, List, Optional
+
+import numpy as np
 
 from ..types import SegmentPair
 from .feature_space import FeaturePoint, FeatureSegment
 from .parallelogram import Parallelogram
 
-__all__ = ["SlopeCase", "classify_case", "collect_features", "FeatureSet"]
+__all__ = [
+    "SlopeCase",
+    "classify_case",
+    "collect_features",
+    "collect_features_batch",
+    "FeatureSet",
+    "FeatureBatch",
+]
 
 
 class SlopeCase(enum.Enum):
@@ -219,3 +228,237 @@ def _collect_self(fs: FeatureSet, para: Parallelogram, eps: float) -> None:
     fs.jump_lines = _edges(jump)
     fs.drop_corner_count = 2
     fs.jump_corner_count = 2
+
+
+@dataclass
+class FeatureBatch:
+    """Columnar result of :func:`collect_features_batch`.
+
+    The flattened point/line tables hold the exact rows the four feature
+    tables persist, in emission order (pair by pair, boundary corners in
+    increasing Δt).  ``drop_corner_counts[i]`` rows of ``drop_points``
+    (and ``max(count - 1, 0)`` rows of ``drop_lines``) belong to pair
+    ``i``; likewise for jumps.
+    """
+
+    #: (m, 4) pair identities — columns ``t_d, t_c, t_b, t_a``.
+    pairs: np.ndarray
+    #: (m,) Table 2 case per pair (``SlopeCase`` values; 0 = SELF).
+    case_ids: np.ndarray
+    #: (m,) corners kept per pair for each search type (0 = guard pruned).
+    drop_corner_counts: np.ndarray
+    jump_corner_counts: np.ndarray
+    #: (k, 6) rows ``dt, dv, t_d, t_c, t_b, t_a`` (ε-shifted).
+    drop_points: np.ndarray
+    jump_points: np.ndarray
+    #: (k, 8) rows ``dt1, dv1, dt2, dv2, t_d, t_c, t_b, t_a`` (ε-shifted).
+    drop_lines: np.ndarray
+    jump_lines: np.ndarray
+
+    @property
+    def n_pairs(self) -> int:
+        return int(self.pairs.shape[0])
+
+    @property
+    def total_features(self) -> int:
+        """Total stored rows this batch contributes (points + lines)."""
+        return int(
+            self.drop_points.shape[0]
+            + self.drop_lines.shape[0]
+            + self.jump_points.shape[0]
+            + self.jump_lines.shape[0]
+        )
+
+    def iter_feature_sets(self) -> Iterator[FeatureSet]:
+        """Reconstruct per-pair :class:`FeatureSet` objects, in order.
+
+        Compatibility fallback for stores without a native bulk write
+        path — the objects are identical to what :func:`collect_features`
+        would have produced pair by pair.
+        """
+        dp = dl = jp = jl = 0
+        d_pts = self.drop_points.tolist()
+        d_lns = self.drop_lines.tolist()
+        j_pts = self.jump_points.tolist()
+        j_lns = self.jump_lines.tolist()
+        for i, ident in enumerate(self.pairs.tolist()):
+            case = SlopeCase(int(self.case_ids[i]))
+            fs = FeatureSet(pair=SegmentPair(*ident), case=case)
+            nd = int(self.drop_corner_counts[i])
+            nj = int(self.jump_corner_counts[i])
+            if case is not SlopeCase.SELF:
+                fs.drop_corner_count = nd
+                fs.jump_corner_count = nj
+            else:
+                fs.drop_corner_count = 2
+                fs.jump_corner_count = 2
+            fs.drop_points = [
+                FeaturePoint(r[0], r[1]) for r in d_pts[dp : dp + nd]
+            ]
+            fs.drop_lines = [
+                FeatureSegment(FeaturePoint(r[0], r[1]), FeaturePoint(r[2], r[3]))
+                for r in d_lns[dl : dl + max(nd - 1, 0)]
+            ]
+            fs.jump_points = [
+                FeaturePoint(r[0], r[1]) for r in j_pts[jp : jp + nj]
+            ]
+            fs.jump_lines = [
+                FeatureSegment(FeaturePoint(r[0], r[1]), FeaturePoint(r[2], r[3]))
+                for r in j_lns[jl : jl + max(nj - 1, 0)]
+            ]
+            dp += nd
+            dl += max(nd - 1, 0)
+            jp += nj
+            jl += max(nj - 1, 0)
+            yield fs
+
+
+def collect_features_batch(cd_rows, ab_rows, self_mask, epsilon) -> FeatureBatch:
+    """Vectorized :func:`collect_features` over arrays of segment pairs.
+
+    ``cd_rows`` / ``ab_rows`` are ``(m, 4)`` arrays with columns
+    ``t_start, v_start, t_end, v_end`` (the CD row already truncated to
+    the window where applicable); ``self_mask`` marks degenerate
+    self-pairs.  The result's tables are bit-for-bit the rows the scalar
+    path persists — every float operation uses the same operands in the
+    same order as the :class:`~repro.core.parallelogram.Parallelogram`
+    corner properties, :func:`classify_case`, the Table 2 guards, and the
+    Lemma 4 shift.
+    """
+    cd = np.ascontiguousarray(cd_rows, dtype=float).reshape(-1, 4)
+    ab = np.ascontiguousarray(ab_rows, dtype=float).reshape(-1, 4)
+    m = cd.shape[0]
+    eps = float(epsilon)
+    if m == 0:
+        return FeatureBatch(
+            pairs=np.empty((0, 4)),
+            case_ids=np.empty(0, dtype=np.int8),
+            drop_corner_counts=np.empty(0, dtype=np.int64),
+            jump_corner_counts=np.empty(0, dtype=np.int64),
+            drop_points=np.empty((0, 6)),
+            jump_points=np.empty((0, 6)),
+            drop_lines=np.empty((0, 8)),
+            jump_lines=np.empty((0, 8)),
+        )
+    is_self = np.ascontiguousarray(self_mask, dtype=bool).reshape(-1)
+    not_self = ~is_self
+
+    cd_ts, cd_vs, cd_te, cd_ve = cd[:, 0], cd[:, 1], cd[:, 2], cd[:, 3]
+    ab_ts, ab_vs, ab_te, ab_ve = ab[:, 0], ab[:, 1], ab[:, 2], ab[:, 3]
+    pairs = np.stack([cd_ts, cd_te, ab_ts, ab_te], axis=1)
+
+    # the four corner feature points (Lemma 3)
+    bc_dt = ab_ts - cd_te
+    bc_dv = ab_vs - cd_ve
+    bd_dt = ab_ts - cd_ts
+    bd_dv = ab_vs - cd_vs
+    ad_dt = ab_te - cd_ts
+    ad_dv = ab_ve - cd_vs
+    ac_dt = ab_te - cd_te
+    ac_dv = ab_ve - cd_ve
+
+    # slopes + Table 2 classification
+    k_cd = (cd_ve - cd_vs) / (cd_te - cd_ts)
+    k_ab = (ab_ve - ab_vs) / (ab_te - ab_ts)
+    pos = k_cd >= 0.0
+    c1 = pos & (k_ab <= 0.0)
+    c2 = pos & ~c1 & (k_ab >= k_cd)
+    c3 = pos & ~c1 & ~c2
+    c4 = ~pos & (k_ab >= 0.0)
+    c5 = ~pos & ~c4 & (k_ab <= k_cd)
+    c6 = ~pos & ~c4 & ~c5
+    case_ids = np.zeros(m, dtype=np.int8)
+    for cid, mask in enumerate((c1, c2, c3, c4, c5, c6), start=1):
+        case_ids[mask & not_self] = cid
+
+    corners = {
+        "bc": (bc_dt, bc_dv),
+        "bd": (bd_dt, bd_dv),
+        "ad": (ad_dt, ad_dv),
+        "ac": (ac_dt, ac_dv),
+    }
+
+    def build(boundaries, shift):
+        """Fill the (m, 3, 2) corner buffer from (mask, corner-names) rules."""
+        buf = np.zeros((m, 3, 2))
+        counts = np.zeros(m, dtype=np.int64)
+        for mask, names in boundaries:
+            mask = mask & not_self
+            if not mask.any():
+                continue
+            for slot, name in enumerate(names):
+                c_dt, c_dv = corners[name]
+                buf[mask, slot, 0] = c_dt[mask]
+                buf[mask, slot, 1] = c_dv[mask]
+            counts[mask] = len(names)
+        if is_self.any():
+            # degenerate self-pair: (0, 0) -> (duration, rise), both kinds
+            buf[is_self, 0, 0] = 0.0
+            buf[is_self, 0, 1] = 0.0
+            buf[is_self, 1, 0] = ad_dt[is_self]
+            buf[is_self, 1, 1] = ad_dv[is_self]
+            counts[is_self] = 2
+        # Lemma 4 ε-shift, applied after boundary selection
+        buf[:, :, 1] += shift
+        return buf, counts
+
+    # guard conditions exactly as _drop_boundary / _jump_boundary
+    drop_buf, drop_counts = build(
+        [
+            (c1 & (ac_dv - eps <= 0.0), ("bc", "ac")),
+            (c2 & (bc_dv - eps <= 0.0), ("bc",)),
+            (c3 & (bc_dv - eps <= 0.0), ("bc",)),
+            (c4 & (bd_dv - eps <= 0.0), ("bc", "bd")),
+            (c5 & (ac_dv - eps <= 0.0), ("bc", "ac", "ad")),
+            (c5 & ~(ac_dv - eps <= 0.0) & (ad_dv - eps <= 0.0), ("ac", "ad")),
+            (c6 & (bd_dv - eps <= 0.0), ("bc", "bd", "ad")),
+            (c6 & ~(bd_dv - eps <= 0.0) & (ad_dv - eps <= 0.0), ("bd", "ad")),
+        ],
+        -eps,
+    )
+    jump_buf, jump_counts = build(
+        [
+            (c1 & (bd_dv + eps > 0.0), ("bc", "bd")),
+            (c2 & (ac_dv + eps >= 0.0), ("bc", "ac", "ad")),
+            (c2 & ~(ac_dv + eps >= 0.0) & (ad_dv + eps > 0.0), ("ac", "ad")),
+            (c3 & (bd_dv + eps >= 0.0), ("bc", "bd", "ad")),
+            (c3 & ~(bd_dv + eps >= 0.0) & (ad_dv + eps > 0.0), ("bd", "ad")),
+            (c4 & (ac_dv + eps > 0.0), ("bc", "ac")),
+            (c5 & (bc_dv + eps > 0.0), ("bc",)),
+            (c6 & (bc_dv + eps > 0.0), ("bc",)),
+        ],
+        +eps,
+    )
+
+    drop_points, drop_lines = _flatten(drop_buf, drop_counts, pairs)
+    jump_points, jump_lines = _flatten(jump_buf, jump_counts, pairs)
+    return FeatureBatch(
+        pairs=pairs,
+        case_ids=case_ids,
+        drop_corner_counts=drop_counts,
+        jump_corner_counts=jump_counts,
+        drop_points=drop_points,
+        jump_points=jump_points,
+        drop_lines=drop_lines,
+        jump_lines=jump_lines,
+    )
+
+
+def _flatten(buf, counts, pairs):
+    """Flatten an (m, 3, 2) corner buffer into point and line row tables.
+
+    Row-major selection preserves emission order: pair by pair, corners
+    (edges) by increasing Δt within the pair.
+    """
+    m = counts.shape[0]
+    keep = np.arange(3)[None, :] < counts[:, None]
+    pts = buf.reshape(-1, 2)[keep.ravel()]
+    points = np.concatenate([pts, pairs[np.repeat(np.arange(m), counts)]], axis=1)
+    edge_counts = np.maximum(counts - 1, 0)
+    edges = np.concatenate([buf[:, :2, :], buf[:, 1:, :]], axis=2)  # (m, 2, 4)
+    ekeep = np.arange(2)[None, :] < edge_counts[:, None]
+    lns = edges.reshape(-1, 4)[ekeep.ravel()]
+    lines = np.concatenate(
+        [lns, pairs[np.repeat(np.arange(m), edge_counts)]], axis=1
+    )
+    return points, lines

@@ -24,12 +24,20 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterable, Optional
+from typing import Deque, Dict, Iterable, Optional, Sequence
+
+import numpy as np
 
 from ..errors import InvalidParameterError, InvalidSeriesError
 from ..storage.base import FeatureStore
 from ..types import DataSegment
-from .corners import FeatureSet, SlopeCase, collect_features
+from .corners import (
+    FeatureBatch,
+    FeatureSet,
+    SlopeCase,
+    collect_features,
+    collect_features_batch,
+)
 from .parallelogram import Parallelogram
 
 __all__ = ["FeatureExtractor", "ExtractionStats"]
@@ -92,6 +100,42 @@ class ExtractionStats:
             ):
                 if corners:
                     self.corner_histogram[corners] += 1
+
+    def absorb_batch(self, batch: FeatureBatch) -> None:
+        """Vectorized :meth:`_absorb` over one :class:`FeatureBatch`."""
+        self.n_drop_points += int(batch.drop_points.shape[0])
+        self.n_drop_lines += int(batch.drop_lines.shape[0])
+        self.n_jump_points += int(batch.jump_points.shape[0])
+        self.n_jump_lines += int(batch.jump_lines.shape[0])
+        if not batch.case_ids.size:
+            return
+        for cid, n in enumerate(np.bincount(batch.case_ids, minlength=7)):
+            if n:
+                case = SlopeCase(cid)
+                self.case_histogram[case] = (
+                    self.case_histogram.get(case, 0) + int(n)
+                )
+        not_self = batch.case_ids != 0
+        for counts in (batch.drop_corner_counts, batch.jump_corner_counts):
+            hist = np.bincount(counts[not_self], minlength=4)
+            for k in (1, 2, 3):
+                if hist[k]:
+                    self.corner_histogram[k] += int(hist[k])
+
+    def merge(self, other: "ExtractionStats") -> None:
+        """Fold another stats object in (multi-worker result merge)."""
+        self.n_segments += other.n_segments
+        self.n_pairs += other.n_pairs
+        self.n_self_pairs += other.n_self_pairs
+        self.n_truncated += other.n_truncated
+        self.n_drop_points += other.n_drop_points
+        self.n_drop_lines += other.n_drop_lines
+        self.n_jump_points += other.n_jump_points
+        self.n_jump_lines += other.n_jump_lines
+        for k, n in other.corner_histogram.items():
+            self.corner_histogram[k] = self.corner_histogram.get(k, 0) + n
+        for case, n in other.case_histogram.items():
+            self.case_histogram[case] = self.case_histogram.get(case, 0) + n
 
 
 class FeatureExtractor:
@@ -160,6 +204,84 @@ class FeatureExtractor:
         self._last = segment
         # prune history: future windows start at or after t_end - w
         horizon = segment.t_end - self.window
+        while self._history and self._history[0].t_end <= horizon:
+            self._history.popleft()
+
+    def add_segments_batch(self, segments: Sequence[DataSegment]) -> None:
+        """Consume a run of contiguous segments through the fast path.
+
+        Bit-for-bit equivalent to calling :meth:`add_segment` on each
+        segment in order — pair selection, truncation arithmetic, corner
+        math and emission order are identical — but the Table 2 analysis
+        runs vectorized over all pairs of the batch at once and features
+        reach the store through
+        :meth:`~repro.storage.base.FeatureStore.add_features_bulk`.
+        Contiguity is validated up front, before any pair is emitted.
+        """
+        if not segments:
+            return
+        last = self._last
+        for segment in segments:
+            if last is not None and segment.t_start != last.t_end:
+                raise InvalidSeriesError(
+                    "segments must be contiguous: got start "
+                    f"{segment.t_start}, expected {last.t_end}"
+                )
+            last = segment
+
+        # assemble one (cd, ab) row pair per parallelogram, in the exact
+        # scalar emission order: per segment, self-pair first, then
+        # history pairs oldest -> newest
+        history = list(self._history)
+        h0 = len(history)
+        timeline = history + list(segments)
+        cd_rows: list = []
+        ab_rows: list = []
+        self_flags: list = []
+        n_truncated = 0
+        n_self = 0
+        emit_self = self.emit_self_pairs
+        window = self.window
+        j = 0  # two-pointer: window starts are non-decreasing
+        for i, segment in enumerate(segments):
+            ab_row = (
+                segment.t_start,
+                segment.v_start,
+                segment.t_end,
+                segment.v_end,
+            )
+            if emit_self:
+                cd_rows.append(ab_row)
+                ab_rows.append(ab_row)
+                self_flags.append(True)
+                n_self += 1
+            win_start = segment.t_start - window
+            while j < h0 + i and timeline[j].t_end <= win_start:
+                j += 1
+            for k in range(j, h0 + i):
+                prev = timeline[k]
+                if prev.t_start < win_start:
+                    prev = prev.truncated_to_start(win_start)
+                    n_truncated += 1
+                cd_rows.append(
+                    (prev.t_start, prev.v_start, prev.t_end, prev.v_end)
+                )
+                ab_rows.append(ab_row)
+                self_flags.append(False)
+
+        batch = collect_features_batch(
+            cd_rows, ab_rows, self_flags, self.epsilon
+        )
+        self.stats.n_segments += len(segments)
+        self.stats.n_self_pairs += n_self
+        self.stats.n_pairs += len(cd_rows) - n_self
+        self.stats.n_truncated += n_truncated
+        self.stats.absorb_batch(batch)
+        self.store.add_features_bulk(batch)
+
+        self._history.extend(segments)
+        self._last = segments[-1]
+        horizon = self._last.t_end - self.window
         while self._history and self._history[0].t_end <= horizon:
             self._history.popleft()
 

@@ -23,8 +23,11 @@ or streaming::
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from ..datagen.model import PiecewiseLinearSignal
 from ..datagen.series import TimeSeries
@@ -40,7 +43,10 @@ from .planner import QueryPlanner
 from .queries import DropQuery, JumpQuery
 from .results import SearchHit, witness_event
 
-__all__ = ["SegDiffIndex", "IndexStats"]
+__all__ = ["SegDiffIndex", "IndexStats", "DEFAULT_BATCH_SIZE"]
+
+#: Observations consumed per vectorized segmentation/extraction round.
+DEFAULT_BATCH_SIZE = 65_536
 
 
 @dataclass(frozen=True)
@@ -115,12 +121,22 @@ class SegDiffIndex:
         backend: str = "memory",
         path: Optional[str] = None,
         emit_self_pairs: bool = True,
+        batch_size: Optional[int] = None,
+        workers: int = 1,
+        max_gap: Optional[float] = None,
     ) -> "SegDiffIndex":
         """Build and finalize an index over a whole series.
 
         ``backend`` is ``"memory"``, ``"sqlite"``, or ``"minidb"`` (the
         instrumented page-based engine); ``path`` names the backing file
         (temporary when omitted).
+
+        The build runs the batched fast path (bit-for-bit equivalent to
+        streaming :meth:`append`): ``batch_size`` observations per
+        vectorized round, and — when ``workers > 1`` and ``max_gap``
+        splits the series into several episodes — episodes fanned out
+        across a process pool.  ``batch_size=0`` forces the scalar
+        reference path.
         """
         if backend == "memory":
             store: FeatureStore = MemoryFeatureStore()
@@ -136,7 +152,25 @@ class SegDiffIndex:
                 f"got {backend!r}"
             )
         index = cls(epsilon, window, store, emit_self_pairs=emit_self_pairs)
-        index.ingest(series)
+        if batch_size == 0:
+            # scalar reference path
+            if max_gap is not None:
+                index.ingest_episodes(series, max_gap)
+            else:
+                index.ingest(series)
+        elif workers > 1:
+            index.ingest_parallel(
+                series,
+                max_gap=max_gap,
+                workers=workers,
+                batch_size=batch_size or DEFAULT_BATCH_SIZE,
+            )
+        else:
+            index.ingest_episodes_fast(
+                series,
+                max_gap=max_gap,
+                batch_size=batch_size or DEFAULT_BATCH_SIZE,
+            )
         index.finalize()
         return index
 
@@ -324,6 +358,140 @@ class SegDiffIndex:
             self.append(float(t), float(v))
             last_t = float(t)
         return gaps
+
+    # ------------------------------------------------------------------ #
+    # batched fast path
+    # ------------------------------------------------------------------ #
+
+    def ingest_array(
+        self, ts, vs, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> None:
+        """Ingest time/value arrays through the vectorized fast path.
+
+        Bit-for-bit equivalent to :meth:`append` over every observation —
+        same segments, same stored feature rows, same stats — but
+        segmentation, the Table 2 corner analysis, and store writes all
+        run batched.  Assumes a gap-free stream (one episode); use
+        :meth:`ingest_episodes_fast` to break on gaps.
+        """
+        if self._sealed:
+            raise StorageError("index is sealed; build a new one to extend")
+        if batch_size < 1:
+            raise InvalidParameterError("batch_size must be >= 1")
+        ts = np.ascontiguousarray(ts, dtype=float)
+        vs = np.ascontiguousarray(vs, dtype=float)
+        if self._resume_t is not None:
+            # replayed observations already covered by the checkpoint:
+            # timestamps are strictly increasing, so the skip is a prefix
+            start = int(np.searchsorted(ts, self._resume_t, side="right"))
+            ts = ts[start:]
+            vs = vs[start:]
+        for i in range(0, ts.shape[0], batch_size):
+            self._ingest_chunk(ts[i : i + batch_size], vs[i : i + batch_size])
+
+    def _ingest_chunk(self, ts: np.ndarray, vs: np.ndarray) -> None:
+        n = ts.shape[0]
+        if n == 0:
+            return
+        n_before = self._n_observations
+        segments = self._segmenter.push_batch(ts, vs)
+        self._n_observations += n
+        if segments:
+            self._register_segments(segments)
+            # the batch's last segment was closed by the observation at
+            # offset last_close_offset; everything before it is covered
+            self._n_obs_covered = (
+                n_before + self._segmenter.last_close_offset
+            )
+
+    def _register_segments(self, segments: List[DataSegment]) -> None:
+        self._segments.extend(segments)
+        self.store.add_segments_bulk(segments)
+        self._extractor.add_segments_batch(segments)
+        self._invalidate_plans()
+
+    def ingest_episodes_fast(
+        self,
+        series: TimeSeries,
+        max_gap: Optional[float] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> int:
+        """Batched :meth:`ingest_episodes`: split on gaps, ingest each
+        episode through the fast path.  Returns the number of gaps."""
+        ts = np.ascontiguousarray(series.times, dtype=float)
+        vs = np.ascontiguousarray(series.values, dtype=float)
+        episodes = _split_episodes(ts, vs, max_gap)
+        for i, (ets, evs) in enumerate(episodes):
+            if i:
+                self.mark_gap()
+            self.ingest_array(ets, evs, batch_size=batch_size)
+        return len(episodes) - 1
+
+    def ingest_parallel(
+        self,
+        series: TimeSeries,
+        max_gap: Optional[float] = None,
+        workers: int = 2,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> int:
+        """Shard episodes across a process pool and merge deterministically.
+
+        The series is split into gap-free episodes (consecutive samples
+        more than ``max_gap`` apart, as :meth:`ingest_episodes`).  Because
+        feature pairs never span a gap, each episode is segmented and
+        extracted independently in a worker process; the parent replays
+        the results — segments, feature batches, stats — in episode
+        order, so the merged index is identical to a single-process
+        build regardless of worker count or scheduling.
+
+        Requires a fresh index (nothing ingested, no resume pending):
+        cross-worker pairing with pre-existing history is impossible.
+        Every episode's trailing open segment is flushed (as
+        :meth:`mark_gap` would); returns the number of gaps.
+        """
+        if self._sealed:
+            raise StorageError("index is sealed; build a new one to extend")
+        if workers < 1:
+            raise InvalidParameterError("workers must be >= 1")
+        if self._segments or self._n_observations or self._resume_t is not None:
+            raise InvalidParameterError(
+                "ingest_parallel needs a fresh index; use ingest_array() "
+                "to extend an existing stream"
+            )
+        ts = np.ascontiguousarray(series.times, dtype=float)
+        vs = np.ascontiguousarray(series.values, dtype=float)
+        episodes = _split_episodes(ts, vs, max_gap)
+
+        tasks = [
+            (
+                self.epsilon,
+                self.window,
+                self._extractor.emit_self_pairs,
+                ets,
+                evs,
+                batch_size,
+            )
+            for ets, evs in episodes
+        ]
+        if workers == 1 or len(episodes) == 1:
+            results = map(_build_episode_worker, tasks)
+        else:
+            pool = ProcessPoolExecutor(max_workers=min(workers, len(episodes)))
+            try:
+                results = list(pool.map(_build_episode_worker, tasks))
+            finally:
+                pool.shutdown()
+
+        for (ets, _evs), (segments, batches, stats) in zip(episodes, results):
+            self._n_observations += ets.shape[0]
+            self._segments.extend(segments)
+            self.store.add_segments_bulk(segments)
+            for batch in batches:
+                self.store.add_features_bulk(batch)
+            self._extractor.stats.merge(stats)
+            self._n_obs_covered = self._n_observations
+        self._invalidate_plans()
+        return len(episodes) - 1
 
     def checkpoint(self) -> None:
         """Make everything segmented so far searchable (mid-stream).
@@ -604,3 +772,55 @@ class SegDiffIndex:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def _split_episodes(
+    ts: np.ndarray, vs: np.ndarray, max_gap: Optional[float]
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Split arrays into gap-free episodes (gap: ``dt > max_gap``)."""
+    if max_gap is not None and max_gap <= 0:
+        raise InvalidParameterError("max_gap must be positive")
+    if max_gap is None or ts.shape[0] < 2:
+        return [(ts, vs)]
+    breaks = np.flatnonzero(np.diff(ts) > max_gap) + 1
+    bounds = [0, *breaks.tolist(), ts.shape[0]]
+    return [(ts[a:b], vs[a:b]) for a, b in zip(bounds, bounds[1:])]
+
+
+class _FeatureBatchCollector:
+    """Store stand-in used in worker processes: collects feature batches
+    in emission order for the parent to replay into the real store."""
+
+    def __init__(self) -> None:
+        self.batches: List = []
+
+    def add_features_bulk(self, batch) -> None:
+        self.batches.append(batch)
+
+
+def _build_episode_worker(task) -> Tuple[List[DataSegment], List, ExtractionStats]:
+    """Segment + extract one gap-free episode (runs in a worker process).
+
+    Episodes never pair across a gap, so the worker needs no context
+    beyond the build parameters; its trailing open segment is flushed
+    because no later observation of this episode can extend it.
+    """
+    epsilon, window, emit_self_pairs, ts, vs, batch_size = task
+    segmenter = SlidingWindowSegmenter(epsilon)
+    collector = _FeatureBatchCollector()
+    extractor = FeatureExtractor(
+        epsilon, window, collector, emit_self_pairs=emit_self_pairs
+    )
+    segments: List[DataSegment] = []
+    for i in range(0, ts.shape[0], batch_size):
+        closed = segmenter.push_batch(
+            ts[i : i + batch_size], vs[i : i + batch_size]
+        )
+        if closed:
+            extractor.add_segments_batch(closed)
+            segments.extend(closed)
+    tail = segmenter.finish()
+    if tail:
+        extractor.add_segments_batch(tail)
+        segments.extend(tail)
+    return segments, collector.batches, extractor.stats

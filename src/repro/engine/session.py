@@ -54,6 +54,8 @@ class ExplainReport:
     operators: List[OperatorExplain] = field(default_factory=list)
     n_pairs: int = 0
     pages_read: Optional[int] = None
+    cache_hits: Optional[int] = None
+    cache_misses: Optional[int] = None
 
     def render(self) -> str:
         """Human-readable EXPLAIN output (the CLI's format)."""
@@ -74,7 +76,13 @@ class ExplainReport:
                 f"actual_rows={op.actual_rows}  fetched={op.rows_fetched}"
             )
         if self.pages_read is not None:
-            lines.append(f"  pages read: {self.pages_read}")
+            line = f"  pages read: {self.pages_read}"
+            if self.cache_hits is not None:
+                line += (
+                    f"  (pool hits {self.cache_hits}, "
+                    f"misses {self.cache_misses})"
+                )
+            lines.append(line)
         return "\n".join(lines)
 
 
@@ -188,14 +196,15 @@ class QuerySession:
         true candidate-set size of each access path.
         """
         plan = self.plan(query, mode=mode)
-        counters_before = self._io_counter()
+        stats_before = self._io_stats()
         result = self._execute(plan, cache, None, pushdown=False)
-        pages = self._io_counter()
-        pages_read = (
-            pages - counters_before
-            if pages is not None and counters_before is not None
-            else None
-        )
+        stats_after = self._io_stats()
+        pages_read = cache_hits = cache_misses = None
+        if stats_before is not None and stats_after is not None:
+            delta = stats_after.delta(stats_before)
+            pages_read = delta.page_reads
+            cache_hits = delta.hits
+            cache_misses = delta.misses
 
         counts = self.store.counts()
         ops: List[OperatorExplain] = []
@@ -238,9 +247,12 @@ class QuerySession:
             operators=ops,
             n_pairs=len(result.pairs),
             pages_read=pages_read,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
         )
 
-    def _io_counter(self) -> Optional[int]:
-        """Cumulative page reads, on stores that expose a pager."""
-        fn = getattr(self.store, "page_reads", None)
-        return fn() if callable(fn) else None
+    def _io_stats(self):
+        """A :class:`~repro.storage.minidb.pager.PagerStats` snapshot,
+        on stores that expose pager counters; ``None`` otherwise."""
+        fn = getattr(self.store, "pager_stats", None)
+        return fn().snapshot() if callable(fn) else None

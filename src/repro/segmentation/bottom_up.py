@@ -50,13 +50,17 @@ class BottomUpSegmenter:
 
     def segment(self, series: TimeSeries) -> List[DataSegment]:
         """Segment a whole series; requires at least two observations."""
-        n = len(series)
+        return self.segment_array(series.times, series.values)
+
+    def segment_array(self, ts, vs) -> List[DataSegment]:
+        """Segment raw time/value arrays (skips TimeSeries validation)."""
+        t = np.asarray(ts, dtype=float)
+        v = np.asarray(vs, dtype=float)
+        n = t.shape[0]
         if n < 2:
             raise InvalidSeriesError(
                 "segmentation needs at least two observations"
             )
-        t = series.times
-        v = series.values
         if n == 2:
             return [DataSegment(t[0], v[0], t[1], v[1])]
 

@@ -22,12 +22,29 @@ from __future__ import annotations
 import math
 from typing import List, Optional
 
+import numpy as np
+
 from ..datagen.series import TimeSeries
 from ..errors import InvalidSeriesError
 from ..types import DataSegment, Observation
 from .base import validate_epsilon
 
 __all__ = ["SlidingWindowSegmenter"]
+
+#: Minimum points stepped scalar after each breakpoint before escalating
+#: to the vectorized scan — keeps short-segment (low-compression) streams
+#: at scalar cost instead of paying numpy call overhead per segment.  The
+#: effective probe adapts to ~2× the stream's recent mean run length, so
+#: the vector path only engages for runs long enough to amortize it.
+_PROBE = 8
+#: Probe ceiling ≈ the crossover run length where the vectorized scan's
+#: fixed per-call overhead amortizes below scalar stepping cost.
+_PROBE_MAX = 40
+#: EMA smoothing for the run-length estimate driving the probe size.
+_RUN_EMA = 0.125
+#: Initial lookahead of the vectorized scan; doubled while a run of
+#: in-bound points keeps going, so long segments cost O(len) total.
+_CHUNK = 64
 
 
 class SlidingWindowSegmenter:
@@ -52,6 +69,14 @@ class SlidingWindowSegmenter:
         self._slope_lo = -math.inf
         self._slope_hi = math.inf
         self._count = 0
+        #: 0-based offset (into the most recent :meth:`push_batch` input)
+        #: of the observation that closed the batch's last segment, or
+        #: ``None`` when the batch closed none.  The batched ingest path
+        #: uses it to maintain checkpoint coverage accounting.
+        self.last_close_offset: Optional[int] = None
+        # heuristic only (never affects output): recent mean run length,
+        # used by push_batch to size its scalar probe
+        self._avg_run = float(_PROBE)
 
     # ------------------------------------------------------------------ #
     # streaming interface
@@ -95,6 +120,177 @@ class SlidingWindowSegmenter:
         self._add_constraint(point)
         return [segment]
 
+    def push_batch(self, ts, vs) -> List[DataSegment]:
+        """Consume a batch of observations; return the segments it closed.
+
+        Bit-for-bit equivalent to calling :meth:`push` on every
+        ``(t, v)`` pair in order — every comparison and every floating
+        point operation is performed with the same operands — but runs of
+        in-bound points are processed vectorized with numpy, falling back
+        to scalar bookkeeping only at segment breakpoints.  Mixing
+        :meth:`push` and :meth:`push_batch` on one stream is supported.
+
+        Unlike :meth:`push`, input validation happens up front: a
+        non-increasing timestamp raises before *any* point of the batch
+        is consumed.
+        """
+        ts = np.ascontiguousarray(ts, dtype=float)
+        vs = np.ascontiguousarray(vs, dtype=float)
+        if ts.ndim != 1 or vs.ndim != 1 or ts.shape[0] != vs.shape[0]:
+            raise InvalidSeriesError(
+                "push_batch needs matching 1-D time and value arrays"
+            )
+        self.last_close_offset = None
+        n = ts.shape[0]
+        if n == 0:
+            return []
+        if self._anchor is not None:
+            last_t = self._endpoint.t if self._endpoint else self._anchor.t
+            if ts[0] <= last_t:
+                raise InvalidSeriesError(
+                    f"timestamps must be strictly increasing "
+                    f"(got {ts[0]} after {last_t})"
+                )
+        if n > 1:
+            diffs = np.diff(ts)
+            if not np.all(diffs > 0):
+                bad = int(np.argmax(diffs <= 0))
+                raise InvalidSeriesError(
+                    f"timestamps must be strictly increasing "
+                    f"(got {ts[bad + 1]} after {ts[bad]})"
+                )
+
+        segments: List[DataSegment] = []
+        self._count += n
+        # python-float views: scalar probes on list elements avoid the
+        # numpy-scalar arithmetic penalty (tolist() is exact for float64)
+        tl = ts.tolist()
+        vl = vs.tolist()
+        max_err = self._max_err
+        i = 0
+        if self._anchor is None:
+            self._anchor = Observation(tl[0], vl[0])
+            i = 1
+        a_t, a_v = self._anchor.t, self._anchor.v
+        have_endpoint = self._endpoint is not None
+        if i < n and not have_endpoint:
+            e_t, e_v = tl[i], vl[i]
+            dt = e_t - a_t
+            dv = e_v - a_v
+            self._slope_lo = max(self._slope_lo, (dv - max_err) / dt)
+            self._slope_hi = min(self._slope_hi, (dv + max_err) / dt)
+            have_endpoint = True
+            i += 1
+        else:
+            e_t = self._endpoint.t if self._endpoint else a_t
+            e_v = self._endpoint.v if self._endpoint else a_v
+        lo, hi = self._slope_lo, self._slope_hi
+        avg_run = self._avg_run
+
+        while i < n:
+            # scalar probe: step a few points before paying numpy overhead;
+            # sized to ~2x the recent mean run so typical runs finish
+            # scalar and only genuinely long ones escalate to numpy
+            probe = avg_run + avg_run
+            if probe < _PROBE:
+                probe = _PROBE
+            elif probe > _PROBE_MAX:
+                probe = _PROBE_MAX
+            seg_start = i
+            probe_end = min(n, i + int(probe))
+            broke = -1
+            while i < probe_end:
+                t = tl[i]
+                v = vl[i]
+                slope = (v - a_v) / (t - a_t)
+                if lo <= slope <= hi:
+                    e_t, e_v = t, v
+                    dt = t - a_t
+                    dv = v - a_v
+                    c = (dv - max_err) / dt
+                    if c > lo:
+                        lo = c
+                    c = (dv + max_err) / dt
+                    if c < hi:
+                        hi = c
+                    i += 1
+                else:
+                    broke = i
+                    break
+            if broke < 0:
+                if i == n:
+                    break
+                # the run survived the probe: scan ahead vectorized
+                j, lo, hi = self._vector_scan(ts, vs, i, a_t, a_v, lo, hi)
+                if j > i:
+                    e_t, e_v = tl[j - 1], vl[j - 1]
+                i = j
+                if j == n:
+                    break
+                broke = j
+            # breakpoint: same rotation as the scalar path
+            avg_run += (broke - seg_start - avg_run) * _RUN_EMA
+            segments.append(DataSegment(a_t, a_v, e_t, e_v))
+            a_t, a_v = e_t, e_v
+            e_t, e_v = tl[broke], vl[broke]
+            dt = e_t - a_t
+            dv = e_v - a_v
+            lo = (dv - max_err) / dt
+            hi = (dv + max_err) / dt
+            self.last_close_offset = broke
+            i = broke + 1
+
+        self._anchor = Observation(a_t, a_v)
+        if have_endpoint:
+            self._endpoint = Observation(e_t, e_v)
+        self._slope_lo = lo
+        self._slope_hi = hi
+        self._avg_run = avg_run
+        return segments
+
+    def _vector_scan(self, ts, vs, i, a_t, a_v, lo, hi):
+        """Scan from ``i`` for the first point breaking the funnel.
+
+        Returns ``(j, lo, hi)`` where ``j`` is the break index (or
+        ``len(ts)``) and ``lo``/``hi`` the funnel tightened by every
+        accepted point before ``j``.  Lookahead grows geometrically, so
+        long runs amortize to O(1) numpy ops per point.
+        """
+        n = ts.shape[0]
+        pos = i
+        chunk = _CHUNK
+        while pos < n:
+            end = min(n, pos + chunk)
+            dt = ts[pos:end] - a_t
+            dv = vs[pos:end] - a_v
+            slope = dv / dt
+            lo_con = (dv - self._max_err) / dt
+            hi_con = (dv + self._max_err) / dt
+            # funnel in effect *before* each point: carried state plus the
+            # constraints of every earlier accepted point in this chunk
+            lo_before = np.empty_like(lo_con)
+            hi_before = np.empty_like(hi_con)
+            lo_before[0] = lo
+            hi_before[0] = hi
+            if end - pos > 1:
+                np.maximum.accumulate(lo_con[:-1], out=lo_before[1:])
+                np.maximum(lo_before[1:], lo, out=lo_before[1:])
+                np.minimum.accumulate(hi_con[:-1], out=hi_before[1:])
+                np.minimum(hi_before[1:], hi, out=hi_before[1:])
+            bad = (slope < lo_before) | (slope > hi_before)
+            if bad.any():
+                k = pos + int(np.argmax(bad))
+                off = k - pos
+                if off > 0:
+                    lo = max(lo, float(np.max(lo_con[:off])))
+                    hi = min(hi, float(np.min(hi_con[:off])))
+                return k, lo, hi
+            lo = max(lo, float(np.max(lo_con)))
+            hi = min(hi, float(np.min(hi_con)))
+            pos = end
+            chunk *= 2
+        return n, lo, hi
+
     def finish(self) -> List[DataSegment]:
         """Flush the open segment at end of stream (if any) and reset."""
         segments: List[DataSegment] = []
@@ -124,13 +320,16 @@ class SlidingWindowSegmenter:
 
     def segment(self, series: TimeSeries) -> List[DataSegment]:
         """Segment a whole series; requires at least two observations."""
-        if len(series) < 2:
+        return self.segment_array(series.times, series.values)
+
+    def segment_array(self, ts, vs) -> List[DataSegment]:
+        """Segment whole time/value arrays (the vectorized fast path)."""
+        ts = np.asarray(ts, dtype=float)
+        if ts.shape[0] < 2:
             raise InvalidSeriesError(
                 "segmentation needs at least two observations"
             )
         self.reset()
-        segments: List[DataSegment] = []
-        for t, v in zip(series.times, series.values):
-            segments.extend(self.push(float(t), float(v)))
+        segments = self.push_batch(ts, vs)
         segments.extend(self.finish())
         return segments

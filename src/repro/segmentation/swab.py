@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import List
 
+import numpy as np
+
 from ..datagen.series import TimeSeries
 from ..errors import InvalidParameterError, InvalidSeriesError
 from ..types import DataSegment
@@ -36,22 +38,25 @@ class SWABSegmenter:
 
     def segment(self, series: TimeSeries) -> List[DataSegment]:
         """Segment a whole series; requires at least two observations."""
-        n = len(series)
+        return self.segment_array(series.times, series.values)
+
+    def segment_array(self, ts, vs) -> List[DataSegment]:
+        """Segment raw time/value arrays (skips TimeSeries validation)."""
+        t = np.asarray(ts, dtype=float)
+        v = np.asarray(vs, dtype=float)
+        n = t.shape[0]
         if n < 2:
             raise InvalidSeriesError(
                 "segmentation needs at least two observations"
             )
         if n <= self.buffer_size:
-            return self._bottom_up.segment(series)
+            return self._bottom_up.segment_array(t, v)
 
-        t = series.times
-        v = series.values
         segments: List[DataSegment] = []
         start = 0  # index of the first sample in the buffer
         while start < n - 1:
             stop = min(start + self.buffer_size, n)
-            window = TimeSeries(t[start:stop], v[start:stop])
-            local = self._bottom_up.segment(window)
+            local = self._bottom_up.segment_array(t[start:stop], v[start:stop])
             if stop == n:
                 # Last buffer: everything it produced is final.
                 segments.extend(local)
@@ -72,7 +77,4 @@ class SWABSegmenter:
 
 def _index_of(t, value: float, lo: int, hi: int) -> int:
     """Index (relative to ``lo``) of ``value`` inside ``t[lo:hi]``."""
-    import numpy as np
-
-    idx = int(np.searchsorted(t[lo:hi], value))
-    return idx
+    return int(np.searchsorted(t[lo:hi], value))

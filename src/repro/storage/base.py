@@ -55,6 +55,23 @@ class FeatureStore(abc.ABC):
     def add(self, features: FeatureSet) -> None:
         """Persist one parallelogram's features."""
 
+    def add_features_bulk(self, batch) -> None:
+        """Persist a :class:`~repro.core.corners.FeatureBatch` of features.
+
+        Backends override this with a genuinely bulk write (executemany,
+        page-packed appends, array extends); the default falls back to
+        row-at-a-time :meth:`add` so any store stays correct.  Durability
+        semantics are those of :meth:`add`: nothing is committed until
+        the next checkpoint/finalize.
+        """
+        for features in batch.iter_feature_sets():
+            self.add(features)
+
+    def add_segments_bulk(self, segments) -> None:
+        """Record a run of data segments (see :meth:`add_segment`)."""
+        for segment in segments:
+            self.add_segment(segment)
+
     @abc.abstractmethod
     def finalize(self) -> None:
         """Flush buffers and build (or rebuild) secondary indexes."""

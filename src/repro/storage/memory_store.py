@@ -27,31 +27,61 @@ _LINE_WIDTH = 8  # dt1, dv1, dt2, dv2, t_d, t_c, t_b, t_a
 
 
 class _Table:
-    """An append buffer that freezes into a 2-D float array."""
+    """An append/extend buffer that freezes into a 2-D float array.
+
+    Scalar ``append`` collects tuples; bulk ``extend`` stores whole row
+    arrays as chunks.  Both preserve global insertion order — pending
+    tuples are sealed into a chunk whenever an array arrives — and
+    ``freeze`` concatenates everything once.
+    """
 
     def __init__(self, width: int) -> None:
         self.width = width
         self._rows: List[tuple] = []
+        self._chunks: List[np.ndarray] = []
         self._frozen: Optional[np.ndarray] = None
         self._order: Optional[np.ndarray] = None  # sort permutation by col 0
         self._grid: Optional[GridIndex] = None  # built lazily on demand
 
-    def append(self, row: tuple) -> None:
+    def _thaw(self) -> None:
+        """Reopen a frozen table for further writes."""
         if self._frozen is not None:
-            # reopen for appends: thaw back into the row buffer
-            self._rows = [tuple(r) for r in self._frozen]
+            if self._frozen.shape[0]:
+                self._chunks = [self._frozen]
             self._frozen = None
             self._order = None
             self._grid = None
+
+    def append(self, row: tuple) -> None:
+        self._thaw()
         self._rows.append(row)
+
+    def extend(self, rows: np.ndarray) -> None:
+        if rows.shape[0] == 0:
+            return
+        self._thaw()
+        if self._rows:
+            self._chunks.append(
+                np.asarray(self._rows, dtype=float).reshape(-1, self.width)
+            )
+            self._rows = []
+        self._chunks.append(np.asarray(rows, dtype=float))
 
     def freeze(self) -> None:
         if self._frozen is None:
+            parts = list(self._chunks)
             if self._rows:
-                self._frozen = np.asarray(self._rows, dtype=float)
-            else:
+                parts.append(
+                    np.asarray(self._rows, dtype=float).reshape(-1, self.width)
+                )
+            if not parts:
                 self._frozen = np.empty((0, self.width), dtype=float)
+            elif len(parts) == 1:
+                self._frozen = parts[0]
+            else:
+                self._frozen = np.concatenate(parts, axis=0)
             self._rows = []
+            self._chunks = []
         self._order = np.argsort(self._frozen[:, 0], kind="stable")
 
     @property
@@ -73,12 +103,10 @@ class _Table:
     def __len__(self) -> int:
         if self._frozen is not None:
             return self._frozen.shape[0]
-        return len(self._rows)
+        return len(self._rows) + sum(c.shape[0] for c in self._chunks)
 
     def nbytes(self) -> int:
-        if self._frozen is not None:
-            return int(self._frozen.nbytes)
-        return len(self._rows) * self.width * 8
+        return len(self) * self.width * 8
 
     def index_nbytes(self) -> int:
         if self._order is None:
@@ -124,6 +152,18 @@ class MemoryFeatureStore(FeatureStore):
             self._tables["jump_lines"].append(
                 (seg.p.dt, seg.p.dv, seg.q.dt, seg.q.dv) + ident
             )
+
+    def add_features_bulk(self, batch) -> None:
+        """Extend the four tables with the batch's row arrays directly."""
+        self._check_open()
+        self._tables["drop_points"].extend(batch.drop_points)
+        self._tables["drop_lines"].extend(batch.drop_lines)
+        self._tables["jump_points"].extend(batch.jump_points)
+        self._tables["jump_lines"].extend(batch.jump_lines)
+
+    def add_segments_bulk(self, segments) -> None:
+        self._check_open()
+        self._segments.extend(segments)
 
     def finalize(self) -> None:
         self._check_open()

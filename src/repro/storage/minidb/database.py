@@ -81,9 +81,10 @@ class Table:
         return rid
 
     def insert_many(self, rows) -> None:
-        """Append many rows."""
-        for row in rows:
-            self.insert(row)
+        """Append many rows via the page-packed bulk path."""
+        self.heap.append_many(rows)
+        self._info["n_rows"] = self.heap.n_rows
+        self._info["last_page"] = self.heap.last_page
 
     def insert_indexed(self, row: Sequence[float]) -> RID:
         """Append one row and update every index incrementally."""

@@ -122,6 +122,29 @@ class MiniDbFeatureStore(FeatureStore):
                 (seg.p.dt, seg.p.dv, seg.q.dt, seg.q.dv) + ident
             )
 
+    def add_features_bulk(self, batch) -> None:
+        """Page-packed bulk append of a feature batch.
+
+        Each heap page is written once when full instead of re-written
+        per row.  Durability semantics match :meth:`add`: everything
+        stays pool/WAL-pending until the next checkpoint boundary
+        (finalize/set_meta) commits the whole run atomically.
+        """
+        self._check_open()
+        self.db.table("drop_points").insert_many(batch.drop_points)
+        self.db.table("drop_lines").insert_many(batch.drop_lines)
+        self.db.table("jump_points").insert_many(batch.jump_points)
+        self.db.table("jump_lines").insert_many(batch.jump_lines)
+
+    def add_segments_bulk(self, segments) -> None:
+        # uncommitted until the next checkpoint boundary — see add()
+        self._check_open()
+        if not segments:
+            return
+        self.db.table("segments").insert_many(
+            [(s.t_start, s.v_start, s.t_end, s.v_end) for s in segments]
+        )
+
     def finalize(self) -> None:
         """(Re)build the Section 4.4 B+trees and checkpoint the file."""
         self._check_open()
@@ -267,6 +290,11 @@ class MiniDbFeatureStore(FeatureStore):
         """Cumulative pager reads (the engine's EXPLAIN counter)."""
         self._check_open()
         return self.db.stats().page_reads
+
+    def pager_stats(self) -> PagerStats:
+        """Live cumulative pager counters (hits, misses, disk I/O)."""
+        self._check_open()
+        return self.db.stats()
 
     # ------------------------------------------------------------------ #
     # sampling / extremes (planner and top-k support)

@@ -74,7 +74,13 @@ class SqliteFeatureStore(FeatureStore):
         path: Optional[str] = None,
         busy_timeout: float = 5.0,
         max_retries: int = 5,
+        flush_rows: int = _BATCH,
     ) -> None:
+        if flush_rows < 1:
+            raise InvalidParameterError(
+                f"flush_rows must be >= 1, got {flush_rows}"
+            )
+        self.flush_rows = int(flush_rows)
         self.busy_timeout = float(busy_timeout)
         self.max_retries = int(max_retries)
         if path is None:
@@ -88,6 +94,7 @@ class SqliteFeatureStore(FeatureStore):
         self._owner_thread = threading.get_ident()
         self._conn = self._connect()
         self._buffers: Dict[str, List[tuple]] = {t: [] for t in SEGDIFF_TABLES}
+        self._segment_buffer: List[tuple] = []
         self._indexed = False
         self._closed = False
         # SQLite connections are bound to their creating thread; reads
@@ -191,10 +198,26 @@ class SqliteFeatureStore(FeatureStore):
             buf["jump_lines"].append(
                 (seg.p.dt, seg.p.dv, seg.q.dt, seg.q.dv) + ident
             )
-        if any(len(rows) >= _BATCH for rows in buf.values()):
+        if any(len(rows) >= self.flush_rows for rows in buf.values()):
+            self._flush()
+
+    def add_features_bulk(self, batch) -> None:
+        """Queue a whole :class:`FeatureBatch`'s rows for ``executemany``."""
+        self._check_open()
+        buf = self._buffers
+        if batch.drop_points.shape[0]:
+            buf["drop_points"].extend(batch.drop_points.tolist())
+        if batch.drop_lines.shape[0]:
+            buf["drop_lines"].extend(batch.drop_lines.tolist())
+        if batch.jump_points.shape[0]:
+            buf["jump_points"].extend(batch.jump_points.tolist())
+        if batch.jump_lines.shape[0]:
+            buf["jump_lines"].extend(batch.jump_lines.tolist())
+        if any(len(rows) >= self.flush_rows for rows in buf.values()):
             self._flush()
 
     def _flush(self) -> None:
+        self._flush_segments()
         for table, rows in self._buffers.items():
             if not rows:
                 continue
@@ -210,6 +233,18 @@ class SqliteFeatureStore(FeatureStore):
         # durable cut, or a crash could persist a segment without the
         # rest of its feature pairs (resume() would not regenerate them);
         # only finalize()/checkpoint boundaries commit
+
+    def _flush_segments(self) -> None:
+        if not self._segment_buffer:
+            return
+        self._with_retry(
+            lambda: self._conn.executemany(
+                "INSERT INTO segments (t_start, v_start, t_end, v_end) "
+                "VALUES (?, ?, ?, ?)",
+                self._segment_buffer,
+            )
+        )
+        self._segment_buffer.clear()
 
     def finalize(self) -> None:
         """Flush pending rows and (re)build the Section 4.4 B-trees."""
@@ -227,24 +262,32 @@ class SqliteFeatureStore(FeatureStore):
         self._with_retry(self._conn.commit)
 
     def add_segment(self, segment) -> None:
+        """Buffer one segment row; flushed with the feature buffers.
+
+        Buffered rows ride the same bulk ``executemany`` path as feature
+        rows and reach durability at exactly the same commit boundaries
+        (checkpoint/finalize), so PR 1's atomicity is unchanged.
+        """
         self._check_open()
-        self._with_retry(
-            lambda: self._conn.execute(
-                "INSERT INTO segments (t_start, v_start, t_end, v_end) "
-                "VALUES (?, ?, ?, ?)",
-                (
-                    segment.t_start,
-                    segment.v_start,
-                    segment.t_end,
-                    segment.v_end,
-                ),
-            )
+        self._segment_buffer.append(
+            (segment.t_start, segment.v_start, segment.t_end, segment.v_end)
         )
+        if len(self._segment_buffer) >= self.flush_rows:
+            self._flush_segments()
+
+    def add_segments_bulk(self, segments) -> None:
+        self._check_open()
+        self._segment_buffer.extend(
+            (s.t_start, s.v_start, s.t_end, s.v_end) for s in segments
+        )
+        if len(self._segment_buffer) >= self.flush_rows:
+            self._flush_segments()
 
     def load_segments(self) -> list:
         from ..types import DataSegment
 
         self._check_open()
+        self._flush_segments()
         try:
             rows = self._conn.execute(
                 "SELECT t_start, v_start, t_end, v_end FROM segments "
@@ -256,6 +299,9 @@ class SqliteFeatureStore(FeatureStore):
 
     def set_meta(self, key: str, value: float) -> None:
         self._check_open()
+        # checkpoint boundaries commit via this path: everything buffered
+        # must land in the same transaction as the meta row
+        self._flush()
 
         def write() -> None:
             self._conn.execute(
