@@ -206,6 +206,24 @@ def test_smoke_equivalence_and_schema():
     assert report["equivalent"], "fast paths diverged from scalar build"
 
 
+def dump_metrics(path: str) -> int:
+    """Write the process metrics registry as JSONL and validate every
+    record against the checked-in schema; returns the series count."""
+    from repro.obs import write_jsonl
+    from repro.obs.export import validate_jsonl
+
+    schema_path = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "metrics.schema.json"
+    )
+    with open(schema_path) as fh:
+        schema = json.load(fh)
+    n = write_jsonl(path)
+    with open(path) as fh:
+        validated = validate_jsonl(fh, schema)
+    assert validated == n, f"wrote {n} series but validated {validated}"
+    return n
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -223,6 +241,11 @@ def main(argv=None) -> int:
         ),
         help="where to write the JSON report",
     )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="also dump the metrics registry as JSONL (validated "
+             "against benchmarks/metrics.schema.json)",
+    )
     args = parser.parse_args(argv)
     days = 16 if args.smoke else args.days
     report = run_bench(days=days, deep_check=args.smoke)
@@ -231,6 +254,10 @@ def main(argv=None) -> int:
         json.dump(report, fh, indent=2)
         fh.write("\n")
     print(json.dumps(report, indent=2))
+    if args.metrics_out:
+        n = dump_metrics(args.metrics_out)
+        print(f"wrote {n} validated metric series to {args.metrics_out}",
+              file=sys.stderr)
     if not report["equivalent"]:
         print("ERROR: fast paths diverged from the scalar build",
               file=sys.stderr)

@@ -1,0 +1,189 @@
+"""Bench for the observability layer's overhead (docs/observability.md).
+
+Times the same build + query workload under three configurations:
+
+* ``off``             — metrics disabled (``set_enabled(False)``);
+* ``metrics``         — the always-on default;
+* ``metrics_tracing`` — metrics plus span tracing enabled.
+
+The acceptance bar is that ``metrics`` stays within 3% of ``off`` —
+cheap enough to leave on in production.  Tracing allocates per span, so
+it is allowed to cost more (it is opt-in).
+
+Run directly to write ``BENCH_obs.json``::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py [--smoke]
+
+or under pytest, where the smoke-sized run asserts the report schema
+(timing ratios are not asserted: CI machines vary).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List
+
+from repro.core.index import SegDiffIndex
+from repro.core.queries import DropQuery, JumpQuery
+from repro.datagen import CADConfig, CADTransectGenerator, TimeSeries
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
+
+HOUR = 3600.0
+
+EPSILON = 0.5
+WINDOW = HOUR
+N_QUERIES = 120
+
+REPORT_SCHEMA = ("benchmark", "series", "repeats", "configs", "overhead_pct")
+CONFIG_SCHEMA = ("name", "build_seconds", "query_seconds", "total_seconds")
+
+
+def make_series(days: int) -> TimeSeries:
+    cfg = CADConfig(days=days, n_sensors=1)
+    return CADTransectGenerator(cfg).generate(0)
+
+
+def _queries() -> List:
+    """A mixed drop/jump grid exercising both engine operators."""
+    out: List = []
+    for i in range(N_QUERIES // 2):
+        t = 600.0 + (i % 6) * 500.0
+        out.append(DropQuery(t, -0.5 - (i % 4)))
+        out.append(JumpQuery(t, 0.5 + (i % 4)))
+    return out
+
+
+def run_workload(series: TimeSeries) -> Dict[str, float]:
+    """One build + query pass; returns wall times in seconds."""
+    t0 = time.perf_counter()
+    index = SegDiffIndex.build(series, EPSILON, WINDOW)
+    build_s = time.perf_counter() - t0
+    try:
+        t0 = time.perf_counter()
+        for q in _queries():
+            index.session.search(q, mode="index")
+        query_s = time.perf_counter() - t0
+    finally:
+        index.close()
+    return {"build": build_s, "query": query_s}
+
+
+def run_config(series: TimeSeries, metrics_on: bool, tracing_on: bool,
+               repeats: int) -> Dict[str, float]:
+    """Best-of-``repeats`` wall times under one on/off configuration."""
+    prev_metrics = obs_metrics.enabled()
+    prev_tracing = obs_tracing.enabled()
+    obs_metrics.set_enabled(metrics_on)
+    obs_tracing.set_enabled(tracing_on)
+    try:
+        best = {"build": float("inf"), "query": float("inf")}
+        for _ in range(repeats):
+            got = run_workload(series)
+            best = {k: min(best[k], got[k]) for k in best}
+    finally:
+        obs_metrics.set_enabled(prev_metrics)
+        obs_tracing.set_enabled(prev_tracing)
+    return best
+
+
+def run_bench(days: int = 350, repeats: int = 5) -> Dict:
+    series = make_series(days)
+    configs: List[Dict] = []
+    times: Dict[str, Dict[str, float]] = {}
+    for name, m_on, t_on in (
+        ("off", False, False),
+        ("metrics", True, False),
+        ("metrics_tracing", True, True),
+    ):
+        best = run_config(series, m_on, t_on, repeats)
+        times[name] = best
+        configs.append({
+            "name": name,
+            "build_seconds": round(best["build"], 4),
+            "query_seconds": round(best["query"], 4),
+            "total_seconds": round(best["build"] + best["query"], 4),
+        })
+
+    base = times["off"]["build"] + times["off"]["query"]
+    overhead = {
+        name: round(
+            100.0 * ((t["build"] + t["query"]) - base) / base, 2
+        )
+        for name, t in times.items()
+        if name != "off"
+    }
+    return {
+        "benchmark": "obs_overhead",
+        "series": {
+            "days": days,
+            "points": len(series),
+            "queries": N_QUERIES,
+            "epsilon": EPSILON,
+            "window_seconds": WINDOW,
+        },
+        "repeats": repeats,
+        "configs": configs,
+        "overhead_pct": overhead,
+    }
+
+
+def validate_report(report: Dict) -> None:
+    for key in REPORT_SCHEMA:
+        assert key in report, f"report missing {key!r}"
+    assert len(report["configs"]) == 3
+    for entry in report["configs"]:
+        for key in CONFIG_SCHEMA:
+            assert key in entry, f"config entry missing {key!r}"
+        assert entry["total_seconds"] > 0
+    assert set(report["overhead_pct"]) == {"metrics", "metrics_tracing"}
+
+
+# ---------------------------------------------------------------------- #
+# pytest entry point (CI smoke; ratios not asserted)
+# ---------------------------------------------------------------------- #
+
+
+def test_smoke_schema():
+    report = run_bench(days=8, repeats=1)
+    validate_report(report)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny series, one repeat; timings are not meaningful",
+    )
+    parser.add_argument("--days", type=int, default=350)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--out", default=os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "BENCH_obs.json",
+        ),
+    )
+    args = parser.parse_args(argv)
+    days = 8 if args.smoke else args.days
+    repeats = 1 if args.smoke else args.repeats
+    report = run_bench(days=days, repeats=repeats)
+    validate_report(report)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+    if not args.smoke and report["overhead_pct"]["metrics"] >= 3.0:
+        print(
+            f"WARNING: metrics-on overhead "
+            f"{report['overhead_pct']['metrics']}% exceeds the 3% budget",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

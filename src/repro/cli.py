@@ -23,6 +23,7 @@ Example session::
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
@@ -124,6 +125,11 @@ def cmd_build(args: argparse.Namespace) -> int:
         f"rows, {stats.disk_bytes / 1024:.0f} KiB on disk"
     )
     index.close()
+    if args.metrics_out:
+        from .obs import write_jsonl
+
+        n = write_jsonl(args.metrics_out)
+        print(f"wrote {n} metric series to {args.metrics_out}")
     return 0
 
 
@@ -138,9 +144,17 @@ def cmd_search(args: argparse.Namespace) -> int:
         )
         return 2
     t_threshold = args.within_minutes * 60.0
+    if args.trace:
+        from .obs import clear_traces, set_tracing_enabled
+
+        set_tracing_enabled(True)
+        clear_traces()
     index = SegDiffIndex.open(args.index)
     if args.deepest is not None:
-        return _search_deepest(args, index, t_threshold)
+        rc = _search_deepest(args, index, t_threshold)
+        if args.trace:
+            _print_traces()
+        return rc
     try:
         if getattr(args, "explain", False):
             kind = "drop" if args.drop is not None else "jump"
@@ -188,7 +202,22 @@ def cmd_search(args: argparse.Namespace) -> int:
             print(f"  ... and {len(pairs) - args.limit} more (use --limit)")
     finally:
         index.close()
+    if args.trace:
+        _print_traces()
     return 0
+
+
+def _print_traces() -> None:
+    from .obs import recent_traces, render_span_tree
+
+    roots = recent_traces()
+    if not roots:
+        print("no traces recorded", file=sys.stderr)
+        return
+    print()
+    print("trace:")
+    for root in roots:
+        print(render_span_tree(root))
 
 
 def _search_deepest(args: argparse.Namespace, index, t_threshold: float) -> int:
@@ -239,22 +268,42 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    index = SegDiffIndex.open(args.index)
-    try:
-        stats = index.stats()
-        counts = stats.store_counts
-        print(f"index:    {args.index}")
-        print(f"epsilon:  {index.epsilon}")
-        print(f"window:   {index.window / HOUR:.1f} hours")
-        print(f"n:        {stats.n_observations} observations, "
-              f"{stats.n_segments} segments (r = {stats.compression_rate:.2f})")
-        print(f"rows:     {counts.total} "
-              f"(drop pts {counts.drop_points}, drop lines {counts.drop_lines}, "
-              f"jump pts {counts.jump_points}, jump lines {counts.jump_lines})")
-        print(f"features: {stats.feature_bytes / 1024:.0f} KiB")
-        print(f"indexes:  {stats.index_bytes / 1024:.0f} KiB")
-    finally:
-        index.close()
+    if args.index is None and not args.metrics:
+        print(
+            "error: give an index path and/or --metrics", file=sys.stderr
+        )
+        return 2
+    if args.index is not None:
+        index = SegDiffIndex.open(args.index)
+        try:
+            stats = index.stats()
+            counts = stats.store_counts
+            print(f"index:    {args.index}")
+            print(f"epsilon:  {index.epsilon}")
+            print(f"window:   {index.window / HOUR:.1f} hours")
+            print(f"n:        {stats.n_observations} observations, "
+                  f"{stats.n_segments} segments "
+                  f"(r = {stats.compression_rate:.2f})")
+            print(f"rows:     {counts.total} "
+                  f"(drop pts {counts.drop_points}, "
+                  f"drop lines {counts.drop_lines}, "
+                  f"jump pts {counts.jump_points}, "
+                  f"jump lines {counts.jump_lines})")
+            print(f"features: {stats.feature_bytes / 1024:.0f} KiB")
+            print(f"indexes:  {stats.index_bytes / 1024:.0f} KiB")
+        finally:
+            index.close()
+    if args.metrics:
+        from .obs import render_table, to_jsonl, to_prometheus
+
+        if args.index is not None:
+            print()
+        if args.metrics_format == "jsonl":
+            print(to_jsonl())
+        elif args.metrics_format == "prometheus":
+            print(to_prometheus())
+        else:
+            print(render_table())
     return 0
 
 
@@ -310,6 +359,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="SegDiff: searching for drops (and jumps) in sensor data",
     )
     parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="emit the library's structured log records (WAL replays, "
+             "slow queries, ...) to stderr",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("generate", help="write synthetic CAD data to CSV")
@@ -348,6 +402,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-gap", type=float, default=None, metavar="SECONDS",
                    help="treat sampling gaps larger than this as episode "
                         "boundaries (no pairs across them)")
+    p.add_argument("--metrics-out", metavar="FILE",
+                   help="dump the metrics registry as JSON lines after "
+                        "the build")
     p.set_defaults(func=cmd_build)
 
     p = sub.add_parser("search", help="search a built index")
@@ -369,6 +426,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--explain", action="store_true",
                    help="print the engine's chosen plan with estimated vs "
                         "actual row counts before the results")
+    p.add_argument("--trace", action="store_true",
+                   help="record spans while searching and print the span "
+                        "tree after the results")
     p.set_defaults(func=cmd_search)
 
     p = sub.add_parser(
@@ -384,8 +444,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache", choices=["warm", "cold"], default="warm")
     p.set_defaults(func=cmd_explain)
 
-    p = sub.add_parser("stats", help="report a built index's composition")
-    p.add_argument("index")
+    p = sub.add_parser(
+        "stats",
+        help="report a built index's composition and/or process metrics",
+    )
+    p.add_argument("index", nargs="?", default=None)
+    p.add_argument("--metrics", action="store_true",
+                   help="dump the process-local metrics registry")
+    p.add_argument("--metrics-format",
+                   choices=["table", "jsonl", "prometheus"],
+                   default="table")
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("fsck", help="check a database file for corruption")
@@ -402,6 +470,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.verbose:
+        logging.basicConfig(
+            level=logging.INFO,
+            format="%(levelname)s %(name)s: %(message)s",
+            stream=sys.stderr,
+        )
     try:
         return args.func(args)
     except ReproError as exc:

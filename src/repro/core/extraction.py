@@ -29,6 +29,7 @@ from typing import Deque, Dict, Iterable, Optional, Sequence
 import numpy as np
 
 from ..errors import InvalidParameterError, InvalidSeriesError
+from ..obs.metrics import REGISTRY, ROWS_BUCKETS
 from ..storage.base import FeatureStore
 from ..types import DataSegment
 from .corners import (
@@ -41,6 +42,28 @@ from .corners import (
 from .parallelogram import Parallelogram
 
 __all__ = ["FeatureExtractor", "ExtractionStats"]
+
+_PAIRS = REGISTRY.counter(
+    "repro_extractor_pairs_total",
+    "Cross-segment parallelogram pairs analyzed (Algorithm 1)",
+)
+_SELF_PAIRS = REGISTRY.counter(
+    "repro_extractor_self_pairs_total",
+    "Degenerate self-pairs emitted (DESIGN.md §5.1 extension)",
+)
+_TRUNCATED = REGISTRY.counter(
+    "repro_extractor_truncated_total",
+    "History segments truncated at the window start (Alg. 1 line 4)",
+)
+_BATCH_SECONDS = REGISTRY.histogram(
+    "repro_extractor_batch_seconds",
+    "Wall time of FeatureExtractor.add_segments_batch calls",
+)
+_BATCH_PAIRS = REGISTRY.histogram(
+    "repro_extractor_batch_pairs",
+    "Pairs analyzed per add_segments_batch call",
+    buckets=ROWS_BUCKETS,
+)
 
 
 @dataclass
@@ -187,7 +210,10 @@ class FeatureExtractor:
         if self.emit_self_pairs:
             self._emit(collect_features(Parallelogram.self_pair(segment), self.epsilon))
             self.stats.n_self_pairs += 1
+            _SELF_PAIRS.inc()
 
+        n_pairs = 0
+        n_truncated = 0
         win_start = segment.t_start - self.window
         for prev in self._history:
             if prev.t_end <= win_start:
@@ -195,10 +221,15 @@ class FeatureExtractor:
             cd = prev
             if prev.t_start < win_start:
                 cd = prev.truncated_to_start(win_start)
-                self.stats.n_truncated += 1
+                n_truncated += 1
             para = Parallelogram.from_segments(cd, segment)
             self._emit(collect_features(para, self.epsilon))
-            self.stats.n_pairs += 1
+            n_pairs += 1
+        self.stats.n_pairs += n_pairs
+        self.stats.n_truncated += n_truncated
+        _PAIRS.inc(n_pairs)
+        if n_truncated:
+            _TRUNCATED.inc(n_truncated)
 
         self._history.append(segment)
         self._last = segment
@@ -269,15 +300,21 @@ class FeatureExtractor:
                 ab_rows.append(ab_row)
                 self_flags.append(False)
 
-        batch = collect_features_batch(
-            cd_rows, ab_rows, self_flags, self.epsilon
-        )
-        self.stats.n_segments += len(segments)
-        self.stats.n_self_pairs += n_self
-        self.stats.n_pairs += len(cd_rows) - n_self
-        self.stats.n_truncated += n_truncated
-        self.stats.absorb_batch(batch)
-        self.store.add_features_bulk(batch)
+        with _BATCH_SECONDS.time():
+            batch = collect_features_batch(
+                cd_rows, ab_rows, self_flags, self.epsilon
+            )
+            self.stats.n_segments += len(segments)
+            self.stats.n_self_pairs += n_self
+            self.stats.n_pairs += len(cd_rows) - n_self
+            self.stats.n_truncated += n_truncated
+            self.stats.absorb_batch(batch)
+            self.store.add_features_bulk(batch)
+        _PAIRS.inc(len(cd_rows) - n_self)
+        _SELF_PAIRS.inc(n_self)
+        if n_truncated:
+            _TRUNCATED.inc(n_truncated)
+        _BATCH_PAIRS.observe(len(cd_rows))
 
         self._history.extend(segments)
         self._last = segments[-1]

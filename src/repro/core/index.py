@@ -23,6 +23,7 @@ or streaming::
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
@@ -33,6 +34,8 @@ from ..datagen.model import PiecewiseLinearSignal
 from ..datagen.series import TimeSeries
 from ..engine.session import ExplainReport, QuerySession
 from ..errors import InvalidParameterError, QueryError, StorageError
+from ..obs.metrics import REGISTRY
+from ..obs.tracing import span
 from ..segmentation.sliding_window import SlidingWindowSegmenter
 from ..storage.base import FeatureStore, StoreCounts
 from ..storage.memory_store import MemoryFeatureStore
@@ -47,6 +50,12 @@ __all__ = ["SegDiffIndex", "IndexStats", "DEFAULT_BATCH_SIZE"]
 
 #: Observations consumed per vectorized segmentation/extraction round.
 DEFAULT_BATCH_SIZE = 65_536
+
+_EPISODE_SECONDS = REGISTRY.histogram(
+    "repro_build_episode_seconds",
+    "Wall time to segment and extract one gap-free episode "
+    "(serial fast path or parallel worker)",
+)
 
 
 @dataclass(frozen=True)
@@ -152,26 +161,32 @@ class SegDiffIndex:
                 f"got {backend!r}"
             )
         index = cls(epsilon, window, store, emit_self_pairs=emit_self_pairs)
-        if batch_size == 0:
-            # scalar reference path
-            if max_gap is not None:
-                index.ingest_episodes(series, max_gap)
-            else:
-                index.ingest(series)
-        elif workers > 1:
-            index.ingest_parallel(
-                series,
-                max_gap=max_gap,
-                workers=workers,
-                batch_size=batch_size or DEFAULT_BATCH_SIZE,
-            )
-        else:
-            index.ingest_episodes_fast(
-                series,
-                max_gap=max_gap,
-                batch_size=batch_size or DEFAULT_BATCH_SIZE,
-            )
-        index.finalize()
+        with span("index.build") as bs:
+            bs.set_attribute("backend", backend)
+            bs.set_attribute("workers", workers)
+            bs.set_attribute("observations", len(series.times))
+            with span("index.ingest"):
+                if batch_size == 0:
+                    # scalar reference path
+                    if max_gap is not None:
+                        index.ingest_episodes(series, max_gap)
+                    else:
+                        index.ingest(series)
+                elif workers > 1:
+                    index.ingest_parallel(
+                        series,
+                        max_gap=max_gap,
+                        workers=workers,
+                        batch_size=batch_size or DEFAULT_BATCH_SIZE,
+                    )
+                else:
+                    index.ingest_episodes_fast(
+                        series,
+                        max_gap=max_gap,
+                        batch_size=batch_size or DEFAULT_BATCH_SIZE,
+                    )
+            index.finalize()
+            bs.set_attribute("segments", len(index._segments))
         return index
 
     @staticmethod
@@ -424,7 +439,9 @@ class SegDiffIndex:
         for i, (ets, evs) in enumerate(episodes):
             if i:
                 self.mark_gap()
+            t0 = time.perf_counter()
             self.ingest_array(ets, evs, batch_size=batch_size)
+            _EPISODE_SECONDS.observe(time.perf_counter() - t0)
         return len(episodes) - 1
 
     def ingest_parallel(
@@ -473,24 +490,34 @@ class SegDiffIndex:
             )
             for ets, evs in episodes
         ]
-        if workers == 1 or len(episodes) == 1:
-            results = map(_build_episode_worker, tasks)
-        else:
-            pool = ProcessPoolExecutor(max_workers=min(workers, len(episodes)))
-            try:
-                results = list(pool.map(_build_episode_worker, tasks))
-            finally:
-                pool.shutdown()
+        with span("index.ingest_parallel") as ps:
+            ps.set_attribute("episodes", len(episodes))
+            ps.set_attribute("workers", workers)
+            if workers == 1 or len(episodes) == 1:
+                results = map(_build_episode_worker, tasks)
+            else:
+                pool = ProcessPoolExecutor(
+                    max_workers=min(workers, len(episodes))
+                )
+                try:
+                    results = list(pool.map(_build_episode_worker, tasks))
+                finally:
+                    pool.shutdown()
 
-        for (ets, _evs), (segments, batches, stats) in zip(episodes, results):
-            self._n_observations += ets.shape[0]
-            self._segments.extend(segments)
-            self.store.add_segments_bulk(segments)
-            for batch in batches:
-                self.store.add_features_bulk(batch)
-            self._extractor.stats.merge(stats)
-            self._n_obs_covered = self._n_observations
-        self._invalidate_plans()
+            # workers run in separate processes and cannot reach this
+            # registry; each reports its wall time and the parent observes
+            for (ets, _evs), (segments, batches, stats, elapsed) in zip(
+                episodes, results
+            ):
+                _EPISODE_SECONDS.observe(elapsed)
+                self._n_observations += ets.shape[0]
+                self._segments.extend(segments)
+                self.store.add_segments_bulk(segments)
+                for batch in batches:
+                    self.store.add_features_bulk(batch)
+                self._extractor.stats.merge(stats)
+                self._n_obs_covered = self._n_observations
+            self._invalidate_plans()
         return len(episodes) - 1
 
     def checkpoint(self) -> None:
@@ -500,21 +527,23 @@ class SegDiffIndex:
         segment — stays pending until more data arrives or the index is
         finalized.
         """
-        self.store.finalize()
-        self._invalidate_plans()
-        self._write_meta()
+        with span("index.checkpoint"):
+            self.store.finalize()
+            self._invalidate_plans()
+            self._write_meta()
 
     def finalize(self) -> None:
         """Seal the stream: flush the tail segment and build indexes."""
         if self._sealed:
             return
-        for segment in self._segmenter.finish():
-            self._register_segment(segment)
-        self._n_obs_covered = self._n_observations
-        self.store.finalize()
-        self._sealed = True
-        self._invalidate_plans()
-        self._write_meta()
+        with span("index.finalize"):
+            for segment in self._segmenter.finish():
+                self._register_segment(segment)
+            self._n_obs_covered = self._n_observations
+            self.store.finalize()
+            self._sealed = True
+            self._invalidate_plans()
+            self._write_meta()
 
     def _write_meta(self) -> None:
         self.store.set_meta("epsilon", self.epsilon)
@@ -798,14 +827,19 @@ class _FeatureBatchCollector:
         self.batches.append(batch)
 
 
-def _build_episode_worker(task) -> Tuple[List[DataSegment], List, ExtractionStats]:
+def _build_episode_worker(
+    task,
+) -> Tuple[List[DataSegment], List, ExtractionStats, float]:
     """Segment + extract one gap-free episode (runs in a worker process).
 
     Episodes never pair across a gap, so the worker needs no context
     beyond the build parameters; its trailing open segment is flushed
-    because no later observation of this episode can extend it.
+    because no later observation of this episode can extend it.  The
+    returned wall time lets the parent record per-episode timings (the
+    worker's own metrics registry dies with its process).
     """
     epsilon, window, emit_self_pairs, ts, vs, batch_size = task
+    t0 = time.perf_counter()
     segmenter = SlidingWindowSegmenter(epsilon)
     collector = _FeatureBatchCollector()
     extractor = FeatureExtractor(
@@ -823,4 +857,5 @@ def _build_episode_worker(task) -> Tuple[List[DataSegment], List, ExtractionStat
     if tail:
         extractor.add_segments_batch(tail)
         segments.extend(tail)
-    return segments, collector.batches, extractor.stats
+    elapsed = time.perf_counter() - t0
+    return segments, collector.batches, extractor.stats, elapsed

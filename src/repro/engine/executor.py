@@ -33,6 +33,8 @@ import numpy as np
 
 from ..core.queries import line_mask, point_mask
 from ..core.results import SearchHit, rank_hits
+from ..obs.metrics import REGISTRY
+from ..obs.tracing import span
 from ..types import SegmentPair
 from .plan import LineCrossOp, PointRangeOp, QueryPlan
 
@@ -40,6 +42,31 @@ __all__ = ["OperatorStats", "ExecutionResult", "execute", "execute_batch"]
 
 _POINT_WIDTH = 6
 _LINE_WIDTH = 8
+
+_ROWS_FETCHED = {
+    op: REGISTRY.counter(
+        "repro_engine_rows_fetched_total",
+        "Candidate rows returned by physical operators",
+        {"operator": op},
+    )
+    for op in ("point_range", "line_cross")
+}
+_ROWS_MATCHED = {
+    op: REGISTRY.counter(
+        "repro_engine_rows_matched_total",
+        "Rows surviving the exact predicate, per operator",
+        {"operator": op},
+    )
+    for op in ("point_range", "line_cross")
+}
+_REFINE_CANDIDATES = REGISTRY.counter(
+    "repro_engine_refine_candidates_total",
+    "Candidate pairs entering witness refinement",
+)
+_REFINE_KEPT = REGISTRY.counter(
+    "repro_engine_refine_kept_total",
+    "Hits surviving witness refinement",
+)
 
 
 @dataclass(frozen=True)
@@ -135,40 +162,61 @@ def execute(
     """
     pop, lop = plan.point_op, plan.line_op
 
-    prows = _fetch_point_rows(store, pop, cache, pushdown)
-    pmask = point_mask(
-        pop.kind, prows[:, 0], prows[:, 1], pop.t_threshold, pop.v_threshold
-    )
-    lrows = _fetch_line_rows(store, lop, cache, pushdown)
-    lmask = line_mask(
-        lop.kind,
-        lrows[:, 0],
-        lrows[:, 1],
-        lrows[:, 2],
-        lrows[:, 3],
-        lop.t_threshold,
-        lop.v_threshold,
-    )
-    pairs = _union_dedup([prows[pmask][:, 2:6], lrows[lmask][:, 4:8]])
+    with span("op.point_range") as ps:
+        prows = _fetch_point_rows(store, pop, cache, pushdown)
+        pmask = point_mask(
+            pop.kind, prows[:, 0], prows[:, 1],
+            pop.t_threshold, pop.v_threshold,
+        )
+        p_fetched, p_matched = int(prows.shape[0]), int(pmask.sum())
+        ps.set_attribute("access", pop.access)
+        ps.set_attribute("rows_fetched", p_fetched)
+        ps.set_attribute("rows_matched", p_matched)
+    with span("op.line_cross") as ls:
+        lrows = _fetch_line_rows(store, lop, cache, pushdown)
+        lmask = line_mask(
+            lop.kind,
+            lrows[:, 0],
+            lrows[:, 1],
+            lrows[:, 2],
+            lrows[:, 3],
+            lop.t_threshold,
+            lop.v_threshold,
+        )
+        l_fetched, l_matched = int(lrows.shape[0]), int(lmask.sum())
+        ls.set_attribute("access", lop.access)
+        ls.set_attribute("rows_fetched", l_fetched)
+        ls.set_attribute("rows_matched", l_matched)
+    with span("op.union_dedup") as us:
+        pairs = _union_dedup([prows[pmask][:, 2:6], lrows[lmask][:, 4:8]])
+        us.set_attribute("pairs", len(pairs))
+
+    _ROWS_FETCHED["point_range"].inc(p_fetched)
+    _ROWS_MATCHED["point_range"].inc(p_matched)
+    _ROWS_FETCHED["line_cross"].inc(l_fetched)
+    _ROWS_MATCHED["line_cross"].inc(l_matched)
 
     stats = [
         OperatorStats(
-            "point_range", pop.table, pop.access,
-            int(prows.shape[0]), int(pmask.sum()),
+            "point_range", pop.table, pop.access, p_fetched, p_matched,
         ),
         OperatorStats(
-            "line_cross", lop.table, lop.access,
-            int(lrows.shape[0]), int(lmask.sum()),
+            "line_cross", lop.table, lop.access, l_fetched, l_matched,
         ),
     ]
     result = ExecutionResult(pairs=pairs, op_stats=stats)
     if plan.refine_op is not None:
         if data is None:
             raise ValueError("plan has a RefineOp but no data was supplied")
-        result.hits = rank_hits(
-            pairs, data, plan.query,
-            verified_only=plan.refine_op.verified_only,
-        )
+        with span("op.refine") as rs:
+            result.hits = rank_hits(
+                pairs, data, plan.query,
+                verified_only=plan.refine_op.verified_only,
+            )
+            rs.set_attribute("candidates", len(pairs))
+            rs.set_attribute("kept", len(result.hits))
+        _REFINE_CANDIDATES.inc(len(pairs))
+        _REFINE_KEPT.inc(len(result.hits))
     return result
 
 
@@ -197,24 +245,35 @@ def execute_batch(
         all_index_points = all(p.point_op.access == "index" for p in group)
         all_index_lines = all(p.line_op.access == "index" for p in group)
 
-        if all_index_points:
-            prows = _as_rows(
-                store.probe_point_index(kind, t_max, cache=cache),
-                _POINT_WIDTH,
-            )
-            point_access = "index"
-        else:
-            prows = _as_rows(store.scan_points(kind, cache=cache),
-                             _POINT_WIDTH)
-            point_access = "scan"
-        if all_index_lines:
-            lrows = _as_rows(
-                store.probe_line_index(kind, t_max, cache=cache), _LINE_WIDTH
-            )
-            line_access = "index"
-        else:
-            lrows = _as_rows(store.scan_lines(kind, cache=cache), _LINE_WIDTH)
-            line_access = "scan"
+        with span("op.point_range.fetch") as ps:
+            if all_index_points:
+                prows = _as_rows(
+                    store.probe_point_index(kind, t_max, cache=cache),
+                    _POINT_WIDTH,
+                )
+                point_access = "index"
+            else:
+                prows = _as_rows(store.scan_points(kind, cache=cache),
+                                 _POINT_WIDTH)
+                point_access = "scan"
+            ps.set_attribute("kind", kind)
+            ps.set_attribute("rows_fetched", int(prows.shape[0]))
+        with span("op.line_cross.fetch") as ls:
+            if all_index_lines:
+                lrows = _as_rows(
+                    store.probe_line_index(kind, t_max, cache=cache),
+                    _LINE_WIDTH,
+                )
+                line_access = "index"
+            else:
+                lrows = _as_rows(store.scan_lines(kind, cache=cache),
+                                 _LINE_WIDTH)
+                line_access = "scan"
+            ls.set_attribute("kind", kind)
+            ls.set_attribute("rows_fetched", int(lrows.shape[0]))
+        # fetched once per group — counted once, not once per query
+        _ROWS_FETCHED["point_range"].inc(int(prows.shape[0]))
+        _ROWS_FETCHED["line_cross"].inc(int(lrows.shape[0]))
 
         for i in idxs:
             plan = plans[i]
@@ -233,16 +292,19 @@ def execute_batch(
             pairs = _union_dedup(
                 [prows[pmask][:, 2:6], lrows[lmask][:, 4:8]]
             )
+            p_matched, l_matched = int(pmask.sum()), int(lmask.sum())
+            _ROWS_MATCHED["point_range"].inc(p_matched)
+            _ROWS_MATCHED["line_cross"].inc(l_matched)
             results[i] = ExecutionResult(
                 pairs=pairs,
                 op_stats=[
                     OperatorStats(
                         "point_range", f"{kind}_points", point_access,
-                        int(prows.shape[0]), int(pmask.sum()),
+                        int(prows.shape[0]), p_matched,
                     ),
                     OperatorStats(
                         "line_cross", f"{kind}_lines", line_access,
-                        int(lrows.shape[0]), int(lmask.sum()),
+                        int(lrows.shape[0]), l_matched,
                     ),
                 ],
             )

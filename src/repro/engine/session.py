@@ -17,10 +17,14 @@ choice, serializes access to backends whose reads are not thread-safe
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..errors import InvalidParameterError
+from ..obs import slowlog
+from ..obs.metrics import REGISTRY, ROWS_BUCKETS
+from ..obs.tracing import span
 from ..types import SegmentPair
 from .cost import CostModel
 from .executor import ExecutionResult, execute, execute_batch
@@ -29,6 +33,29 @@ from .plan import Query, QueryPlan, RefineOp
 __all__ = ["QuerySession", "OperatorExplain", "ExplainReport"]
 
 _MODES = ("auto", "index", "scan", "grid")
+
+_QUERIES = {
+    api: REGISTRY.counter(
+        "repro_engine_queries_total",
+        "Queries answered by QuerySession", {"api": api},
+    )
+    for api in ("search", "search_batch", "explain")
+}
+_QUERY_SECONDS = {
+    api: REGISTRY.histogram(
+        "repro_query_seconds",
+        "End-to-end query latency per session API", {"api": api},
+    )
+    for api in ("search", "search_batch", "explain")
+}
+_QUERY_PAIRS = REGISTRY.histogram(
+    "repro_query_pairs", "Distinct pairs returned per query",
+    buckets=ROWS_BUCKETS,
+)
+_SLOW_QUERIES = REGISTRY.counter(
+    "repro_query_slow_total",
+    "Queries exceeding the slow-query threshold",
+)
 
 
 @dataclass(frozen=True)
@@ -95,9 +122,17 @@ class QuerySession:
     connections both do; MiniDB's shared buffer pool does not).
     """
 
-    def __init__(self, store, cost_model: Optional[CostModel] = None) -> None:
+    def __init__(
+        self,
+        store,
+        cost_model: Optional[CostModel] = None,
+        slow_query_threshold: Optional[float] = None,
+    ) -> None:
         self.store = store
         self.cost = cost_model if cost_model is not None else CostModel(store)
+        #: Seconds above which a query lands in the slow-query log; when
+        #: None, the process-wide default (``repro.obs.slowlog``) applies.
+        self.slow_query_threshold = slow_query_threshold
         self._lock: Optional[threading.Lock] = (
             None if getattr(store, "THREAD_SAFE_READS", False)
             else threading.Lock()
@@ -132,6 +167,66 @@ class QuerySession:
             return execute(plan, self.store, cache=cache, data=data,
                            pushdown=pushdown)
 
+    def _execute_with_io(
+        self, plan: QueryPlan, cache: str, data, pushdown: bool = True
+    ) -> Tuple[ExecutionResult, Optional[object], Optional[object]]:
+        """Execute with before/after pager-stat snapshots.
+
+        Snapshots are taken *inside* the session lock, so on serialized
+        backends (MiniDB's shared buffer pool) the delta attributes
+        exactly this execution's page traffic even while other sessions
+        on the same store run concurrently.
+        """
+        if self._lock is None:
+            return self._run_with_io(plan, cache, data, pushdown)
+        with self._lock:
+            return self._run_with_io(plan, cache, data, pushdown)
+
+    def _run_with_io(self, plan, cache, data, pushdown):
+        before = self._io_stats()
+        result = execute(plan, self.store, cache=cache, data=data,
+                         pushdown=pushdown)
+        after = self._io_stats()
+        return result, before, after
+
+    def _observe_query(
+        self,
+        api: str,
+        plan: QueryPlan,
+        seconds: float,
+        n_pairs: int,
+        op_stats=None,
+    ) -> None:
+        """Record per-query telemetry and feed the slow-query log."""
+        _QUERIES[api].inc()
+        _QUERY_SECONDS[api].observe(seconds)
+        _QUERY_PAIRS.observe(n_pairs)
+        threshold = self.slow_query_threshold
+        if threshold is None:
+            threshold = slowlog.default_threshold()
+        if threshold is not None and seconds >= threshold:
+            _SLOW_QUERIES.inc()
+            slowlog.SLOW_QUERY_LOG.add(
+                slowlog.SlowQueryRecord(
+                    api=api,
+                    backend=getattr(self.store, "BACKEND", "unknown"),
+                    duration_s=seconds,
+                    threshold_s=threshold,
+                    plan=plan.describe(),
+                    n_pairs=n_pairs,
+                    operators=[
+                        {
+                            "operator": s.operator,
+                            "table": s.table,
+                            "access": s.access,
+                            "rows_fetched": s.rows_fetched,
+                            "rows_matched": s.rows_matched,
+                        }
+                        for s in (op_stats or [])
+                    ],
+                )
+            )
+
     def search(
         self,
         query: Query,
@@ -148,15 +243,26 @@ class QuerySession:
         refine = (
             RefineOp(verified_only=verified_only) if data is not None else None
         )
-        plan = self.plan(query, mode=mode)
-        if refine is not None:
-            plan = QueryPlan(
-                query=plan.query,
-                point_op=plan.point_op,
-                line_op=plan.line_op,
-                refine_op=refine,
-            )
-        result = self._execute(plan, cache, data)
+        t0 = time.perf_counter()
+        with span("query.search") as root:
+            with span("query.plan"):
+                plan = self.plan(query, mode=mode)
+            if refine is not None:
+                plan = QueryPlan(
+                    query=plan.query,
+                    point_op=plan.point_op,
+                    line_op=plan.line_op,
+                    refine_op=refine,
+                )
+            result = self._execute(plan, cache, data)
+            root.set_attribute("backend",
+                               getattr(self.store, "BACKEND", "unknown"))
+            root.set_attribute("kind", query.kind)
+            root.set_attribute("pairs", len(result.pairs))
+        self._observe_query(
+            "search", plan, time.perf_counter() - t0,
+            len(result.pairs), result.op_stats,
+        )
         return result.hits if result.hits is not None else result.pairs
 
     def search_batch(
@@ -175,12 +281,21 @@ class QuerySession:
             raise InvalidParameterError(
                 "batched execution supports 'auto', 'index' and 'scan'"
             )
-        plans = [self.plan(q, mode=mode) for q in queries]
-        if self._lock is None:
-            results = execute_batch(plans, self.store, cache=cache)
-        else:
-            with self._lock:
+        t0 = time.perf_counter()
+        with span("query.search_batch") as root:
+            with span("query.plan"):
+                plans = [self.plan(q, mode=mode) for q in queries]
+            if self._lock is None:
                 results = execute_batch(plans, self.store, cache=cache)
+            else:
+                with self._lock:
+                    results = execute_batch(plans, self.store, cache=cache)
+            root.set_attribute("queries", len(plans))
+        if plans:
+            n_pairs = sum(len(r.pairs) for r in results)
+            self._observe_query(
+                "search_batch", plans[0], time.perf_counter() - t0, n_pairs,
+            )
         return [r.pairs for r in results]
 
     # ------------------------------------------------------------------ #
@@ -195,16 +310,27 @@ class QuerySession:
         Pushdown is disabled for the run so ``rows_fetched`` reports the
         true candidate-set size of each access path.
         """
-        plan = self.plan(query, mode=mode)
-        stats_before = self._io_stats()
-        result = self._execute(plan, cache, None, pushdown=False)
-        stats_after = self._io_stats()
+        t0 = time.perf_counter()
+        with span("query.explain") as root:
+            with span("query.plan"):
+                plan = self.plan(query, mode=mode)
+            # snapshots and execution happen atomically under the session
+            # lock — concurrent sessions on the same store can no longer
+            # misattribute each other's pager traffic
+            result, stats_before, stats_after = self._execute_with_io(
+                plan, cache, None, pushdown=False
+            )
+            root.set_attribute("kind", query.kind)
         pages_read = cache_hits = cache_misses = None
         if stats_before is not None and stats_after is not None:
             delta = stats_after.delta(stats_before)
             pages_read = delta.page_reads
             cache_hits = delta.hits
             cache_misses = delta.misses
+        self._observe_query(
+            "explain", plan, time.perf_counter() - t0,
+            len(result.pairs), result.op_stats,
+        )
 
         counts = self.store.counts()
         ops: List[OperatorExplain] = []

@@ -1,0 +1,78 @@
+"""repro.obs — process-local observability: metrics, tracing, exporters,
+and the slow-query log.
+
+The package is stdlib-only and imported by every layer of the stack
+(segmentation, extraction, storage, engine), so it must never import
+from the rest of ``repro``.  See docs/observability.md for the metric
+catalog and usage examples.
+
+Quick tour::
+
+    from repro import obs
+
+    obs.REGISTRY.counter("repro_demo_total").inc()
+    with obs.span("demo.step") as s:
+        s.set_attribute("rows", 42)
+    print(obs.render_table())
+"""
+
+from .metrics import (  # noqa: F401
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricSample,
+    MetricsRegistry,
+    REGISTRY,
+    ROWS_BUCKETS,
+    get_registry,
+)
+from .metrics import enabled as metrics_enabled  # noqa: F401
+from .metrics import set_enabled as set_metrics_enabled  # noqa: F401
+from .tracing import (  # noqa: F401
+    Span,
+    TRACER,
+    Tracer,
+    clear_traces,
+    current_span,
+    enabled_ctx,
+    iter_spans,
+    recent_traces,
+    render_span_tree,
+    span,
+)
+from .tracing import enabled as tracing_enabled  # noqa: F401
+from .tracing import set_enabled as set_tracing_enabled  # noqa: F401
+from .export import (  # noqa: F401
+    parse_prometheus,
+    render_table,
+    to_jsonl,
+    to_prometheus,
+    validate_jsonl,
+    validate_schema,
+    write_jsonl,
+)
+from .slowlog import (  # noqa: F401
+    SLOW_QUERY_LOG,
+    SlowQueryLog,
+    SlowQueryRecord,
+    default_threshold,
+    set_default_threshold,
+)
+
+__all__ = [
+    # metrics
+    "Counter", "Gauge", "Histogram", "MetricSample", "MetricsRegistry",
+    "REGISTRY", "LATENCY_BUCKETS", "ROWS_BUCKETS", "get_registry",
+    "metrics_enabled", "set_metrics_enabled",
+    # tracing
+    "Span", "Tracer", "TRACER", "span", "current_span", "recent_traces",
+    "clear_traces", "render_span_tree", "iter_spans", "enabled_ctx",
+    "tracing_enabled", "set_tracing_enabled",
+    # export
+    "to_jsonl", "write_jsonl", "to_prometheus", "parse_prometheus",
+    "render_table", "validate_jsonl", "validate_schema",
+    # slow-query log
+    "SlowQueryRecord", "SlowQueryLog", "SLOW_QUERY_LOG",
+    "set_default_threshold", "default_threshold",
+]

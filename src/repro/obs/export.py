@@ -1,0 +1,294 @@
+"""Exporters for the metrics registry: JSON-lines, Prometheus text,
+and a human-readable table.
+
+All three consume the normalized :class:`~repro.obs.metrics.MetricSample`
+list from ``registry.collect()``, so any registry (not just the global
+one) can be exported.  ``parse_prometheus`` inverts ``to_prometheus`` far
+enough for round-trip tests and scrape-style consumers; the JSONL format
+is validated in CI against ``benchmarks/metrics.schema.json`` using the
+dependency-free checker in :func:`validate_jsonl`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Iterable, List, Optional
+
+from .metrics import MetricSample, MetricsRegistry, REGISTRY
+
+__all__ = [
+    "to_jsonl",
+    "write_jsonl",
+    "to_prometheus",
+    "parse_prometheus",
+    "render_table",
+    "validate_jsonl",
+    "validate_schema",
+]
+
+
+def _sample_to_json(s: MetricSample) -> Dict[str, Any]:
+    rec: Dict[str, Any] = {
+        "name": s.name,
+        "type": s.type,
+        "labels": s.labels_dict(),
+    }
+    if s.type == "histogram":
+        rec["sum"] = s.sum
+        rec["count"] = s.count
+        rec["buckets"] = [
+            {"le": ("+Inf" if math.isinf(le) else le), "count": n}
+            for le, n in s.buckets
+        ]
+    else:
+        rec["value"] = s.value
+    return rec
+
+
+def to_jsonl(registry: Optional[MetricsRegistry] = None) -> str:
+    """One JSON object per line, one line per series."""
+    registry = registry or REGISTRY
+    return "\n".join(
+        json.dumps(_sample_to_json(s), sort_keys=True)
+        for s in registry.collect()
+    )
+
+
+def write_jsonl(path: str,
+                registry: Optional[MetricsRegistry] = None) -> int:
+    """Write the registry to ``path``; returns the number of series."""
+    text = to_jsonl(registry)
+    with open(path, "w") as fh:
+        if text:
+            fh.write(text)
+            fh.write("\n")
+    return 0 if not text else text.count("\n") + 1
+
+
+# ---------------------------------------------------------------------- #
+# Prometheus text exposition format
+# ---------------------------------------------------------------------- #
+
+
+def _prom_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _prom_float(v: float) -> str:
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if float(v).is_integer():
+        return str(int(v))
+    return repr(float(v))
+
+
+def to_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """Prometheus text exposition (``# HELP``/``# TYPE`` + samples)."""
+    registry = registry or REGISTRY
+    lines: List[str] = []
+    seen_header = set()
+    for s in registry.collect():
+        if s.name not in seen_header:
+            seen_header.add(s.name)
+            if s.help:
+                lines.append(f"# HELP {s.name} {s.help}")
+            lines.append(f"# TYPE {s.name} {s.type}")
+        labels = s.labels_dict()
+        if s.type == "histogram":
+            for le, n in s.buckets:
+                le_label = 'le="%s"' % _prom_float(le)
+                lines.append(
+                    f"{s.name}_bucket{_prom_labels(labels, le_label)} {n}"
+                )
+            lines.append(
+                f"{s.name}_sum{_prom_labels(labels)} {_prom_float(s.sum)}"
+            )
+            lines.append(
+                f"{s.name}_count{_prom_labels(labels)} {s.count}"
+            )
+        else:
+            lines.append(
+                f"{s.name}{_prom_labels(labels)} {_prom_float(s.value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _parse_labels(text: str) -> Dict[str, str]:
+    out: Dict[str, str] = {}
+    for part in _split_label_pairs(text):
+        k, _, v = part.partition("=")
+        out[k] = v.strip('"')
+    return out
+
+
+def _split_label_pairs(text: str) -> List[str]:
+    parts, depth, cur = [], False, []
+    for ch in text:
+        if ch == '"':
+            depth = not depth
+            cur.append(ch)
+        elif ch == "," and not depth:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    if cur:
+        parts.append("".join(cur))
+    return parts
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, float]]:
+    """Parse exposition text to ``{metric_line_name: {labels_repr: value}}``.
+
+    Good enough to invert :func:`to_prometheus` for round-trip tests:
+    histogram ``_bucket``/``_sum``/``_count`` lines appear under their
+    suffixed names, like a real scrape.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if "{" in name_part:
+            name, _, rest = name_part.partition("{")
+            labels = _parse_labels(rest.rstrip("}"))
+        else:
+            name, labels = name_part, {}
+        label_key = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        value = float(value_part) if value_part not in (
+            "+Inf", "-Inf"
+        ) else math.inf * (1 if value_part == "+Inf" else -1)
+        out.setdefault(name, {})[label_key] = value
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# human-readable table
+# ---------------------------------------------------------------------- #
+
+
+def render_table(registry: Optional[MetricsRegistry] = None,
+                 prefix: str = "") -> str:
+    """A fixed-width table of every series, for ``repro stats``.
+
+    Histograms render as ``count / mean``; pass ``prefix`` to filter by
+    metric-name prefix.
+    """
+    registry = registry or REGISTRY
+    rows: List[tuple] = []
+    for s in registry.collect():
+        if prefix and not s.name.startswith(prefix):
+            continue
+        labels = ",".join(f"{k}={v}" for k, v in s.labels)
+        if s.type == "histogram":
+            mean = s.sum / s.count if s.count else 0.0
+            value = f"n={s.count} mean={mean:.6g}"
+        else:
+            value = _prom_float(s.value)
+        rows.append((s.name, s.type, labels, value))
+    if not rows:
+        return "(no metrics recorded)"
+    titles = ("metric", "type", "labels", "value")
+    widths = [
+        max(len(titles[i]), max(len(str(r[i])) for r in rows))
+        for i in range(3)
+    ]
+    lines = [
+        "  ".join(list(t.ljust(w) for t, w in zip(titles, widths))
+                  + [titles[3]]),
+        "  ".join(["-" * w for w in widths] + ["-" * len(titles[3])]),
+    ]
+    for name, typ, labels, value in rows:
+        lines.append(
+            f"{name.ljust(widths[0])}  {typ.ljust(widths[1])}  "
+            f"{labels.ljust(widths[2])}  {value}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# dependency-free JSON-schema-subset validation (CI metrics.jsonl check)
+# ---------------------------------------------------------------------- #
+
+
+def validate_schema(instance: Any, schema: Dict[str, Any],
+                    path: str = "$") -> None:
+    """Validate ``instance`` against the subset of JSON Schema the
+    checked-in metric schema uses: ``type``, ``required``,
+    ``properties``, ``additionalProperties`` (bool), ``items``,
+    ``enum``, ``minimum``.  Raises ``ValueError`` with a JSON-path on
+    the first violation.  (Deliberately self-contained: the dev extra
+    does not ship ``jsonschema``.)
+    """
+    stype = schema.get("type")
+    if stype is not None:
+        types = stype if isinstance(stype, list) else [stype]
+        if not any(_type_ok(instance, t) for t in types):
+            raise ValueError(
+                f"{path}: expected type {stype}, got "
+                f"{type(instance).__name__}"
+            )
+    if "enum" in schema and instance not in schema["enum"]:
+        raise ValueError(
+            f"{path}: {instance!r} not in enum {schema['enum']}"
+        )
+    if "minimum" in schema and isinstance(instance, (int, float)) \
+            and not isinstance(instance, bool):
+        if instance < schema["minimum"]:
+            raise ValueError(
+                f"{path}: {instance} below minimum {schema['minimum']}"
+            )
+    if isinstance(instance, dict):
+        for req in schema.get("required", ()):
+            if req not in instance:
+                raise ValueError(f"{path}: missing required key {req!r}")
+        props = schema.get("properties", {})
+        for key, value in instance.items():
+            if key in props:
+                validate_schema(value, props[key], f"{path}.{key}")
+            elif schema.get("additionalProperties") is False:
+                raise ValueError(f"{path}: unexpected key {key!r}")
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            validate_schema(item, schema["items"], f"{path}[{i}]")
+
+
+def _type_ok(instance: Any, t: str) -> bool:
+    if t == "object":
+        return isinstance(instance, dict)
+    if t == "array":
+        return isinstance(instance, list)
+    if t == "string":
+        return isinstance(instance, str)
+    if t == "number":
+        return isinstance(instance, (int, float)) \
+            and not isinstance(instance, bool)
+    if t == "integer":
+        return isinstance(instance, int) and not isinstance(instance, bool)
+    if t == "boolean":
+        return isinstance(instance, bool)
+    if t == "null":
+        return instance is None
+    return False
+
+
+def validate_jsonl(lines: Iterable[str], schema: Dict[str, Any]) -> int:
+    """Validate each non-empty JSONL line against ``schema``; returns
+    the number of validated records."""
+    n = 0
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {i + 1}: invalid JSON: {exc}") from exc
+        validate_schema(record, schema, path=f"line {i + 1}")
+        n += 1
+    return n

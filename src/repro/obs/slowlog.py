@@ -1,0 +1,127 @@
+"""Slow-query log: a bounded record of queries that exceeded a latency
+threshold, with the executed plan and per-operator actuals attached.
+
+`QuerySession` feeds this after every search/explain when a threshold is
+configured (per-session argument, or process-wide via
+:func:`set_default_threshold` / ``REPRO_SLOW_QUERY_MS``).  Each hit also
+emits a ``WARNING`` on the ``repro.engine`` logger and bumps
+``repro_query_slow_total``, so a deployment can alert on the counter and
+pull details from the ring buffer (``repro stats --slow``-style use, or
+programmatic :func:`recent`).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional
+
+__all__ = [
+    "SlowQueryRecord",
+    "SlowQueryLog",
+    "SLOW_QUERY_LOG",
+    "set_default_threshold",
+    "default_threshold",
+    "recent",
+    "clear",
+]
+
+logger = logging.getLogger("repro.engine")
+
+
+def _env_threshold() -> Optional[float]:
+    raw = os.environ.get("REPRO_SLOW_QUERY_MS")
+    if not raw:
+        return None
+    try:
+        return float(raw) / 1000.0
+    except ValueError:
+        return None
+
+
+_DEFAULT_THRESHOLD: Optional[float] = _env_threshold()
+
+
+def set_default_threshold(seconds: Optional[float]) -> None:
+    """Process-wide fallback threshold for sessions that don't pass one
+    (None disables)."""
+    global _DEFAULT_THRESHOLD
+    _DEFAULT_THRESHOLD = seconds
+
+
+def default_threshold() -> Optional[float]:
+    return _DEFAULT_THRESHOLD
+
+
+@dataclass
+class SlowQueryRecord:
+    """One over-threshold query, as captured by the session."""
+
+    api: str                      # "search" | "search_batch" | "explain"
+    backend: str
+    duration_s: float
+    threshold_s: float
+    plan: str                     # QueryPlan.describe()
+    n_pairs: int
+    wall_time: float = field(default_factory=time.time)
+    operators: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "api": self.api,
+            "backend": self.backend,
+            "duration_ms": round(self.duration_s * 1e3, 3),
+            "threshold_ms": round(self.threshold_s * 1e3, 3),
+            "plan": self.plan,
+            "n_pairs": self.n_pairs,
+            "wall_time": self.wall_time,
+            "operators": list(self.operators),
+        }
+
+
+class SlowQueryLog:
+    """Thread-safe bounded buffer of :class:`SlowQueryRecord`."""
+
+    def __init__(self, maxlen: int = 128) -> None:
+        self._records: Deque[SlowQueryRecord] = deque(maxlen=maxlen)
+        self._lock = threading.Lock()
+
+    def add(self, record: SlowQueryRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+        logger.warning(
+            "slow query: api=%s backend=%s duration=%.1fms "
+            "threshold=%.1fms pairs=%d plan=%s",
+            record.api, record.backend, record.duration_s * 1e3,
+            record.threshold_s * 1e3, record.n_pairs, record.plan,
+        )
+
+    def recent(self, n: Optional[int] = None) -> List[SlowQueryRecord]:
+        """Most recent records, oldest first (all when ``n`` is None)."""
+        with self._lock:
+            records = list(self._records)
+        return records if n is None else records[-n:]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+#: Process-wide log all sessions append to.
+SLOW_QUERY_LOG = SlowQueryLog()
+
+
+def recent(n: Optional[int] = None) -> List[SlowQueryRecord]:
+    return SLOW_QUERY_LOG.recent(n)
+
+
+def clear() -> None:
+    SLOW_QUERY_LOG.clear()

@@ -1,0 +1,276 @@
+"""Span-based tracing: nested timing trees for build and query paths.
+
+A :class:`Span` measures one named unit of work (``query.search``,
+``op.point_range``) with wall-clock duration, free-form attributes, and
+child spans.  ``span(...)`` context managers opened while another span is
+active on the same thread nest under it; finished root spans land in a
+bounded ring buffer (:func:`recent_traces`) for the CLI to render.
+
+Tracing is **off by default** — unlike metrics it allocates per event —
+and when off, ``span()`` returns a shared no-op whose enter/exit are two
+attribute lookups.  Enable per-process with :func:`set_enabled` (the CLI
+``--trace`` flag) or scoped with ``enabled_ctx()``.
+
+The active-span stack is thread-local: traces from concurrent sessions
+never interleave, and a worker thread starts its own root.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "TRACER",
+    "span",
+    "current_span",
+    "recent_traces",
+    "clear_traces",
+    "set_enabled",
+    "enabled",
+    "render_span_tree",
+]
+
+_span_ids = itertools.count(1)
+
+
+class Span:
+    """One timed unit of work in a trace tree."""
+
+    __slots__ = (
+        "name", "span_id", "parent", "children", "attributes",
+        "start", "end", "error",
+    )
+
+    def __init__(self, name: str, parent: Optional["Span"] = None) -> None:
+        self.name = name
+        self.span_id = next(_span_ids)
+        self.parent = parent
+        self.children: List[Span] = []
+        self.attributes: Dict[str, Any] = {}
+        self.start = 0.0
+        self.end = 0.0
+        self.error: Optional[str] = None
+        if parent is not None:
+            parent.children.append(self)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        return max(0.0, self.end - self.start)
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly tree rooted at this span."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "duration_s": self.duration,
+            "attributes": dict(self.attributes),
+            "error": self.error,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Span({self.name!r}, {self.duration * 1e3:.2f}ms)"
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+    name = ""
+    children: List[Span] = []
+    attributes: Dict[str, Any] = {}
+    duration = 0.0
+    error = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager driving one live span on the tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self._span = Span(name, parent=tracer._current())
+
+    def __enter__(self) -> Span:
+        self._span.start = time.perf_counter()
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        s = self._span
+        s.end = time.perf_counter()
+        if exc is not None:
+            s.error = f"{exc_type.__name__}: {exc}"
+        self._tracer._pop(s)
+        return False
+
+
+class Tracer:
+    """Thread-local span stacks plus a bounded buffer of finished roots."""
+
+    def __init__(self, max_traces: int = 64) -> None:
+        self._local = threading.local()
+        self._traces: Deque[Span] = deque(maxlen=max_traces)
+        self._traces_lock = threading.Lock()
+        self._enabled = False
+
+    # -- enable switch -------------------------------------------------- #
+
+    def set_enabled(self, on: bool) -> None:
+        self._enabled = bool(on)
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    # -- span lifecycle ------------------------------------------------- #
+
+    def span(self, name: str):
+        """A context manager yielding the new :class:`Span` (or a no-op
+        when tracing is off)."""
+        if not self._enabled:
+            return _NULL_SPAN
+        return _ActiveSpan(self, name)
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _current(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _push(self, s: Span) -> None:
+        self._stack().append(s)
+
+    def _pop(self, s: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is s:
+            stack.pop()
+        elif s in stack:  # mismatched exits: drop everything above too
+            del stack[stack.index(s):]
+        if s.parent is None:
+            with self._traces_lock:
+                self._traces.append(s)
+
+    # -- finished traces ------------------------------------------------ #
+
+    def recent_traces(self) -> List[Span]:
+        """Finished root spans, oldest first."""
+        with self._traces_lock:
+            return list(self._traces)
+
+    def clear(self) -> None:
+        with self._traces_lock:
+            self._traces.clear()
+        self._local = threading.local()
+
+
+#: Process-wide tracer used by all instrumented modules.
+TRACER = Tracer()
+
+
+def span(name: str):
+    """``with span("query.search") as s: ...`` on the default tracer."""
+    return TRACER.span(name)
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span on this thread (None when idle/off)."""
+    return TRACER._current()
+
+
+def recent_traces() -> List[Span]:
+    return TRACER.recent_traces()
+
+
+def clear_traces() -> None:
+    TRACER.clear()
+
+
+def set_enabled(on: bool) -> None:
+    TRACER.set_enabled(on)
+
+
+def enabled() -> bool:
+    return TRACER.enabled
+
+
+class enabled_ctx:
+    """Temporarily enable (or disable) tracing::
+
+        with enabled_ctx():
+            index.search(...)
+    """
+
+    def __init__(self, on: bool = True) -> None:
+        self._on = on
+        self._prev = False
+
+    def __enter__(self) -> None:
+        self._prev = TRACER.enabled
+        TRACER.set_enabled(self._on)
+
+    def __exit__(self, *exc_info) -> None:
+        TRACER.set_enabled(self._prev)
+
+
+def _format_attrs(attrs: Dict[str, Any]) -> str:
+    if not attrs:
+        return ""
+    inner = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+    return f"  [{inner}]"
+
+
+def render_span_tree(root: Span) -> str:
+    """An indented, human-readable rendering of one trace::
+
+        query.search  4.21ms  [backend=minidb]
+          query.plan  0.08ms
+          op.point_range  1.90ms  [rows_in=840, rows_out=17]
+    """
+    lines: List[str] = []
+
+    def walk(s: Span, depth: int) -> None:
+        err = f"  !{s.error}" if s.error else ""
+        lines.append(
+            f"{'  ' * depth}{s.name}  {s.duration * 1e3:.2f}ms"
+            f"{_format_attrs(s.attributes)}{err}"
+        )
+        for child in s.children:
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    return "\n".join(lines)
+
+
+def iter_spans(root: Span) -> Iterator[Span]:
+    """Depth-first iteration over a finished trace."""
+    yield root
+    for child in root.children:
+        yield from iter_spans(child)

@@ -20,16 +20,31 @@ identical output to the quadratic re-scan, which the tests verify.
 from __future__ import annotations
 
 import math
+import time
 from typing import List, Optional
 
 import numpy as np
 
 from ..datagen.series import TimeSeries
 from ..errors import InvalidSeriesError
+from ..obs.metrics import REGISTRY
 from ..types import DataSegment, Observation
 from .base import validate_epsilon
 
 __all__ = ["SlidingWindowSegmenter"]
+
+_OBSERVATIONS = REGISTRY.counter(
+    "repro_segmenter_observations_total",
+    "Observations consumed by sliding-window segmenters",
+)
+_SEGMENTS = REGISTRY.counter(
+    "repro_segmenter_segments_total",
+    "Data segments finalized by sliding-window segmenters",
+)
+_PUSH_BATCH_SECONDS = REGISTRY.histogram(
+    "repro_segmenter_push_batch_seconds",
+    "Wall time of SlidingWindowSegmenter.push_batch calls",
+)
 
 #: Minimum points stepped scalar after each breakpoint before escalating
 #: to the vectorized scan — keeps short-segment (low-compression) streams
@@ -92,6 +107,7 @@ class SlidingWindowSegmenter:
                     f"(got {t} after {last_t})"
                 )
         self._count += 1
+        _OBSERVATIONS.inc()
         point = Observation(float(t), float(v))
 
         if self._anchor is None:
@@ -118,6 +134,7 @@ class SlidingWindowSegmenter:
         self._slope_lo = -math.inf
         self._slope_hi = math.inf
         self._add_constraint(point)
+        _SEGMENTS.inc()
         return [segment]
 
     def push_batch(self, ts, vs) -> List[DataSegment]:
@@ -160,8 +177,10 @@ class SlidingWindowSegmenter:
                     f"(got {ts[bad + 1]} after {ts[bad]})"
                 )
 
+        t_begin = time.perf_counter()
         segments: List[DataSegment] = []
         self._count += n
+        _OBSERVATIONS.inc(n)
         # python-float views: scalar probes on list elements avoid the
         # numpy-scalar arithmetic penalty (tolist() is exact for float64)
         tl = ts.tolist()
@@ -246,6 +265,9 @@ class SlidingWindowSegmenter:
         self._slope_lo = lo
         self._slope_hi = hi
         self._avg_run = avg_run
+        if segments:
+            _SEGMENTS.inc(len(segments))
+        _PUSH_BATCH_SECONDS.observe(time.perf_counter() - t_begin)
         return segments
 
     def _vector_scan(self, ts, vs, i, a_t, a_v, lo, hi):

@@ -16,11 +16,26 @@ import numpy as np
 
 from ..core.corners import FeatureSet
 from ..errors import InvalidParameterError, StorageError
+from ..obs.metrics import REGISTRY, ROWS_BUCKETS
 from ..types import SegmentPair
 from .base import FeatureStore, Query, StoreCounts
 from .grid_index import GridIndex
 
 __all__ = ["MemoryFeatureStore"]
+
+_ROWS_WRITTEN = REGISTRY.counter(
+    "repro_store_rows_written_total",
+    "Feature rows written to a store", {"backend": "memory"},
+)
+_FLUSH_ROWS = REGISTRY.histogram(
+    "repro_store_flush_rows",
+    "Rows per bulk write reaching a store", {"backend": "memory"},
+    buckets=ROWS_BUCKETS,
+)
+_OPEN_STORES = REGISTRY.gauge(
+    "repro_store_open", "Feature stores currently open",
+    {"backend": "memory"},
+)
 
 _POINT_WIDTH = 6  # dt, dv, t_d, t_c, t_b, t_a
 _LINE_WIDTH = 8  # dt1, dv1, dt2, dv2, t_d, t_c, t_b, t_a
@@ -132,6 +147,7 @@ class MemoryFeatureStore(FeatureStore):
         self._segments: List = []
         self._meta: Dict[str, float] = {}
         self._closed = False
+        _OPEN_STORES.inc()
 
     # ------------------------------------------------------------------ #
     # writes
@@ -152,6 +168,10 @@ class MemoryFeatureStore(FeatureStore):
             self._tables["jump_lines"].append(
                 (seg.p.dt, seg.p.dv, seg.q.dt, seg.q.dv) + ident
             )
+        _ROWS_WRITTEN.inc(
+            len(features.drop_points) + len(features.drop_lines)
+            + len(features.jump_points) + len(features.jump_lines)
+        )
 
     def add_features_bulk(self, batch) -> None:
         """Extend the four tables with the batch's row arrays directly."""
@@ -160,6 +180,12 @@ class MemoryFeatureStore(FeatureStore):
         self._tables["drop_lines"].extend(batch.drop_lines)
         self._tables["jump_points"].extend(batch.jump_points)
         self._tables["jump_lines"].extend(batch.jump_lines)
+        n = (
+            batch.drop_points.shape[0] + batch.drop_lines.shape[0]
+            + batch.jump_points.shape[0] + batch.jump_lines.shape[0]
+        )
+        _ROWS_WRITTEN.inc(n)
+        _FLUSH_ROWS.observe(n)
 
     def add_segments_bulk(self, segments) -> None:
         self._check_open()
@@ -289,6 +315,8 @@ class MemoryFeatureStore(FeatureStore):
         return sum(t.index_nbytes() for t in self._tables.values())
 
     def close(self) -> None:
+        if not self._closed:
+            _OPEN_STORES.dec()
         self._tables = {}
         self._closed = True
 

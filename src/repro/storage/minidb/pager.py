@@ -25,6 +25,8 @@ Durability (docs/durability.md):
 
 from __future__ import annotations
 
+import itertools
+import logging
 import os
 import struct
 import zlib
@@ -33,9 +35,12 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ...errors import CorruptionError, InvalidParameterError, StorageError
+from ...obs.metrics import REGISTRY
 from .wal import WriteAheadLog
 
 __all__ = ["PAGE_SIZE", "PAGE_CAPACITY", "Pager", "PagerStats"]
+
+logger = logging.getLogger("repro.storage")
 
 PAGE_SIZE = 4096
 _TRAILER = struct.Struct("<I")  # crc32 of the first PAGE_CAPACITY bytes
@@ -69,6 +74,28 @@ class PagerStats:
         """Logical page reads (hits + misses) — the cost unit the
         page-cost experiment reports."""
         return self.hits + self.misses
+
+
+#: Distinguishes each pager's registry series within one process.
+_pager_seq = itertools.count(1)
+
+#: Process-wide durability counters (always on: corruption and replay
+#: must be countable even with metrics disabled).
+_CHECKSUM_FAILURES = REGISTRY.counter(
+    "repro_minidb_checksum_failures_total",
+    "Page or WAL-frame CRC32 verification failures",
+    always_on=True,
+)
+_WAL_REPLAYS = REGISTRY.counter(
+    "repro_minidb_wal_replays_total",
+    "WAL recovery replays performed when (re)opening a page file",
+    always_on=True,
+)
+_WAL_FRAMES_REPLAYED = REGISTRY.counter(
+    "repro_minidb_wal_frames_replayed_total",
+    "Committed WAL frames transferred into main files during recovery",
+    always_on=True,
+)
 
 
 class Pager:
@@ -112,7 +139,31 @@ class Pager:
         self.checksums = checksums
         self.fsync = fsync
         self._opener = opener or _default_opener
-        self.stats = PagerStats()
+        # counters live in the metrics registry (one labeled series per
+        # pager instance); ``self.stats`` synthesizes PagerStats from
+        # them.  always_on: these double as functional state — EXPLAIN
+        # deltas and the page-cost experiment read them.
+        labels = {"backend": "minidb", "pager": str(next(_pager_seq))}
+        self._c_hits = REGISTRY.counter(
+            "repro_minidb_pool_hits_total",
+            "Buffer-pool lookups served from memory", labels,
+            always_on=True,
+        )
+        self._c_misses = REGISTRY.counter(
+            "repro_minidb_pool_misses_total",
+            "Buffer-pool lookups that had to read the file", labels,
+            always_on=True,
+        )
+        self._c_disk_reads = REGISTRY.counter(
+            "repro_minidb_disk_reads_total",
+            "Physical page reads (main file or WAL)", labels,
+            always_on=True,
+        )
+        self._c_disk_writes = REGISTRY.counter(
+            "repro_minidb_disk_writes_total",
+            "Physical page writes (main file or WAL)", labels,
+            always_on=True,
+        )
         # "r+b" (not "a+b"!) — append mode would force every write-back
         # to the end of the file regardless of the seek position
         if not os.path.exists(path):
@@ -158,12 +209,19 @@ class Pager:
     def _replay_wal(self) -> None:
         """Transfer committed WAL frames into the main file (idempotent:
         the WAL is only truncated after the main file is safely updated)."""
-        for page_id in self.wal.committed_pages():
+        pages = list(self.wal.committed_pages())
+        logger.info(
+            "WAL replay: transferring %d committed frame(s) into %s",
+            len(pages), self.path,
+        )
+        for page_id in pages:
             self._write_main(page_id, self.wal.read(page_id))
         self._file.flush()
         if self.fsync:
             self._fsync(self._file)
         self.wal.reset()
+        _WAL_REPLAYS.inc()
+        _WAL_FRAMES_REPLAYED.inc(len(pages))
 
     # ------------------------------------------------------------------ #
     # allocation
@@ -173,6 +231,20 @@ class Pager:
     def n_pages(self) -> int:
         """Pages allocated so far."""
         return self._n_pages
+
+    @property
+    def stats(self) -> PagerStats:
+        """Point-in-time :class:`PagerStats` read from this pager's
+        registry counters.  Each access returns a fresh, immutable-by-
+        convention snapshot, so ``stats`` / ``stats.delta(earlier)``
+        arithmetic is race-free even while other threads keep counting.
+        """
+        return PagerStats(
+            hits=self._c_hits.value,
+            misses=self._c_misses.value,
+            disk_reads=self._c_disk_reads.value,
+            disk_writes=self._c_disk_writes.value,
+        )
 
     def allocate(self) -> int:
         """Allocate a fresh zeroed page; returns its page id."""
@@ -214,11 +286,11 @@ class Pager:
         self._check_open()
         self._check_page_id(page_id)
         if page_id in self._pool:
-            self.stats.hits += 1
+            self._c_hits.inc()
             self._pool.move_to_end(page_id)
             return self._pool[page_id]
-        self.stats.misses += 1
-        self.stats.disk_reads += 1
+        self._c_misses.inc()
+        self._c_disk_reads.inc()
         if self.wal is not None and page_id in self.wal:
             data = bytearray(self.wal.read(page_id))
         else:
@@ -239,7 +311,7 @@ class Pager:
                 self._write_back(victim, victim_data)
 
     def _write_back(self, page_id: int, data: bytearray) -> None:
-        self.stats.disk_writes += 1
+        self._c_disk_writes.inc()
         if self.wal is not None:
             self.wal.append(page_id, bytes(data))
         else:
@@ -271,6 +343,11 @@ class Pager:
         (stored,) = _TRAILER.unpack_from(data, PAGE_CAPACITY)
         actual = zlib.crc32(bytes(data[:PAGE_CAPACITY]))
         if stored != actual:
+            _CHECKSUM_FAILURES.inc()
+            logger.error(
+                "checksum mismatch: file=%s page=%d stored=%#010x "
+                "computed=%#010x", self.path, page_id, stored, actual,
+            )
             raise CorruptionError(
                 f"{self.path}: page {page_id} checksum mismatch "
                 f"(stored {stored:#010x}, computed {actual:#010x})"
@@ -328,7 +405,7 @@ class Pager:
             return  # nothing to persist
         self.commit()
         for page_id in self.wal.committed_pages():
-            self.stats.disk_writes += 1
+            self._c_disk_writes.inc()
             self._write_main(page_id, self.wal.read(page_id))
         self._file.flush()
         if self.fsync:

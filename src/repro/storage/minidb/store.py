@@ -22,6 +22,7 @@ import tempfile
 from typing import Dict, List, Optional
 
 from ...errors import InvalidParameterError, StorageError
+from ...obs.metrics import REGISTRY, ROWS_BUCKETS
 from ...types import DataSegment, SegmentPair
 from ..base import FeatureStore, Query, StoreCounts
 from ...core.corners import FeatureSet
@@ -30,6 +31,20 @@ from .database import MiniDatabase
 from .pager import PAGE_SIZE, PagerStats
 
 __all__ = ["MiniDbFeatureStore"]
+
+_ROWS_WRITTEN = REGISTRY.counter(
+    "repro_store_rows_written_total",
+    "Feature rows written to a store", {"backend": "minidb"},
+)
+_FLUSH_ROWS = REGISTRY.histogram(
+    "repro_store_flush_rows",
+    "Rows per bulk write reaching a store", {"backend": "minidb"},
+    buckets=ROWS_BUCKETS,
+)
+_OPEN_STORES = REGISTRY.gauge(
+    "repro_store_open", "Feature stores currently open",
+    {"backend": "minidb"},
+)
 
 _POINT_TABLES = {"drop": "drop_points", "jump": "jump_points"}
 _LINE_TABLES = {"drop": "drop_lines", "jump": "jump_lines"}
@@ -92,6 +107,7 @@ class MiniDbFeatureStore(FeatureStore):
                 self._indexed_rows[t] = self.db.table(t).n_rows
         #: Pager counters accumulated by the most recent search().
         self.last_query_stats: Optional[PagerStats] = None
+        _OPEN_STORES.inc()
 
     # ------------------------------------------------------------------ #
     # writes
@@ -121,6 +137,10 @@ class MiniDbFeatureStore(FeatureStore):
             self.db.table("jump_lines").insert(
                 (seg.p.dt, seg.p.dv, seg.q.dt, seg.q.dv) + ident
             )
+        _ROWS_WRITTEN.inc(
+            len(features.drop_points) + len(features.drop_lines)
+            + len(features.jump_points) + len(features.jump_lines)
+        )
 
     def add_features_bulk(self, batch) -> None:
         """Page-packed bulk append of a feature batch.
@@ -135,6 +155,12 @@ class MiniDbFeatureStore(FeatureStore):
         self.db.table("drop_lines").insert_many(batch.drop_lines)
         self.db.table("jump_points").insert_many(batch.jump_points)
         self.db.table("jump_lines").insert_many(batch.jump_lines)
+        n = (
+            len(batch.drop_points) + len(batch.drop_lines)
+            + len(batch.jump_points) + len(batch.jump_lines)
+        )
+        _ROWS_WRITTEN.inc(n)
+        _FLUSH_ROWS.observe(n)
 
     def add_segments_bulk(self, segments) -> None:
         # uncommitted until the next checkpoint boundary — see add()
@@ -375,6 +401,7 @@ class MiniDbFeatureStore(FeatureStore):
             return
         self.db.close()
         self._closed = True
+        _OPEN_STORES.dec()
         if self._owns_file:
             for leftover in (self.path, self.path + ".wal"):
                 if os.path.exists(leftover):

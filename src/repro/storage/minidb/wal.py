@@ -26,14 +26,34 @@ never resurrects a partial transaction.
 
 from __future__ import annotations
 
+import logging
 import os
 import struct
 import zlib
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from ...errors import CorruptionError, RecoveryError
+from ...obs.metrics import REGISTRY
 
 __all__ = ["WriteAheadLog"]
+
+logger = logging.getLogger("repro.storage")
+
+_WAL_COMMITS = REGISTRY.counter(
+    "repro_minidb_wal_commits_total",
+    "Commit records sealed in MiniDB write-ahead logs",
+    always_on=True,
+)
+_WAL_FRAMES = REGISTRY.counter(
+    "repro_minidb_wal_frames_total",
+    "Page after-images appended to MiniDB write-ahead logs",
+    always_on=True,
+)
+_WAL_FRAME_CORRUPTION = REGISTRY.counter(
+    "repro_minidb_checksum_failures_total",
+    "Page or WAL-frame CRC32 verification failures",
+    always_on=True,
+)
 
 _MAGIC = b"MDBWAL01"
 _HEADER = struct.Struct("<8si")  # magic, page_size
@@ -97,10 +117,16 @@ class WriteAheadLog:
 
     def _recover(self) -> None:
         """Rebuild the committed index; truncate the uncommitted tail."""
+        self._file.seek(0, os.SEEK_END)
+        file_size = self._file.tell()
         self._file.seek(0)
         header = self._file.read(_HEADER.size)
         if len(header) < _HEADER.size:
             # torn header: the log never held a commit, start over
+            logger.warning(
+                "WAL recovery: %s has a torn header (%d bytes), "
+                "reinitializing", self.path, len(header),
+            )
             self._file.seek(0)
             self._file.truncate(0)
             self._file.write(_HEADER.pack(_MAGIC, self.page_size))
@@ -140,6 +166,19 @@ class WriteAheadLog:
                 commit_end = pos
             else:
                 break  # garbage
+        discarded = file_size - commit_end
+        if discarded > 0:
+            logger.warning(
+                "WAL recovery: %s discarding %d byte(s) of uncommitted/"
+                "torn tail after offset %d", self.path, discarded,
+                commit_end,
+            )
+        if self._committed:
+            logger.info(
+                "WAL recovery: %s holds %d committed frame(s) "
+                "(sequence %d)", self.path, len(self._committed),
+                self._sequence,
+            )
         self._file.truncate(commit_end)
         self._commit_end = self._end = commit_end
 
@@ -159,6 +198,7 @@ class WriteAheadLog:
         self._file.write(_RECORD.pack(_FRAME, page_id, crc) + data)
         self._pending[page_id] = (self._end + _RECORD.size, crc)
         self._end += _RECORD.size + self.page_size
+        _WAL_FRAMES.inc()
 
     def commit(self) -> None:
         """Seal every pending frame with a commit record (+ optional fsync)."""
@@ -176,6 +216,7 @@ class WriteAheadLog:
         self._commit_end = self._end
         self._committed.update(self._pending)
         self._pending.clear()
+        _WAL_COMMITS.inc()
 
     def rollback(self) -> None:
         """Discard the in-flight transaction's frames."""
@@ -213,6 +254,11 @@ class WriteAheadLog:
         self._file.seek(offset)
         data = self._file.read(self.page_size)
         if len(data) < self.page_size or zlib.crc32(data) != crc:
+            _WAL_FRAME_CORRUPTION.inc()
+            logger.error(
+                "WAL frame corrupt: file=%s page=%d offset=%d",
+                self.path, page_id, offset,
+            )
             raise CorruptionError(
                 f"{self.path}: WAL frame for page {page_id} is corrupt"
             )

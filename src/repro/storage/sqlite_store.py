@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, TypeVar
 from ..core.corners import FeatureSet
 from ..core.queries import line_candidate_sql, point_candidate_sql
 from ..errors import InvalidParameterError, StorageError
+from ..obs.metrics import REGISTRY, ROWS_BUCKETS
 from ..types import SegmentPair
 from .base import FeatureStore, Query, StoreCounts
 from .schema import (
@@ -44,6 +45,24 @@ __all__ = ["SqliteFeatureStore"]
 
 _BATCH = 5_000
 _T = TypeVar("_T")
+
+_ROWS_WRITTEN = REGISTRY.counter(
+    "repro_store_rows_written_total",
+    "Feature rows written to a store", {"backend": "sqlite"},
+)
+_FLUSH_ROWS = REGISTRY.histogram(
+    "repro_store_flush_rows",
+    "Rows per bulk write reaching a store", {"backend": "sqlite"},
+    buckets=ROWS_BUCKETS,
+)
+_OPEN_STORES = REGISTRY.gauge(
+    "repro_store_open", "Feature stores currently open",
+    {"backend": "sqlite"},
+)
+_RETRIES = REGISTRY.counter(
+    "repro_sqlite_retries_total",
+    "Transient SQLite lock errors that were retried",
+)
 
 
 def _is_transient(exc: sqlite3.OperationalError) -> bool:
@@ -104,6 +123,7 @@ class SqliteFeatureStore(FeatureStore):
         self._spawned_conns: List[sqlite3.Connection] = []
         self._spawn_lock = threading.Lock()
         self._create_tables()
+        _OPEN_STORES.inc()
 
     def _connect(self, cross_thread: bool = False) -> sqlite3.Connection:
         # cross_thread connections are used by exactly one reader thread
@@ -175,6 +195,7 @@ class SqliteFeatureStore(FeatureStore):
                         f"{self.path}: {exc} "
                         f"(after {attempt + 1} attempt(s))"
                     ) from exc
+                _RETRIES.inc()
                 time.sleep(delay)
                 delay *= 2
 
@@ -218,6 +239,7 @@ class SqliteFeatureStore(FeatureStore):
 
     def _flush(self) -> None:
         self._flush_segments()
+        flushed = 0
         for table, rows in self._buffers.items():
             if not rows:
                 continue
@@ -228,7 +250,11 @@ class SqliteFeatureStore(FeatureStore):
                     f"INSERT INTO {table} VALUES ({placeholders})", rows
                 )
             )
+            flushed += len(rows)
             rows.clear()
+        if flushed:
+            _ROWS_WRITTEN.inc(flushed)
+            _FLUSH_ROWS.observe(flushed)
         # no commit here: a buffer flush mid-stream must never create a
         # durable cut, or a crash could persist a segment without the
         # rest of its feature pairs (resume() would not regenerate them);
@@ -564,6 +590,7 @@ class SqliteFeatureStore(FeatureStore):
             self._spawned_conns = []
         self._conn.close()
         self._closed = True
+        _OPEN_STORES.dec()
         if self._owns_file and os.path.exists(self.path):
             os.unlink(self.path)
 

@@ -102,6 +102,61 @@ class TestBuildAndSearch:
         assert "epsilon:  0.2" in out
         assert "rows:" in out
 
+    def test_stats_metrics_table(self, index_path, capsys):
+        assert main(["stats", index_path, "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "epsilon:  0.2" in out
+        assert "repro_store_rows_written_total" in out
+
+    def test_stats_metrics_only(self, capsys):
+        assert main(["stats", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_segmenter_segments_total" in out
+
+    def test_stats_metrics_jsonl_validates(self, capsys):
+        import json
+        import os
+
+        from repro.obs.export import validate_jsonl
+
+        assert main(["stats", "--metrics", "--metrics-format", "jsonl"]) == 0
+        out = capsys.readouterr().out
+        schema_path = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "benchmarks", "metrics.schema.json",
+        )
+        with open(schema_path) as fh:
+            schema = json.load(fh)
+        assert validate_jsonl(out.splitlines(), schema) > 0
+
+    def test_stats_metrics_prometheus(self, capsys):
+        assert main(
+            ["stats", "--metrics", "--metrics-format", "prometheus"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_engine_queries_total counter" in out
+
+    def test_stats_without_index_or_metrics_errors(self, capsys):
+        assert main(["stats"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_search_trace_prints_span_tree(self, index_path, capsys):
+        from repro.obs import set_tracing_enabled
+
+        try:
+            assert main(
+                ["search", index_path, "--drop", "-3", "--trace"]
+            ) == 0
+        finally:
+            set_tracing_enabled(False)
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "query.search" in out
+        assert "op.point_range" in out
+
+    def test_verbose_flag_configures_logging(self, index_path):
+        assert main(["--verbose", "search", index_path, "--drop", "-3"]) == 0
+
     def test_search_garbage_index_fails_cleanly(self, tmp_path, capsys):
         bogus = tmp_path / "bogus.idx"
         bogus.write_text("not a database")
@@ -161,6 +216,36 @@ class TestFsck:
     def test_missing_file(self, tmp_path, capsys):
         assert main(["fsck", str(tmp_path / "nope.mdb")]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestBuildMetricsOut:
+    def test_build_writes_validated_metrics_jsonl(
+        self, tmp_path, csv_path, capsys
+    ):
+        import json
+        import os
+
+        from repro.obs.export import validate_jsonl
+
+        idx = str(tmp_path / "m.idx")
+        out = str(tmp_path / "metrics.jsonl")
+        assert (
+            main(["build", csv_path, "--index", idx, "--metrics-out", out])
+            == 0
+        )
+        assert "metric series" in capsys.readouterr().out
+        schema_path = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "benchmarks", "metrics.schema.json",
+        )
+        with open(schema_path) as fh:
+            schema = json.load(fh)
+        with open(out) as fh:
+            lines = fh.read().splitlines()
+        assert validate_jsonl(lines, schema) == len(lines)
+        names = {json.loads(line)["name"] for line in lines}
+        assert "repro_store_rows_written_total" in names
+        assert "repro_build_episode_seconds" in names
 
 
 class TestBuildResume:
