@@ -18,11 +18,16 @@ mapping, and EXPERIMENTS.md for reproduction results.
 """
 
 from .errors import (
+    CircuitOpenError,
     InvalidParameterError,
     InvalidSegmentError,
     InvalidSeriesError,
+    QueryCancelled,
     QueryError,
+    QueryRejected,
+    QueryTimeout,
     ReproError,
+    ResilienceError,
     StorageError,
 )
 from .types import DataSegment, Event, Observation, SegmentPair
@@ -80,6 +85,11 @@ __all__ = [
     "InvalidSegmentError",
     "StorageError",
     "QueryError",
+    "ResilienceError",
+    "QueryTimeout",
+    "QueryCancelled",
+    "QueryRejected",
+    "CircuitOpenError",
     "Observation",
     "DataSegment",
     "Event",

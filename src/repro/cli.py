@@ -29,8 +29,6 @@ from typing import List, Optional
 
 from . import __version__
 from .core.index import DEFAULT_BATCH_SIZE, SegDiffIndex
-from .core.queries import DropQuery, JumpQuery
-from .core.results import rank_hits
 from .datagen import (
     CADConfig,
     CADTransectGenerator,
@@ -42,6 +40,7 @@ from .errors import ReproError
 from .storage import SqliteFeatureStore
 
 HOUR = 3600.0
+
 
 def cmd_generate(args: argparse.Namespace) -> int:
     cfg = CADConfig(days=args.days, seed=args.seed, n_sensors=args.sensors)
@@ -149,7 +148,20 @@ def cmd_search(args: argparse.Namespace) -> int:
 
         set_tracing_enabled(True)
         clear_traces()
-    index = SegDiffIndex.open(args.index)
+    resilience = None
+    if (
+        args.timeout_ms is not None
+        or args.degrade is not None
+        or args.max_concurrency is not None
+    ):
+        from .engine import ResiliencePolicy
+
+        resilience = ResiliencePolicy(
+            timeout_ms=args.timeout_ms,
+            degrade=args.degrade,
+            max_concurrency=args.max_concurrency,
+        )
+    index = SegDiffIndex.open(args.index, resilience=resilience)
     if args.deepest is not None:
         rc = _search_deepest(args, index, t_threshold)
         if args.trace:
@@ -163,19 +175,33 @@ def cmd_search(args: argparse.Namespace) -> int:
                 kind, t_threshold, threshold, mode=args.mode
             )
             print(report.render())
+        # refinement runs inside the engine so the deadline covers it
+        # (and degrade="candidates" can skip it near the deadline)
+        series = load_series_csv(args.data) if args.data else None
+        search_kw = dict(mode=args.mode, data=series,
+                         verified_only=args.verified)
         if args.drop is not None:
-            pairs = index.search_drops(t_threshold, args.drop, mode=args.mode)
-            query = DropQuery(t_threshold, args.drop)
+            outcome = index.search_outcome(
+                "drop", t_threshold, args.drop, **search_kw
+            )
         else:
-            pairs = index.search_jumps(t_threshold, args.jump, mode=args.mode)
-            query = JumpQuery(t_threshold, args.jump)
+            outcome = index.search_outcome(
+                "jump", t_threshold, args.jump, **search_kw
+            )
+        pairs = outcome.pairs
         print(
             f"{len(pairs)} matching periods (epsilon={index.epsilon}, "
             f"w={index.window / HOUR:.0f}h)"
         )
-        if args.data:
-            series = load_series_csv(args.data)
-            hits = rank_hits(pairs, series, query, verified_only=args.verified)
+        if outcome.degraded:
+            detail = (
+                outcome.completeness.describe()
+                if outcome.completeness is not None else "refine skipped"
+            )
+            print(f"note: DEGRADED result — {detail}; candidate pairs "
+                  "have zero false negatives (Theorem 1)")
+        if args.data and outcome.hits is not None:
+            hits = outcome.hits
             if args.summary:
                 from .core.reporting import render_summary, summarize_hits
 
@@ -429,6 +455,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", action="store_true",
                    help="record spans while searching and print the span "
                         "tree after the results")
+    p.add_argument("--timeout-ms", type=float, metavar="MS",
+                   help="per-query deadline; the search is cancelled "
+                        "cooperatively and fails with a timeout once "
+                        "exceeded")
+    p.add_argument("--degrade", choices=["candidates"],
+                   help="near the deadline, skip witness refinement and "
+                        "return candidate pairs (zero false negatives "
+                        "by Theorem 1) flagged DEGRADED")
+    p.add_argument("--max-concurrency", type=int, metavar="N",
+                   help="admission control: at most N queries in flight "
+                        "on this session; excess load is shed")
     p.set_defaults(func=cmd_search)
 
     p = sub.add_parser(

@@ -100,10 +100,14 @@ class SegDiffIndex:
         window: float,
         store: Optional[FeatureStore] = None,
         emit_self_pairs: bool = True,
+        resilience=None,
     ) -> None:
         self.epsilon = float(epsilon)
         self.window = float(window)
         self.store = store if store is not None else MemoryFeatureStore()
+        #: Optional :class:`repro.engine.ResiliencePolicy` applied to the
+        #: lazily-created query session (deadlines, admission, breaker).
+        self.resilience = resilience
         self._segmenter = SlidingWindowSegmenter(epsilon)
         self._extractor = FeatureExtractor(
             epsilon, window, self.store, emit_self_pairs=emit_self_pairs
@@ -204,7 +208,7 @@ class SegDiffIndex:
         return MiniDbFeatureStore(path)
 
     @classmethod
-    def open(cls, path: str) -> "SegDiffIndex":
+    def open(cls, path: str, resilience=None) -> "SegDiffIndex":
         """Reopen a previously built, finalized index file.
 
         The backend (SQLite or MiniDB) is sniffed from the file header.
@@ -212,6 +216,8 @@ class SegDiffIndex:
         segments are stored alongside the features, so the reopened index
         can search, refine witnesses against its approximation, and
         report stats.  It cannot be extended (it is sealed).
+        ``resilience`` (a :class:`repro.engine.ResiliencePolicy`)
+        configures deadlines/admission/breaker on the query session.
         """
         store = cls._open_store(path)
         epsilon = store.get_meta("epsilon")
@@ -228,7 +234,7 @@ class SegDiffIndex:
                 f"{path} is a mid-stream checkpoint, not a finalized index; "
                 "use SegDiffIndex.resume() to continue it"
             )
-        index = cls(epsilon, window, store)
+        index = cls(epsilon, window, store, resilience=resilience)
         index._segments = store.load_segments()
         n_obs = store.get_meta("n_observations")
         index._n_observations = int(n_obs) if n_obs is not None else 0
@@ -716,12 +722,40 @@ class SegDiffIndex:
         )
         return self.session.explain(query, mode=mode, cache=cache)
 
+    def search_outcome(
+        self,
+        kind: str,
+        t_threshold: float,
+        v_threshold: float,
+        mode: str = "index",
+        **kw,
+    ):
+        """Search with the full resilience verdict.
+
+        Returns a :class:`repro.engine.QueryOutcome` whose ``status``
+        records whether the answer is COMPLETE or DEGRADED (refine pass
+        skipped near the deadline — still candidate-complete by
+        Theorem 1).  Accepts the same keywords as :meth:`search_drops`
+        plus ``timeout_ms``/``degrade``/``data``/``verified_only``.
+        """
+        if kind not in ("drop", "jump"):
+            raise InvalidParameterError(f"unknown search kind {kind!r}")
+        query = (
+            DropQuery(t_threshold, v_threshold)
+            if kind == "drop"
+            else JumpQuery(t_threshold, v_threshold)
+        )
+        self._validate_query(t_threshold)
+        return self.session.search_outcome(query, mode=mode, **kw)
+
     @property
     def session(self) -> QuerySession:
         """The engine session every search routes through (lazy)."""
         if self._session is None:
             self._session = QuerySession(
-                self.store, cost_model=QueryPlanner(self.store)
+                self.store,
+                cost_model=QueryPlanner(self.store),
+                resilience=self.resilience,
             )
         return self._session
 

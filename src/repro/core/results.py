@@ -70,19 +70,28 @@ def rank_hits(
     data: Union[TimeSeries, PiecewiseLinearSignal],
     query: Query,
     verified_only: bool = False,
+    guard=None,
 ) -> List[SearchHit]:
     """Refine pairs into :class:`SearchHit` objects, most severe first.
 
     ``verified_only=True`` keeps only pairs whose witness satisfies the
     query thresholds exactly on the raw data — i.e. drops the up-to-``2ε``
-    tolerance false positives Lemma 5 permits.
+    tolerance false positives Lemma 5 permits.  A ``guard``
+    (:class:`repro.engine.resilience.QueryGuard`) makes the per-pair
+    witness loop cooperative: its deadline is checked between pairs.
     """
     signal = (
         PiecewiseLinearSignal.from_series(data)
         if isinstance(data, TimeSeries)
         else data
     )
-    hits = [SearchHit(p, witness_event(p, signal, query)) for p in pairs]
+    if guard is None:
+        hits = [SearchHit(p, witness_event(p, signal, query)) for p in pairs]
+    else:
+        hits = [
+            SearchHit(p, witness_event(p, signal, query))
+            for p in guard.wrap_iter(pairs, every=1)
+        ]
     if verified_only:
         is_drop = isinstance(query, DropQuery)
         hits = [

@@ -25,21 +25,41 @@ from .plan import (
     UnionDedupOp,
     build_plan,
 )
+from .resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    CompletenessReport,
+    Deadline,
+    QueryGuard,
+    QueryOutcome,
+    ResiliencePolicy,
+    ResultStatus,
+    RetryPolicy,
+)
 from .session import ExplainReport, OperatorExplain, QuerySession
 
 __all__ = [
+    "AdmissionController",
     "BACKEND_COSTS",
     "BackendCosts",
+    "CircuitBreaker",
+    "CompletenessReport",
     "CostModel",
+    "Deadline",
     "ExecutionResult",
     "ExplainReport",
     "LineCrossOp",
     "OperatorExplain",
     "OperatorStats",
     "PointRangeOp",
+    "QueryGuard",
+    "QueryOutcome",
     "QueryPlan",
     "QuerySession",
     "RefineOp",
+    "ResiliencePolicy",
+    "ResultStatus",
+    "RetryPolicy",
     "UnionDedupOp",
     "build_plan",
     "execute",

@@ -33,10 +33,17 @@ import numpy as np
 
 from ..core.queries import line_mask, point_mask
 from ..core.results import SearchHit, rank_hits
+from ..errors import QueryTimeout, StorageError
 from ..obs.metrics import REGISTRY
 from ..obs.tracing import span
 from ..types import SegmentPair
 from .plan import LineCrossOp, PointRangeOp, QueryPlan
+from .resilience import (
+    CompletenessReport,
+    QueryGuard,
+    ResultStatus,
+    record_degraded,
+)
 
 __all__ = ["OperatorStats", "ExecutionResult", "execute", "execute_batch"]
 
@@ -82,12 +89,24 @@ class OperatorStats:
 
 @dataclass
 class ExecutionResult:
-    """The result of executing one :class:`QueryPlan`."""
+    """The result of executing one :class:`QueryPlan`.
+
+    ``status`` is :attr:`ResultStatus.COMPLETE` on the healthy path.
+    Under a :class:`~repro.engine.resilience.QueryGuard` with
+    ``degrade="candidates"`` it may be :attr:`ResultStatus.DEGRADED`
+    (refine skipped near the deadline — ``pairs`` are a superset of the
+    full answer by Theorem 1); in :func:`execute_batch` a cell whose
+    store group failed is :attr:`ResultStatus.FAILED` with the cause in
+    ``error``.
+    """
 
     pairs: List[SegmentPair]
     op_stats: List[OperatorStats] = field(default_factory=list)
     hits: Optional[List[SearchHit]] = None  # set when the plan refines
     pages_read: Optional[int] = None  # MiniDB instrumentation
+    status: ResultStatus = ResultStatus.COMPLETE
+    completeness: Optional[CompletenessReport] = None
+    error: Optional[BaseException] = None
 
 
 def _as_rows(rows, width: int) -> np.ndarray:
@@ -98,36 +117,53 @@ def _as_rows(rows, width: int) -> np.ndarray:
 
 
 def _fetch_point_rows(
-    store, op: PointRangeOp, cache: str, pushdown: bool
+    store, op: PointRangeOp, cache: str, pushdown: bool,
+    guard: Optional[QueryGuard] = None,
 ) -> np.ndarray:
+    """Fetch point candidates through the guard's breaker when present.
+
+    The ``guard`` kwarg is only forwarded to the primitive when set, so
+    stores (and test stubs) that predate the resilience layer keep
+    working and the disabled path stays byte-identical.
+    """
     v = op.v_threshold if pushdown else None
+    kw = {} if guard is None else {"guard": guard}
     if op.access == "scan":
         t = op.t_threshold if pushdown else None
-        rows = store.scan_points(op.kind, t_threshold=t, v_threshold=v,
-                                 cache=cache)
+        def fn():
+            return store.scan_points(op.kind, t_threshold=t, v_threshold=v,
+                                     cache=cache, **kw)
     elif op.access == "grid":
-        rows = store.probe_point_grid(
-            op.kind, op.t_threshold, op.v_threshold
-        )
+        def fn():
+            return store.probe_point_grid(
+                op.kind, op.t_threshold, op.v_threshold
+            )
     else:
-        rows = store.probe_point_index(
-            op.kind, op.t_threshold, v_threshold=v, cache=cache
-        )
+        def fn():
+            return store.probe_point_index(
+                op.kind, op.t_threshold, v_threshold=v, cache=cache, **kw
+            )
+    rows = fn() if guard is None else guard.call(fn)
     return _as_rows(rows, _POINT_WIDTH)
 
 
 def _fetch_line_rows(
-    store, op: LineCrossOp, cache: str, pushdown: bool
+    store, op: LineCrossOp, cache: str, pushdown: bool,
+    guard: Optional[QueryGuard] = None,
 ) -> np.ndarray:
     v = op.v_threshold if pushdown else None
+    kw = {} if guard is None else {"guard": guard}
     if op.access == "scan":
         t = op.t_threshold if pushdown else None
-        rows = store.scan_lines(op.kind, t_threshold=t, v_threshold=v,
-                                cache=cache)
+        def fn():
+            return store.scan_lines(op.kind, t_threshold=t, v_threshold=v,
+                                    cache=cache, **kw)
     else:
-        rows = store.probe_line_index(
-            op.kind, op.t_threshold, v_threshold=v, cache=cache
-        )
+        def fn():
+            return store.probe_line_index(
+                op.kind, op.t_threshold, v_threshold=v, cache=cache, **kw
+            )
+    rows = fn() if guard is None else guard.call(fn)
     return _as_rows(rows, _LINE_WIDTH)
 
 
@@ -152,44 +188,72 @@ def execute(
     cache: str = "warm",
     data=None,
     pushdown: bool = True,
+    guard: Optional[QueryGuard] = None,
 ) -> ExecutionResult:
     """Run one plan against ``store``.
 
     ``data`` supplies the raw series (or approximation signal) a
     ``RefineOp`` refines against; ``pushdown=False`` forces the
     primitives to return raw candidates (used by EXPLAIN to report true
-    candidate counts).
+    candidate counts).  A ``guard`` makes execution cooperative: store
+    fetches run under its circuit breaker, loops check its deadline, a
+    mid-flight :class:`~repro.errors.QueryTimeout` leaves carrying the
+    partial pairs of the operators that *did* finish, and
+    ``degrade="candidates"`` skips refinement near the deadline (the
+    result is then flagged :attr:`ResultStatus.DEGRADED`).
     """
     pop, lop = plan.point_op, plan.line_op
+    ident_blocks: List[np.ndarray] = []
 
-    with span("op.point_range") as ps:
-        prows = _fetch_point_rows(store, pop, cache, pushdown)
-        pmask = point_mask(
-            pop.kind, prows[:, 0], prows[:, 1],
-            pop.t_threshold, pop.v_threshold,
+    try:
+        with span("op.point_range") as ps:
+            if guard is not None:
+                guard.start_op("point_range")
+            prows = _fetch_point_rows(store, pop, cache, pushdown, guard)
+            pmask = point_mask(
+                pop.kind, prows[:, 0], prows[:, 1],
+                pop.t_threshold, pop.v_threshold,
+            )
+            p_fetched, p_matched = int(prows.shape[0]), int(pmask.sum())
+            ps.set_attribute("access", pop.access)
+            ps.set_attribute("rows_fetched", p_fetched)
+            ps.set_attribute("rows_matched", p_matched)
+            ident_blocks.append(prows[pmask][:, 2:6])
+            if guard is not None:
+                guard.finish_op("point_range")
+        with span("op.line_cross") as ls:
+            if guard is not None:
+                guard.start_op("line_cross")
+            lrows = _fetch_line_rows(store, lop, cache, pushdown, guard)
+            lmask = line_mask(
+                lop.kind,
+                lrows[:, 0],
+                lrows[:, 1],
+                lrows[:, 2],
+                lrows[:, 3],
+                lop.t_threshold,
+                lop.v_threshold,
+            )
+            l_fetched, l_matched = int(lrows.shape[0]), int(lmask.sum())
+            ls.set_attribute("access", lop.access)
+            ls.set_attribute("rows_fetched", l_fetched)
+            ls.set_attribute("rows_matched", l_matched)
+            ident_blocks.append(lrows[lmask][:, 4:8])
+            if guard is not None:
+                guard.finish_op("line_cross")
+        with span("op.union_dedup") as us:
+            pairs = _union_dedup(ident_blocks)
+            us.set_attribute("pairs", len(pairs))
+    except QueryTimeout as exc:
+        # hand back whatever the finished operators produced
+        exc.attach(
+            partial_pairs=_union_dedup(ident_blocks),
+            completeness=(
+                guard.report("deadline exceeded") if guard is not None
+                else None
+            ),
         )
-        p_fetched, p_matched = int(prows.shape[0]), int(pmask.sum())
-        ps.set_attribute("access", pop.access)
-        ps.set_attribute("rows_fetched", p_fetched)
-        ps.set_attribute("rows_matched", p_matched)
-    with span("op.line_cross") as ls:
-        lrows = _fetch_line_rows(store, lop, cache, pushdown)
-        lmask = line_mask(
-            lop.kind,
-            lrows[:, 0],
-            lrows[:, 1],
-            lrows[:, 2],
-            lrows[:, 3],
-            lop.t_threshold,
-            lop.v_threshold,
-        )
-        l_fetched, l_matched = int(lrows.shape[0]), int(lmask.sum())
-        ls.set_attribute("access", lop.access)
-        ls.set_attribute("rows_fetched", l_fetched)
-        ls.set_attribute("rows_matched", l_matched)
-    with span("op.union_dedup") as us:
-        pairs = _union_dedup([prows[pmask][:, 2:6], lrows[lmask][:, 4:8]])
-        us.set_attribute("pairs", len(pairs))
+        raise
 
     _ROWS_FETCHED["point_range"].inc(p_fetched)
     _ROWS_MATCHED["point_range"].inc(p_matched)
@@ -208,22 +272,98 @@ def execute(
     if plan.refine_op is not None:
         if data is None:
             raise ValueError("plan has a RefineOp but no data was supplied")
-        with span("op.refine") as rs:
-            result.hits = rank_hits(
-                pairs, data, plan.query,
-                verified_only=plan.refine_op.verified_only,
+        degrade = guard is not None and guard.degrade == "candidates"
+        if degrade and guard.near_deadline():
+            # Theorem 1: candidates have zero false negatives, so the
+            # unrefined pairs are a sound superset of the full answer.
+            result.status = ResultStatus.DEGRADED
+            result.completeness = guard.report(
+                "refine skipped near deadline; candidate pairs returned"
             )
-            rs.set_attribute("candidates", len(pairs))
-            rs.set_attribute("kept", len(result.hits))
+            record_degraded()
+            return result
+        try:
+            with span("op.refine") as rs:
+                if guard is not None:
+                    guard.start_op("refine")
+                result.hits = rank_hits(
+                    pairs, data, plan.query,
+                    verified_only=plan.refine_op.verified_only,
+                    guard=guard,
+                )
+                rs.set_attribute("candidates", len(pairs))
+                rs.set_attribute("kept", len(result.hits))
+                if guard is not None:
+                    guard.finish_op("refine")
+        except QueryTimeout as exc:
+            if degrade:
+                # candidates are already complete — fall back to them
+                result.hits = None
+                result.status = ResultStatus.DEGRADED
+                result.completeness = guard.report(
+                    "refine timed out; candidate pairs returned"
+                )
+                record_degraded()
+                return result
+            exc.attach(
+                partial_pairs=pairs,
+                completeness=(
+                    guard.report("refine unfinished") if guard is not None
+                    else None
+                ),
+            )
+            raise
         _REFINE_CANDIDATES.inc(len(pairs))
         _REFINE_KEPT.inc(len(result.hits))
     return result
+
+
+def _fetch_batch_group(
+    store, kind: str, group: Sequence[QueryPlan], cache: str,
+    guard: Optional[QueryGuard],
+):
+    """The shared per-kind candidate fetch of :func:`execute_batch`."""
+    t_max = max(p.query.t_threshold for p in group)
+    all_index_points = all(p.point_op.access == "index" for p in group)
+    all_index_lines = all(p.line_op.access == "index" for p in group)
+    kw = {} if guard is None else {"guard": guard}
+
+    with span("op.point_range.fetch") as ps:
+        if all_index_points:
+            def pfn():
+                return store.probe_point_index(kind, t_max, cache=cache,
+                                               **kw)
+            point_access = "index"
+        else:
+            def pfn():
+                return store.scan_points(kind, cache=cache, **kw)
+            point_access = "scan"
+        prows = _as_rows(pfn() if guard is None else guard.call(pfn),
+                         _POINT_WIDTH)
+        ps.set_attribute("kind", kind)
+        ps.set_attribute("rows_fetched", int(prows.shape[0]))
+    with span("op.line_cross.fetch") as ls:
+        if all_index_lines:
+            def lfn():
+                return store.probe_line_index(kind, t_max, cache=cache,
+                                              **kw)
+            line_access = "index"
+        else:
+            def lfn():
+                return store.scan_lines(kind, cache=cache, **kw)
+            line_access = "scan"
+        lrows = _as_rows(lfn() if guard is None else guard.call(lfn),
+                         _LINE_WIDTH)
+        ls.set_attribute("kind", kind)
+        ls.set_attribute("rows_fetched", int(lrows.shape[0]))
+    return prows, point_access, lrows, line_access
 
 
 def execute_batch(
     plans: Sequence[QueryPlan],
     store,
     cache: str = "warm",
+    guard: Optional[QueryGuard] = None,
 ) -> List[ExecutionResult]:
     """Answer many queries in one shared pass per operator.
 
@@ -233,6 +373,13 @@ def execute_batch(
     query is answered with vectorized masks over the shared arrays.
     This replaces one store round-trip per query with one per operator —
     the (T, V)-grid fast path.
+
+    Store failures are isolated per kind group: a fetch that raises
+    :class:`~repro.errors.StorageError`/``OSError`` marks only that
+    group's cells :attr:`ResultStatus.FAILED` (cause in ``error``) and
+    the rest of the grid still returns.  A
+    :class:`~repro.errors.QueryTimeout` aborts the whole batch — the
+    deadline covers the batch, not one cell.
     """
     results: List[Optional[ExecutionResult]] = [None] * len(plans)
     by_kind: Dict[str, List[int]] = {}
@@ -241,41 +388,35 @@ def execute_batch(
 
     for kind, idxs in by_kind.items():
         group = [plans[i] for i in idxs]
-        t_max = max(p.query.t_threshold for p in group)
-        all_index_points = all(p.point_op.access == "index" for p in group)
-        all_index_lines = all(p.line_op.access == "index" for p in group)
-
-        with span("op.point_range.fetch") as ps:
-            if all_index_points:
-                prows = _as_rows(
-                    store.probe_point_index(kind, t_max, cache=cache),
-                    _POINT_WIDTH,
+        try:
+            prows, point_access, lrows, line_access = _fetch_batch_group(
+                store, kind, group, cache, guard
+            )
+        except QueryTimeout as exc:
+            if guard is not None:
+                exc.attach(completeness=guard.report("deadline exceeded"))
+            raise
+        except (StorageError, OSError) as exc:
+            # one failing group must not abort the whole (T, V) grid
+            report = CompletenessReport(
+                unfinished=(f"{kind}.point_range", f"{kind}.line_cross"),
+                reason=f"store failure for kind {kind!r}: {exc}",
+            )
+            for i in idxs:
+                results[i] = ExecutionResult(
+                    pairs=[],
+                    status=ResultStatus.FAILED,
+                    completeness=report,
+                    error=exc,
                 )
-                point_access = "index"
-            else:
-                prows = _as_rows(store.scan_points(kind, cache=cache),
-                                 _POINT_WIDTH)
-                point_access = "scan"
-            ps.set_attribute("kind", kind)
-            ps.set_attribute("rows_fetched", int(prows.shape[0]))
-        with span("op.line_cross.fetch") as ls:
-            if all_index_lines:
-                lrows = _as_rows(
-                    store.probe_line_index(kind, t_max, cache=cache),
-                    _LINE_WIDTH,
-                )
-                line_access = "index"
-            else:
-                lrows = _as_rows(store.scan_lines(kind, cache=cache),
-                                 _LINE_WIDTH)
-                line_access = "scan"
-            ls.set_attribute("kind", kind)
-            ls.set_attribute("rows_fetched", int(lrows.shape[0]))
+            continue
         # fetched once per group — counted once, not once per query
         _ROWS_FETCHED["point_range"].inc(int(prows.shape[0]))
         _ROWS_FETCHED["line_cross"].inc(int(lrows.shape[0]))
 
         for i in idxs:
+            if guard is not None:
+                guard.tick()
             plan = plans[i]
             t_thr = plan.query.t_threshold
             v_thr = plan.query.v_threshold

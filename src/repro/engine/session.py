@@ -18,10 +18,11 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from ..errors import InvalidParameterError
+from ..errors import InvalidParameterError, QueryTimeout
 from ..obs import slowlog
 from ..obs.metrics import REGISTRY, ROWS_BUCKETS
 from ..obs.tracing import span
@@ -29,6 +30,13 @@ from ..types import SegmentPair
 from .cost import CostModel
 from .executor import ExecutionResult, execute, execute_batch
 from .plan import Query, QueryPlan, RefineOp
+from .resilience import (
+    Deadline,
+    QueryGuard,
+    QueryOutcome,
+    ResiliencePolicy,
+    record_timeout,
+)
 
 __all__ = ["QuerySession", "OperatorExplain", "ExplainReport"]
 
@@ -127,6 +135,7 @@ class QuerySession:
         store,
         cost_model: Optional[CostModel] = None,
         slow_query_threshold: Optional[float] = None,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> None:
         self.store = store
         self.cost = cost_model if cost_model is not None else CostModel(store)
@@ -137,6 +146,72 @@ class QuerySession:
             None if getattr(store, "THREAD_SAFE_READS", False)
             else threading.Lock()
         )
+        #: Resilience configuration (docs/resilience.md); ``None`` keeps
+        #: every mechanism off and the query path on its original code.
+        self.resilience = resilience
+        self._admission = (
+            resilience.admission() if resilience is not None else None
+        )
+        self._breaker = (
+            resilience.breaker(getattr(store, "BACKEND", "unknown"))
+            if resilience is not None else None
+        )
+
+    # ------------------------------------------------------------------ #
+    # resilience plumbing
+    # ------------------------------------------------------------------ #
+
+    def _make_guard(
+        self, timeout_ms: Optional[float], degrade: Optional[str]
+    ) -> Optional[QueryGuard]:
+        """Build the per-query guard; ``None`` when nothing is enabled.
+
+        Per-query ``timeout_ms``/``degrade`` override the session
+        policy's defaults.  Returning ``None`` on the unconfigured path
+        keeps the executor's original (guard-free) code running —
+        resilience costs nothing unless asked for.
+        """
+        pol = self.resilience
+        if timeout_ms is None and pol is not None:
+            timeout_ms = pol.timeout_ms
+        if degrade is None and pol is not None:
+            degrade = pol.degrade
+        if timeout_ms is None and degrade is None and self._breaker is None:
+            return None
+        deadline = (
+            Deadline.from_timeout_ms(timeout_ms)
+            if timeout_ms is not None else None
+        )
+        kwargs = {}
+        if pol is not None:
+            kwargs["check_every"] = pol.check_every
+            kwargs["degrade_fraction"] = pol.degrade_fraction
+            if pol.degrade_margin_ms is not None:
+                kwargs["degrade_margin_s"] = pol.degrade_margin_ms / 1000.0
+        return QueryGuard(
+            deadline=deadline,
+            degrade=degrade,
+            breaker=self._breaker,
+            **kwargs,
+        )
+
+    def _admit(self, guard: Optional[QueryGuard]):
+        """Admission-control context; a no-op without a concurrency cap."""
+        if self._admission is None:
+            return nullcontext()
+        return self._admission.admit(
+            guard.deadline if guard is not None else None
+        )
+
+    @property
+    def admission(self):
+        """The session's :class:`AdmissionController`, if enabled."""
+        return self._admission
+
+    @property
+    def breaker(self):
+        """The session's :class:`CircuitBreaker`, if enabled."""
+        return self._breaker
 
     # ------------------------------------------------------------------ #
     # planning
@@ -159,13 +234,14 @@ class QuerySession:
     # ------------------------------------------------------------------ #
 
     def _execute(self, plan: QueryPlan, cache: str, data,
-                 pushdown: bool = True) -> ExecutionResult:
+                 pushdown: bool = True,
+                 guard: Optional[QueryGuard] = None) -> ExecutionResult:
         if self._lock is None:
             return execute(plan, self.store, cache=cache, data=data,
-                           pushdown=pushdown)
+                           pushdown=pushdown, guard=guard)
         with self._lock:
             return execute(plan, self.store, cache=cache, data=data,
-                           pushdown=pushdown)
+                           pushdown=pushdown, guard=guard)
 
     def _execute_with_io(
         self, plan: QueryPlan, cache: str, data, pushdown: bool = True
@@ -234,69 +310,155 @@ class QuerySession:
         cache: str = "warm",
         data=None,
         verified_only: bool = False,
+        timeout_ms: Optional[float] = None,
+        degrade: Optional[str] = None,
     ) -> List[SegmentPair]:
         """Distinct segment pairs matching ``query`` (Section 4.4).
 
         When ``data`` is given the result is witness-refined: a list of
         :class:`~repro.core.results.SearchHit` ordered by severity.
+        ``timeout_ms``/``degrade`` override the session's resilience
+        policy for this query; a degraded answer comes back as the
+        candidate pairs (use :meth:`search_outcome` to see the flag).
         """
+        outcome = self.search_outcome(
+            query, mode=mode, cache=cache, data=data,
+            verified_only=verified_only, timeout_ms=timeout_ms,
+            degrade=degrade,
+        )
+        return outcome.results
+
+    def search_outcome(
+        self,
+        query: Query,
+        mode: str = "auto",
+        cache: str = "warm",
+        data=None,
+        verified_only: bool = False,
+        timeout_ms: Optional[float] = None,
+        degrade: Optional[str] = None,
+    ) -> QueryOutcome:
+        """Like :meth:`search`, returning the full resilience verdict.
+
+        The :class:`~repro.engine.resilience.QueryOutcome` carries the
+        pairs/hits plus ``status`` (COMPLETE or DEGRADED) and the
+        completeness report of a degraded answer.  Raises
+        :class:`~repro.errors.QueryTimeout` on a missed deadline and
+        :class:`~repro.errors.QueryRejected` when admission control
+        sheds the query.
+        """
+        guard = self._make_guard(timeout_ms, degrade)
         refine = (
             RefineOp(verified_only=verified_only) if data is not None else None
         )
         t0 = time.perf_counter()
-        with span("query.search") as root:
-            with span("query.plan"):
-                plan = self.plan(query, mode=mode)
-            if refine is not None:
-                plan = QueryPlan(
-                    query=plan.query,
-                    point_op=plan.point_op,
-                    line_op=plan.line_op,
-                    refine_op=refine,
-                )
-            result = self._execute(plan, cache, data)
-            root.set_attribute("backend",
-                               getattr(self.store, "BACKEND", "unknown"))
-            root.set_attribute("kind", query.kind)
-            root.set_attribute("pairs", len(result.pairs))
+        with self._admit(guard):
+            try:
+                with span("query.search") as root:
+                    with span("query.plan"):
+                        plan = self.plan(query, mode=mode)
+                    if refine is not None:
+                        plan = QueryPlan(
+                            query=plan.query,
+                            point_op=plan.point_op,
+                            line_op=plan.line_op,
+                            refine_op=refine,
+                        )
+                    result = self._execute(plan, cache, data, guard=guard)
+                    root.set_attribute(
+                        "backend", getattr(self.store, "BACKEND", "unknown")
+                    )
+                    root.set_attribute("kind", query.kind)
+                    root.set_attribute("pairs", len(result.pairs))
+            except QueryTimeout:
+                record_timeout()
+                raise
         self._observe_query(
             "search", plan, time.perf_counter() - t0,
             len(result.pairs), result.op_stats,
         )
-        return result.hits if result.hits is not None else result.pairs
+        return QueryOutcome(
+            pairs=result.pairs,
+            hits=result.hits,
+            status=result.status,
+            completeness=result.completeness,
+        )
 
     def search_batch(
         self,
         queries: Sequence[Query],
         mode: str = "auto",
         cache: str = "warm",
+        timeout_ms: Optional[float] = None,
     ) -> List[List[SegmentPair]]:
         """Answer a whole grid of queries in one shared pass per operator.
 
         Results align with ``queries`` by position and are identical to
         ``[self.search(q, ...) for q in queries]``, but candidates are
         fetched once per (kind, operator) instead of once per query.
+        If a kind group's store fetch failed, the first such error is
+        re-raised (after the healthy groups completed); use
+        :meth:`search_batch_outcomes` for per-cell failure isolation.
+        """
+        outcomes = self.search_batch_outcomes(
+            queries, mode=mode, cache=cache, timeout_ms=timeout_ms
+        )
+        for outcome in outcomes:
+            if outcome.failed:
+                raise outcome.error
+        return [outcome.pairs for outcome in outcomes]
+
+    def search_batch_outcomes(
+        self,
+        queries: Sequence[Query],
+        mode: str = "auto",
+        cache: str = "warm",
+        timeout_ms: Optional[float] = None,
+    ) -> List[QueryOutcome]:
+        """Batched search with per-cell resilience verdicts.
+
+        A store failure in one kind group marks only that group's cells
+        :attr:`ResultStatus.FAILED` (cause in ``error``); the rest of
+        the grid returns COMPLETE.  A missed deadline still raises
+        :class:`~repro.errors.QueryTimeout` — the deadline covers the
+        whole batch.
         """
         if mode == "grid":
             raise InvalidParameterError(
                 "batched execution supports 'auto', 'index' and 'scan'"
             )
+        guard = self._make_guard(timeout_ms, None)
         t0 = time.perf_counter()
-        with span("query.search_batch") as root:
-            with span("query.plan"):
-                plans = [self.plan(q, mode=mode) for q in queries]
-            if self._lock is None:
-                results = execute_batch(plans, self.store, cache=cache)
-            else:
-                with self._lock:
-                    results = execute_batch(plans, self.store, cache=cache)
-            root.set_attribute("queries", len(plans))
+        with self._admit(guard):
+            try:
+                with span("query.search_batch") as root:
+                    with span("query.plan"):
+                        plans = [self.plan(q, mode=mode) for q in queries]
+                    if self._lock is None:
+                        results = execute_batch(plans, self.store,
+                                                cache=cache, guard=guard)
+                    else:
+                        with self._lock:
+                            results = execute_batch(plans, self.store,
+                                                    cache=cache, guard=guard)
+                    root.set_attribute("queries", len(plans))
+            except QueryTimeout:
+                record_timeout()
+                raise
         if plans:
             n_pairs = sum(len(r.pairs) for r in results)
             self._observe_query(
                 "search_batch", plans[0], time.perf_counter() - t0, n_pairs,
             )
-        return [r.pairs for r in results]
+        return [
+            QueryOutcome(
+                pairs=r.pairs,
+                status=r.status,
+                completeness=r.completeness,
+                error=r.error,
+            )
+            for r in results
+        ]
 
     # ------------------------------------------------------------------ #
     # EXPLAIN
@@ -311,7 +473,7 @@ class QuerySession:
         true candidate-set size of each access path.
         """
         t0 = time.perf_counter()
-        with span("query.explain") as root:
+        with self._admit(None), span("query.explain") as root:
             with span("query.plan"):
                 plan = self.plan(query, mode=mode)
             # snapshots and execution happen atomically under the session

@@ -70,3 +70,55 @@ class QueryError(ReproError):
     than the window ``w`` the index was built with, or against an index
     that holds no features yet.
     """
+
+
+class ResilienceError(QueryError):
+    """Base class for the typed failures of the resilient serving layer.
+
+    Every deliberate "the query did not run to completion" outcome —
+    deadline exceeded, shed under load, cancelled — derives from this
+    class, so callers can distinguish overload/latency failures from
+    malformed requests while still catching both as :class:`QueryError`.
+    """
+
+
+class QueryTimeout(ResilienceError):
+    """A query exceeded its deadline and was cooperatively cancelled.
+
+    Carries whatever partial state existed at the moment the deadline
+    fired: ``partial_pairs`` (candidate pairs from the operators that
+    *did* finish — possibly incomplete, never trustworthy as a full
+    answer) and ``completeness`` (a
+    :class:`repro.engine.resilience.CompletenessReport` naming the
+    operators that did not finish).
+    """
+
+    def __init__(self, message: str, partial_pairs=None, completeness=None):
+        super().__init__(message)
+        self.partial_pairs = partial_pairs if partial_pairs is not None else []
+        self.completeness = completeness
+
+    def attach(self, partial_pairs=None, completeness=None) -> None:
+        """Enrich the in-flight exception with partial state (executor)."""
+        if partial_pairs is not None and not self.partial_pairs:
+            self.partial_pairs = partial_pairs
+        if completeness is not None and self.completeness is None:
+            self.completeness = completeness
+
+
+class QueryCancelled(ResilienceError):
+    """A query was cooperatively cancelled via ``QueryGuard.cancel()``."""
+
+
+class QueryRejected(ResilienceError):
+    """Admission control shed this query: the session was saturated and
+    the bounded wait queue was full (or the queue wait timed out)."""
+
+
+class CircuitOpenError(StorageError):
+    """A circuit breaker is open: the backend failed repeatedly and calls
+    are failing fast until the cool-down probe succeeds.
+
+    Derives from :class:`StorageError` so existing "the store could not
+    complete an operation" handling applies unchanged.
+    """

@@ -106,6 +106,7 @@ class FeatureStore(abc.ABC):
         t_threshold: Optional[float] = None,
         v_threshold: Optional[float] = None,
         cache: str = "warm",
+        guard=None,
     ):
         """Sequential pass over the ``kind`` point table.
 
@@ -116,6 +117,14 @@ class FeatureStore(abc.ABC):
         exact predicate).  ``None`` means "no pre-filtering" — the
         batched grid path relies on that to share one pass across
         queries.
+
+        ``guard`` (a :class:`repro.engine.resilience.QueryGuard`, or
+        ``None``) makes the pass *cooperative*: long row loops must call
+        ``guard.tick()`` at least once per chunk (directly or via
+        ``guard.wrap_iter``) so a query never runs more than one chunk
+        past its deadline.  The executor only passes the kwarg when a
+        guard is active, so legacy implementations without it keep
+        working on the unguarded path.
         """
 
     @abc.abstractmethod
@@ -125,12 +134,14 @@ class FeatureStore(abc.ABC):
         t_threshold: float,
         v_threshold: Optional[float] = None,
         cache: str = "warm",
+        guard=None,
     ):
         """Point candidates with ``dt <= t_threshold`` via the index.
 
-        Same row layout and pushdown contract as :meth:`scan_points`.
-        Raises :class:`~repro.errors.StorageError` when the index has
-        not been built (call ``finalize()`` first).
+        Same row layout, pushdown and ``guard`` contract as
+        :meth:`scan_points`.  Raises
+        :class:`~repro.errors.StorageError` when the index has not been
+        built (call ``finalize()`` first).
         """
 
     @abc.abstractmethod
@@ -140,11 +151,13 @@ class FeatureStore(abc.ABC):
         t_threshold: Optional[float] = None,
         v_threshold: Optional[float] = None,
         cache: str = "warm",
+        guard=None,
     ):
         """Sequential pass over the ``kind`` line table.
 
         Returns an ``(m, 8)`` row array/sequence with columns
-        ``dt1, dv1, dt2, dv2, t_d, t_c, t_b, t_a``.
+        ``dt1, dv1, dt2, dv2, t_d, t_c, t_b, t_a``.  Same ``guard``
+        contract as :meth:`scan_points`.
         """
 
     @abc.abstractmethod
@@ -154,6 +167,7 @@ class FeatureStore(abc.ABC):
         t_threshold: float,
         v_threshold: Optional[float] = None,
         cache: str = "warm",
+        guard=None,
     ):
         """Line candidates with ``dt1 <= t_threshold`` via the index."""
 

@@ -35,10 +35,21 @@ power cut.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
 
-__all__ = ["FaultInjected", "FaultPolicy", "FaultInjector", "FaultyFile"]
+from ..errors import StorageError
+
+__all__ = [
+    "FaultInjected",
+    "FaultPolicy",
+    "FaultInjector",
+    "FaultyFile",
+    "ReadFaultPolicy",
+    "FaultyStoreWrapper",
+]
 
 
 class FaultInjected(Exception):
@@ -197,3 +208,170 @@ class FaultyFile:
     @property
     def closed(self) -> bool:
         return self._raw.closed
+
+
+# ---------------------------------------------------------------------- #
+# read-path chaos harness (engine resilience testing)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class ReadFaultPolicy:
+    """When and how a :class:`FaultyStoreWrapper` misbehaves.
+
+    Faults key off the wrapper's global 1-based read-call counter (every
+    physical read primitive increments it), so a schedule like
+    ``error_at={2}`` means "the second primitive call of the workload
+    fails" regardless of which operator issues it.
+
+    Parameters
+    ----------
+    error_at:
+        Call indices that raise :class:`~repro.errors.StorageError` —
+        the *typed* failure the engine's breaker and batch isolation
+        handle (unlike :class:`FaultInjected`, which models a power cut
+        and must never be swallowed).
+    latency_at:
+        Call indices delayed by ``latency_s`` before proceeding.
+    hang_at:
+        Call indices that hang "forever": the wrapper sleeps in
+        ``hang_slice_s`` slices, checking the query's guard between
+        slices, so a deadline still cancels the call cooperatively
+        within one slice.  Without a guard the hang aborts with
+        :class:`~repro.errors.StorageError` after ``hang_cap_s`` — a
+        safety net so an unguarded test cannot wedge the suite.
+    fail_next:
+        Countdown of calls to fail with ``StorageError`` starting now,
+        after which the store heals — the knob for driving a circuit
+        breaker open and then letting its half-open probe succeed.
+    """
+
+    error_at: Set[int] = field(default_factory=set)
+    latency_at: Set[int] = field(default_factory=set)
+    hang_at: Set[int] = field(default_factory=set)
+    fail_next: int = 0
+    latency_s: float = 0.05
+    hang_slice_s: float = 0.02
+    hang_cap_s: float = 30.0
+
+
+class FaultyStoreWrapper:
+    """Inject errors/latency/hangs into any feature store's read path.
+
+    Wraps a finalized :class:`~repro.storage.base.FeatureStore` and
+    intercepts the four physical read primitives (plus the optional grid
+    probe); everything else — counts, sampling, ``BACKEND``,
+    ``THREAD_SAFE_READS``, pager stats — delegates to the wrapped store,
+    so a :class:`~repro.engine.session.QuerySession` over the wrapper
+    behaves identically to one over the store until a fault fires::
+
+        chaotic = FaultyStoreWrapper(store, ReadFaultPolicy(error_at={1}))
+        session = QuerySession(chaotic, resilience=policy)
+    """
+
+    READ_PRIMITIVES = (
+        "scan_points",
+        "probe_point_index",
+        "scan_lines",
+        "probe_line_index",
+        "probe_point_grid",
+    )
+
+    def __init__(self, store, policy: Optional[ReadFaultPolicy] = None):
+        self._store = store
+        self.policy = policy or ReadFaultPolicy()
+        #: Global count of read-primitive calls (fault schedule domain).
+        self.read_calls = 0
+        #: How many faults actually fired.
+        self.faults_injected = 0
+        self._lock = threading.Lock()
+
+    def __getattr__(self, name):
+        # everything not intercepted behaves exactly like the real store
+        return getattr(self._store, name)
+
+    def reset(self) -> None:
+        """Zero the call counter (start a fresh fault schedule)."""
+        with self._lock:
+            self.read_calls = 0
+            self.faults_injected = 0
+
+    # -- fault machinery ------------------------------------------------ #
+
+    def _inject(self, op: str, guard) -> None:
+        with self._lock:
+            self.read_calls += 1
+            call = self.read_calls
+            fail = False
+            if self.policy.fail_next > 0:
+                self.policy.fail_next -= 1
+                fail = True
+            if fail or call in self.policy.error_at:
+                self.faults_injected += 1
+                raise StorageError(
+                    f"injected read fault at call {call} ({op})"
+                )
+            delay = call in self.policy.latency_at
+            hang = call in self.policy.hang_at
+            if delay or hang:
+                self.faults_injected += 1
+        if delay:
+            time.sleep(self.policy.latency_s)
+        if hang:
+            self._hang(op, guard)
+
+    def _hang(self, op: str, guard) -> None:
+        """Sleep 'forever' in small slices, staying cancellable."""
+        cap = time.monotonic() + self.policy.hang_cap_s
+        while True:
+            if guard is not None:
+                guard.tick()  # raises QueryTimeout past the deadline
+            if time.monotonic() >= cap:
+                raise StorageError(
+                    f"injected hang in {op} exceeded the "
+                    f"{self.policy.hang_cap_s:g}s safety cap (no guard "
+                    "cancelled it)"
+                )
+            time.sleep(self.policy.hang_slice_s)
+
+    @staticmethod
+    def _guard_kw(guard) -> dict:
+        return {} if guard is None else {"guard": guard}
+
+    # -- intercepted read primitives ------------------------------------ #
+
+    def scan_points(self, kind, t_threshold=None, v_threshold=None,
+                    cache="warm", guard=None):
+        self._inject("scan_points", guard)
+        return self._store.scan_points(
+            kind, t_threshold=t_threshold, v_threshold=v_threshold,
+            cache=cache, **self._guard_kw(guard),
+        )
+
+    def probe_point_index(self, kind, t_threshold, v_threshold=None,
+                          cache="warm", guard=None):
+        self._inject("probe_point_index", guard)
+        return self._store.probe_point_index(
+            kind, t_threshold, v_threshold=v_threshold, cache=cache,
+            **self._guard_kw(guard),
+        )
+
+    def scan_lines(self, kind, t_threshold=None, v_threshold=None,
+                   cache="warm", guard=None):
+        self._inject("scan_lines", guard)
+        return self._store.scan_lines(
+            kind, t_threshold=t_threshold, v_threshold=v_threshold,
+            cache=cache, **self._guard_kw(guard),
+        )
+
+    def probe_line_index(self, kind, t_threshold, v_threshold=None,
+                         cache="warm", guard=None):
+        self._inject("probe_line_index", guard)
+        return self._store.probe_line_index(
+            kind, t_threshold, v_threshold=v_threshold, cache=cache,
+            **self._guard_kw(guard),
+        )
+
+    def probe_point_grid(self, kind, t_threshold, v_threshold, guard=None):
+        self._inject("probe_point_grid", guard)
+        return self._store.probe_point_grid(kind, t_threshold, v_threshold)

@@ -233,17 +233,25 @@ class MemoryFeatureStore(FeatureStore):
     # -- physical primitives (engine interface) ------------------------ #
 
     def scan_points(self, kind, t_threshold=None, v_threshold=None,
-                    cache="warm"):
+                    cache="warm", guard=None):
         """Full point table; prefiltering is left to the executor's
-        vectorized masks (equally fast on frozen numpy arrays)."""
+        vectorized masks (equally fast on frozen numpy arrays).
+
+        Reads here are single array slices, so the cooperative-deadline
+        contract reduces to one ``tick()`` per call.
+        """
         self._check_open()
+        if guard is not None:
+            guard.tick()
         return self._tables[f"{kind}_points"].data
 
     def probe_point_index(self, kind, t_threshold, v_threshold=None,
-                          cache="warm"):
+                          cache="warm", guard=None):
         """dt-sorted binary-search prune — the B-tree leading-column
         analogue."""
         self._check_open()
+        if guard is not None:
+            guard.tick()
         data = self._tables[f"{kind}_points"].sorted_by_dt
         cut = int(np.searchsorted(data[:, 0], t_threshold, side="right"))
         return data[:cut]
@@ -255,13 +263,17 @@ class MemoryFeatureStore(FeatureStore):
         )
 
     def scan_lines(self, kind, t_threshold=None, v_threshold=None,
-                   cache="warm"):
+                   cache="warm", guard=None):
         self._check_open()
+        if guard is not None:
+            guard.tick()
         return self._tables[f"{kind}_lines"].data
 
     def probe_line_index(self, kind, t_threshold, v_threshold=None,
-                         cache="warm"):
+                         cache="warm", guard=None):
         self._check_open()
+        if guard is not None:
+            guard.tick()
         data = self._tables[f"{kind}_lines"].sorted_by_dt
         cut = int(np.searchsorted(data[:, 0], t_threshold, side="right"))
         return data[:cut]

@@ -21,7 +21,13 @@ import os
 import tempfile
 from typing import Dict, List, Optional
 
-from ...errors import InvalidParameterError, StorageError
+from ...engine.resilience import RetryPolicy
+from ...errors import (
+    CorruptionError,
+    InvalidParameterError,
+    RecoveryError,
+    StorageError,
+)
 from ...obs.metrics import REGISTRY, ROWS_BUCKETS
 from ...types import DataSegment, SegmentPair
 from ..base import FeatureStore, Query, StoreCounts
@@ -49,6 +55,15 @@ _OPEN_STORES = REGISTRY.gauge(
 _POINT_TABLES = {"drop": "drop_points", "jump": "jump_points"}
 _LINE_TABLES = {"drop": "drop_lines", "jump": "jump_lines"}
 _FEATURE_TABLES = ("drop_points", "drop_lines", "jump_points", "jump_lines")
+
+#: Shared retry loop for transient open failures (a WAL held briefly by
+#: a finishing writer, an EINTR-style hiccup).  Corruption/recovery
+#: failures are deterministic — retrying cannot cure bad bytes.
+_OPEN_RETRY = RetryPolicy(name="minidb_open")
+
+
+def _open_transient(exc: BaseException) -> bool:
+    return not isinstance(exc, (CorruptionError, RecoveryError))
 
 
 class MiniDbFeatureStore(FeatureStore):
@@ -81,12 +96,16 @@ class MiniDbFeatureStore(FeatureStore):
         else:
             self._owns_file = False
         self.path = path
-        self.db = MiniDatabase(
-            path,
-            cache_pages=cache_pages,
-            checksums=checksums,
-            wal=wal,
-            fsync=fsync,
+        self.db = _OPEN_RETRY.run(
+            lambda: MiniDatabase(
+                path,
+                cache_pages=cache_pages,
+                checksums=checksums,
+                wal=wal,
+                fsync=fsync,
+            ),
+            catch=(StorageError, OSError),
+            transient=_open_transient,
         )
         with self.db.transaction():
             for name, width in (
@@ -244,12 +263,27 @@ class MiniDbFeatureStore(FeatureStore):
             # paper's flushed-cache regime, exactly and deterministically
             self.db.drop_cache()
 
+    @staticmethod
+    def _cooperative(rows_iter, guard):
+        """Wrap a row iterator with the guard's periodic deadline ticks.
+
+        MiniDB reads are row-at-a-time loops over heap/B+tree iterators,
+        so cooperative cancellation slots in as an iterator wrapper —
+        a query stops within ``guard.check_every`` rows of its deadline.
+        """
+        if guard is None:
+            return rows_iter
+        return guard.wrap_iter(rows_iter)
+
     def scan_points(self, kind, t_threshold=None, v_threshold=None,
-                    cache="warm"):
+                    cache="warm", guard=None):
         self._check_open()
         self._prepare_cache(cache)
         rows = []
-        for _rid, row in self.db.table(_POINT_TABLES[kind]).scan():
+        scan = self._cooperative(
+            self.db.table(_POINT_TABLES[kind]).scan(), guard
+        )
+        for _rid, row in scan:
             if v_threshold is not None and not point_match(
                 kind, row[0], row[1], t_threshold, v_threshold
             ):
@@ -258,7 +292,7 @@ class MiniDbFeatureStore(FeatureStore):
         return rows
 
     def probe_point_index(self, kind, t_threshold, v_threshold=None,
-                          cache="warm"):
+                          cache="warm", guard=None):
         """B+tree leading-column probe.  The index key holds the full
         ``(dt, dv)`` predicate columns, so with a value pushdown only
         *matching* entries pay the heap fetch — the random I/O that makes
@@ -269,7 +303,10 @@ class MiniDbFeatureStore(FeatureStore):
         self._prepare_cache(cache)
         table = self.db.table(name)
         rows = []
-        for key, rid in table.index_scan_leading("by_key", t_threshold):
+        probe = self._cooperative(
+            table.index_scan_leading("by_key", t_threshold), guard
+        )
+        for key, rid in probe:
             if v_threshold is not None and not point_match(
                 kind, key[0], key[1], t_threshold, v_threshold
             ):
@@ -278,11 +315,14 @@ class MiniDbFeatureStore(FeatureStore):
         return rows
 
     def scan_lines(self, kind, t_threshold=None, v_threshold=None,
-                   cache="warm"):
+                   cache="warm", guard=None):
         self._check_open()
         self._prepare_cache(cache)
         rows = []
-        for _rid, row in self.db.table(_LINE_TABLES[kind]).scan():
+        scan = self._cooperative(
+            self.db.table(_LINE_TABLES[kind]).scan(), guard
+        )
+        for _rid, row in scan:
             if v_threshold is not None and not line_match(
                 kind, row[0], row[1], row[2], row[3],
                 t_threshold, v_threshold,
@@ -292,14 +332,17 @@ class MiniDbFeatureStore(FeatureStore):
         return rows
 
     def probe_line_index(self, kind, t_threshold, v_threshold=None,
-                         cache="warm"):
+                         cache="warm", guard=None):
         self._check_open()
         name = _LINE_TABLES[kind]
         self._check_index_current(name)
         self._prepare_cache(cache)
         table = self.db.table(name)
         rows = []
-        for key, rid in table.index_scan_leading("by_key", t_threshold):
+        probe = self._cooperative(
+            table.index_scan_leading("by_key", t_threshold), guard
+        )
+        for key, rid in probe:
             if v_threshold is not None and not line_match(
                 kind, key[0], key[1], key[2], key[3],
                 t_threshold, v_threshold,

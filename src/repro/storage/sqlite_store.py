@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional, TypeVar
 
 from ..core.corners import FeatureSet
 from ..core.queries import line_candidate_sql, point_candidate_sql
+from ..engine.resilience import RetryPolicy
 from ..errors import InvalidParameterError, StorageError
 from ..obs.metrics import REGISTRY, ROWS_BUCKETS
 from ..types import SegmentPair
@@ -65,10 +66,16 @@ _RETRIES = REGISTRY.counter(
 )
 
 
-def _is_transient(exc: sqlite3.OperationalError) -> bool:
+def _is_transient(exc: BaseException) -> bool:
     """Lock contention errors that a retry can cure."""
     msg = str(exc).lower()
     return "locked" in msg or "busy" in msg
+
+
+def _sleep(seconds: float) -> None:
+    # resolved through this module's ``time`` so tests can monkeypatch
+    # ``sqlite_store.time.sleep`` and observe the backoff schedule
+    time.sleep(seconds)
 
 
 class SqliteFeatureStore(FeatureStore):
@@ -122,6 +129,7 @@ class SqliteFeatureStore(FeatureStore):
         self._read_conns = threading.local()
         self._spawned_conns: List[sqlite3.Connection] = []
         self._spawn_lock = threading.Lock()
+        self._retry: Optional[RetryPolicy] = None
         self._create_tables()
         _OPEN_STORES.inc()
 
@@ -182,22 +190,36 @@ class SqliteFeatureStore(FeatureStore):
         }
         return all(idx in names for idx in INDEX_NAMES.values())
 
+    def _retry_policy(self) -> RetryPolicy:
+        """The shared :class:`RetryPolicy` sized to ``max_retries``.
+
+        Cached; rebuilt only if ``max_retries`` is changed after
+        construction (some tests do).
+        """
+        attempts = max(1, self.max_retries)
+        policy = self._retry
+        if policy is None or policy.max_attempts != attempts:
+            policy = RetryPolicy(
+                max_attempts=attempts,
+                base_delay=0.02,
+                multiplier=2.0,
+                name="sqlite",
+                sleep=_sleep,
+            )
+            self._retry = policy
+        return policy
+
     def _with_retry(self, fn: Callable[[], _T]) -> _T:
         """Run ``fn``, retrying transient lock errors with backoff."""
-        delay = 0.02
-        attempts = max(1, self.max_retries)
-        for attempt in range(attempts):
-            try:
-                return fn()
-            except sqlite3.OperationalError as exc:
-                if not _is_transient(exc) or attempt == attempts - 1:
-                    raise StorageError(
-                        f"{self.path}: {exc} "
-                        f"(after {attempt + 1} attempt(s))"
-                    ) from exc
-                _RETRIES.inc()
-                time.sleep(delay)
-                delay *= 2
+        return self._retry_policy().run(
+            fn,
+            catch=(sqlite3.OperationalError,),
+            transient=_is_transient,
+            wrap=lambda exc, attempts: StorageError(
+                f"{self.path}: {exc} (after {attempts} attempt(s))"
+            ),
+            on_retry=lambda exc: _RETRIES.inc(),
+        )
 
     # ------------------------------------------------------------------ #
     # writes
@@ -378,9 +400,31 @@ class SqliteFeatureStore(FeatureStore):
 
     # -- physical primitives (engine interface) ------------------------ #
 
-    def _candidate_rows(self, sql: str, params: dict, cache: str):
-        """Run one candidate query in the requested cache regime."""
+    def _candidate_rows(self, sql: str, params: dict, cache: str,
+                        guard=None):
+        """Run one candidate query in the requested cache regime.
+
+        With a ``guard``, rows are pulled in ``fetchmany`` chunks of
+        ``guard.check_every`` with a deadline tick between chunks — a
+        query never runs more than one chunk past its deadline even on a
+        huge result set.  Without one, a single ``fetchall`` keeps the
+        fast path unchanged.
+        """
         import numpy as np
+
+        if guard is None:
+            def fetch(conn):
+                return conn.execute(sql, params).fetchall()
+        else:
+            def fetch(conn):
+                cursor = conn.execute(sql, params)
+                rows: list = []
+                while True:
+                    guard.tick()
+                    chunk = cursor.fetchmany(guard.check_every)
+                    if not chunk:
+                        return rows
+                    rows.extend(chunk)
 
         if cache == "cold":
             # a fresh connection with a minimal page cache emulates the
@@ -390,15 +434,11 @@ class SqliteFeatureStore(FeatureStore):
             conn = self._connect()
             try:
                 conn.execute("PRAGMA cache_size = -64")  # 64 KiB only
-                rows = self._with_retry(
-                    lambda: conn.execute(sql, params).fetchall()
-                )
+                rows = self._with_retry(lambda: fetch(conn))
             finally:
                 conn.close()
         else:
-            rows = self._with_retry(
-                lambda: self._reader().execute(sql, params).fetchall()
-            )
+            rows = self._with_retry(lambda: fetch(self._reader()))
         if not rows:
             return np.empty((0, 0))
         return np.asarray(rows, dtype=float)
@@ -418,7 +458,7 @@ class SqliteFeatureStore(FeatureStore):
         return f"INDEXED BY {INDEX_NAMES[LINE_TABLES[kind]]}"
 
     def scan_points(self, kind, t_threshold=None, v_threshold=None,
-                    cache="warm"):
+                    cache="warm", guard=None):
         self._check_open()
         sql = point_candidate_sql(
             kind,
@@ -428,11 +468,11 @@ class SqliteFeatureStore(FeatureStore):
             with_v=v_threshold is not None,
         )
         return self._candidate_rows(
-            sql, {"T": t_threshold, "V": v_threshold}, cache
+            sql, {"T": t_threshold, "V": v_threshold}, cache, guard
         )
 
     def probe_point_index(self, kind, t_threshold, v_threshold=None,
-                          cache="warm"):
+                          cache="warm", guard=None):
         self._check_open()
         sql = point_candidate_sql(
             kind,
@@ -442,11 +482,11 @@ class SqliteFeatureStore(FeatureStore):
             with_v=v_threshold is not None,
         )
         return self._candidate_rows(
-            sql, {"T": t_threshold, "V": v_threshold}, cache
+            sql, {"T": t_threshold, "V": v_threshold}, cache, guard
         )
 
     def scan_lines(self, kind, t_threshold=None, v_threshold=None,
-                   cache="warm"):
+                   cache="warm", guard=None):
         self._check_open()
         sql = line_candidate_sql(
             kind,
@@ -456,11 +496,11 @@ class SqliteFeatureStore(FeatureStore):
             with_v=v_threshold is not None,
         )
         return self._candidate_rows(
-            sql, {"T": t_threshold, "V": v_threshold}, cache
+            sql, {"T": t_threshold, "V": v_threshold}, cache, guard
         )
 
     def probe_line_index(self, kind, t_threshold, v_threshold=None,
-                         cache="warm"):
+                         cache="warm", guard=None):
         self._check_open()
         sql = line_candidate_sql(
             kind,
@@ -470,7 +510,7 @@ class SqliteFeatureStore(FeatureStore):
             with_v=v_threshold is not None,
         )
         return self._candidate_rows(
-            sql, {"T": t_threshold, "V": v_threshold}, cache
+            sql, {"T": t_threshold, "V": v_threshold}, cache, guard
         )
 
     def _reader(self) -> sqlite3.Connection:

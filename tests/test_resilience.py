@@ -1,0 +1,857 @@
+"""Tests for resilient query serving: deadlines, admission control,
+circuit breakers, degraded modes, retry unification, and the read-path
+chaos harness (docs/resilience.md)."""
+
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.index import SegDiffIndex
+from repro.core.queries import DropQuery, JumpQuery
+from repro.datagen import random_walk_series
+from repro.engine import (
+    AdmissionController,
+    CircuitBreaker,
+    Deadline,
+    QueryGuard,
+    QuerySession,
+    ResiliencePolicy,
+    ResultStatus,
+    RetryPolicy,
+)
+from repro.errors import (
+    CircuitOpenError,
+    InvalidParameterError,
+    QueryCancelled,
+    QueryRejected,
+    QueryTimeout,
+    ResilienceError,
+    StorageError,
+)
+from repro.obs.metrics import REGISTRY
+from repro.storage.faults import FaultyStoreWrapper, ReadFaultPolicy
+
+HOUR = 3600.0
+
+DROP = DropQuery(HOUR, -2.0)
+JUMP = JumpQuery(2 * HOUR, 1.0)
+
+
+class FakeClock:
+    """A controllable monotonic clock for deadline/breaker tests."""
+
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def counter_value(name, labels=None):
+    metric = REGISTRY.get(name, labels)
+    return metric.value if metric is not None else 0.0
+
+
+@pytest.fixture(scope="module")
+def walk_series():
+    return random_walk_series(400, dt=300.0, step_std=0.8, seed=71)
+
+
+@pytest.fixture(scope="module")
+def memory_index(walk_series):
+    index = SegDiffIndex.build(walk_series, 0.2, 8 * HOUR, backend="memory")
+    yield index
+    index.close()
+
+
+@pytest.fixture(scope="module")
+def reference(memory_index):
+    """No-fault answers for the two canonical queries (mode='index')."""
+    sess = QuerySession(memory_index.store)
+    return {
+        "drop": sess.search(DROP, mode="index"),
+        "jump": sess.search(JUMP, mode="index"),
+    }
+
+
+def make_session(memory_index, policy=None, fault_policy=None):
+    wrapper = FaultyStoreWrapper(memory_index.store, fault_policy)
+    return wrapper, QuerySession(wrapper, resilience=policy)
+
+
+# ---------------------------------------------------------------------- #
+# deadlines and guards
+# ---------------------------------------------------------------------- #
+
+
+class TestDeadline:
+    def test_budget_accounting(self):
+        clock = FakeClock()
+        d = Deadline(2.0, clock=clock)
+        assert d.remaining() == pytest.approx(2.0)
+        clock.advance(1.5)
+        assert d.elapsed() == pytest.approx(1.5)
+        assert d.remaining() == pytest.approx(0.5)
+        assert not d.expired()
+        clock.advance(1.0)
+        assert d.expired()
+        assert d.remaining() < 0
+
+    def test_from_timeout_ms(self):
+        d = Deadline.from_timeout_ms(250.0, clock=FakeClock())
+        assert d.budget_s == pytest.approx(0.25)
+
+    def test_invalid_budget(self):
+        with pytest.raises(InvalidParameterError):
+            Deadline(0.0)
+        with pytest.raises(InvalidParameterError):
+            Deadline(-1.0)
+
+
+class TestQueryGuard:
+    def test_tick_raises_after_deadline_with_completeness(self):
+        clock = FakeClock()
+        guard = QueryGuard(deadline=Deadline(1.0, clock=clock))
+        guard.start_op("point_range")
+        guard.finish_op("point_range")
+        guard.start_op("line_cross")
+        guard.tick()  # within budget: no-op
+        clock.advance(1.1)
+        with pytest.raises(QueryTimeout) as exc_info:
+            guard.tick()
+        exc = exc_info.value
+        assert "line_cross" in str(exc)
+        assert exc.completeness is not None
+        assert exc.completeness.finished == ("point_range",)
+        assert exc.completeness.unfinished == ("line_cross",)
+
+    def test_cancel(self):
+        guard = QueryGuard()
+        guard.tick()
+        guard.cancel()
+        with pytest.raises(QueryCancelled):
+            guard.tick()
+
+    def test_wrap_iter_ticks_periodically(self):
+        clock = FakeClock()
+        guard = QueryGuard(deadline=Deadline(1.0, clock=clock), check_every=10)
+        rows = iter(range(100))
+
+        def expire_midway():
+            for i, row in enumerate(guard.wrap_iter(rows)):
+                if i == 42:
+                    clock.advance(2.0)
+                yield row
+
+        consumed = []
+        with pytest.raises(QueryTimeout):
+            for row in expire_midway():
+                consumed.append(row)
+        # cancelled at the next multiple-of-10 checkpoint, not at the end
+        assert 42 < len(consumed) <= 52
+
+    def test_near_deadline_fraction_and_margin(self):
+        clock = FakeClock()
+        guard = QueryGuard(
+            deadline=Deadline(1.0, clock=clock), degrade_fraction=0.25
+        )
+        assert not guard.near_deadline()
+        clock.advance(0.8)  # 0.2 left < 0.25 margin
+        assert guard.near_deadline()
+
+        clock2 = FakeClock()
+        explicit = QueryGuard(
+            deadline=Deadline(1.0, clock=clock2), degrade_margin_s=0.9
+        )
+        clock2.advance(0.2)  # 0.8 left < 0.9 explicit margin
+        assert explicit.near_deadline()
+
+        assert not QueryGuard().near_deadline()  # no deadline at all
+
+    def test_call_routes_through_breaker(self):
+        breaker = CircuitBreaker(failure_threshold=1, backend="t-guard")
+        guard = QueryGuard(breaker=breaker)
+        with pytest.raises(StorageError):
+            guard.call(lambda: (_ for _ in ()).throw(StorageError("boom")))
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            guard.call(lambda: 1)
+        # without a breaker, call() is a plain invocation
+        assert QueryGuard().call(lambda: 42) == 42
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            QueryGuard(degrade="bogus")
+        with pytest.raises(InvalidParameterError):
+            QueryGuard(check_every=0)
+
+
+# ---------------------------------------------------------------------- #
+# retry policy
+# ---------------------------------------------------------------------- #
+
+
+class TestRetryPolicy:
+    def test_retries_transient_with_backoff(self):
+        sleeps = []
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=0.01, multiplier=2.0,
+            name="t-backoff", sleep=sleeps.append,
+        )
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise StorageError("transient")
+            return "ok"
+
+        assert policy.run(flaky) == "ok"
+        assert calls["n"] == 3
+        assert sleeps == [pytest.approx(0.01), pytest.approx(0.02)]
+
+    def test_exhaustion_wraps_final_failure(self):
+        policy = RetryPolicy(max_attempts=3, name="t-wrap", sleep=lambda s: None)
+
+        def always():
+            raise StorageError("still broken")
+
+        with pytest.raises(StorageError, match="after 3 attempt") as exc_info:
+            policy.run(
+                always,
+                wrap=lambda exc, n: StorageError(
+                    f"{exc} (after {n} attempt(s))"
+                ),
+            )
+        assert isinstance(exc_info.value.__cause__, StorageError)
+
+    def test_non_transient_not_retried(self):
+        policy = RetryPolicy(max_attempts=5, name="t-perm", sleep=lambda s: None)
+        calls = {"n": 0}
+
+        def fatal():
+            calls["n"] += 1
+            raise StorageError("corrupt")
+
+        with pytest.raises(StorageError, match="corrupt"):
+            policy.run(fatal, transient=lambda exc: False)
+        assert calls["n"] == 1
+
+    def test_uncaught_types_propagate_immediately(self):
+        policy = RetryPolicy(max_attempts=5, name="t-type", sleep=lambda s: None)
+        calls = {"n": 0}
+
+        def wrong_type():
+            calls["n"] += 1
+            raise ValueError("not storage")
+
+        with pytest.raises(ValueError):
+            policy.run(wrong_type)
+        assert calls["n"] == 1
+
+    def test_retry_metric_incremented(self):
+        policy = RetryPolicy(max_attempts=3, name="t-metric", sleep=lambda s: None)
+        before = counter_value(
+            "repro_retry_attempts_total", {"policy": "t-metric"}
+        )
+        calls = {"n": 0}
+
+        def once():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise StorageError("busy")
+            return 1
+
+        assert policy.run(once) == 1
+        after = counter_value(
+            "repro_retry_attempts_total", {"policy": "t-metric"}
+        )
+        assert after == before + 1
+
+
+# ---------------------------------------------------------------------- #
+# circuit breaker
+# ---------------------------------------------------------------------- #
+
+
+class TestCircuitBreaker:
+    @staticmethod
+    def _fail():
+        raise StorageError("backend down")
+
+    def test_opens_after_consecutive_failures(self):
+        clock = FakeClock()
+        b = CircuitBreaker(
+            failure_threshold=3, cooldown_s=1.0, backend="t-open", clock=clock
+        )
+        for _ in range(2):
+            with pytest.raises(StorageError):
+                b.call(self._fail)
+        assert b.state == "closed"
+        with pytest.raises(StorageError):
+            b.call(self._fail)
+        assert b.state == "open"
+        # fail fast without invoking fn
+        calls = {"n": 0}
+
+        def count():
+            calls["n"] += 1
+
+        with pytest.raises(CircuitOpenError):
+            b.call(count)
+        assert calls["n"] == 0
+        assert counter_value("repro_breaker_state", {"backend": "t-open"}) == 2.0
+
+    def test_success_resets_consecutive_count(self):
+        clock = FakeClock()
+        b = CircuitBreaker(failure_threshold=2, backend="t-reset", clock=clock)
+        with pytest.raises(StorageError):
+            b.call(self._fail)
+        b.call(lambda: "ok")  # breaks the streak
+        with pytest.raises(StorageError):
+            b.call(self._fail)
+        assert b.state == "closed"
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        b = CircuitBreaker(
+            failure_threshold=1, cooldown_s=1.0, backend="t-probe", clock=clock
+        )
+        with pytest.raises(StorageError):
+            b.call(self._fail)
+        assert b.state == "open"
+        clock.advance(1.5)
+        assert b.state == "half_open"
+        assert counter_value("repro_breaker_state", {"backend": "t-probe"}) == 1.0
+        assert b.call(lambda: "healed") == "healed"
+        assert b.state == "closed"
+        assert counter_value("repro_breaker_state", {"backend": "t-probe"}) == 0.0
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        b = CircuitBreaker(
+            failure_threshold=1, cooldown_s=1.0, backend="t-reopen", clock=clock
+        )
+        with pytest.raises(StorageError):
+            b.call(self._fail)
+        clock.advance(1.5)
+        with pytest.raises(StorageError):
+            b.call(self._fail)  # failed probe
+        assert b.state == "open"
+        clock.advance(0.5)  # cool-down restarted: still open
+        assert b.state == "open"
+        clock.advance(0.6)
+        assert b.state == "half_open"
+
+    def test_single_probe_in_flight(self):
+        clock = FakeClock()
+        b = CircuitBreaker(
+            failure_threshold=1, cooldown_s=1.0, backend="t-single", clock=clock
+        )
+        with pytest.raises(StorageError):
+            b.call(self._fail)
+        clock.advance(1.5)
+
+        def slow_probe():
+            # a second caller arriving while the probe runs is rejected
+            with pytest.raises(CircuitOpenError):
+                b.call(lambda: "me too")
+            return "probe ok"
+
+        assert b.call(slow_probe) == "probe ok"
+        assert b.state == "closed"
+
+
+# ---------------------------------------------------------------------- #
+# admission control
+# ---------------------------------------------------------------------- #
+
+
+class TestAdmissionController:
+    def test_sheds_when_saturated_and_no_queue(self):
+        ac = AdmissionController(max_concurrency=1, max_queue=0)
+        before = counter_value("repro_queries_shed_total")
+        ac.acquire()
+        with pytest.raises(QueryRejected):
+            ac.acquire()
+        assert ac.shed_count == 1
+        assert counter_value("repro_queries_shed_total") == before + 1
+        ac.release()
+        ac.acquire()  # free again
+        ac.release()
+
+    def test_queue_wait_times_out(self):
+        ac = AdmissionController(
+            max_concurrency=1, max_queue=1, queue_timeout_s=0.05
+        )
+        ac.acquire()
+        t0 = time.monotonic()
+        with pytest.raises(QueryRejected, match="timed out"):
+            ac.acquire()
+        assert time.monotonic() - t0 < 1.0
+        ac.release()
+
+    def test_queue_wait_bounded_by_deadline(self):
+        ac = AdmissionController(
+            max_concurrency=1, max_queue=1, queue_timeout_s=10.0
+        )
+        ac.acquire()
+        t0 = time.monotonic()
+        with pytest.raises(QueryRejected):
+            ac.acquire(Deadline(0.05))
+        assert time.monotonic() - t0 < 1.0
+        ac.release()
+
+    def test_queued_query_admitted_on_release(self):
+        ac = AdmissionController(
+            max_concurrency=1, max_queue=1, queue_timeout_s=5.0
+        )
+        ac.acquire()
+        admitted = threading.Event()
+
+        def waiter():
+            ac.acquire()
+            admitted.set()
+            ac.release()
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.02)
+        assert not admitted.is_set()
+        ac.release()
+        t.join(timeout=5.0)
+        assert admitted.is_set()
+        assert ac.active == 0
+
+    def test_admit_context_releases_on_error(self):
+        ac = AdmissionController(max_concurrency=1)
+        with pytest.raises(RuntimeError):
+            with ac.admit():
+                assert ac.active == 1
+                raise RuntimeError("query failed")
+        assert ac.active == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            AdmissionController(0)
+        with pytest.raises(InvalidParameterError):
+            AdmissionController(1, max_queue=-1)
+
+
+# ---------------------------------------------------------------------- #
+# end-to-end: deadlines through the engine (chaos harness)
+# ---------------------------------------------------------------------- #
+
+
+class TestDeadlinesEndToEnd:
+    def test_hanging_store_respects_deadline(self, memory_index):
+        """A store call that hangs forever returns within the budget."""
+        wrapper, sess = make_session(
+            memory_index,
+            fault_policy=ReadFaultPolicy(hang_at={1}, hang_slice_s=0.01),
+        )
+        before = counter_value("repro_query_timeouts_total")
+        t0 = time.monotonic()
+        with pytest.raises(QueryTimeout) as exc_info:
+            sess.search(DROP, mode="index", timeout_ms=150.0)
+        elapsed = time.monotonic() - t0
+        # budget 0.15s + one 0.01s hang slice, with generous CI headroom
+        assert elapsed < 2.0
+        assert counter_value("repro_query_timeouts_total") == before + 1
+        completeness = exc_info.value.completeness
+        assert completeness is not None
+        assert "point_range" in completeness.unfinished
+        assert wrapper.faults_injected == 1
+
+    def test_partial_pairs_attached_on_midquery_timeout(self, memory_index):
+        """Timeout after the point operator carries its partial pairs."""
+        wrapper, sess = make_session(
+            memory_index,
+            fault_policy=ReadFaultPolicy(hang_at={2}, hang_slice_s=0.01),
+        )
+        with pytest.raises(QueryTimeout) as exc_info:
+            sess.search(DROP, mode="index", timeout_ms=150.0)
+        exc = exc_info.value
+        assert exc.completeness is not None
+        assert exc.completeness.finished == ("point_range",)
+        assert "line_cross" in exc.completeness.unfinished
+        assert exc.partial_pairs is not None
+
+    def test_no_timeout_within_budget(self, memory_index, reference):
+        _, sess = make_session(memory_index)
+        outcome = sess.search_outcome(DROP, mode="index", timeout_ms=60_000.0)
+        assert outcome.status is ResultStatus.COMPLETE
+        assert outcome.pairs == reference["drop"]
+
+    def test_batch_timeout_covers_whole_grid(self, memory_index):
+        wrapper, sess = make_session(
+            memory_index,
+            fault_policy=ReadFaultPolicy(hang_at={1}, hang_slice_s=0.01),
+        )
+        with pytest.raises(QueryTimeout):
+            sess.search_batch([DROP, JUMP], mode="index", timeout_ms=150.0)
+
+
+# ---------------------------------------------------------------------- #
+# end-to-end: degraded mode
+# ---------------------------------------------------------------------- #
+
+
+class TestDegradedMode:
+    def test_degraded_is_superset_of_refined(self, memory_index, walk_series):
+        """degrade='candidates' answers contain every refined hit."""
+        full = QuerySession(memory_index.store).search(
+            DROP, mode="index", data=walk_series
+        )
+        # margin larger than the budget: the refine pass is always
+        # "near the deadline" and is skipped deterministically
+        policy = ResiliencePolicy(
+            timeout_ms=60_000.0, degrade="candidates",
+            degrade_margin_ms=120_000.0,
+        )
+        _, sess = make_session(memory_index, policy=policy)
+        before = counter_value("repro_queries_degraded_total")
+        outcome = sess.search_outcome(DROP, mode="index", data=walk_series)
+        assert outcome.status is ResultStatus.DEGRADED
+        assert outcome.hits is None
+        assert counter_value("repro_queries_degraded_total") == before + 1
+        assert outcome.completeness is not None
+        # zero false negatives (Theorem 1): candidates ⊇ refined answer
+        assert {hit.pair for hit in full} <= set(outcome.pairs)
+
+    def test_degrade_not_triggered_far_from_deadline(
+        self, memory_index, walk_series
+    ):
+        policy = ResiliencePolicy(
+            timeout_ms=60_000.0, degrade="candidates", degrade_margin_ms=1.0
+        )
+        _, sess = make_session(memory_index, policy=policy)
+        outcome = sess.search_outcome(DROP, mode="index", data=walk_series)
+        assert outcome.status is ResultStatus.COMPLETE
+        assert outcome.hits is not None
+        full = QuerySession(memory_index.store).search(
+            DROP, mode="index", data=walk_series
+        )
+        assert outcome.hits == full
+
+    def test_per_query_degrade_override(self, memory_index, walk_series):
+        """degrade= on search() works without any session policy."""
+        policy = ResiliencePolicy(
+            timeout_ms=60_000.0, degrade_margin_ms=120_000.0
+        )
+        _, sess = make_session(memory_index, policy=policy)
+        outcome = sess.search_outcome(
+            DROP, mode="index", data=walk_series, degrade="candidates"
+        )
+        assert outcome.status is ResultStatus.DEGRADED
+
+
+# ---------------------------------------------------------------------- #
+# end-to-end: batch failure isolation
+# ---------------------------------------------------------------------- #
+
+
+class TestBatchFailureIsolation:
+    def test_one_failing_group_leaves_rest_of_grid(
+        self, memory_index, reference
+    ):
+        # call 1 = drop group's point fetch fails; jump group (calls 2-3)
+        # is untouched
+        wrapper, sess = make_session(
+            memory_index, fault_policy=ReadFaultPolicy(error_at={1})
+        )
+        outcomes = sess.search_batch_outcomes([DROP, JUMP], mode="index")
+        assert len(outcomes) == 2
+        drop_out, jump_out = outcomes
+        assert drop_out.status is ResultStatus.FAILED
+        assert isinstance(drop_out.error, StorageError)
+        assert drop_out.pairs == []
+        assert jump_out.status is ResultStatus.COMPLETE
+        assert jump_out.error is None
+        assert jump_out.pairs == reference["jump"]
+
+    def test_search_batch_reraises_first_group_error(self, memory_index):
+        wrapper, sess = make_session(
+            memory_index, fault_policy=ReadFaultPolicy(error_at={1})
+        )
+        with pytest.raises(StorageError, match="injected read fault"):
+            sess.search_batch([DROP, JUMP], mode="index")
+
+    def test_healthy_batch_unaffected(self, memory_index, reference):
+        _, sess = make_session(memory_index)
+        results = sess.search_batch([DROP, JUMP], mode="index")
+        assert results == [reference["drop"], reference["jump"]]
+
+
+# ---------------------------------------------------------------------- #
+# end-to-end: circuit breaker through the session
+# ---------------------------------------------------------------------- #
+
+
+class TestBreakerEndToEnd:
+    def test_open_failfast_and_recovery(self, memory_index, reference):
+        policy = ResiliencePolicy(breaker_failures=3, breaker_cooldown_ms=80.0)
+        wrapper, sess = make_session(
+            memory_index, policy=policy,
+            fault_policy=ReadFaultPolicy(fail_next=3),
+        )
+        for _ in range(3):
+            with pytest.raises(StorageError):
+                sess.search(DROP, mode="index")
+        assert sess.breaker.state == "open"
+        assert (
+            counter_value("repro_breaker_state", {"backend": "memory"}) == 2.0
+        )
+
+        # while open: fail fast, the store is never touched
+        calls_before = wrapper.read_calls
+        with pytest.raises(CircuitOpenError):
+            sess.search(DROP, mode="index")
+        assert wrapper.read_calls == calls_before
+
+        # after the cool-down the half-open probe heals the circuit
+        time.sleep(0.1)
+        assert sess.breaker.state == "half_open"
+        pairs = sess.search(DROP, mode="index")
+        assert sess.breaker.state == "closed"
+        assert pairs == reference["drop"]
+
+
+# ---------------------------------------------------------------------- #
+# end-to-end: admission control under concurrency (stress smoke)
+# ---------------------------------------------------------------------- #
+
+
+class TestAdmissionStress:
+    def test_sixteen_concurrent_searches_no_deadlock(
+        self, memory_index, reference
+    ):
+        """16 threads against max_concurrency=4: every query either
+        completes correctly or is shed; nothing deadlocks or is lost."""
+        n_threads = 16
+        policy = ResiliencePolicy(max_concurrency=4, max_queue=0)
+        wrapper, sess = make_session(
+            memory_index, policy=policy,
+            fault_policy=ReadFaultPolicy(
+                latency_at=set(range(1, 20 * n_threads)), latency_s=0.02
+            ),
+        )
+        shed_before = counter_value("repro_queries_shed_total")
+        barrier = threading.Barrier(n_threads)
+        completed, shed, unexpected = [], [], []
+        lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            try:
+                pairs = sess.search(DROP, mode="index")
+            except QueryRejected:
+                with lock:
+                    shed.append(1)
+            except BaseException as exc:  # noqa: BLE001 - recorded, asserted
+                with lock:
+                    unexpected.append(exc)
+            else:
+                with lock:
+                    completed.append(pairs)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not any(t.is_alive() for t in threads), "deadlocked workers"
+        assert not unexpected
+        assert len(completed) + len(shed) == n_threads
+        assert len(shed) >= 1  # saturation with no queue must shed
+        assert len(completed) >= policy.max_concurrency
+        # shed accounting is exact: controller count == observed == metric
+        assert sess.admission.shed_count == len(shed)
+        assert (
+            counter_value("repro_queries_shed_total") - shed_before
+            == len(shed)
+        )
+        for pairs in completed:
+            assert pairs == reference["drop"]
+
+
+# ---------------------------------------------------------------------- #
+# property: no fault schedule yields a silently short answer
+# ---------------------------------------------------------------------- #
+
+
+class TestFaultScheduleProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        error_at=st.sets(st.integers(min_value=1, max_value=4), max_size=4),
+        fail_next=st.integers(min_value=0, max_value=2),
+    )
+    def test_complete_results_match_no_fault_run(
+        self, memory_index, reference, error_at, fail_next
+    ):
+        """Any injected fault schedule → either the exact no-fault answer
+        (COMPLETE) or a typed resilience/storage error — never a silently
+        truncated result set."""
+        wrapper, sess = make_session(
+            memory_index,
+            fault_policy=ReadFaultPolicy(
+                error_at=set(error_at), fail_next=fail_next
+            ),
+        )
+        for query, key in ((DROP, "drop"), (JUMP, "jump")):
+            try:
+                outcome = sess.search_outcome(query, mode="index")
+            except (StorageError, ResilienceError):
+                continue  # typed failure: loudly incomplete, acceptable
+            assert outcome.status is ResultStatus.COMPLETE
+            assert outcome.pairs == reference[key]
+
+
+# ---------------------------------------------------------------------- #
+# store-level retry unification
+# ---------------------------------------------------------------------- #
+
+
+class TestMiniDbOpenRetry:
+    def test_transient_open_failure_retried(self, tmp_path, monkeypatch):
+        from repro.storage.minidb import store as mstore
+
+        # build a valid store first so the retried open succeeds
+        path = str(tmp_path / "retry.minidb")
+        mstore.MiniDbFeatureStore(path).close()
+
+        real = mstore.MiniDatabase
+        calls = {"n": 0}
+
+        def flaky(*a, **kw):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise StorageError("database file is locked")
+            return real(*a, **kw)
+
+        monkeypatch.setattr(mstore, "MiniDatabase", flaky)
+        monkeypatch.setattr(mstore._OPEN_RETRY, "sleep", lambda s: None)
+        before = counter_value(
+            "repro_retry_attempts_total", {"policy": "minidb_open"}
+        )
+        store = mstore.MiniDbFeatureStore(path)
+        store.close()
+        assert calls["n"] == 2
+        assert (
+            counter_value(
+                "repro_retry_attempts_total", {"policy": "minidb_open"}
+            )
+            == before + 1
+        )
+
+    def test_corruption_not_retried(self, tmp_path, monkeypatch):
+        from repro.errors import CorruptionError
+        from repro.storage.minidb import store as mstore
+
+        calls = {"n": 0}
+
+        def corrupt(*a, **kw):
+            calls["n"] += 1
+            raise CorruptionError("bad page checksum")
+
+        monkeypatch.setattr(mstore, "MiniDatabase", corrupt)
+        monkeypatch.setattr(mstore._OPEN_RETRY, "sleep", lambda s: None)
+        with pytest.raises(CorruptionError):
+            mstore.MiniDbFeatureStore(str(tmp_path / "corrupt.minidb"))
+        assert calls["n"] == 1
+
+
+class TestSqliteRetryUnification:
+    def test_sqlite_store_uses_shared_policy(self, tmp_path):
+        from repro.storage.sqlite_store import SqliteFeatureStore
+
+        store = SqliteFeatureStore(str(tmp_path / "r.sqlite"))
+        try:
+            policy = store._retry_policy()
+            assert isinstance(policy, RetryPolicy)
+            assert policy.name == "sqlite"
+            assert policy.max_attempts == store.max_retries
+            assert policy.base_delay == pytest.approx(0.02)
+            # cached, but rebuilt when max_retries changes
+            assert store._retry_policy() is policy
+            store.max_retries = policy.max_attempts + 1
+            assert store._retry_policy().max_attempts == store.max_retries
+        finally:
+            store.close()
+
+
+# ---------------------------------------------------------------------- #
+# observability surface
+# ---------------------------------------------------------------------- #
+
+
+class TestResilienceMetrics:
+    def test_core_series_registered(self):
+        assert REGISTRY.get("repro_query_timeouts_total") is not None
+        assert REGISTRY.get("repro_queries_shed_total") is not None
+        assert REGISTRY.get("repro_queries_degraded_total") is not None
+
+    def test_breaker_gauge_and_retry_counter_labelled(self):
+        CircuitBreaker(backend="t-registered")
+        assert (
+            REGISTRY.get("repro_breaker_state", {"backend": "t-registered"})
+            is not None
+        )
+        RetryPolicy(name="t-registered")
+        assert (
+            REGISTRY.get(
+                "repro_retry_attempts_total", {"policy": "t-registered"}
+            )
+            is not None
+        )
+
+    def test_stats_cli_surfaces_resilience_metrics(self, capsys):
+        from repro.cli import main
+
+        assert main(["stats", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_query_timeouts_total" in out
+        assert "repro_queries_shed_total" in out
+
+
+# ---------------------------------------------------------------------- #
+# CLI flags
+# ---------------------------------------------------------------------- #
+
+
+class TestCliResilienceFlags:
+    @pytest.fixture
+    def index_path(self, tmp_path):
+        from repro.cli import main
+
+        csv = str(tmp_path / "data.csv")
+        assert main(["generate", "--days", "2", "--seed", "3",
+                     "--out", csv]) == 0
+        smooth = str(tmp_path / "smooth.csv")
+        assert main(["smooth", csv, "--out", smooth]) == 0
+        idx = str(tmp_path / "cad.idx")
+        assert main(["build", smooth, "--epsilon", "0.2",
+                     "--window-hours", "8", "--index", idx]) == 0
+        return idx
+
+    def test_search_with_resilience_flags(self, index_path, capsys):
+        from repro.cli import main
+
+        assert main([
+            "search", index_path, "--drop", "-3",
+            "--timeout-ms", "60000", "--degrade", "candidates",
+            "--max-concurrency", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "matching periods" in out
+
+    def test_search_without_flags_unchanged(self, index_path, capsys):
+        from repro.cli import main
+
+        assert main(["search", index_path, "--drop", "-3"]) == 0
+        capsys.readouterr()
