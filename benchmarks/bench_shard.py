@@ -1,0 +1,247 @@
+"""Bench for sharded scatter-gather and checksum anti-entropy
+(docs/sharding.md).
+
+Two questions:
+
+* **Query**: what does an N-shard scatter-gather cost relative to one
+  index over the same series?  Shards are smaller, so per-shard work
+  shrinks; the thread-pool gather adds coordination.  We report the
+  latency ratio per shard count over a mixed drop/jump workload.
+* **Verify**: how many checksum ranges does :meth:`ShardedIndex.verify`
+  read to localize k silently-mutated replica rows, against the n rows
+  a full row-by-row replica diff would read — the O(k·log n) vs O(n)
+  claim, measured, plus wall time for both.
+
+Run directly to write ``BENCH_shard.json``::
+
+    PYTHONPATH=src python benchmarks/bench_shard.py [--smoke]
+
+or under pytest, where the smoke-sized run asserts the report schema
+and the range-read bound (timings are not asserted: CI machines vary).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.index import SegDiffIndex
+from repro.datagen import TimeSeries
+from repro.engine.sharding import ShardedIndex
+from repro.storage import checksum as cks
+
+HOUR = 3600.0
+EPSILON = 0.5
+WINDOW = HOUR
+MAX_GAP = HOUR
+N_QUERIES = 60
+
+REPORT_SCHEMA = ("benchmark", "series", "query", "verify")
+QUERY_SCHEMA = ("n_shards", "build_seconds", "query_seconds",
+                "latency_ratio_vs_single")
+VERIFY_SCHEMA = ("k_mutated", "table_rows", "ranges_checked",
+                 "full_scan_rows", "traffic_ratio", "verify_seconds",
+                 "full_diff_seconds", "repair_clean")
+
+
+def make_series(episodes: int, points_per_episode: int) -> TimeSeries:
+    """Gapped episodes so time-sharding splits losslessly."""
+    rng = np.random.default_rng(20080325)
+    ts: List[np.ndarray] = []
+    vs: List[np.ndarray] = []
+    t0 = 0.0
+    for _ in range(episodes):
+        t = t0 + np.arange(points_per_episode) * 60.0
+        v = np.cumsum(rng.normal(0, 0.05, points_per_episode))
+        third = points_per_episode // 3
+        v[third : third + 6] -= np.linspace(0, 3.0, 6)
+        ts.append(t)
+        vs.append(v)
+        t0 = t[-1] + 24 * HOUR
+    return TimeSeries(
+        times=np.concatenate(ts), values=np.concatenate(vs), name="bench"
+    )
+
+
+def query_grid() -> List:
+    """(kind, T, V) mix exercising drops and jumps at varied depths."""
+    grid = []
+    for i in range(N_QUERIES // 2):
+        t = 600.0 + (i % 6) * 500.0
+        grid.append(("drop", t, -0.5 - (i % 4)))
+        grid.append(("jump", t, 0.5 + (i % 4)))
+    return grid
+
+
+def time_queries(target) -> float:
+    t0 = time.perf_counter()
+    for kind, t, v in query_grid():
+        target.search_outcome(kind, t, v)
+    return time.perf_counter() - t0
+
+
+def bench_query(series: TimeSeries, shard_counts: List[int]) -> List[Dict]:
+    t0 = time.perf_counter()
+    single = SegDiffIndex.build(series, EPSILON, WINDOW, max_gap=MAX_GAP)
+    single_build = time.perf_counter() - t0
+    try:
+        single_q = time_queries(single)
+    finally:
+        single.close()
+    rows = [{
+        "n_shards": 1,
+        "build_seconds": round(single_build, 4),
+        "query_seconds": round(single_q, 4),
+        "latency_ratio_vs_single": 1.0,
+    }]
+    for n in shard_counts:
+        t0 = time.perf_counter()
+        sharded = ShardedIndex.build(
+            series, EPSILON, WINDOW, n_shards=n, max_gap=MAX_GAP
+        )
+        build_s = time.perf_counter() - t0
+        try:
+            query_s = time_queries(sharded)
+        finally:
+            sharded.close()
+        rows.append({
+            "n_shards": n,
+            "build_seconds": round(build_s, 4),
+            "query_seconds": round(query_s, 4),
+            "latency_ratio_vs_single": round(query_s / single_q, 3),
+        })
+    return rows
+
+
+def bench_verify(series: TimeSeries, k: int) -> Dict:
+    sharded = ShardedIndex.build(
+        series, EPSILON, WINDOW, n_shards=1, max_gap=MAX_GAP,
+        replicas=2, leaf_size=64,
+    )
+    try:
+        shard = sharded.shards[0]
+        replica = shard.replicas[1]
+        clean = replica.store.read_table_rows("drop_points")
+        n_rows = clean.shape[0]
+        mutated = np.linspace(0, n_rows - 1, k).astype(int)
+        for row in mutated:
+            bad = clean[row : row + 1].copy()
+            bad[0, 1] += 1.0
+            replica.store.replace_table_rows("drop_points", int(row), bad)
+
+        t0 = time.perf_counter()
+        report = sharded.verify()
+        verify_s = time.perf_counter() - t0
+
+        # the naive alternative: read every replica row and compare
+        t0 = time.perf_counter()
+        full_rows = 0
+        for table in cks.TABLES:
+            a = shard.primary.store.read_table_rows(table)
+            b = replica.store.read_table_rows(table)
+            full_rows += a.shape[0] + b.shape[0]
+            np.array_equal(a, b)
+        full_diff_s = time.perf_counter() - t0
+
+        repaired = sharded.repair(report)
+        return {
+            "k_mutated": int(k),
+            "table_rows": int(n_rows),
+            "ranges_checked": int(report.ranges_checked),
+            "full_scan_rows": int(full_rows),
+            "traffic_ratio": round(
+                report.ranges_checked / max(1, full_rows), 4
+            ),
+            "verify_seconds": round(verify_s, 4),
+            "full_diff_seconds": round(full_diff_s, 4),
+            "repair_clean": bool(repaired.clean),
+        }
+    finally:
+        sharded.close()
+
+
+def run_bench(episodes: int, points: int, shard_counts: List[int],
+              k_mutated: int) -> Dict:
+    series = make_series(episodes, points)
+    return {
+        "benchmark": "shard",
+        "series": {
+            "episodes": episodes,
+            "points": len(series),
+            "epsilon": EPSILON,
+            "window_seconds": WINDOW,
+            "queries": N_QUERIES,
+        },
+        "query": bench_query(series, shard_counts),
+        "verify": bench_verify(series, k_mutated),
+    }
+
+
+def validate_report(report: Dict) -> None:
+    for key in REPORT_SCHEMA:
+        assert key in report, f"report missing {key!r}"
+    assert report["query"][0]["n_shards"] == 1
+    for entry in report["query"]:
+        for key in QUERY_SCHEMA:
+            assert key in entry, f"query entry missing {key!r}"
+    verify = report["verify"]
+    for key in VERIFY_SCHEMA:
+        assert key in verify, f"verify entry missing {key!r}"
+    assert verify["repair_clean"] is True
+    # the whole point: localization reads far fewer ranges than a scan
+    assert verify["ranges_checked"] < verify["full_scan_rows"]
+
+
+# ---------------------------------------------------------------------- #
+# pytest entry point (CI smoke; timings not asserted)
+# ---------------------------------------------------------------------- #
+
+
+def test_smoke_schema():
+    report = run_bench(
+        episodes=4, points=400, shard_counts=[2, 4], k_mutated=3
+    )
+    validate_report(report)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny series; timings are not meaningful",
+    )
+    parser.add_argument("--episodes", type=int, default=16)
+    parser.add_argument("--points", type=int, default=4000)
+    parser.add_argument("--k-mutated", type=int, default=8)
+    parser.add_argument(
+        "--out", default=os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "BENCH_shard.json",
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        report = run_bench(
+            episodes=4, points=400, shard_counts=[2, 4], k_mutated=3
+        )
+    else:
+        report = run_bench(
+            episodes=args.episodes, points=args.points,
+            shard_counts=[2, 4, 8], k_mutated=args.k_mutated,
+        )
+    validate_report(report)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

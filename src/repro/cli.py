@@ -10,6 +10,9 @@ Subcommands:
   row counts (EXPLAIN ANALYZE for a search);
 * ``stats``    — report a built index's sizes and composition;
 * ``fsck``     — check a database file (MiniDB or SQLite) for corruption;
+* ``shard-build`` — build a replicated, time-sharded index directory;
+* ``verify``   — checksum anti-entropy: compare sealed/replica trees;
+* ``repair``   — re-copy divergent ranges from a healthy peer;
 * ``experiments`` — run the paper's evaluation tables.
 
 Example session::
@@ -330,7 +333,27 @@ def cmd_stats(args: argparse.Namespace) -> int:
             print(to_prometheus())
         else:
             print(render_table())
+            breakers = _breaker_states()
+            if breakers:
+                print()
+                print("circuit breakers:")
+                for label, state in breakers:
+                    print(f"  {label}: {state}")
     return 0
+
+
+def _breaker_states() -> List[tuple]:
+    """Decode every registered ``repro_breaker_state`` gauge series."""
+    from .obs.metrics import REGISTRY
+
+    names = {0.0: "closed", 1.0: "half_open", 2.0: "open"}
+    out = []
+    for key, value in sorted(REGISTRY.snapshot().items()):
+        if not key.startswith("repro_breaker_state"):
+            continue
+        labels = key[len("repro_breaker_state"):].strip("{}")
+        out.append((labels or "(unlabelled)", names.get(value, f"?{value}")))
+    return out
 
 
 def cmd_fsck(args: argparse.Namespace) -> int:
@@ -371,6 +394,91 @@ def cmd_fsck(args: argparse.Namespace) -> int:
         return 1
     print(f"{args.db} ({kind}): ok")
     return 0
+
+
+def cmd_shard_build(args: argparse.Namespace) -> int:
+    """Build a replicated, time-sharded index directory from CSV."""
+    import os
+
+    from .engine.sharding import ShardedIndex
+
+    series = load_series_csv(args.input)
+    os.makedirs(args.directory, exist_ok=True)
+    sharded = ShardedIndex.build(
+        series,
+        epsilon=args.epsilon,
+        window=args.window_hours * HOUR,
+        n_shards=args.shards,
+        max_gap=args.max_gap,
+        replicas=args.replicas,
+        backend="sqlite",
+        directory=args.directory,
+        leaf_size=args.leaf_size,
+    )
+    try:
+        sharded.save_manifest(args.directory)
+        stats = sharded.stats()
+        total_rows = sum(s["rows"] for s in stats["shards"])
+        print(
+            f"built {args.directory}: {stats['n_shards']} shard(s) x "
+            f"{args.replicas} replica(s), {total_rows} feature rows per "
+            f"replica set, checksums sealed"
+        )
+        for shard in sharded.shards:
+            spec = shard.spec
+            print(
+                f"  {spec.shard_id}: t in [{spec.t_min:.0f}, "
+                f"{spec.t_max:.0f}], {len(shard.replicas)} replica(s)"
+            )
+    finally:
+        sharded.close()
+    return 0
+
+
+def _open_for_verify(path: str):
+    """A sharded directory (manifest.json) or a single sealed index."""
+    import os
+
+    from .engine.sharding import Shard, ShardSpec, ShardedIndex
+
+    if os.path.isdir(path):
+        return ShardedIndex.open(path)
+    index = SegDiffIndex.open(path)
+    if index.checksums() is None:
+        index.close()
+        raise ReproError(
+            f"{path} has no sealed checksum trees; build it with "
+            "shard-build, or call SegDiffIndex.seal_checksums() first"
+        )
+    spec = ShardSpec(shard_id=os.path.basename(path), t_min=0.0, t_max=0.0)
+    return ShardedIndex([Shard(spec, [index])], index.epsilon, index.window)
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Checksum anti-entropy check over a sharded index (or one index)."""
+    sharded = _open_for_verify(args.path)
+    try:
+        report = sharded.verify(shard_id=args.shard)
+        print(report.describe())
+    finally:
+        sharded.close()
+    return 0 if report.clean else 1
+
+
+def cmd_repair(args: argparse.Namespace) -> int:
+    """Re-copy divergent ranges from a healthy peer, then re-verify."""
+    sharded = _open_for_verify(args.path)
+    try:
+        before = sharded.verify(shard_id=args.shard)
+        if before.clean:
+            print("already clean; nothing to repair")
+            return 0
+        print(f"before: {before.describe()}")
+        after = sharded.repair(before)
+        print(f"after:  {after.describe()}")
+    finally:
+        sharded.close()
+    return 0 if after.clean else 1
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
@@ -496,6 +604,47 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fsck", help="check a database file for corruption")
     p.add_argument("db", help="a MiniDB (.mdb) or SQLite file")
     p.set_defaults(func=cmd_fsck)
+
+    p = sub.add_parser(
+        "shard-build",
+        help="build a replicated, time-sharded index directory",
+    )
+    p.add_argument("input")
+    p.add_argument("--directory", required=True,
+                   help="output directory (per-replica SQLite files plus "
+                        "manifest.json)")
+    p.add_argument("--epsilon", type=float, default=0.2)
+    p.add_argument("--window-hours", type=float, default=8.0)
+    p.add_argument("--shards", type=int, default=4, metavar="N",
+                   help="target shard count; the series is split at "
+                        "sampling-gap boundaries into at most N shards")
+    p.add_argument("--replicas", type=int, default=1, metavar="R",
+                   help="replicas per shard (failover + repair peers)")
+    p.add_argument("--max-gap", type=float, required=True, metavar="SECONDS",
+                   help="sampling gaps larger than this are episode "
+                        "boundaries; shards split only there, so the "
+                        "sharded answer equals a single index's")
+    p.add_argument("--leaf-size", type=int, default=None, metavar="ROWS",
+                   help="checksum-tree leaf size (rows per leaf)")
+    p.set_defaults(func=cmd_shard_build)
+
+    p = sub.add_parser(
+        "verify",
+        help="checksum anti-entropy check of a sharded index directory "
+             "(or one sealed index file)",
+    )
+    p.add_argument("path")
+    p.add_argument("--shard", default=None, help="check one shard only")
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "repair",
+        help="re-copy divergent row ranges from a healthy replica, "
+             "then re-verify",
+    )
+    p.add_argument("path")
+    p.add_argument("--shard", default=None, help="repair one shard only")
+    p.set_defaults(func=cmd_repair)
 
     p = sub.add_parser("experiments", help="run the paper's evaluation")
     p.add_argument("--quick", action="store_true")

@@ -101,6 +101,7 @@ class SegDiffIndex:
         store: Optional[FeatureStore] = None,
         emit_self_pairs: bool = True,
         resilience=None,
+        name: Optional[str] = None,
     ) -> None:
         self.epsilon = float(epsilon)
         self.window = float(window)
@@ -108,6 +109,9 @@ class SegDiffIndex:
         #: Optional :class:`repro.engine.ResiliencePolicy` applied to the
         #: lazily-created query session (deadlines, admission, breaker).
         self.resilience = resilience
+        #: Distinguishes this index's breaker gauge from other indexes'
+        #: in a multi-index process (e.g. a shard/replica id).
+        self.name = name
         self._segmenter = SlidingWindowSegmenter(epsilon)
         self._extractor = FeatureExtractor(
             epsilon, window, self.store, emit_self_pairs=emit_self_pairs
@@ -137,12 +141,16 @@ class SegDiffIndex:
         batch_size: Optional[int] = None,
         workers: int = 1,
         max_gap: Optional[float] = None,
+        resilience=None,
+        name: Optional[str] = None,
     ) -> "SegDiffIndex":
         """Build and finalize an index over a whole series.
 
         ``backend`` is ``"memory"``, ``"sqlite"``, or ``"minidb"`` (the
         instrumented page-based engine); ``path`` names the backing file
-        (temporary when omitted).
+        (temporary when omitted).  ``resilience`` (a
+        :class:`repro.engine.ResiliencePolicy`) and ``name`` (the breaker
+        gauge label, e.g. a shard id) configure the query session.
 
         The build runs the batched fast path (bit-for-bit equivalent to
         streaming :meth:`append`): ``batch_size`` observations per
@@ -164,7 +172,10 @@ class SegDiffIndex:
                 "backend must be 'memory', 'sqlite' or 'minidb', "
                 f"got {backend!r}"
             )
-        index = cls(epsilon, window, store, emit_self_pairs=emit_self_pairs)
+        index = cls(
+            epsilon, window, store, emit_self_pairs=emit_self_pairs,
+            resilience=resilience, name=name,
+        )
         with span("index.build") as bs:
             bs.set_attribute("backend", backend)
             bs.set_attribute("workers", workers)
@@ -208,7 +219,9 @@ class SegDiffIndex:
         return MiniDbFeatureStore(path)
 
     @classmethod
-    def open(cls, path: str, resilience=None) -> "SegDiffIndex":
+    def open(
+        cls, path: str, resilience=None, name: Optional[str] = None
+    ) -> "SegDiffIndex":
         """Reopen a previously built, finalized index file.
 
         The backend (SQLite or MiniDB) is sniffed from the file header.
@@ -234,7 +247,7 @@ class SegDiffIndex:
                 f"{path} is a mid-stream checkpoint, not a finalized index; "
                 "use SegDiffIndex.resume() to continue it"
             )
-        index = cls(epsilon, window, store, resilience=resilience)
+        index = cls(epsilon, window, store, resilience=resilience, name=name)
         index._segments = store.load_segments()
         n_obs = store.get_meta("n_observations")
         index._n_observations = int(n_obs) if n_obs is not None else 0
@@ -560,6 +573,34 @@ class SegDiffIndex:
         self.store.set_meta("sealed", 1.0 if self._sealed else 0.0)
 
     # ------------------------------------------------------------------ #
+    # anti-entropy checksums
+    # ------------------------------------------------------------------ #
+
+    def seal_checksums(self, leaf_size: Optional[int] = None) -> dict:
+        """Compute and persist the anti-entropy checksum trees.
+
+        Checksums every feature table in storage order into a
+        Merkle-style tree (:mod:`repro.storage.checksum`) and persists
+        the trees in store meta, so ``verify()`` can later compare the
+        store against its recorded state or a replica in O(log n)
+        checksum comparisons.  Called by the sharding layer after
+        :meth:`finalize`; opt-in here because the extra full read +
+        meta writes are pure overhead for throwaway indexes.
+        """
+        from ..storage import checksum as cks
+
+        kw = {} if leaf_size is None else {"leaf_size": leaf_size}
+        trees = cks.store_trees(self.store, **kw)
+        cks.persist_trees(self.store, trees)
+        return trees
+
+    def checksums(self) -> Optional[dict]:
+        """The persisted checksum trees, or ``None`` if never sealed."""
+        from ..storage import checksum as cks
+
+        return cks.load_trees(self.store)
+
+    # ------------------------------------------------------------------ #
     # search
     # ------------------------------------------------------------------ #
 
@@ -756,6 +797,7 @@ class SegDiffIndex:
                 self.store,
                 cost_model=QueryPlanner(self.store),
                 resilience=self.resilience,
+                name=self.name,
             )
         return self._session
 

@@ -38,7 +38,12 @@ class TieredIndex:
         Shared query-span bound ``w``.
     """
 
-    def __init__(self, epsilons: Sequence[float], window: float) -> None:
+    def __init__(
+        self,
+        epsilons: Sequence[float],
+        window: float,
+        resilience=None,
+    ) -> None:
         eps = sorted(set(float(e) for e in epsilons))
         if not eps:
             raise InvalidParameterError("need at least one tolerance tier")
@@ -46,6 +51,10 @@ class TieredIndex:
             raise InvalidParameterError("tolerances must be >= 0")
         self.epsilons = eps
         self.window = float(window)
+        #: Optional :class:`repro.engine.ResiliencePolicy` applied to
+        #: every tier's query session (each tier gets its own breaker,
+        #: labelled by tier).
+        self.resilience = resilience
         self._tiers: Dict[float, SegDiffIndex] = {}
 
     @classmethod
@@ -55,12 +64,14 @@ class TieredIndex:
         epsilons: Sequence[float],
         window: float,
         backend: str = "memory",
+        resilience=None,
     ) -> "TieredIndex":
         """Build and finalize every tier over the same series."""
-        tiered = cls(epsilons, window)
+        tiered = cls(epsilons, window, resilience=resilience)
         for eps in tiered.epsilons:
             tiered._tiers[eps] = SegDiffIndex.build(
-                series, eps, window, backend=backend
+                series, eps, window, backend=backend,
+                resilience=resilience, name=f"tier-{eps:g}",
             )
         return tiered
 
@@ -130,6 +141,29 @@ class TieredIndex:
         eps = self.choose_tier(max_tolerance)
         return self._tiers[eps].search_jumps(
             t_threshold, v_threshold, mode=mode, cache=cache
+        )
+
+    def search_outcome(
+        self,
+        kind: str,
+        t_threshold: float,
+        v_threshold: float,
+        max_tolerance: Optional[float] = None,
+        mode: str = "index",
+        **kw,
+    ):
+        """Routed search with the full resilience verdict.
+
+        Same tier routing as :meth:`search_drops`, but returns the
+        chosen tier's :class:`repro.engine.QueryOutcome` (COMPLETE /
+        DEGRADED plus completeness report) so a tiered deployment can
+        run under deadlines and degraded modes like a single index.
+        Accepts the :meth:`SegDiffIndex.search_outcome` keywords
+        (``timeout_ms``, ``degrade``, ``cache``...).
+        """
+        eps = self.choose_tier(max_tolerance)
+        return self._tiers[eps].search_outcome(
+            kind, t_threshold, v_threshold, mode=mode, **kw
         )
 
     # ------------------------------------------------------------------ #

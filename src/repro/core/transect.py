@@ -64,10 +64,15 @@ class TransectIndex:
         epsilon: float,
         window: float,
         backend: str = "memory",
+        resilience=None,
     ) -> None:
         self.epsilon = float(epsilon)
         self.window = float(window)
         self.backend = backend
+        #: Optional :class:`repro.engine.ResiliencePolicy` applied to
+        #: every per-sensor query session (one breaker per sensor,
+        #: labelled by sensor name).
+        self.resilience = resilience
         self._indexes: Dict[str, SegDiffIndex] = {}
 
     @classmethod
@@ -77,14 +82,16 @@ class TransectIndex:
         epsilon: float,
         window: float,
         backend: str = "memory",
+        resilience=None,
     ) -> "TransectIndex":
         """Build finalized per-sensor indexes for every series."""
         if not sensors:
             raise InvalidParameterError("need at least one sensor series")
-        transect = cls(epsilon, window, backend=backend)
+        transect = cls(epsilon, window, backend=backend, resilience=resilience)
         for name, series in sensors.items():
             transect._indexes[name] = SegDiffIndex.build(
-                series, epsilon, window, backend=backend
+                series, epsilon, window, backend=backend,
+                resilience=resilience, name=str(name),
             )
         return transect
 
@@ -149,6 +156,61 @@ class TransectIndex:
             if pairs:
                 out[name] = pairs
         return out
+
+    def search_outcome(
+        self,
+        kind: str,
+        t_threshold: float,
+        v_threshold: float,
+        mode: str = "index",
+        sensors=None,
+        **kw,
+    ):
+        """Transect-wide search with the full resilience verdict.
+
+        Routes through :meth:`as_sharded` — per-sensor scatter-gather
+        with a merged :class:`repro.engine.QueryOutcome` whose
+        completeness report names any sensor whose index failed or
+        timed out, instead of one bad sensor failing the whole
+        transect.  ``sensors`` restricts routing; remaining keywords
+        (``timeout_ms``, ``degrade``, ``cache``) pass through.
+        """
+        return self.as_sharded().search_outcome(
+            kind, t_threshold, v_threshold, mode=mode, sensors=sensors,
+            **kw,
+        )
+
+    def as_sharded(self):
+        """This transect as a :class:`repro.engine.sharding.ShardedIndex`.
+
+        One single-replica shard per sensor, wrapping the *existing*
+        per-sensor indexes (no copy; closing either object closes the
+        shared stores).  The natural entry point for the 25-sensor
+        deployment: scatter-gather, per-shard completeness, and — after
+        :meth:`SegDiffIndex.seal_checksums` on each index — verify and
+        repair.  Cached after the first call.
+        """
+        from ..engine.sharding import Shard, ShardedIndex, ShardSpec
+
+        cached = getattr(self, "_sharded", None)
+        if cached is not None:
+            return cached
+        shards = []
+        for name, index in self._indexes.items():
+            segments = index.segments
+            shards.append(
+                Shard(
+                    ShardSpec(
+                        shard_id=str(name),
+                        t_min=segments[0].t_start if segments else 0.0,
+                        t_max=segments[-1].t_end if segments else 0.0,
+                        sensor=str(name),
+                    ),
+                    [index],
+                )
+            )
+        self._sharded = ShardedIndex(shards, self.epsilon, self.window)
+        return self._sharded
 
     def search_corroborated(
         self,
@@ -244,8 +306,14 @@ class TransectIndex:
         }
 
     def close(self) -> None:
-        for index in self._indexes.values():
-            index.close()
+        sharded = getattr(self, "_sharded", None)
+        if sharded is not None:
+            # closes the shared per-sensor stores and the gather pool
+            sharded.close()
+            self._sharded = None
+        else:
+            for index in self._indexes.values():
+                index.close()
         self._indexes = {}
 
     def __enter__(self) -> "TransectIndex":

@@ -37,6 +37,13 @@ from .resilience import (
     RetryPolicy,
 )
 from .session import ExplainReport, OperatorExplain, QuerySession
+from .sharding import (
+    Divergence,
+    Shard,
+    ShardedIndex,
+    ShardSpec,
+    VerifyReport,
+)
 
 __all__ = [
     "AdmissionController",
@@ -46,6 +53,7 @@ __all__ = [
     "CompletenessReport",
     "CostModel",
     "Deadline",
+    "Divergence",
     "ExecutionResult",
     "ExplainReport",
     "LineCrossOp",
@@ -60,7 +68,11 @@ __all__ = [
     "ResiliencePolicy",
     "ResultStatus",
     "RetryPolicy",
+    "Shard",
+    "ShardSpec",
+    "ShardedIndex",
     "UnionDedupOp",
+    "VerifyReport",
     "build_plan",
     "execute",
     "execute_batch",

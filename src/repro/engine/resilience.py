@@ -443,7 +443,10 @@ class CircuitBreaker:
     The first call after the cool-down is the half-open *probe*; its
     success closes the circuit, its failure reopens it (and restarts the
     cool-down).  State is exported as the ``repro_breaker_state`` gauge
-    (0 closed, 1 half-open, 2 open) labelled by backend.
+    (0 closed, 1 half-open, 2 open) labelled by backend **and** breaker
+    ``name`` — the name (a shard id, an index name; defaults to the
+    backend) keeps the gauges of a multi-index process distinct instead
+    of every breaker overwriting one time series.
     """
 
     def __init__(
@@ -455,6 +458,7 @@ class CircuitBreaker:
             OSError,
         ),
         backend: str = "unknown",
+        name: Optional[str] = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if failure_threshold < 1:
@@ -465,6 +469,7 @@ class CircuitBreaker:
         self.cooldown_s = float(cooldown_s)
         self.failure_types = failure_types
         self.backend = backend
+        self.name = name if name is not None else backend
         self._clock = clock
         self._lock = threading.Lock()
         self._state = "closed"
@@ -473,9 +478,9 @@ class CircuitBreaker:
         self._probing = False
         self._gauge = REGISTRY.gauge(
             "repro_breaker_state",
-            "Circuit-breaker state per backend "
+            "Circuit-breaker state per backend and breaker name "
             "(0 closed, 1 half-open, 2 open)",
-            {"backend": backend},
+            {"backend": backend, "name": self.name},
         )
         self._set_state("closed")
 
@@ -653,13 +658,16 @@ class ResiliencePolicy:
             queue_timeout_s=self.queue_timeout_ms / 1000.0,
         )
 
-    def breaker(self, backend: str) -> Optional[CircuitBreaker]:
+    def breaker(
+        self, backend: str, name: Optional[str] = None
+    ) -> Optional[CircuitBreaker]:
         if self.breaker_failures is None:
             return None
         return CircuitBreaker(
             failure_threshold=self.breaker_failures,
             cooldown_s=self.breaker_cooldown_ms / 1000.0,
             backend=backend,
+            name=name,
         )
 
 

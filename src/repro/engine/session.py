@@ -136,6 +136,7 @@ class QuerySession:
         cost_model: Optional[CostModel] = None,
         slow_query_threshold: Optional[float] = None,
         resilience: Optional[ResiliencePolicy] = None,
+        name: Optional[str] = None,
     ) -> None:
         self.store = store
         self.cost = cost_model if cost_model is not None else CostModel(store)
@@ -146,6 +147,10 @@ class QuerySession:
             None if getattr(store, "THREAD_SAFE_READS", False)
             else threading.Lock()
         )
+        #: Distinguishes this session's breaker gauge from other
+        #: sessions' in a multi-index process (a shard id, usually);
+        #: defaults to the store's backend name.
+        self.name = name
         #: Resilience configuration (docs/resilience.md); ``None`` keeps
         #: every mechanism off and the query path on its original code.
         self.resilience = resilience
@@ -153,7 +158,9 @@ class QuerySession:
             resilience.admission() if resilience is not None else None
         )
         self._breaker = (
-            resilience.breaker(getattr(store, "BACKEND", "unknown"))
+            resilience.breaker(
+                getattr(store, "BACKEND", "unknown"), name=name
+            )
             if resilience is not None else None
         )
 

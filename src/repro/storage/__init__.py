@@ -13,6 +13,14 @@ backends implement :class:`FeatureStore`:
 """
 
 from .base import FeatureStore, StoreCounts
+from .checksum import (
+    ChecksumTree,
+    build_tree,
+    diff_trees,
+    load_trees,
+    persist_trees,
+    store_trees,
+)
 from .grid_index import GridIndex
 from .memory_store import MemoryFeatureStore
 from .minidb import MiniDbFeatureStore
@@ -25,6 +33,7 @@ from .schema import (
 )
 
 __all__ = [
+    "ChecksumTree",
     "FeatureStore",
     "StoreCounts",
     "GridIndex",
@@ -32,7 +41,12 @@ __all__ = [
     "MiniDbFeatureStore",
     "SqliteFeatureStore",
     "SEGDIFF_TABLES",
+    "build_tree",
+    "diff_trees",
+    "load_trees",
+    "persist_trees",
     "space_saving_ratio",
+    "store_trees",
     "COLUMNS_EXH",
     "columns_for_corner_count",
 ]

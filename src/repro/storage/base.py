@@ -180,6 +180,49 @@ class FeatureStore(abc.ABC):
             f"the {type(self).__name__} backend has no grid access path"
         )
 
+    # ------------------------------------------------------------------ #
+    # row-range access (anti-entropy interface)
+    # ------------------------------------------------------------------ #
+
+    def read_table_rows(self, table: str, start: int = 0,
+                        stop: Optional[int] = None):
+        """Rows ``[start, stop)`` of one feature table in **storage
+        order** (insertion order), as a 2-D float array.
+
+        This is the checksum/anti-entropy read path: two replicas built
+        by the same deterministic pipeline must return bit-identical
+        rows here, so checksum trees over this view compare equal iff
+        the stores hold the same features.  The default routes through
+        the scan primitives, which return insertion order on every
+        bundled backend; a backend whose scan order differs must
+        override.
+        """
+        from ..errors import InvalidParameterError
+
+        kind, _, group = table.partition("_")
+        if kind not in ("drop", "jump") or group not in ("points", "lines"):
+            raise InvalidParameterError(f"unknown feature table {table!r}")
+        import numpy as np
+
+        scan = self.scan_points if group == "points" else self.scan_lines
+        rows = np.asarray(scan(kind), dtype=float)
+        return rows[start:stop]
+
+    def replace_table_rows(self, table: str, start: int, rows) -> None:
+        """Overwrite rows ``[start, start + len(rows))`` of ``table`` in
+        storage order — the anti-entropy *repair* write path.
+
+        Optional: backends that cannot address rows positionally leave
+        the default, which raises :class:`~repro.errors.StorageError`;
+        repair then falls back to a full rebuild from the peer.
+        """
+        from ..errors import StorageError
+
+        raise StorageError(
+            f"the {type(self).__name__} backend does not support in-place "
+            "row replacement; rebuild from a peer instead"
+        )
+
     @abc.abstractmethod
     def counts(self) -> StoreCounts:
         """Current row counts."""

@@ -244,15 +244,31 @@ class ReadFaultPolicy:
         Countdown of calls to fail with ``StorageError`` starting now,
         after which the store heals — the knob for driving a circuit
         breaker open and then letting its half-open probe succeed.
+    corrupt_at:
+        Call indices whose *result* is silently corrupted: the wrapper
+        copies the returned row array and mutates one row (never the
+        store's own arrays), modelling bit rot that no exception
+        announces — the failure mode checksum anti-entropy exists to
+        catch.  ``corrupt_mode="flip"`` perturbs one value of the row
+        by ``corrupt_delta``; ``"replace"`` zeroes the whole row.
     """
 
     error_at: Set[int] = field(default_factory=set)
     latency_at: Set[int] = field(default_factory=set)
     hang_at: Set[int] = field(default_factory=set)
+    corrupt_at: Set[int] = field(default_factory=set)
+    corrupt_mode: str = "flip"
+    corrupt_delta: float = 1.0
     fail_next: int = 0
     latency_s: float = 0.05
     hang_slice_s: float = 0.02
     hang_cap_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.corrupt_mode not in ("flip", "replace"):
+            raise ValueError(
+                f"unknown corrupt mode {self.corrupt_mode!r}"
+            )
 
 
 class FaultyStoreWrapper:
@@ -275,6 +291,7 @@ class FaultyStoreWrapper:
         "scan_lines",
         "probe_line_index",
         "probe_point_grid",
+        "read_table_rows",
     )
 
     def __init__(self, store, policy: Optional[ReadFaultPolicy] = None):
@@ -298,7 +315,9 @@ class FaultyStoreWrapper:
 
     # -- fault machinery ------------------------------------------------ #
 
-    def _inject(self, op: str, guard) -> None:
+    def _inject(self, op: str, guard) -> bool:
+        """Apply the schedule for one call; returns whether the call's
+        *result* must be corrupted (see :meth:`_corrupt`)."""
         with self._lock:
             self.read_calls += 1
             call = self.read_calls
@@ -313,12 +332,32 @@ class FaultyStoreWrapper:
                 )
             delay = call in self.policy.latency_at
             hang = call in self.policy.hang_at
-            if delay or hang:
+            corrupt = call in self.policy.corrupt_at
+            if delay or hang or corrupt:
                 self.faults_injected += 1
         if delay:
             time.sleep(self.policy.latency_s)
         if hang:
             self._hang(op, guard)
+        return corrupt
+
+    def _corrupt(self, rows):
+        """Silently damage one row of a *copy* of the result.
+
+        The wrapped store's arrays are never touched (the memory backend
+        hands out its real frozen arrays), so the corruption is confined
+        to this read — exactly a bad sector surfacing on one replica.
+        """
+        import numpy as np
+
+        rows = np.array(rows, dtype=float, copy=True)
+        if rows.size == 0:
+            return rows
+        if self.policy.corrupt_mode == "replace":
+            rows[0, :] = 0.0
+        else:
+            rows[0, min(1, rows.shape[1] - 1)] += self.policy.corrupt_delta
+        return rows
 
     def _hang(self, op: str, guard) -> None:
         """Sleep 'forever' in small slices, staying cancellable."""
@@ -342,36 +381,46 @@ class FaultyStoreWrapper:
 
     def scan_points(self, kind, t_threshold=None, v_threshold=None,
                     cache="warm", guard=None):
-        self._inject("scan_points", guard)
-        return self._store.scan_points(
+        corrupt = self._inject("scan_points", guard)
+        rows = self._store.scan_points(
             kind, t_threshold=t_threshold, v_threshold=v_threshold,
             cache=cache, **self._guard_kw(guard),
         )
+        return self._corrupt(rows) if corrupt else rows
 
     def probe_point_index(self, kind, t_threshold, v_threshold=None,
                           cache="warm", guard=None):
-        self._inject("probe_point_index", guard)
-        return self._store.probe_point_index(
+        corrupt = self._inject("probe_point_index", guard)
+        rows = self._store.probe_point_index(
             kind, t_threshold, v_threshold=v_threshold, cache=cache,
             **self._guard_kw(guard),
         )
+        return self._corrupt(rows) if corrupt else rows
 
     def scan_lines(self, kind, t_threshold=None, v_threshold=None,
                    cache="warm", guard=None):
-        self._inject("scan_lines", guard)
-        return self._store.scan_lines(
+        corrupt = self._inject("scan_lines", guard)
+        rows = self._store.scan_lines(
             kind, t_threshold=t_threshold, v_threshold=v_threshold,
             cache=cache, **self._guard_kw(guard),
         )
+        return self._corrupt(rows) if corrupt else rows
 
     def probe_line_index(self, kind, t_threshold, v_threshold=None,
                          cache="warm", guard=None):
-        self._inject("probe_line_index", guard)
-        return self._store.probe_line_index(
+        corrupt = self._inject("probe_line_index", guard)
+        rows = self._store.probe_line_index(
             kind, t_threshold, v_threshold=v_threshold, cache=cache,
             **self._guard_kw(guard),
         )
+        return self._corrupt(rows) if corrupt else rows
 
     def probe_point_grid(self, kind, t_threshold, v_threshold, guard=None):
-        self._inject("probe_point_grid", guard)
-        return self._store.probe_point_grid(kind, t_threshold, v_threshold)
+        corrupt = self._inject("probe_point_grid", guard)
+        rows = self._store.probe_point_grid(kind, t_threshold, v_threshold)
+        return self._corrupt(rows) if corrupt else rows
+
+    def read_table_rows(self, table, start=0, stop=None, guard=None):
+        corrupt = self._inject("read_table_rows", guard)
+        rows = self._store.read_table_rows(table, start, stop)
+        return self._corrupt(rows) if corrupt else rows

@@ -115,6 +115,28 @@ class _Table:
             self._grid = GridIndex(self.data)
         return self._grid
 
+    def replace(self, start: int, rows: np.ndarray) -> None:
+        """Overwrite rows ``[start, start + len(rows))`` in place.
+
+        Anti-entropy repair path: the table must be frozen, and the
+        dt-order permutation and grid are invalidated because row values
+        changed under them.
+        """
+        if self._frozen is None:
+            raise StorageError("store not finalized; call finalize() first")
+        rows = np.asarray(rows, dtype=float).reshape(-1, self.width)
+        stop = start + rows.shape[0]
+        if start < 0 or stop > self._frozen.shape[0]:
+            raise StorageError(
+                f"row range [{start}, {stop}) outside table of "
+                f"{self._frozen.shape[0]} rows"
+            )
+        if not self._frozen.flags.writeable:
+            self._frozen = self._frozen.copy()
+        self._frozen[start:stop] = rows
+        self._order = np.argsort(self._frozen[:, 0], kind="stable")
+        self._grid = None
+
     def __len__(self) -> int:
         if self._frozen is not None:
             return self._frozen.shape[0]
@@ -277,6 +299,20 @@ class MemoryFeatureStore(FeatureStore):
         data = self._tables[f"{kind}_lines"].sorted_by_dt
         cut = int(np.searchsorted(data[:, 0], t_threshold, side="right"))
         return data[:cut]
+
+    def read_table_rows(self, table: str, start: int = 0,
+                        stop: Optional[int] = None) -> np.ndarray:
+        """Insertion-order row range as a copy (callers may mutate)."""
+        self._check_open()
+        if table not in self._tables:
+            raise InvalidParameterError(f"unknown feature table {table!r}")
+        return self._tables[table].data[start:stop].copy()
+
+    def replace_table_rows(self, table: str, start: int, rows) -> None:
+        self._check_open()
+        if table not in self._tables:
+            raise InvalidParameterError(f"unknown feature table {table!r}")
+        self._tables[table].replace(start, rows)
 
     def sample_points(self, kind: str, n: int) -> Optional[np.ndarray]:
         """Evenly strided (dt, dv) sample of the point table (see base)."""

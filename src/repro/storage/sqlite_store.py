@@ -525,6 +525,77 @@ class SqliteFeatureStore(FeatureStore):
                 self._spawned_conns.append(conn)
         return conn
 
+    _TABLE_COLS = {
+        "drop_points": ("dt", "dv", "t_d", "t_c", "t_b", "t_a"),
+        "jump_points": ("dt", "dv", "t_d", "t_c", "t_b", "t_a"),
+        "drop_lines": (
+            "dt1", "dv1", "dt2", "dv2", "t_d", "t_c", "t_b", "t_a"
+        ),
+        "jump_lines": (
+            "dt1", "dv1", "dt2", "dv2", "t_d", "t_c", "t_b", "t_a"
+        ),
+    }
+
+    def read_table_rows(self, table: str, start: int = 0,
+                        stop: Optional[int] = None):
+        """Insertion-order row range via ``ORDER BY rowid``.
+
+        Feature tables are insert-only, so rowids are the dense 1-based
+        insertion sequence — exactly the storage order the checksum
+        trees are defined over.
+        """
+        import numpy as np
+
+        self._check_open()
+        cols = self._TABLE_COLS.get(table)
+        if cols is None:
+            raise InvalidParameterError(f"unknown feature table {table!r}")
+        self._flush()
+        limit = -1 if stop is None else max(0, stop - start)
+        rows = self._with_retry(
+            lambda: self._conn.execute(
+                f"SELECT {', '.join(cols)} FROM {table} "
+                "ORDER BY rowid LIMIT ? OFFSET ?",
+                (limit, start),
+            ).fetchall()
+        )
+        if not rows:
+            return np.empty((0, len(cols)))
+        return np.asarray(rows, dtype=float)
+
+    def replace_table_rows(self, table: str, start: int, rows) -> None:
+        """Overwrite rows by rowid (repair write path); commits, so a
+        repair is durable on its own like a checkpoint."""
+        import numpy as np
+
+        self._check_open()
+        cols = self._TABLE_COLS.get(table)
+        if cols is None:
+            raise InvalidParameterError(f"unknown feature table {table!r}")
+        self._flush()
+        rows = np.asarray(rows, dtype=float).reshape(-1, len(cols))
+        total = self._conn.execute(
+            f"SELECT COUNT(*) FROM {table}"
+        ).fetchone()[0]
+        if start < 0 or start + rows.shape[0] > total:
+            raise StorageError(
+                f"row range [{start}, {start + rows.shape[0]}) outside "
+                f"{table} of {total} rows"
+            )
+        assignments = ", ".join(f"{c} = ?" for c in cols)
+        params = [
+            tuple(row) + (start + i + 1,)  # rowids are 1-based
+            for i, row in enumerate(rows.tolist())
+        ]
+
+        def write() -> None:
+            self._conn.executemany(
+                f"UPDATE {table} SET {assignments} WHERE rowid = ?", params
+            )
+            self._conn.commit()
+
+        self._with_retry(write)
+
     def sample_points(self, kind: str, n: int):
         """Evenly strided (dt, dv) sample of the point table (see base)."""
         import numpy as np

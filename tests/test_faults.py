@@ -160,3 +160,82 @@ class TestArm:
         with pytest.raises(FaultInjected):
             f.write(b"c")
         inj.close_all()
+
+
+class TestCorruptionMode:
+    """Silent read corruption — the failure checksums exist to catch."""
+
+    @pytest.fixture
+    def store(self, walk_series):
+        from repro.core.index import SegDiffIndex
+
+        index = SegDiffIndex.build(walk_series, 0.3, 4 * 3600.0)
+        yield index.store
+        index.close()
+
+    def test_invalid_corrupt_mode_rejected(self):
+        from repro.storage.faults import ReadFaultPolicy
+
+        with pytest.raises(ValueError, match="corrupt"):
+            ReadFaultPolicy(corrupt_mode="scramble")
+
+    def test_flip_perturbs_one_value_silently(self, store):
+        import numpy as np
+
+        from repro.storage.faults import (
+            FaultyStoreWrapper,
+            ReadFaultPolicy,
+        )
+
+        clean = store.read_table_rows("drop_points")
+        wrapper = FaultyStoreWrapper(
+            store, ReadFaultPolicy(corrupt_at={1}, corrupt_delta=2.5)
+        )
+        dirty = wrapper.read_table_rows("drop_points")
+        diff = dirty - clean
+        assert np.count_nonzero(diff) == 1
+        assert diff[0, 1] == 2.5
+        assert wrapper.faults_injected == 1
+        # later reads heal; the wrapped store was never touched
+        assert np.array_equal(
+            wrapper.read_table_rows("drop_points"), clean
+        )
+        assert np.array_equal(store.read_table_rows("drop_points"), clean)
+
+    def test_replace_zeroes_the_row(self, store):
+        import numpy as np
+
+        from repro.storage.faults import (
+            FaultyStoreWrapper,
+            ReadFaultPolicy,
+        )
+
+        wrapper = FaultyStoreWrapper(
+            store,
+            ReadFaultPolicy(corrupt_at={1}, corrupt_mode="replace"),
+        )
+        dirty = wrapper.read_table_rows("drop_points")
+        assert np.all(dirty[0] == 0.0)
+        assert not np.all(dirty[1] == 0.0)
+
+    def test_corruption_applies_to_scan_primitives_too(self, store):
+        import numpy as np
+
+        from repro.storage.faults import (
+            FaultyStoreWrapper,
+            ReadFaultPolicy,
+        )
+
+        clean = store.scan_points("drop")
+        wrapper = FaultyStoreWrapper(store, ReadFaultPolicy(corrupt_at={1}))
+        assert not np.array_equal(wrapper.scan_points("drop"), clean)
+
+    def test_empty_result_passes_through(self, store):
+        from repro.storage.faults import (
+            FaultyStoreWrapper,
+            ReadFaultPolicy,
+        )
+
+        wrapper = FaultyStoreWrapper(store, ReadFaultPolicy(corrupt_at={1}))
+        rows = wrapper.read_table_rows("drop_points", 0, 0)
+        assert rows.shape[0] == 0

@@ -305,7 +305,7 @@ class TestCircuitBreaker:
         with pytest.raises(CircuitOpenError):
             b.call(count)
         assert calls["n"] == 0
-        assert counter_value("repro_breaker_state", {"backend": "t-open"}) == 2.0
+        assert counter_value("repro_breaker_state", {"backend": "t-open", "name": "t-open"}) == 2.0
 
     def test_success_resets_consecutive_count(self):
         clock = FakeClock()
@@ -327,10 +327,10 @@ class TestCircuitBreaker:
         assert b.state == "open"
         clock.advance(1.5)
         assert b.state == "half_open"
-        assert counter_value("repro_breaker_state", {"backend": "t-probe"}) == 1.0
+        assert counter_value("repro_breaker_state", {"backend": "t-probe", "name": "t-probe"}) == 1.0
         assert b.call(lambda: "healed") == "healed"
         assert b.state == "closed"
-        assert counter_value("repro_breaker_state", {"backend": "t-probe"}) == 0.0
+        assert counter_value("repro_breaker_state", {"backend": "t-probe", "name": "t-probe"}) == 0.0
 
     def test_half_open_probe_failure_reopens(self):
         clock = FakeClock()
@@ -605,7 +605,7 @@ class TestBreakerEndToEnd:
                 sess.search(DROP, mode="index")
         assert sess.breaker.state == "open"
         assert (
-            counter_value("repro_breaker_state", {"backend": "memory"}) == 2.0
+            counter_value("repro_breaker_state", {"backend": "memory", "name": "memory"}) == 2.0
         )
 
         # while open: fail fast, the store is never touched
@@ -799,7 +799,10 @@ class TestResilienceMetrics:
     def test_breaker_gauge_and_retry_counter_labelled(self):
         CircuitBreaker(backend="t-registered")
         assert (
-            REGISTRY.get("repro_breaker_state", {"backend": "t-registered"})
+            REGISTRY.get(
+                "repro_breaker_state",
+                {"backend": "t-registered", "name": "t-registered"},
+            )
             is not None
         )
         RetryPolicy(name="t-registered")
