@@ -1,0 +1,236 @@
+"""Bench for streaming ingest into the partitioned live index
+(docs/streaming.md).
+
+Three questions:
+
+* **Ingest**: what sustained append rate (points/s) does a
+  :class:`LiveIndex` hold while sealing partitions online, per backend?
+* **Seal**: how long does one seal take — finalize the hot store, copy
+  it into the sealed format, and atomically install the next manifest
+  generation?  We report min/mean/max over every seal of the run.
+* **Query under ingest**: with a writer thread appending (and sealing)
+  continuously, what query latency do concurrent readers see?  Each
+  query pins a snapshot, so seals and compactions never block it; we
+  report p50/p99 over a mixed drop/jump workload.
+
+Run directly to write ``BENCH_ingest.json``::
+
+    PYTHONPATH=src python benchmarks/bench_ingest.py [--smoke]
+
+or under pytest, where the smoke-sized run asserts the report schema
+(timings are not asserted: CI machines vary).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.live import LiveIndex
+
+HOUR = 3600.0
+EPSILON = 0.5
+WINDOW = HOUR
+
+REPORT_SCHEMA = ("benchmark", "series", "ingest", "query_under_ingest")
+INGEST_SCHEMA = ("backend", "points", "seal_rows", "elapsed_seconds",
+                 "points_per_second", "n_seals", "seal_ms_min",
+                 "seal_ms_mean", "seal_ms_max", "n_partitions")
+QUERY_SCHEMA = ("queries", "p50_ms", "p99_ms", "max_ms",
+                "writer_points", "writer_seals")
+
+
+def make_walk(n: int, seed: int = 20080325) -> Tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    ts = np.cumsum(rng.uniform(20.0, 90.0, n))
+    vs = np.cumsum(rng.normal(0.0, 0.8, n))
+    third = n // 3
+    vs[third : third + 8] -= np.linspace(0.0, 4.0, 8)
+    return ts, vs
+
+
+def bench_ingest(n_points: int, seal_rows: int, backend: str) -> Dict:
+    """Sustained append rate with explicit, individually-timed seals."""
+    # check the seal threshold a few times per partition's worth of rows
+    chunk = max(256, seal_rows // 4)
+    ts, vs = make_walk(n_points)
+    directory = None
+    if backend != "memory":
+        directory = tempfile.mkdtemp(prefix="bench-ingest-")
+    seal_ms: List[float] = []
+    try:
+        live = LiveIndex(
+            EPSILON, WINDOW, directory=directory, backend=None
+            if backend == "memory" else backend,
+            seal_rows=2 ** 62,  # seals are driven (and timed) manually
+        )
+        t0 = time.perf_counter()
+        appended = 0
+        for lo in range(0, n_points, chunk):
+            live.append_array(ts[lo : lo + chunk], vs[lo : lo + chunk])
+            appended += min(chunk, n_points - lo)
+            if live.stats()["hot"]["rows"] >= seal_rows:
+                s0 = time.perf_counter()
+                live.seal()
+                seal_ms.append((time.perf_counter() - s0) * 1e3)
+        elapsed = time.perf_counter() - t0
+        n_partitions = len(live.partitions)
+        live.close()
+    finally:
+        if directory is not None:
+            shutil.rmtree(directory, ignore_errors=True)
+    return {
+        "backend": backend,
+        "points": int(appended),
+        "seal_rows": int(seal_rows),
+        "elapsed_seconds": round(elapsed, 4),
+        "points_per_second": round(appended / elapsed, 1),
+        "n_seals": len(seal_ms),
+        "seal_ms_min": round(min(seal_ms), 3) if seal_ms else None,
+        "seal_ms_mean": round(float(np.mean(seal_ms)), 3)
+        if seal_ms else None,
+        "seal_ms_max": round(max(seal_ms), 3) if seal_ms else None,
+        "n_partitions": int(n_partitions),
+    }
+
+
+def bench_query_under_ingest(n_points: int, seal_rows: int,
+                             n_queries: int) -> Dict:
+    """Reader latency percentiles while a writer appends and seals."""
+    ts, vs = make_walk(n_points)
+    warm = n_points // 4
+    live = LiveIndex(EPSILON, WINDOW, seal_rows=seal_rows)
+    live.append_array(ts[:warm], vs[:warm])
+    stop = threading.Event()
+    progress = {"points": warm}
+
+    def writer() -> None:
+        for i in range(warm, n_points):
+            if stop.is_set():
+                return
+            live.append(float(ts[i]), float(vs[i]))
+            progress["points"] = i + 1
+
+    thread = threading.Thread(target=writer, daemon=True)
+    thread.start()
+    lat_ms: List[float] = []
+    try:
+        for i in range(n_queries):
+            t = 600.0 + (i % 6) * 300.0
+            q0 = time.perf_counter()
+            with live.snapshot() as snap:
+                if i % 2 == 0:
+                    snap.search_drops(t, -0.5 - (i % 4))
+                else:
+                    snap.search_jumps(t, 0.5 + (i % 4))
+            lat_ms.append((time.perf_counter() - q0) * 1e3)
+    finally:
+        stop.set()
+        thread.join()
+    stats = live.stats()
+    live.close()
+    return {
+        "queries": len(lat_ms),
+        "p50_ms": round(float(np.percentile(lat_ms, 50)), 3),
+        "p99_ms": round(float(np.percentile(lat_ms, 99)), 3),
+        "max_ms": round(max(lat_ms), 3),
+        "writer_points": int(progress["points"]),
+        "writer_seals": int(stats["generation"]),
+    }
+
+
+def run_bench(n_points: int, seal_rows: int, n_queries: int,
+              backends: List[str]) -> Dict:
+    return {
+        "benchmark": "ingest",
+        "series": {
+            "points": n_points,
+            "epsilon": EPSILON,
+            "window_seconds": WINDOW,
+            "seal_rows": seal_rows,
+        },
+        "ingest": [
+            bench_ingest(n_points, seal_rows, backend)
+            for backend in backends
+        ],
+        "query_under_ingest": bench_query_under_ingest(
+            n_points, seal_rows, n_queries
+        ),
+    }
+
+
+def validate_report(report: Dict) -> None:
+    for key in REPORT_SCHEMA:
+        assert key in report, f"report missing {key!r}"
+    assert report["ingest"], "no ingest rows"
+    for entry in report["ingest"]:
+        for key in INGEST_SCHEMA:
+            assert key in entry, f"ingest entry missing {key!r}"
+        assert entry["points_per_second"] > 0
+        assert entry["n_seals"] >= 1, "run too small to seal"
+        assert entry["n_partitions"] >= entry["n_seals"]
+    q = report["query_under_ingest"]
+    for key in QUERY_SCHEMA:
+        assert key in q, f"query entry missing {key!r}"
+    assert q["p99_ms"] >= q["p50_ms"]
+
+
+# ---------------------------------------------------------------------- #
+# pytest entry point (CI smoke; timings not asserted)
+# ---------------------------------------------------------------------- #
+
+
+def test_smoke_schema():
+    report = run_bench(
+        n_points=3000, seal_rows=600, n_queries=40,
+        backends=["memory", "sqlite"],
+    )
+    validate_report(report)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny series; timings are not meaningful",
+    )
+    parser.add_argument("--points", type=int, default=200_000)
+    parser.add_argument("--seal-rows", type=int, default=20_000)
+    parser.add_argument("--queries", type=int, default=200)
+    parser.add_argument(
+        "--out", default=os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "BENCH_ingest.json",
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        report = run_bench(
+            n_points=3000, seal_rows=600, n_queries=40,
+            backends=["memory", "sqlite"],
+        )
+    else:
+        report = run_bench(
+            n_points=args.points, seal_rows=args.seal_rows,
+            n_queries=args.queries,
+            backends=["memory", "sqlite", "minidb"],
+        )
+    validate_report(report)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,7 @@ from .datagen import (
     PiecewiseLinearSignal,
     TimeSeries,
     generate_cad_day,
+    iter_series_csv,
     load_series_csv,
     robust_loess,
     save_series_csv,
@@ -51,6 +52,9 @@ from .segmentation import (
 from .core import (
     CorroboratedEvent,
     FeatureExtractor,
+    LiveIndex,
+    LiveSnapshot,
+    LiveTieredIndex,
     Parallelogram,
     QueryPlanner,
     QueryRegion,
@@ -100,6 +104,7 @@ __all__ = [
     "CADTransectGenerator",
     "generate_cad_day",
     "robust_loess",
+    "iter_series_csv",
     "load_series_csv",
     "save_series_csv",
     "SlidingWindowSegmenter",
@@ -108,6 +113,9 @@ __all__ = [
     "segment_series",
     "compression_rate",
     "SegDiffIndex",
+    "LiveIndex",
+    "LiveSnapshot",
+    "LiveTieredIndex",
     "TieredIndex",
     "TransectIndex",
     "CorroboratedEvent",

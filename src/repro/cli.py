@@ -5,6 +5,10 @@ Subcommands:
 * ``generate`` — write synthetic CAD data to CSV;
 * ``smooth``   — apply the paper's robust-smoothing preprocessing;
 * ``build``    — build a persistent SegDiff index (SQLite) from CSV;
+* ``ingest``   — stream CSV into a live, time-partitioned index
+  directory (resumable: replayed observations are skipped);
+* ``compact``  — merge small sealed partitions of a live directory
+  (and optionally run TTL retention);
 * ``search``   — run a drop/jump search against a built index;
 * ``explain``  — show the engine's chosen plan with estimated vs actual
   row counts (EXPLAIN ANALYZE for a search);
@@ -32,15 +36,18 @@ from typing import List, Optional
 
 from . import __version__
 from .core.index import DEFAULT_BATCH_SIZE, SegDiffIndex
+from .core.live import LiveIndex
 from .datagen import (
     CADConfig,
     CADTransectGenerator,
+    iter_series_csv,
     load_series_csv,
     robust_loess,
     save_series_csv,
 )
 from .errors import ReproError
 from .storage import SqliteFeatureStore
+from .storage.partitions import PartitionManifest
 
 HOUR = 3600.0
 
@@ -67,7 +74,6 @@ def cmd_smooth(args: argparse.Namespace) -> int:
 
 
 def cmd_build(args: argparse.Namespace) -> int:
-    series = load_series_csv(args.input)
     window = args.window_hours * HOUR
     if args.resume:
         index = SegDiffIndex.resume(args.index)
@@ -89,35 +95,42 @@ def cmd_build(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         if args.checkpoint_every > 0:
-            for i, (t, v) in enumerate(
-                zip(series.times, series.values), start=1
-            ):
-                index.append(float(t), float(v))
-                if i % args.checkpoint_every == 0:
-                    index.checkpoint()
-        elif args.max_gap is not None:
-            index.ingest_episodes(series, args.max_gap)
+            # iter_series_csv keeps memory bounded: at most one chunk of
+            # the input file is materialized at a time
+            i = 0
+            for ts, vs in iter_series_csv(args.input):
+                for t, v in zip(ts, vs):
+                    index.append(float(t), float(v))
+                    i += 1
+                    if i % args.checkpoint_every == 0:
+                        index.checkpoint()
         else:
-            index.ingest(series)
-    elif args.workers > 1:
-        index.ingest_parallel(
-            series,
-            max_gap=args.max_gap,
-            workers=args.workers,
-            batch_size=args.batch_size or DEFAULT_BATCH_SIZE,
-        )
-    elif args.batch_size == 0:
-        # scalar reference path
-        if args.max_gap is not None:
-            index.ingest_episodes(series, args.max_gap)
-        else:
-            index.ingest(series)
+            series = load_series_csv(args.input)
+            if args.max_gap is not None:
+                index.ingest_episodes(series, args.max_gap)
+            else:
+                index.ingest(series)
     else:
-        index.ingest_episodes_fast(
-            series,
-            max_gap=args.max_gap,
-            batch_size=args.batch_size or DEFAULT_BATCH_SIZE,
-        )
+        series = load_series_csv(args.input)
+        if args.workers > 1:
+            index.ingest_parallel(
+                series,
+                max_gap=args.max_gap,
+                workers=args.workers,
+                batch_size=args.batch_size or DEFAULT_BATCH_SIZE,
+            )
+        elif args.batch_size == 0:
+            # scalar reference path
+            if args.max_gap is not None:
+                index.ingest_episodes(series, args.max_gap)
+            else:
+                index.ingest(series)
+        else:
+            index.ingest_episodes_fast(
+                series,
+                max_gap=args.max_gap,
+                batch_size=args.batch_size or DEFAULT_BATCH_SIZE,
+            )
     index.finalize()
     stats = index.stats()
     print(
@@ -132,6 +145,72 @@ def cmd_build(args: argparse.Namespace) -> int:
 
         n = write_jsonl(args.metrics_out)
         print(f"wrote {n} metric series to {args.metrics_out}")
+    return 0
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """Stream a CSV into a live, time-partitioned index directory."""
+    window = args.window_hours * HOUR
+    live = LiveIndex.open_or_create(
+        args.epsilon,
+        window,
+        args.directory,
+        backend=args.backend,
+        seal_rows=args.seal_rows,
+        seal_age=args.seal_age,
+        ttl=args.ttl,
+        auto_compact=args.auto_compact,
+    )
+    n_before = live.n_observations
+    try:
+        for ts, vs in iter_series_csv(args.input, chunk_size=args.chunk_size):
+            live.append_array(ts, vs)
+        if args.finalize:
+            live.finalize()
+        else:
+            # make everything segmented so far durable; the open
+            # segmenter tail is replayed on the next ingest run
+            live.seal()
+        stats = live.stats()
+        n_new = live.n_observations - n_before
+        print(
+            f"ingested {n_new} new observations into {args.directory} "
+            f"(skipped replays up to watermark): "
+            f"{stats['n_partitions']} sealed partitions, "
+            f"{stats['sealed_rows']} feature rows, "
+            f"generation {stats['generation']}"
+            + (", finalized" if stats["finalized"] else "")
+        )
+    finally:
+        live.close()
+    if args.metrics_out:
+        from .obs import write_jsonl
+
+        n = write_jsonl(args.metrics_out)
+        print(f"wrote {n} metric series to {args.metrics_out}")
+    return 0
+
+
+def cmd_compact(args: argparse.Namespace) -> int:
+    """Merge small sealed partitions; optionally run TTL retention."""
+    live = LiveIndex.open(args.directory)
+    try:
+        merges = live.compact(max_rows=args.max_rows, min_run=args.min_run)
+        dropped: List[str] = []
+        if args.ttl is not None:
+            dropped = live.expire(ttl=args.ttl)
+        stats = live.stats()
+        msg = (
+            f"{args.directory}: {merges} compaction merge(s), "
+            f"{stats['n_partitions']} partitions remain "
+            f"({stats['sealed_rows']} feature rows, "
+            f"generation {stats['generation']})"
+        )
+        if args.ttl is not None:
+            msg += f"; {len(dropped)} partition(s) expired"
+        print(msg)
+    finally:
+        live.close()
     return 0
 
 
@@ -302,7 +381,31 @@ def cmd_stats(args: argparse.Namespace) -> int:
             "error: give an index path and/or --metrics", file=sys.stderr
         )
         return 2
-    if args.index is not None:
+    if args.index is not None and PartitionManifest.exists(args.index):
+        live = LiveIndex.open(args.index)
+        try:
+            s = live.stats()
+            wm = s["watermark"]
+            print(f"live index:  {args.index}")
+            print(f"epsilon:     {s['epsilon']}")
+            print(f"window:      {s['window'] / HOUR:.1f} hours")
+            print(f"generation:  {s['generation']}"
+                  + ("  (finalized)" if s["finalized"] else ""))
+            print(f"watermark:   "
+                  + (f"{wm:.3f}" if wm is not None else "(none)"))
+            print(f"n:           {s['n_observations']} observations, "
+                  f"{s['sealed_segments']} sealed segments")
+            print(f"partitions:  {s['n_partitions']} sealed "
+                  f"({s['sealed_rows']} feature rows), hot: "
+                  f"{s['hot']['rows']} rows / "
+                  f"{s['hot']['n_segments']} segments")
+            for p in s["partitions"]:
+                print(f"  {p['partition_id']}: "
+                      f"t=[{p['t_min']:.3f}, {p['t_max']:.3f})  "
+                      f"{p['rows']} rows, {p['n_segments']} segments")
+        finally:
+            live.close()
+    elif args.index is not None:
         index = SegDiffIndex.open(args.index)
         try:
             stats = index.stats()
@@ -540,6 +643,58 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dump the metrics registry as JSON lines after "
                         "the build")
     p.set_defaults(func=cmd_build)
+
+    p = sub.add_parser(
+        "ingest",
+        help="stream CSV into a live, time-partitioned index directory",
+    )
+    p.add_argument("input")
+    p.add_argument("--directory", required=True,
+                   help="partition directory (created on first run; later "
+                        "runs resume at the watermark and skip replayed "
+                        "observations)")
+    p.add_argument("--epsilon", type=float, default=0.2)
+    p.add_argument("--window-hours", type=float, default=8.0)
+    p.add_argument("--backend", choices=["sqlite", "minidb"],
+                   default="sqlite",
+                   help="sealed-partition store format")
+    p.add_argument("--seal-rows", type=int, default=50_000, metavar="N",
+                   help="seal the hot partition once it holds N feature "
+                        "rows")
+    p.add_argument("--seal-age", type=float, default=None, metavar="SECONDS",
+                   help="also seal once the hot partition spans this much "
+                        "time")
+    p.add_argument("--ttl", type=float, default=None, metavar="SECONDS",
+                   help="retention: drop partitions ending more than TTL "
+                        "seconds before the watermark")
+    p.add_argument("--auto-compact", action="store_true",
+                   help="merge small adjacent partitions after every seal")
+    p.add_argument("--finalize", action="store_true",
+                   help="seal the stream after ingesting (no further "
+                        "appends; the segmenter tail is flushed)")
+    p.add_argument("--chunk-size", type=int, default=65_536, metavar="N",
+                   help="CSV rows per streamed chunk")
+    p.add_argument("--metrics-out", metavar="FILE",
+                   help="dump the metrics registry as JSON lines after "
+                        "the run")
+    p.set_defaults(func=cmd_ingest)
+
+    p = sub.add_parser(
+        "compact",
+        help="merge small sealed partitions of a live index directory",
+    )
+    p.add_argument("directory")
+    p.add_argument("--max-rows", type=int, default=None, metavar="N",
+                   help="partitions at most this large are merge "
+                        "candidates (default: the directory's seal "
+                        "threshold)")
+    p.add_argument("--min-run", type=int, default=2, metavar="K",
+                   help="merge only runs of at least K adjacent small "
+                        "partitions")
+    p.add_argument("--ttl", type=float, default=None, metavar="SECONDS",
+                   help="also drop partitions ending more than TTL "
+                        "seconds before the watermark")
+    p.set_defaults(func=cmd_compact)
 
     p = sub.add_parser("search", help="search a built index")
     p.add_argument("index")

@@ -18,8 +18,9 @@ from .parallelogram import Parallelogram
 from .corners import SlopeCase, classify_case, collect_features, FeatureSet
 from .extraction import FeatureExtractor, ExtractionStats
 from .index import SegDiffIndex, IndexStats
+from .live import LiveIndex, LiveSnapshot
 from .planner import QueryPlanner
-from .tiered import TieredIndex
+from .tiered import TieredIndex, LiveTieredIndex
 from .transect import TransectIndex, CorroboratedEvent
 from .reporting import HitSummary, render_summary, summarize_hits
 from .results import SearchHit, witness_event
@@ -43,8 +44,11 @@ __all__ = [
     "ExtractionStats",
     "SegDiffIndex",
     "IndexStats",
+    "LiveIndex",
+    "LiveSnapshot",
     "QueryPlanner",
     "TieredIndex",
+    "LiveTieredIndex",
     "TransectIndex",
     "CorroboratedEvent",
     "SearchHit",

@@ -254,6 +254,23 @@ class SegDiffIndex:
         index._sealed = True
         return index
 
+    @staticmethod
+    def open_live(directory: str, **kw):
+        """Open (resume) a :class:`~repro.core.live.LiveIndex` partition
+        directory — the streaming counterpart of :meth:`open`.
+
+        Where :meth:`open` loads one sealed index file, ``open_live``
+        loads a time-partitioned directory created by
+        :class:`~repro.core.live.LiveIndex`: sealed partitions plus a
+        generation-stamped manifest, resumable at its watermark and
+        queryable with snapshot isolation while ingest continues.
+        Keyword arguments are the ``LiveIndex.open`` policy knobs
+        (``seal_rows``, ``ttl``, ...).
+        """
+        from .live import LiveIndex
+
+        return LiveIndex.open(directory, **kw)
+
     @classmethod
     def resume(cls, path: str, backend: str = "sqlite") -> "SegDiffIndex":
         """Reopen a mid-stream checkpoint and continue ingesting.

@@ -1,0 +1,1103 @@
+"""The live (streaming) index: time-partitioned storage with snapshot
+isolation, compaction, and retention.
+
+A :class:`LiveIndex` turns the build-once pipeline into a continuously
+ingesting monitor::
+
+    producer --> append()/append_array() --> online segmentation
+                                                  |
+                                         hot partition (memory)
+                                                  |  seal at size/age
+                                         sealed partitions (sqlite/...)
+                                                  |
+    readers  --> snapshot() ------------> pinned, immutable view
+
+Design invariants (docs/streaming.md has the full walkthrough):
+
+* **Batch ≡ live.**  The segmenter and the extractor are *global* —
+  sealing swaps only the feature-write destination, never flushes the
+  open segmenter tail nor resets pairing history.  The feature rows of a
+  fully sealed live index are therefore bit-identical to a batch build
+  over the same points, merely distributed across partition stores; and
+  because the §4.4 answer is a set union with a content-determined sort,
+  the scatter-merged answer equals the single-store answer exactly.
+* **Snapshot isolation.**  :meth:`snapshot` pins the sealed partitions
+  and clones the hot store under the writer mutex; concurrent appends,
+  seals, compactions and TTL expiry never change what an open snapshot
+  returns.  Retired partitions are disposed only when the last pin
+  releases.
+* **Crash safety.**  A seal writes and finalizes the partition file
+  *before* atomically installing the next manifest generation; a crash
+  between the two leaves an orphan file (swept on open) and an intact
+  previous manifest.  Data past the durable watermark is recovered by
+  replaying the producer stream — :meth:`append` skips everything at or
+  before the watermark, the PR 1 resume contract.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..engine.executor import (
+    ExecutionResult,
+    execute_batch_partitioned,
+    execute_partitioned,
+)
+from ..engine.resilience import ResultStatus
+from ..errors import (
+    InvalidParameterError,
+    QueryError,
+    StorageError,
+)
+from ..obs.tracing import span
+from ..segmentation.sliding_window import SlidingWindowSegmenter
+from ..storage.memory_store import MemoryFeatureStore
+from ..storage.partitions import (
+    COMPACTIONS,
+    MANIFEST_NAME,
+    PARTITION_FLUSH_ROWS,
+    PARTITION_SEALS,
+    PARTITIONS_EXPIRED,
+    Partition,
+    PartitionManifest,
+    PartitionSpec,
+    copy_store_into,
+)
+from ..types import DataSegment, SegmentPair
+from .extraction import FeatureExtractor
+from .queries import DropQuery, JumpQuery
+
+__all__ = ["LiveIndex", "LiveSnapshot", "DEFAULT_SEAL_ROWS"]
+
+#: Feature rows in the hot partition that trigger a seal.
+DEFAULT_SEAL_ROWS = 50_000
+
+_MODES = ("auto", "index", "scan", "grid")
+
+_PARTITION_FILE_RE = re.compile(r"^p\d+\.(sqlite|minidb)$")
+
+
+def _batch_feature_bounds(batch) -> Optional[Tuple[float, float]]:
+    """``(min t_d, max t_a)`` over the batch's stored feature rows, or
+    ``None`` when the batch emitted no rows.  Bounds come from the
+    actual rows — a pair whose guard pruned every feature must not
+    widen the partition's pruning interval."""
+    mins: List[float] = []
+    maxs: List[float] = []
+    for table, d_col, a_col in (
+        ("drop_points", 2, 5), ("jump_points", 2, 5),
+        ("drop_lines", 4, 7), ("jump_lines", 4, 7),
+    ):
+        arr = getattr(batch, table)
+        if arr.shape[0]:
+            mins.append(float(arr[:, d_col].min()))
+            maxs.append(float(arr[:, a_col].max()))
+    if not mins:
+        return None
+    return min(mins), max(maxs)
+
+
+class _Hot:
+    """The hot partition: an in-memory store plus write-side bookkeeping."""
+
+    def __init__(self) -> None:
+        self.store = MemoryFeatureStore()
+        self.segments: List[DataSegment] = []
+        self.rows = 0
+        self.fmin: Optional[float] = None
+        self.fmax: Optional[float] = None
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.segments)
+
+    def widen(self, fmin: float, fmax: float) -> None:
+        self.fmin = fmin if self.fmin is None else min(self.fmin, fmin)
+        self.fmax = fmax if self.fmax is None else max(self.fmax, fmax)
+
+
+class _HotWriter:
+    """The extractor's store: forwards feature writes to the *current*
+    hot partition (which changes at every seal) and tracks the row count
+    and feature-time bounds the partition manifest needs."""
+
+    def __init__(self, live: "LiveIndex") -> None:
+        self._live = live
+
+    def add(self, features) -> None:
+        hot = self._live._hot
+        hot.store.add(features)
+        n = features.total_features
+        if n:
+            hot.rows += n
+            pair = features.pair
+            hot.widen(pair.t_d, pair.t_a)
+
+    def add_features_bulk(self, batch) -> None:
+        hot = self._live._hot
+        hot.store.add_features_bulk(batch)
+        hot.rows += batch.total_features
+        bounds = _batch_feature_bounds(batch)
+        if bounds is not None:
+            hot.widen(*bounds)
+
+
+class LiveIndex:
+    """A continuously-ingesting, snapshot-isolated SegDiff index.
+
+    Parameters
+    ----------
+    epsilon, window:
+        The usual SegDiff build parameters (Definition 2 / Algorithm 1).
+    directory:
+        Partition directory.  ``None`` keeps every partition in memory
+        (tests, ephemeral monitors); a path makes seals durable — the
+        manifest and one store file per sealed partition live there.
+    backend:
+        Sealed-partition store format: ``"sqlite"`` (default with a
+        directory) or ``"minidb"``; in-memory when ``directory`` is None.
+    seal_rows:
+        Feature rows in the hot partition that trigger a seal.
+    seal_age:
+        Seal when the hot partition's closed segments span at least this
+        many seconds (checked alongside ``seal_rows``); ``None`` = off.
+    ttl:
+        Retention: partitions whose observation coverage ends more than
+        ``ttl`` seconds before the watermark are dropped (at seal time
+        and via :meth:`expire`); ``None`` keeps everything.
+    auto_compact:
+        Run :meth:`compact` automatically after every seal.
+    compact_rows / compact_min_run:
+        A run of at least ``compact_min_run`` adjacent sealed partitions,
+        each holding at most ``compact_rows`` rows (default
+        ``seal_rows``), is merged into one partition.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        window: float,
+        directory: Optional[str] = None,
+        backend: Optional[str] = None,
+        seal_rows: int = DEFAULT_SEAL_ROWS,
+        seal_age: Optional[float] = None,
+        ttl: Optional[float] = None,
+        auto_compact: bool = False,
+        compact_rows: Optional[int] = None,
+        compact_min_run: int = 2,
+        emit_self_pairs: bool = True,
+        _manifest: Optional[PartitionManifest] = None,
+    ) -> None:
+        if seal_rows < 1:
+            raise InvalidParameterError("seal_rows must be >= 1")
+        if seal_age is not None and seal_age <= 0:
+            raise InvalidParameterError("seal_age must be positive")
+        if ttl is not None and ttl <= 0:
+            raise InvalidParameterError("ttl must be positive")
+        if compact_min_run < 2:
+            raise InvalidParameterError("compact_min_run must be >= 2")
+        if backend is None:
+            backend = "sqlite" if directory is not None else "memory"
+        if directory is not None and backend not in ("sqlite", "minidb"):
+            raise InvalidParameterError(
+                "durable partitions need backend 'sqlite' or 'minidb', "
+                f"got {backend!r}"
+            )
+        if directory is None and backend != "memory":
+            raise InvalidParameterError(
+                f"backend {backend!r} needs a directory"
+            )
+        self.epsilon = float(epsilon)
+        self.window = float(window)
+        self.directory = directory
+        self.backend = backend
+        self.seal_rows = int(seal_rows)
+        self.seal_age = seal_age
+        self.ttl = ttl
+        self.auto_compact = auto_compact
+        self.compact_rows = compact_rows
+        self.compact_min_run = int(compact_min_run)
+
+        self._mu = threading.RLock()
+        self._segmenter = SlidingWindowSegmenter(self.epsilon)
+        self._writer = _HotWriter(self)
+        self._extractor = FeatureExtractor(
+            self.epsilon, self.window, self._writer,
+            emit_self_pairs=emit_self_pairs,
+        )
+        self._hot = _Hot()
+        self._sealed: List[Partition] = []
+        self._n_observations = 0
+        self._n_obs_covered = 0
+        self._resume_t: Optional[float] = None
+        self._finalized = False
+        self._closed = False
+
+        if _manifest is None:
+            if directory is not None:
+                os.makedirs(directory, exist_ok=True)
+                if PartitionManifest.exists(directory):
+                    raise StorageError(
+                        f"{directory} already holds a partition manifest; "
+                        "use LiveIndex.open() to resume it"
+                    )
+            self._manifest = PartitionManifest(
+                epsilon=self.epsilon, window=self.window
+            )
+            if directory is not None:
+                self._manifest.save(directory)
+        else:
+            self._manifest = _manifest
+            self._load_partitions()
+            self._resume_from_manifest()
+
+    # ------------------------------------------------------------------ #
+    # open / resume
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def open(cls, directory: str, **kw) -> "LiveIndex":
+        """Reopen a partition directory and resume at its watermark.
+
+        ``epsilon``/``window`` come from the manifest; policy knobs
+        (``seal_rows``, ``ttl``, ...) may be overridden via ``kw``.
+        Orphan partition files from a crash mid-seal are swept.  The
+        producer should replay its stream from (a little before) the
+        watermark: observations at or before it are skipped.
+        """
+        manifest = PartitionManifest.load(directory)
+        if "backend" not in kw:
+            # future seals keep the format of the existing partitions
+            for f in manifest.listed_files():
+                kw["backend"] = "minidb" if f.endswith(".minidb") else "sqlite"
+                break
+        return cls(
+            manifest.epsilon,
+            manifest.window,
+            directory=directory,
+            _manifest=manifest,
+            **kw,
+        )
+
+    @classmethod
+    def open_or_create(
+        cls, epsilon: float, window: float, directory: str, **kw
+    ) -> "LiveIndex":
+        """Open ``directory`` if it holds a manifest, else create one."""
+        if PartitionManifest.exists(directory):
+            live = cls.open(directory, **kw)
+            if live.epsilon != float(epsilon) or live.window != float(window):
+                live.close()
+                raise StorageError(
+                    f"{directory} was built with epsilon={live.epsilon} "
+                    f"window={live.window}; asked for {epsilon}/{window}"
+                )
+            return live
+        return cls(epsilon, window, directory=directory, **kw)
+
+    def _load_partitions(self) -> None:
+        """Open every manifest-listed partition store; sweep orphans."""
+        from .index import SegDiffIndex  # late: avoids an import cycle
+
+        assert self.directory is not None
+        referenced = set(self._manifest.listed_files())
+        for fname in os.listdir(self.directory):
+            if fname == MANIFEST_NAME:
+                continue
+            is_orphan_partition = (
+                _PARTITION_FILE_RE.match(fname) and fname not in referenced
+            )
+            if is_orphan_partition or fname == MANIFEST_NAME + ".tmp":
+                # a crash mid-seal/compact left the file unreferenced —
+                # its data is past the watermark and will be replayed
+                os.remove(os.path.join(self.directory, fname))
+        for spec in self._manifest.partitions:
+            if spec.file is None:
+                raise StorageError(
+                    f"manifest partition {spec.partition_id} has no file"
+                )
+            path = os.path.join(self.directory, spec.file)
+            store = SegDiffIndex._open_store(path)
+            self._sealed.append(
+                Partition(spec, store, path=path, counted=True)
+            )
+
+    def _resume_from_manifest(self) -> None:
+        """Re-prime segmenter/extractor state at the durable watermark."""
+        self._n_observations = self._manifest.n_observations
+        self._n_obs_covered = self._manifest.n_observations
+        self._finalized = self._manifest.finalized
+        if self._manifest.watermark is None or self._finalized:
+            self._resume_t = self._manifest.watermark
+            return
+        # gather enough trailing segments (newest partitions first) to
+        # cover the pairing window, then keep the contiguous suffix — the
+        # same episode logic as SegDiffIndex.resume()
+        segments: List[DataSegment] = []
+        for part in reversed(self._sealed):
+            segments = part.store.load_segments() + segments
+            if (
+                segments
+                and segments[0].t_end <= segments[-1].t_end - self.window
+            ):
+                break
+        if not segments:
+            self._resume_t = self._manifest.watermark
+            return
+        last = segments[-1]
+        horizon = last.t_end - self.window
+        recent: List[DataSegment] = []
+        for seg in reversed(segments):
+            if seg.t_end <= horizon:
+                break
+            if recent and (
+                seg.t_end != recent[-1].t_start
+                or seg.v_end != recent[-1].v_start
+            ):
+                break
+            recent.append(seg)
+        self._extractor.prime_history(reversed(recent))
+        self._segmenter.push(last.t_end, last.v_end)
+        self._resume_t = last.t_end
+
+    # ------------------------------------------------------------------ #
+    # ingest
+    # ------------------------------------------------------------------ #
+
+    def append(self, t: float, v: float) -> None:
+        """Stream one observation in (replays at or before the watermark
+        are skipped — safe to re-feed after a crash)."""
+        with self._mu:
+            self._check_writable()
+            if self._resume_t is not None and t <= self._resume_t:
+                return
+            self._n_observations += 1
+            closed = self._segmenter.push(t, v)
+            if closed:
+                self._register_segments(closed)
+                self._n_obs_covered = self._n_observations - 1
+                self._maybe_roll()
+
+    def append_array(
+        self, ts, vs, batch_size: int = 65_536
+    ) -> None:
+        """Vectorized :meth:`append` over time/value arrays (gap-free)."""
+        if batch_size < 1:
+            raise InvalidParameterError("batch_size must be >= 1")
+        ts = np.ascontiguousarray(ts, dtype=float)
+        vs = np.ascontiguousarray(vs, dtype=float)
+        with self._mu:
+            self._check_writable()
+            if self._resume_t is not None:
+                start = int(np.searchsorted(ts, self._resume_t, side="right"))
+                ts, vs = ts[start:], vs[start:]
+            for i in range(0, ts.shape[0], batch_size):
+                chunk_t = ts[i : i + batch_size]
+                chunk_v = vs[i : i + batch_size]
+                n_before = self._n_observations
+                segments = self._segmenter.push_batch(chunk_t, chunk_v)
+                self._n_observations += chunk_t.shape[0]
+                if segments:
+                    self._register_segments(segments)
+                    self._n_obs_covered = (
+                        n_before + self._segmenter.last_close_offset
+                    )
+                    self._maybe_roll()
+
+    def mark_gap(self) -> None:
+        """Start a new episode: flush the open segment, clear pairing
+        history, so no future result spans the outage."""
+        with self._mu:
+            self._check_writable()
+            tail = self._segmenter.finish()
+            if tail:
+                self._register_segments(tail)
+            self._n_obs_covered = self._n_observations
+            self._extractor.reset_history()
+            self._maybe_roll()
+
+    def _register_segments(self, segments: Sequence[DataSegment]) -> None:
+        hot = self._hot
+        hot.segments.extend(segments)
+        hot.store.add_segments_bulk(list(segments))
+        self._extractor.add_segments_batch(list(segments))
+
+    def _check_writable(self) -> None:
+        if self._closed:
+            raise StorageError("live index is closed")
+        if self._finalized:
+            raise StorageError(
+                "live index is finalized; open a new directory to extend"
+            )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle: seal / compact / expire / finalize
+    # ------------------------------------------------------------------ #
+
+    def _maybe_roll(self) -> None:
+        hot = self._hot
+        if hot.n_segments == 0:
+            return
+        due = hot.rows >= self.seal_rows
+        if not due and self.seal_age is not None:
+            due = (
+                hot.segments[-1].t_end - hot.segments[0].t_start
+                >= self.seal_age
+            )
+        if due:
+            self._seal_locked()
+            if self.ttl is not None:
+                self._expire_locked(self.ttl)
+            if self.auto_compact:
+                self._compact_locked()
+
+    def seal(self) -> Optional[Partition]:
+        """Seal the hot partition now (no-op when it has no closed
+        segments).  The open segmenter tail stays pending — sealing
+        never changes what a future finalize would produce."""
+        with self._mu:
+            if self._closed:
+                raise StorageError("live index is closed")
+            return self._seal_locked()
+
+    def _sealed_store_for(self, fname: Optional[str]):
+        if self.directory is None:
+            return MemoryFeatureStore(), None
+        path = os.path.join(self.directory, fname)
+        if self.backend == "minidb":
+            from ..storage.minidb import MiniDbFeatureStore
+
+            return MiniDbFeatureStore(path), path
+        from ..storage.sqlite_store import SqliteFeatureStore
+
+        return SqliteFeatureStore(path), path
+
+    def _seal_locked(self) -> Optional[Partition]:
+        hot = self._hot
+        if hot.n_segments == 0:
+            return None
+        part_id = f"p{self._manifest.next_seq:06d}"
+        watermark = hot.segments[-1].t_end
+        with span("partition.seal") as sp:
+            sp.set_attribute("partition", part_id)
+            sp.set_attribute("rows", hot.rows)
+            hot.store.finalize()
+            fname = (
+                f"{part_id}.{'minidb' if self.backend == 'minidb' else 'sqlite'}"
+                if self.directory is not None else None
+            )
+            store, path = self._sealed_store_for(fname)
+            try:
+                rows = copy_store_into([hot.store], store)
+                store.set_meta("epsilon", self.epsilon)
+                store.set_meta("window", self.window)
+                store.set_meta("sealed", 1.0)
+                spec = PartitionSpec(
+                    partition_id=part_id,
+                    t_min=hot.segments[0].t_start,
+                    t_max=watermark,
+                    feature_t_min=(
+                        hot.fmin if hot.fmin is not None
+                        else hot.segments[0].t_start
+                    ),
+                    feature_t_max=(
+                        hot.fmax if hot.fmax is not None else watermark
+                    ),
+                    rows=rows,
+                    n_segments=hot.n_segments,
+                    file=fname,
+                )
+                # the store file is complete and durable BEFORE the
+                # manifest points at it; a crash in between leaves an
+                # orphan file and the previous generation
+                manifest = self._manifest.with_sealed(
+                    spec, watermark, self._n_obs_covered
+                )
+                if self.directory is not None:
+                    manifest.save(self.directory)
+            except BaseException:
+                store.close()
+                if path is not None and os.path.exists(path):
+                    os.remove(path)
+                raise
+            self._manifest = manifest
+            part = Partition(spec, store, path=path, counted=True)
+            self._sealed.append(part)
+            hot_had_rows = hot.rows
+            self._hot = _Hot()
+            PARTITION_SEALS.inc()
+            PARTITION_FLUSH_ROWS.observe(hot_had_rows)
+        hot.store.close()
+        return part
+
+    def compact(
+        self,
+        max_rows: Optional[int] = None,
+        min_run: Optional[int] = None,
+    ) -> int:
+        """Merge adjacent runs of small sealed partitions (lossless —
+        features are already extracted, so a merge is a time-ordered row
+        concatenation).  Returns the number of merges performed."""
+        with self._mu:
+            if self._closed:
+                raise StorageError("live index is closed")
+            return self._compact_locked(max_rows, min_run)
+
+    def _small_runs(self, max_rows: int, min_run: int) -> List[List[int]]:
+        runs: List[List[int]] = []
+        current: List[int] = []
+        for i, part in enumerate(self._sealed):
+            if part.spec.rows <= max_rows:
+                current.append(i)
+            else:
+                if len(current) >= min_run:
+                    runs.append(current)
+                current = []
+        if len(current) >= min_run:
+            runs.append(current)
+        return runs
+
+    def _compact_locked(
+        self,
+        max_rows: Optional[int] = None,
+        min_run: Optional[int] = None,
+    ) -> int:
+        if max_rows is None:
+            max_rows = (
+                self.compact_rows if self.compact_rows is not None
+                else self.seal_rows
+            )
+        if min_run is None:
+            min_run = self.compact_min_run
+        if min_run < 2:
+            raise InvalidParameterError("min_run must be >= 2")
+        merges = 0
+        # re-scan after every merge: indices shift as runs collapse
+        while True:
+            runs = self._small_runs(max_rows, min_run)
+            if not runs:
+                return merges
+            self._merge_run(runs[0])
+            merges += 1
+
+    def _merge_run(self, idxs: List[int]) -> None:
+        run = [self._sealed[i] for i in idxs]
+        part_id = f"p{self._manifest.next_seq:06d}"
+        with span("partition.compact") as sp:
+            sp.set_attribute("partition", part_id)
+            sp.set_attribute("merged", len(run))
+            fname = (
+                f"{part_id}.{'minidb' if self.backend == 'minidb' else 'sqlite'}"
+                if self.directory is not None else None
+            )
+            store, path = self._sealed_store_for(fname)
+            try:
+                rows = copy_store_into([p.store for p in run], store)
+                store.set_meta("epsilon", self.epsilon)
+                store.set_meta("window", self.window)
+                store.set_meta("sealed", 1.0)
+                spec = PartitionSpec(
+                    partition_id=part_id,
+                    t_min=run[0].spec.t_min,
+                    t_max=run[-1].spec.t_max,
+                    feature_t_min=min(p.spec.feature_t_min for p in run),
+                    feature_t_max=max(p.spec.feature_t_max for p in run),
+                    rows=rows,
+                    n_segments=sum(p.spec.n_segments for p in run),
+                    file=fname,
+                )
+                manifest = self._manifest.with_replaced(
+                    [p.partition_id for p in run], spec
+                )
+                if self.directory is not None:
+                    manifest.save(self.directory)
+            except BaseException:
+                store.close()
+                if path is not None and os.path.exists(path):
+                    os.remove(path)
+                raise
+            self._manifest = manifest
+            merged = Partition(spec, store, path=path, counted=True)
+            lo = idxs[0]
+            self._sealed = (
+                self._sealed[:lo]
+                + [merged]
+                + self._sealed[lo + len(idxs):]
+            )
+            # retired partitions stay alive for pinned readers; their
+            # cached sessions (and cost-model samples) are dropped now
+            for old in run:
+                old.retire()
+            COMPACTIONS.inc()
+
+    def expire(self, ttl: Optional[float] = None) -> List[str]:
+        """Drop partitions fully expired under ``ttl`` (defaults to the
+        configured retention).  Pinned readers keep their view; the
+        stores are disposed when the last snapshot releases them.
+        Returns the dropped partition ids."""
+        with self._mu:
+            if self._closed:
+                raise StorageError("live index is closed")
+            if ttl is None:
+                ttl = self.ttl
+            if ttl is None:
+                raise InvalidParameterError(
+                    "no ttl configured and none given"
+                )
+            return self._expire_locked(ttl)
+
+    def _expire_locked(self, ttl: float) -> List[str]:
+        wm = self.watermark
+        if wm is None:
+            return []
+        cutoff = wm - ttl
+        victims = [p for p in self._sealed if p.spec.t_max <= cutoff]
+        if not victims:
+            return []
+        with span("partition.expire") as sp:
+            ids = [p.partition_id for p in victims]
+            sp.set_attribute("partitions", len(ids))
+            manifest = self._manifest.with_dropped(ids)
+            if self.directory is not None:
+                manifest.save(self.directory)
+            self._manifest = manifest
+            keep = set(ids)
+            self._sealed = [
+                p for p in self._sealed if p.partition_id not in keep
+            ]
+            for p in victims:
+                p.retire()
+            PARTITIONS_EXPIRED.inc(len(victims))
+        return ids
+
+    def finalize(self) -> None:
+        """Seal the stream: flush the segmenter tail, seal the hot
+        partition, and mark the manifest finalized."""
+        with self._mu:
+            if self._closed:
+                raise StorageError("live index is closed")
+            if self._finalized:
+                return
+            tail = self._segmenter.finish()
+            if tail:
+                self._register_segments(tail)
+            self._n_obs_covered = self._n_observations
+            self._seal_locked()
+            manifest = self._manifest.with_finalized()
+            if self.directory is not None:
+                manifest.save(self.directory)
+            self._manifest = manifest
+            self._finalized = True
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> "LiveSnapshot":
+        """An isolated, immutable view of everything ingested so far.
+
+        Sealed partitions are pinned (concurrent compaction/expiry defer
+        disposal); the hot partition is cloned into a frozen store under
+        the writer mutex.  The snapshot answers queries identically no
+        matter what the writer does afterwards.  Close it (or use it as
+        a context manager) to release the pins.
+        """
+        with self._mu:
+            if self._closed:
+                raise StorageError("live index is closed")
+            parts = [p.pin() for p in self._sealed]
+            hot_part: Optional[Partition] = None
+            hot = self._hot
+            if hot.rows > 0:
+                hot.store.finalize()
+                clone = MemoryFeatureStore()
+                copy_store_into([hot.store], clone)
+                spec = PartitionSpec(
+                    partition_id="hot",
+                    t_min=hot.segments[0].t_start,
+                    t_max=hot.segments[-1].t_end,
+                    feature_t_min=(
+                        hot.fmin if hot.fmin is not None
+                        else hot.segments[0].t_start
+                    ),
+                    feature_t_max=(
+                        hot.fmax if hot.fmax is not None
+                        else hot.segments[-1].t_end
+                    ),
+                    rows=hot.rows,
+                    n_segments=hot.n_segments,
+                )
+                hot_part = Partition(spec, clone)
+            return LiveSnapshot(
+                epsilon=self.epsilon,
+                window=self.window,
+                partitions=parts,
+                hot=hot_part,
+                generation=self._manifest.generation,
+                watermark=self.watermark,
+                n_observations=self._n_observations,
+            )
+
+    def search_drops(
+        self, t_threshold: float, v_threshold: float, mode: str = "index",
+        **kw,
+    ) -> List[SegmentPair]:
+        """Live drop search over an ephemeral snapshot (accepts the
+        :meth:`LiveSnapshot.search` keywords, e.g. ``t_range``)."""
+        with self.snapshot() as snap:
+            return snap.search_drops(t_threshold, v_threshold, mode=mode, **kw)
+
+    def search_jumps(
+        self, t_threshold: float, v_threshold: float, mode: str = "index",
+        **kw,
+    ) -> List[SegmentPair]:
+        with self.snapshot() as snap:
+            return snap.search_jumps(t_threshold, v_threshold, mode=mode, **kw)
+
+    def search_batch(self, queries, mode: str = "auto", **kw):
+        with self.snapshot() as snap:
+            return snap.search_batch(queries, mode=mode, **kw)
+
+    def explain(
+        self, kind: str, t_threshold: float, v_threshold: float, **kw
+    ) -> dict:
+        """Partition-aware EXPLAIN: how many partitions the query would
+        scan vs prune, with merged per-operator row counts."""
+        with self.snapshot() as snap:
+            return snap.explain(kind, t_threshold, v_threshold, **kw)
+
+    # ------------------------------------------------------------------ #
+    # introspection / lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def watermark(self) -> Optional[float]:
+        """End of the last closed segment (durable once sealed)."""
+        if self._hot.segments:
+            return self._hot.segments[-1].t_end
+        if self._sealed:
+            return self._sealed[-1].spec.t_max
+        return self._manifest.watermark
+
+    @property
+    def n_observations(self) -> int:
+        return self._n_observations
+
+    @property
+    def generation(self) -> int:
+        return self._manifest.generation
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    @property
+    def partitions(self) -> List[PartitionSpec]:
+        """Specs of the sealed partitions, oldest first (copy)."""
+        with self._mu:
+            return [p.spec for p in self._sealed]
+
+    def stats(self) -> Dict:
+        """A JSON-able summary (the CLI's ``stats`` partition section)."""
+        with self._mu:
+            sealed = [p.spec.to_json() for p in self._sealed]
+            hot = self._hot
+            return {
+                "epsilon": self.epsilon,
+                "window": self.window,
+                "backend": self.backend,
+                "generation": self._manifest.generation,
+                "finalized": self._finalized,
+                "watermark": self.watermark,
+                "n_observations": self._n_observations,
+                "partitions": sealed,
+                "n_partitions": len(sealed),
+                "sealed_rows": sum(p.spec.rows for p in self._sealed),
+                "sealed_segments": sum(
+                    p.spec.n_segments for p in self._sealed
+                ),
+                "hot": {
+                    "rows": hot.rows,
+                    "n_segments": hot.n_segments,
+                    "t_min": (
+                        hot.segments[0].t_start if hot.segments else None
+                    ),
+                    "t_max": (
+                        hot.segments[-1].t_end if hot.segments else None
+                    ),
+                },
+            }
+
+    def close(self) -> None:
+        with self._mu:
+            if self._closed:
+                return
+            self._closed = True
+            for p in self._sealed:
+                p.close()
+            self._sealed = []
+            self._hot.store.close()
+
+    def __enter__(self) -> "LiveIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class LiveSnapshot:
+    """A pinned, immutable view of a :class:`LiveIndex`.
+
+    Queries scatter across the pinned partitions (skipping those whose
+    feature-time bounds miss the ``t_range``), merge with the standard
+    §4.4 union/dedup ordering, and are unaffected by concurrent writer
+    activity.  Thread-safe: the underlying stores are frozen and every
+    partition's reads are lock-protected when its backend needs it.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        window: float,
+        partitions: List[Partition],
+        hot: Optional[Partition],
+        generation: int,
+        watermark: Optional[float],
+        n_observations: int,
+    ) -> None:
+        self.epsilon = epsilon
+        self.window = window
+        self.generation = generation
+        self.watermark = watermark
+        #: Observations the writer had ingested when this snapshot froze.
+        self.n_observations = n_observations
+        self._parts = partitions
+        self._hot = hot
+        self._closed = False
+
+    # -------------------------------------------------------------- #
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self._parts) + (1 if self._hot is not None else 0)
+
+    def _all_partitions(self) -> List[Partition]:
+        parts = list(self._parts)
+        if self._hot is not None:
+            parts.append(self._hot)
+        return parts
+
+    def _check(self, t_threshold: float, mode: str) -> None:
+        if self._closed:
+            raise StorageError("snapshot is closed")
+        if mode not in _MODES:
+            raise InvalidParameterError(
+                f"mode must be one of {_MODES}, got {mode!r}"
+            )
+        if t_threshold > self.window:
+            raise QueryError(
+                f"T={t_threshold} exceeds the index window w={self.window}"
+            )
+
+    def _make_plan(self, query, mode: str, t_range):
+        from ..engine.plan import build_plan
+
+        if mode == "auto":
+            return lambda part: part.session().plan(
+                query, mode="auto", t_range=t_range
+            )
+        return lambda part: build_plan(
+            query, point_access=mode, t_range=t_range
+        )
+
+    def _query(self, kind: str, t_threshold: float, v_threshold: float):
+        if kind not in ("drop", "jump"):
+            raise InvalidParameterError(f"unknown search kind {kind!r}")
+        return (
+            DropQuery(t_threshold, v_threshold) if kind == "drop"
+            else JumpQuery(t_threshold, v_threshold)
+        )
+
+    # -------------------------------------------------------------- #
+    # search
+    # -------------------------------------------------------------- #
+
+    def search(
+        self,
+        query,
+        mode: str = "auto",
+        cache: str = "warm",
+        t_range: Optional[Tuple[float, float]] = None,
+        data=None,
+        verified_only: bool = False,
+    ):
+        """Scatter one query across the snapshot's partitions and merge.
+
+        With ``data``, the merged candidates are witness-refined once
+        (:class:`~repro.core.results.SearchHit` list); otherwise the
+        distinct :class:`~repro.types.SegmentPair` list, identical to a
+        batch-built index over the same points.
+        """
+        result = self.execute(
+            query, mode=mode, cache=cache, t_range=t_range,
+            data=data, verified_only=verified_only,
+        )
+        return result.hits if data is not None else result.pairs
+
+    def execute(
+        self,
+        query,
+        mode: str = "auto",
+        cache: str = "warm",
+        t_range: Optional[Tuple[float, float]] = None,
+        data=None,
+        verified_only: bool = False,
+        pushdown: bool = True,
+    ) -> ExecutionResult:
+        """:meth:`search` returning the full :class:`ExecutionResult`
+        (merged operator stats, partitions scanned/pruned)."""
+        self._check(query.t_threshold, mode)
+        return execute_partitioned(
+            query,
+            self._make_plan(query, mode, t_range),
+            self._all_partitions(),
+            t_range=t_range,
+            cache=cache,
+            data=data,
+            verified_only=verified_only,
+            pushdown=pushdown,
+        )
+
+    def search_drops(
+        self, t_threshold: float, v_threshold: float, mode: str = "index",
+        **kw,
+    ) -> List[SegmentPair]:
+        return self.search(
+            DropQuery(t_threshold, v_threshold), mode=mode, **kw
+        )
+
+    def search_jumps(
+        self, t_threshold: float, v_threshold: float, mode: str = "index",
+        **kw,
+    ) -> List[SegmentPair]:
+        return self.search(
+            JumpQuery(t_threshold, v_threshold), mode=mode, **kw
+        )
+
+    def search_batch(
+        self,
+        queries: Sequence,
+        mode: str = "auto",
+        cache: str = "warm",
+        t_range: Optional[Tuple[float, float]] = None,
+    ) -> List[List[SegmentPair]]:
+        """A whole (T, V) grid, scatter-merged across partitions with
+        one shared candidate fetch per (partition, kind).  Raises the
+        first store failure (matching ``QuerySession.search_batch``)."""
+        outcomes = self.search_batch_results(
+            queries, mode=mode, cache=cache, t_range=t_range
+        )
+        for out in outcomes:
+            if out.status is ResultStatus.FAILED and out.error is not None:
+                raise out.error
+        return [out.pairs for out in outcomes]
+
+    def search_batch_results(
+        self,
+        queries: Sequence,
+        mode: str = "auto",
+        cache: str = "warm",
+        t_range: Optional[Tuple[float, float]] = None,
+    ) -> List[ExecutionResult]:
+        if mode == "grid":
+            raise InvalidParameterError(
+                "batched execution supports 'auto', 'index' and 'scan'"
+            )
+        for q in queries:
+            self._check(q.t_threshold, mode)
+        if not queries:
+            return []
+
+        def make_plans(part):
+            if mode == "auto":
+                session = part.session()
+                return [
+                    session.plan(q, mode="auto", t_range=t_range)
+                    for q in queries
+                ]
+            from ..engine.plan import build_plan
+
+            return [
+                build_plan(q, point_access=mode, t_range=t_range)
+                for q in queries
+            ]
+
+        return execute_batch_partitioned(
+            make_plans,
+            self._all_partitions(),
+            n_queries=len(queries),
+            t_range=t_range,
+            cache=cache,
+        )
+
+    def explain(
+        self,
+        kind: str,
+        t_threshold: float,
+        v_threshold: float,
+        mode: str = "auto",
+        t_range: Optional[Tuple[float, float]] = None,
+        cache: str = "warm",
+    ) -> dict:
+        """Partition-aware EXPLAIN: runs the query (pushdown off, so
+        fetched counts are true candidate sizes) and reports the pruning
+        decision alongside merged operator statistics."""
+        query = self._query(kind, t_threshold, v_threshold)
+        result = self.execute(
+            query, mode=mode, cache=cache, t_range=t_range, pushdown=False
+        )
+        return {
+            "query": query,
+            "t_range": t_range,
+            "generation": self.generation,
+            "watermark": self.watermark,
+            "partitions_total": self.n_partitions,
+            "partitions_scanned": result.partitions_scanned,
+            "partitions_pruned": result.partitions_pruned,
+            "n_pairs": len(result.pairs),
+            "operators": [
+                {
+                    "operator": s.operator,
+                    "table": s.table,
+                    "access": s.access,
+                    "rows_fetched": s.rows_fetched,
+                    "rows_matched": s.rows_matched,
+                }
+                for s in result.op_stats
+            ],
+        }
+
+    # -------------------------------------------------------------- #
+    # lifecycle
+    # -------------------------------------------------------------- #
+
+    def close(self) -> None:
+        """Release the partition pins (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for p in self._parts:
+            p.release()
+        if self._hot is not None:
+            self._hot.close()
+
+    def __enter__(self) -> "LiveSnapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -17,6 +17,7 @@ caller's explicit choice.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence
 
 from ..datagen.series import TimeSeries
@@ -24,7 +25,7 @@ from ..errors import InvalidParameterError
 from ..types import SegmentPair
 from .index import SegDiffIndex
 
-__all__ = ["TieredIndex"]
+__all__ = ["TieredIndex", "LiveTieredIndex"]
 
 
 class TieredIndex:
@@ -184,6 +185,145 @@ class TieredIndex:
         self._tiers = {}
 
     def __enter__(self) -> "TieredIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class LiveTieredIndex:
+    """A ladder of :class:`~repro.core.live.LiveIndex` tiers.
+
+    Every appended observation feeds every tier; queries route exactly
+    like :class:`TieredIndex` but answer from each tier's partitioned
+    live storage (so they see data up to the last closed segment, with
+    snapshot isolation).  With a ``directory``, each tier seals into its
+    own ``tier-{eps:g}/`` subdirectory and the whole ladder resumes from
+    the *minimum* tier watermark — replay is idempotent per tier.
+    """
+
+    def __init__(
+        self,
+        epsilons: Sequence[float],
+        window: float,
+        directory: Optional[str] = None,
+        **live_kw,
+    ) -> None:
+        from .live import LiveIndex  # late: core.live imports the engine
+
+        eps = sorted(set(float(e) for e in epsilons))
+        if not eps:
+            raise InvalidParameterError("need at least one tolerance tier")
+        if eps[0] < 0:
+            raise InvalidParameterError("tolerances must be >= 0")
+        self.epsilons = eps
+        self.window = float(window)
+        self.directory = directory
+        self._tiers: Dict[float, "LiveIndex"] = {}
+        for e in eps:
+            tier_dir = self._tier_dir(e)
+            if tier_dir is not None:
+                self._tiers[e] = LiveIndex.open_or_create(
+                    e, self.window, tier_dir, **live_kw
+                )
+            else:
+                self._tiers[e] = LiveIndex(e, self.window, **live_kw)
+
+    def _tier_dir(self, epsilon: float) -> Optional[str]:
+        if self.directory is None:
+            return None
+        return os.path.join(self.directory, f"tier-{epsilon:g}")
+
+    # ------------------------------------------------------------------ #
+    # ingest (fans out to every tier)
+    # ------------------------------------------------------------------ #
+
+    def append(self, t: float, v: float) -> None:
+        for tier in self._tiers.values():
+            tier.append(t, v)
+
+    def append_array(self, ts, vs, **kw) -> None:
+        for tier in self._tiers.values():
+            tier.append_array(ts, vs, **kw)
+
+    def mark_gap(self) -> None:
+        for tier in self._tiers.values():
+            tier.mark_gap()
+
+    def seal(self) -> None:
+        for tier in self._tiers.values():
+            tier.seal()
+
+    def finalize(self) -> None:
+        for tier in self._tiers.values():
+            tier.finalize()
+
+    @property
+    def watermark(self) -> Optional[float]:
+        """The replay point: the minimum tier watermark (a producer
+        resuming here is at-or-before every tier's skip horizon)."""
+        marks = [t.watermark for t in self._tiers.values()]
+        if any(m is None for m in marks):
+            return None
+        return min(marks)
+
+    # ------------------------------------------------------------------ #
+    # routing + search (TieredIndex semantics, live answers)
+    # ------------------------------------------------------------------ #
+
+    def choose_tier(self, max_tolerance: Optional[float]) -> float:
+        return TieredIndex.choose_tier(self, max_tolerance)
+
+    def tier(self, epsilon: float):
+        if epsilon not in self._tiers:
+            raise InvalidParameterError(
+                f"no tier at epsilon={epsilon}; tiers: {self.epsilons}"
+            )
+        return self._tiers[epsilon]
+
+    def search_drops(
+        self,
+        t_threshold: float,
+        v_threshold: float,
+        max_tolerance: Optional[float] = None,
+        mode: str = "index",
+        **kw,
+    ) -> List[SegmentPair]:
+        eps = self.choose_tier(max_tolerance)
+        return self._tiers[eps].search_drops(
+            t_threshold, v_threshold, mode=mode, **kw
+        )
+
+    def search_jumps(
+        self,
+        t_threshold: float,
+        v_threshold: float,
+        max_tolerance: Optional[float] = None,
+        mode: str = "index",
+        **kw,
+    ) -> List[SegmentPair]:
+        eps = self.choose_tier(max_tolerance)
+        return self._tiers[eps].search_jumps(
+            t_threshold, v_threshold, mode=mode, **kw
+        )
+
+    def snapshot(self, max_tolerance: Optional[float] = None):
+        """A pinned snapshot of the routed tier."""
+        return self._tiers[self.choose_tier(max_tolerance)].snapshot()
+
+    # ------------------------------------------------------------------ #
+    # introspection / lifecycle
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> Dict[float, dict]:
+        return {eps: tier.stats() for eps, tier in self._tiers.items()}
+
+    def close(self) -> None:
+        for tier in self._tiers.values():
+            tier.close()
+        self._tiers = {}
+
+    def __enter__(self) -> "LiveTieredIndex":
         return self
 
     def __exit__(self, *exc_info) -> None:

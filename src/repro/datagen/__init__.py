@@ -11,7 +11,7 @@ from .model import PiecewiseLinearSignal
 from .synthetic import random_walk_series, sinusoid_series, piecewise_series
 from .cad import CADConfig, CADTransectGenerator, generate_cad_day
 from .smoothing import robust_loess, moving_average
-from .io import load_series_csv, save_series_csv
+from .io import iter_series_csv, load_series_csv, save_series_csv
 
 __all__ = [
     "TimeSeries",
@@ -24,6 +24,7 @@ __all__ = [
     "generate_cad_day",
     "robust_loess",
     "moving_average",
+    "iter_series_csv",
     "load_series_csv",
     "save_series_csv",
 ]

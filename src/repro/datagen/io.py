@@ -10,14 +10,19 @@ from __future__ import annotations
 import csv
 import math
 import os
-from typing import Union
+from typing import Iterator, Tuple, Union
+
+import numpy as np
 
 from ..errors import InvalidSeriesError
 from .series import TimeSeries
 
-__all__ = ["load_series_csv", "save_series_csv"]
+__all__ = ["iter_series_csv", "load_series_csv", "save_series_csv"]
 
 PathLike = Union[str, "os.PathLike[str]"]
+
+#: Rows per chunk yielded by :func:`iter_series_csv`.
+DEFAULT_CHUNK_SIZE = 65_536
 
 
 def save_series_csv(series: TimeSeries, path: PathLike) -> None:
@@ -29,17 +34,23 @@ def save_series_csv(series: TimeSeries, path: PathLike) -> None:
             writer.writerow([repr(float(t)), repr(float(v))])
 
 
-def load_series_csv(path: PathLike, name: str = "") -> TimeSeries:
-    """Read a series written by :func:`save_series_csv`.
+def iter_series_csv(
+    path: PathLike, chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Stream a ``t,v`` CSV as ``(times, values)`` float-array chunks.
 
-    The header row is required; rows must contain exactly two finite
-    numeric fields with strictly increasing timestamps.  Structural
-    problems raise :class:`InvalidSeriesError` with the offending line
-    number — NaN/±inf values and out-of-order timestamps are rejected
-    here, at the boundary, rather than deep inside the pipeline.
+    The memory-bounded counterpart of :func:`load_series_csv`: the same
+    structural validation (required header, exactly two finite numeric
+    fields per row, strictly increasing timestamps — enforced *across*
+    chunk boundaries too) with :class:`InvalidSeriesError` carrying the
+    offending line number, but at most ``chunk_size`` rows held at once.
+    This is how ``repro build`` and ``repro ingest`` feed arbitrarily
+    large files through the streaming pipeline.
     """
-    times = []
-    values = []
+    if chunk_size < 1:
+        raise InvalidSeriesError(
+            f"chunk_size must be >= 1, got {chunk_size}"
+        )
     with open(path, newline="") as fh:
         reader = csv.reader(fh)
         header = next(reader, None)
@@ -47,6 +58,10 @@ def load_series_csv(path: PathLike, name: str = "") -> TimeSeries:
             raise InvalidSeriesError(
                 f"{path}: expected header 't,v', got {header!r}"
             )
+        times: list = []
+        values: list = []
+        last_t: float = -math.inf
+        have_any = False
         for lineno, row in enumerate(reader, start=2):
             if not row:
                 continue
@@ -65,13 +80,42 @@ def load_series_csv(path: PathLike, name: str = "") -> TimeSeries:
                 raise InvalidSeriesError(
                     f"{path}:{lineno}: non-finite value: {row!r}"
                 )
-            if times and t <= times[-1]:
+            if have_any and t <= last_t:
                 raise InvalidSeriesError(
                     f"{path}:{lineno}: timestamp {t!r} does not increase "
-                    f"(previous {times[-1]!r})"
+                    f"(previous {last_t!r})"
                 )
+            last_t = t
+            have_any = True
             times.append(t)
             values.append(v)
-    if not times:
-        raise InvalidSeriesError(f"{path}: no observations")
+            if len(times) >= chunk_size:
+                yield (
+                    np.asarray(times, dtype=float),
+                    np.asarray(values, dtype=float),
+                )
+                times, values = [], []
+        if times:
+            yield (
+                np.asarray(times, dtype=float),
+                np.asarray(values, dtype=float),
+            )
+        if not have_any:
+            raise InvalidSeriesError(f"{path}: no observations")
+
+
+def load_series_csv(path: PathLike, name: str = "") -> TimeSeries:
+    """Read a series written by :func:`save_series_csv`.
+
+    The header row is required; rows must contain exactly two finite
+    numeric fields with strictly increasing timestamps.  Structural
+    problems raise :class:`InvalidSeriesError` with the offending line
+    number — NaN/±inf values and out-of-order timestamps are rejected
+    here, at the boundary, rather than deep inside the pipeline.
+    Implemented over :func:`iter_series_csv`, so the two paths can never
+    diverge on what counts as a valid file.
+    """
+    chunks = list(iter_series_csv(path))
+    times = np.concatenate([c[0] for c in chunks])
+    values = np.concatenate([c[1] for c in chunks])
     return TimeSeries(times, values, name=name or str(path))

@@ -16,7 +16,14 @@ Layering (docs/query_engine.md has the full walkthrough)::
 """
 
 from .cost import BACKEND_COSTS, BackendCosts, CostModel
-from .executor import ExecutionResult, OperatorStats, execute, execute_batch
+from .executor import (
+    ExecutionResult,
+    OperatorStats,
+    execute,
+    execute_batch,
+    execute_batch_partitioned,
+    execute_partitioned,
+)
 from .plan import (
     LineCrossOp,
     PointRangeOp,
@@ -24,6 +31,7 @@ from .plan import (
     RefineOp,
     UnionDedupOp,
     build_plan,
+    normalize_t_range,
 )
 from .resilience import (
     AdmissionController,
@@ -76,4 +84,7 @@ __all__ = [
     "build_plan",
     "execute",
     "execute_batch",
+    "execute_batch_partitioned",
+    "execute_partitioned",
+    "normalize_t_range",
 ]

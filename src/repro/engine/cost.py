@@ -186,15 +186,19 @@ class CostModel:
         costs = self.operator_costs(op)
         return "index" if costs["index"] < costs["scan"] else "scan"
 
-    def plan(self, query: Query, mode: str = "auto") -> QueryPlan:
+    def plan(
+        self, query: Query, mode: str = "auto", t_range=None
+    ) -> QueryPlan:
         """Build the §4.4 plan for ``query``.
 
         ``mode="auto"`` picks each operator's access path independently
         with the cost model; any other mode forces that access path on
         every operator (``grid`` applies to the point operator only).
+        ``t_range`` restricts results to pairs overlapping the closed
+        time interval (and lets a partitioned executor prune partitions).
         """
         if mode != "auto":
-            return build_plan(query, point_access=mode)
+            return build_plan(query, point_access=mode, t_range=t_range)
         point = PointRangeOp(
             query.kind, query.t_threshold, query.v_threshold, "scan"
         )
@@ -215,4 +219,5 @@ class CostModel:
                 query.v_threshold,
                 self.choose_access(line),
             ),
+            t_range=t_range,
         )

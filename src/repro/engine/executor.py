@@ -26,8 +26,9 @@ fast path for the Figures 16-24 workload.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from contextlib import nullcontext
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -45,7 +46,14 @@ from .resilience import (
     record_degraded,
 )
 
-__all__ = ["OperatorStats", "ExecutionResult", "execute", "execute_batch"]
+__all__ = [
+    "OperatorStats",
+    "ExecutionResult",
+    "execute",
+    "execute_batch",
+    "execute_partitioned",
+    "execute_batch_partitioned",
+]
 
 _POINT_WIDTH = 6
 _LINE_WIDTH = 8
@@ -73,6 +81,14 @@ _REFINE_CANDIDATES = REGISTRY.counter(
 _REFINE_KEPT = REGISTRY.counter(
     "repro_engine_refine_kept_total",
     "Hits surviving witness refinement",
+)
+_PARTITIONS_SCANNED = REGISTRY.counter(
+    "repro_engine_partitions_scanned_total",
+    "Partitions actually read by partitioned execution",
+)
+_PARTITIONS_PRUNED = REGISTRY.counter(
+    "repro_engine_partitions_pruned_total",
+    "Partitions skipped because their time bounds miss the query t_range",
 )
 
 
@@ -107,6 +123,9 @@ class ExecutionResult:
     status: ResultStatus = ResultStatus.COMPLETE
     completeness: Optional[CompletenessReport] = None
     error: Optional[BaseException] = None
+    # set by the partitioned entry points; None on single-store execution
+    partitions_scanned: Optional[int] = None
+    partitions_pruned: Optional[int] = None
 
 
 def _as_rows(rows, width: int) -> np.ndarray:
@@ -167,6 +186,21 @@ def _fetch_line_rows(
     return _as_rows(rows, _LINE_WIDTH)
 
 
+def _t_range_mask(
+    mask: np.ndarray,
+    rows: np.ndarray,
+    t_range,
+    t_d_col: int,
+    t_a_col: int,
+) -> np.ndarray:
+    """Narrow ``mask`` to rows whose ``[t_d, t_a]`` extent overlaps
+    ``t_range`` (closed-interval overlap); identity when unrestricted."""
+    if t_range is None:
+        return mask
+    lo, hi = t_range
+    return mask & (rows[:, t_a_col] >= lo) & (rows[:, t_d_col] <= hi)
+
+
 def _union_dedup(ident_blocks: Sequence[np.ndarray]) -> List[SegmentPair]:
     """THE Section 4.4 union/dedup: distinct segment pairs, sorted.
 
@@ -214,6 +248,7 @@ def execute(
                 pop.kind, prows[:, 0], prows[:, 1],
                 pop.t_threshold, pop.v_threshold,
             )
+            pmask = _t_range_mask(pmask, prows, plan.t_range, 2, 5)
             p_fetched, p_matched = int(prows.shape[0]), int(pmask.sum())
             ps.set_attribute("access", pop.access)
             ps.set_attribute("rows_fetched", p_fetched)
@@ -234,6 +269,7 @@ def execute(
                 lop.t_threshold,
                 lop.v_threshold,
             )
+            lmask = _t_range_mask(lmask, lrows, plan.t_range, 4, 7)
             l_fetched, l_matched = int(lrows.shape[0]), int(lmask.sum())
             ls.set_attribute("access", lop.access)
             ls.set_attribute("rows_fetched", l_fetched)
@@ -421,6 +457,7 @@ def execute_batch(
             t_thr = plan.query.t_threshold
             v_thr = plan.query.v_threshold
             pmask = point_mask(kind, prows[:, 0], prows[:, 1], t_thr, v_thr)
+            pmask = _t_range_mask(pmask, prows, plan.t_range, 2, 5)
             lmask = line_mask(
                 kind,
                 lrows[:, 0],
@@ -430,6 +467,7 @@ def execute_batch(
                 t_thr,
                 v_thr,
             )
+            lmask = _t_range_mask(lmask, lrows, plan.t_range, 4, 7)
             pairs = _union_dedup(
                 [prows[pmask][:, 2:6], lrows[lmask][:, 4:8]]
             )
@@ -452,3 +490,188 @@ def execute_batch(
     # every plan index belongs to exactly one kind group, so all slots
     # are filled
     return results  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------- #
+# partitioned execution (time-partitioned live indexes)
+# ---------------------------------------------------------------------- #
+#
+# A partition is anything exposing ``store``, ``overlaps_time(t_range)``
+# and (optionally) ``read_lock`` — a lock the executor holds around reads
+# on backends whose concurrent reads are unsafe.  Partition pruning is
+# sound because ``overlaps_time`` tests the partition's *feature* extent
+# (min t_d .. max t_a over stored rows), so a partition skipped for a
+# ``t_range`` can contribute no matching pair; and the §4.4 answer is a
+# set union, so matches(∪ partitions) = ∪ matches(partition) — the merge
+# below reproduces the single-store answer bit for bit (the dedup sort
+# order of :func:`_union_dedup` is total and content-determined).
+
+
+def _read_ctx(partition):
+    lock = getattr(partition, "read_lock", None)
+    return lock if lock is not None else nullcontext()
+
+
+def _split_kept(partitions: Sequence, t_range) -> Tuple[List, int]:
+    kept = [p for p in partitions if p.overlaps_time(t_range)]
+    pruned = len(partitions) - len(kept)
+    _PARTITIONS_SCANNED.inc(len(kept))
+    if pruned:
+        _PARTITIONS_PRUNED.inc(pruned)
+    return kept, pruned
+
+
+def _merge_pairs(pair_lists: Sequence[List[SegmentPair]]) -> List[SegmentPair]:
+    """Cross-partition union/dedup with the §4.4 result ordering."""
+    seen: Set[Tuple[float, float, float, float]] = set()
+    for pairs in pair_lists:
+        seen.update(p.as_tuple() for p in pairs)
+    return [SegmentPair(*t) for t in sorted(seen)]
+
+
+def _merge_op_stats(
+    results: Sequence[ExecutionResult], kind: str
+) -> List[OperatorStats]:
+    """Sum per-operator row counts across partitions."""
+    merged: List[OperatorStats] = []
+    for op, table in (
+        ("point_range", f"{kind}_points"), ("line_cross", f"{kind}_lines")
+    ):
+        stats = [s for r in results for s in r.op_stats if s.operator == op]
+        accesses = sorted({s.access for s in stats})
+        merged.append(
+            OperatorStats(
+                operator=op,
+                table=table,
+                access="+".join(accesses) if accesses else "none",
+                rows_fetched=sum(s.rows_fetched for s in stats),
+                rows_matched=sum(s.rows_matched for s in stats),
+            )
+        )
+    return merged
+
+
+def execute_partitioned(
+    query,
+    make_plan: Callable,
+    partitions: Sequence,
+    t_range=None,
+    cache: str = "warm",
+    data=None,
+    verified_only: bool = False,
+    pushdown: bool = True,
+    guard: Optional[QueryGuard] = None,
+) -> ExecutionResult:
+    """Run one query across a set of time partitions and merge.
+
+    Partitions whose feature-time bounds miss ``t_range`` are pruned
+    without touching their stores; the survivors are executed with
+    ``make_plan(partition)`` (re-threaded with ``t_range``, refine
+    stripped — refinement runs once over the merged pairs) and their
+    answers are unioned with the standard dedup ordering, so the result
+    is identical to executing against one store holding all partitions'
+    rows.
+    """
+    kept, pruned = _split_kept(partitions, t_range)
+    with span("op.partition_scatter") as ss:
+        ss.set_attribute("partitions", len(partitions))
+        ss.set_attribute("pruned", pruned)
+        results = []
+        for part in kept:
+            plan = replace(
+                make_plan(part), t_range=t_range, refine_op=None
+            )
+            with _read_ctx(part):
+                results.append(
+                    execute(plan, part.store, cache=cache,
+                            pushdown=pushdown, guard=guard)
+                )
+    merged = ExecutionResult(
+        pairs=_merge_pairs([r.pairs for r in results]),
+        op_stats=_merge_op_stats(results, query.kind),
+        partitions_scanned=len(kept),
+        partitions_pruned=pruned,
+    )
+    if data is not None:
+        with span("op.refine") as rs:
+            merged.hits = rank_hits(
+                merged.pairs, data, query,
+                verified_only=verified_only, guard=guard,
+            )
+            rs.set_attribute("candidates", len(merged.pairs))
+            rs.set_attribute("kept", len(merged.hits))
+        _REFINE_CANDIDATES.inc(len(merged.pairs))
+        _REFINE_KEPT.inc(len(merged.hits))
+    return merged
+
+
+def execute_batch_partitioned(
+    make_plans: Callable,
+    partitions: Sequence,
+    n_queries: int,
+    t_range=None,
+    cache: str = "warm",
+    guard: Optional[QueryGuard] = None,
+) -> List[ExecutionResult]:
+    """Scatter a whole query grid across partitions and merge per cell.
+
+    Each surviving partition answers the grid through
+    :func:`execute_batch` (one shared candidate fetch per kind, the
+    existing fast path); cell ``i`` of the returned list unions cell
+    ``i`` of every partition.  Per-partition failures stay isolated: a
+    cell that failed on *some* partitions but succeeded on others comes
+    back DEGRADED (merged pairs are honest-but-incomplete, the report
+    names the lost partitions); a cell that failed everywhere is FAILED.
+    """
+    kept, pruned = _split_kept(partitions, t_range)
+    per_partition: List[List[ExecutionResult]] = []
+    with span("op.partition_scatter") as ss:
+        ss.set_attribute("partitions", len(partitions))
+        ss.set_attribute("pruned", pruned)
+        ss.set_attribute("queries", n_queries)
+        for part in kept:
+            plans = [
+                replace(p, t_range=t_range, refine_op=None)
+                for p in make_plans(part)
+            ]
+            with _read_ctx(part):
+                per_partition.append(
+                    execute_batch(plans, part.store, cache=cache, guard=guard)
+                )
+
+    merged: List[ExecutionResult] = []
+    for i in range(n_queries):
+        cells = [results[i] for results in per_partition]
+        good = [c for c in cells if c.status is not ResultStatus.FAILED]
+        failed = [c for c in cells if c.status is ResultStatus.FAILED]
+        kind = None
+        for c in cells:
+            for s in c.op_stats:
+                kind = s.table.rsplit("_", 1)[0]
+                break
+            if kind:
+                break
+        out = ExecutionResult(
+            pairs=_merge_pairs([c.pairs for c in good]),
+            op_stats=_merge_op_stats(good, kind) if kind else [],
+            partitions_scanned=len(kept),
+            partitions_pruned=pruned,
+        )
+        if failed:
+            report = CompletenessReport(
+                unfinished=tuple(
+                    f"partition[{j}]" for j, c in enumerate(cells)
+                    if c.status is ResultStatus.FAILED
+                ),
+                reason=f"{len(failed)}/{len(cells)} partitions failed: "
+                       f"{failed[0].error}",
+            )
+            out.error = failed[0].error
+            out.completeness = report
+            out.status = (
+                ResultStatus.FAILED if not good else ResultStatus.DEGRADED
+            )
+            if out.status is ResultStatus.DEGRADED:
+                record_degraded()
+        merged.append(out)
+    return merged

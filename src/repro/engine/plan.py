@@ -31,6 +31,7 @@ __all__ = [
     "RefineOp",
     "QueryPlan",
     "build_plan",
+    "normalize_t_range",
     "POINT_ACCESS_PATHS",
     "LINE_ACCESS_PATHS",
 ]
@@ -42,6 +43,29 @@ POINT_ACCESS_PATHS = ("scan", "index", "grid")
 #: Physical access paths a line operator may use (a grid cannot prune on
 #: the crossing predicate's interpolated value).
 LINE_ACCESS_PATHS = ("scan", "index")
+
+
+def normalize_t_range(t_range) -> Optional[Tuple[float, float]]:
+    """Validate a time-range restriction into a ``(lo, hi)`` float pair.
+
+    A pair matches when its ``[t_d, t_a]`` extent overlaps ``[lo, hi]``
+    (the event must *touch* the range, the standard interval-overlap
+    semantics).  ``None`` means unrestricted.
+    """
+    if t_range is None:
+        return None
+    try:
+        lo, hi = t_range
+        lo, hi = float(lo), float(hi)
+    except (TypeError, ValueError) as exc:
+        raise InvalidParameterError(
+            f"t_range must be a (lo, hi) pair, got {t_range!r}"
+        ) from exc
+    if not (lo <= hi):
+        raise InvalidParameterError(
+            f"t_range must satisfy lo <= hi, got ({lo!r}, {hi!r})"
+        )
+    return (lo, hi)
 
 
 @dataclass(frozen=True)
@@ -104,13 +128,23 @@ class RefineOp:
 
 @dataclass(frozen=True)
 class QueryPlan:
-    """One executable drop/jump search plan."""
+    """One executable drop/jump search plan.
+
+    ``t_range`` restricts results to pairs whose ``[t_d, t_a]`` extent
+    overlaps the closed interval — the time-pruning predicate the
+    partitioned executor also routes on (partitions whose feature extent
+    misses the range are skipped entirely).
+    """
 
     query: Query
     point_op: PointRangeOp
     line_op: LineCrossOp
     union_op: UnionDedupOp = field(default_factory=UnionDedupOp)
     refine_op: Optional[RefineOp] = None
+    t_range: Optional[Tuple[float, float]] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "t_range", normalize_t_range(self.t_range))
 
     @property
     def kind(self) -> str:
@@ -126,9 +160,10 @@ class QueryPlan:
     def describe(self) -> str:
         """Render the plan as an operator tree."""
         q = self.query
-        lines = [
-            f"QueryPlan[{q.kind}]  T={q.t_threshold:g}s  V={q.v_threshold:g}"
-        ]
+        header = f"QueryPlan[{q.kind}]  T={q.t_threshold:g}s  V={q.v_threshold:g}"
+        if self.t_range is not None:
+            header += f"  t_range=[{self.t_range[0]:g}, {self.t_range[1]:g}]"
+        lines = [header]
         lines.append("└─ UnionDedupOp")
         lines.append(
             f"   ├─ PointRangeOp({self.point_op.table})  "
@@ -150,12 +185,14 @@ def build_plan(
     point_access: str = "index",
     line_access: Optional[str] = None,
     refine: Optional[RefineOp] = None,
+    t_range: Optional[Tuple[float, float]] = None,
 ) -> QueryPlan:
     """Assemble the standard §4.4 plan with explicit access paths.
 
     ``line_access`` defaults to ``point_access``, except that a ``grid``
     point access pairs with the ``index`` line path (the memory backend's
-    historical ``mode="grid"`` semantics).
+    historical ``mode="grid"`` semantics).  ``t_range`` restricts results
+    to pairs overlapping the closed time interval.
     """
     if line_access is None:
         line_access = "index" if point_access == "grid" else point_access
@@ -168,4 +205,5 @@ def build_plan(
             query.kind, query.t_threshold, query.v_threshold, line_access
         ),
         refine_op=refine,
+        t_range=t_range,
     )

@@ -224,13 +224,19 @@ class QuerySession:
     # planning
     # ------------------------------------------------------------------ #
 
-    def plan(self, query: Query, mode: str = "auto") -> QueryPlan:
-        """The plan :meth:`search` would execute for ``query``."""
+    def plan(
+        self, query: Query, mode: str = "auto", t_range=None
+    ) -> QueryPlan:
+        """The plan :meth:`search` would execute for ``query``.
+
+        ``t_range=(lo, hi)`` restricts results to pairs whose
+        ``[t_d, t_a]`` extent overlaps the closed interval.
+        """
         if mode not in _MODES:
             raise InvalidParameterError(
                 f"mode must be one of {_MODES}, got {mode!r}"
             )
-        return self.cost.plan(query, mode=mode)
+        return self.cost.plan(query, mode=mode, t_range=t_range)
 
     def invalidate(self) -> None:
         """Drop cached cost-model samples (the store grew)."""
@@ -319,6 +325,7 @@ class QuerySession:
         verified_only: bool = False,
         timeout_ms: Optional[float] = None,
         degrade: Optional[str] = None,
+        t_range=None,
     ) -> List[SegmentPair]:
         """Distinct segment pairs matching ``query`` (Section 4.4).
 
@@ -327,11 +334,12 @@ class QuerySession:
         ``timeout_ms``/``degrade`` override the session's resilience
         policy for this query; a degraded answer comes back as the
         candidate pairs (use :meth:`search_outcome` to see the flag).
+        ``t_range=(lo, hi)`` keeps only pairs overlapping the interval.
         """
         outcome = self.search_outcome(
             query, mode=mode, cache=cache, data=data,
             verified_only=verified_only, timeout_ms=timeout_ms,
-            degrade=degrade,
+            degrade=degrade, t_range=t_range,
         )
         return outcome.results
 
@@ -344,6 +352,7 @@ class QuerySession:
         verified_only: bool = False,
         timeout_ms: Optional[float] = None,
         degrade: Optional[str] = None,
+        t_range=None,
     ) -> QueryOutcome:
         """Like :meth:`search`, returning the full resilience verdict.
 
@@ -363,13 +372,14 @@ class QuerySession:
             try:
                 with span("query.search") as root:
                     with span("query.plan"):
-                        plan = self.plan(query, mode=mode)
+                        plan = self.plan(query, mode=mode, t_range=t_range)
                     if refine is not None:
                         plan = QueryPlan(
                             query=plan.query,
                             point_op=plan.point_op,
                             line_op=plan.line_op,
                             refine_op=refine,
+                            t_range=plan.t_range,
                         )
                     result = self._execute(plan, cache, data, guard=guard)
                     root.set_attribute(
@@ -397,6 +407,7 @@ class QuerySession:
         mode: str = "auto",
         cache: str = "warm",
         timeout_ms: Optional[float] = None,
+        t_range=None,
     ) -> List[List[SegmentPair]]:
         """Answer a whole grid of queries in one shared pass per operator.
 
@@ -408,7 +419,8 @@ class QuerySession:
         :meth:`search_batch_outcomes` for per-cell failure isolation.
         """
         outcomes = self.search_batch_outcomes(
-            queries, mode=mode, cache=cache, timeout_ms=timeout_ms
+            queries, mode=mode, cache=cache, timeout_ms=timeout_ms,
+            t_range=t_range,
         )
         for outcome in outcomes:
             if outcome.failed:
@@ -421,6 +433,7 @@ class QuerySession:
         mode: str = "auto",
         cache: str = "warm",
         timeout_ms: Optional[float] = None,
+        t_range=None,
     ) -> List[QueryOutcome]:
         """Batched search with per-cell resilience verdicts.
 
@@ -440,7 +453,10 @@ class QuerySession:
             try:
                 with span("query.search_batch") as root:
                     with span("query.plan"):
-                        plans = [self.plan(q, mode=mode) for q in queries]
+                        plans = [
+                            self.plan(q, mode=mode, t_range=t_range)
+                            for q in queries
+                        ]
                     if self._lock is None:
                         results = execute_batch(plans, self.store,
                                                 cache=cache, guard=guard)
@@ -472,7 +488,8 @@ class QuerySession:
     # ------------------------------------------------------------------ #
 
     def explain(
-        self, query: Query, mode: str = "auto", cache: str = "warm"
+        self, query: Query, mode: str = "auto", cache: str = "warm",
+        t_range=None,
     ) -> ExplainReport:
         """Execute ``query`` and report the plan with est vs actual rows.
 
@@ -482,7 +499,7 @@ class QuerySession:
         t0 = time.perf_counter()
         with self._admit(None), span("query.explain") as root:
             with span("query.plan"):
-                plan = self.plan(query, mode=mode)
+                plan = self.plan(query, mode=mode, t_range=t_range)
             # snapshots and execution happen atomically under the session
             # lock — concurrent sessions on the same store can no longer
             # misattribute each other's pager traffic

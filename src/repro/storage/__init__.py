@@ -24,6 +24,7 @@ from .checksum import (
 from .grid_index import GridIndex
 from .memory_store import MemoryFeatureStore
 from .minidb import MiniDbFeatureStore
+from .partitions import Partition, PartitionManifest, PartitionSpec
 from .sqlite_store import SqliteFeatureStore
 from .schema import (
     SEGDIFF_TABLES,
@@ -39,6 +40,9 @@ __all__ = [
     "GridIndex",
     "MemoryFeatureStore",
     "MiniDbFeatureStore",
+    "Partition",
+    "PartitionManifest",
+    "PartitionSpec",
     "SqliteFeatureStore",
     "SEGDIFF_TABLES",
     "build_tree",
