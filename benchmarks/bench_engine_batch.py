@@ -101,16 +101,52 @@ def test_session_is_reusable_across_modes(session):
     assert sess.search(q, mode="auto") == sess.search(q, mode="scan")
 
 
-def main() -> None:
-    header = f"{'backend':<8} {'mode':<6} {'loop':>10} {'batched':>10} {'speedup':>8}"
-    print(header)
-    print("-" * len(header))
-    for backend in BACKENDS:
-        for mode, (loop_s, batch_s) in run(backend).items():
-            print(
-                f"{backend:<8} {mode:<6} {loop_s:>9.4f}s {batch_s:>9.4f}s "
-                f"{loop_s / batch_s:>7.1f}x"
-            )
+def main(argv=None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Batched-grid engine benchmark"
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the top 25 functions by "
+             "cumulative time (the query-hot-path profile in "
+             "EXPERIMENTS.md comes from this)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats per cell (best-of); --profile forces 1",
+    )
+    parser.add_argument(
+        "--backends", nargs="*", default=list(BACKENDS),
+        choices=BACKENDS, help="subset of backends to run",
+    )
+    args = parser.parse_args(argv)
+    repeats = 1 if args.profile else args.repeats
+
+    def body():
+        header = (
+            f"{'backend':<8} {'mode':<6} {'loop':>10} {'batched':>10} "
+            f"{'speedup':>8}"
+        )
+        print(header)
+        print("-" * len(header))
+        for backend in args.backends:
+            for mode, (loop_s, batch_s) in run(backend, repeats).items():
+                print(
+                    f"{backend:<8} {mode:<6} {loop_s:>9.4f}s "
+                    f"{batch_s:>9.4f}s {loop_s / batch_s:>7.1f}x"
+                )
+
+    if args.profile:
+        import cProfile
+        import pstats
+
+        prof = cProfile.Profile()
+        prof.runcall(body)
+        pstats.Stats(prof).sort_stats("cumulative").print_stats(25)
+    else:
+        body()
 
 
 if __name__ == "__main__":

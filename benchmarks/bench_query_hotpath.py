@@ -1,0 +1,199 @@
+"""Bench for the vectorized query hot path (docs/performance.md).
+
+Measures the scalar tuple-at-a-time read path (``vectorize=False``)
+against the columnar array path (the default) on the same store, same
+(T, V) grid, per backend and per plan mode.  Before any timing, the two
+paths are asserted to return exactly the same results — the speedup is
+only meaningful if the answers are bit-identical.
+
+Four cells per backend: ``{scan, index} x {loop, batch}``.  The loop
+path answers each grid query independently; the batch path fetches
+candidates once per operator and answers every query from the shared
+candidate matrix.
+
+The ``pre_pr_baseline`` section embeds the ``bench_engine_batch``
+numbers recorded on this workload immediately before the vectorized
+path landed, so the report carries its own before/after comparison.
+
+Run directly to write ``BENCH_query.json``::
+
+    PYTHONPATH=src python benchmarks/bench_query_hotpath.py [--smoke]
+
+or under pytest, where the smoke-sized run asserts the report schema
+(timings are not asserted: CI machines vary).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List
+
+from repro.core.index import SegDiffIndex
+from repro.core.queries import DropQuery
+from repro.datagen import random_walk_series
+from repro.engine import QuerySession
+
+HOUR = 3600.0
+BACKENDS = ("memory", "sqlite", "minidb")
+
+REPORT_SCHEMA = ("benchmark", "series", "pre_pr_baseline", "results")
+RESULT_SCHEMA = ("backend", "mode", "path", "scalar_seconds",
+                 "vectorized_seconds", "speedup")
+
+#: bench_engine_batch best-of-3 seconds on the 2500-point workload,
+#: recorded on the commit immediately before the vectorized hot path
+#: (loop, batched) per backend x mode.  The whole read path was scalar
+#: then, so these are the true "before" numbers for the speedup claims
+#: in EXPERIMENTS.md.
+PRE_PR_BASELINE = {
+    "memory": {"scan": (3.2331, 3.0401), "index": (3.5145, 3.2140)},
+    "sqlite": {"scan": (4.8396, 3.6166), "index": (5.5986, 3.4758)},
+    "minidb": {"scan": (9.9471, 3.4350), "index": (12.5101, 5.0857)},
+}
+
+
+def _grid(n_t: int = 5, n_v: int = 4) -> List[DropQuery]:
+    t_hours = (0.5, 1.0, 2.0, 4.0, 8.0)[:n_t]
+    vs = (-4.0, -2.0, -1.0, -0.5)[:n_v]
+    return [DropQuery(t * HOUR, v) for t in t_hours for v in vs]
+
+
+def _time(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_backend(backend: str, n_points: int, repeats: int) -> List[Dict]:
+    series = random_walk_series(n_points, dt=300.0, step_std=0.8, seed=41)
+    index = SegDiffIndex.build(series, 0.2, 8 * HOUR, backend=backend)
+    grid = _grid()
+    rows: List[Dict] = []
+    try:
+        scalar = QuerySession(index.store, vectorize=False)
+        vect = QuerySession(index.store)
+        for mode in ("scan", "index"):
+            # equivalence gate: scalar loop is the §4.4 reference answer
+            expect = [scalar.search(q, mode=mode) for q in grid]
+            assert [vect.search(q, mode=mode) for q in grid] == expect, (
+                f"vectorized loop diverged ({backend}/{mode})"
+            )
+            assert vect.search_batch(grid, mode=mode) == expect, (
+                f"vectorized batch diverged ({backend}/{mode})"
+            )
+            assert scalar.search_batch(grid, mode=mode) == expect, (
+                f"scalar batch diverged ({backend}/{mode})"
+            )
+            cells = {
+                ("loop", scalar): lambda s=scalar, m=mode: [
+                    s.search(q, mode=m) for q in grid
+                ],
+                ("batch", scalar): lambda s=scalar, m=mode: s.search_batch(
+                    grid, mode=m
+                ),
+                ("loop", vect): lambda s=vect, m=mode: [
+                    s.search(q, mode=m) for q in grid
+                ],
+                ("batch", vect): lambda s=vect, m=mode: s.search_batch(
+                    grid, mode=m
+                ),
+            }
+            timings = {key: _time(fn, repeats) for key, fn in cells.items()}
+            for path in ("loop", "batch"):
+                s_sec = timings[(path, scalar)]
+                v_sec = timings[(path, vect)]
+                rows.append({
+                    "backend": backend,
+                    "mode": mode,
+                    "path": path,
+                    "scalar_seconds": round(s_sec, 4),
+                    "vectorized_seconds": round(v_sec, 4),
+                    "speedup": round(s_sec / v_sec, 2),
+                })
+    finally:
+        index.close()
+    return rows
+
+
+def run_bench(n_points: int, repeats: int, backends: List[str]) -> Dict:
+    return {
+        "benchmark": "query_hotpath",
+        "series": {
+            "points": n_points,
+            "epsilon": 0.2,
+            "window_seconds": 8 * HOUR,
+            "grid_queries": len(_grid()),
+            "repeats": repeats,
+        },
+        "pre_pr_baseline": PRE_PR_BASELINE,
+        "results": [
+            row
+            for backend in backends
+            for row in bench_backend(backend, n_points, repeats)
+        ],
+    }
+
+
+def validate_report(report: Dict) -> None:
+    for key in REPORT_SCHEMA:
+        assert key in report, f"report missing {key!r}"
+    assert report["results"], "no result rows"
+    for entry in report["results"]:
+        for key in RESULT_SCHEMA:
+            assert key in entry, f"result entry missing {key!r}"
+        assert entry["scalar_seconds"] > 0
+        assert entry["vectorized_seconds"] > 0
+        assert entry["speedup"] > 0
+
+
+# ---------------------------------------------------------------------- #
+# pytest entry point (CI smoke; timings not asserted)
+# ---------------------------------------------------------------------- #
+
+
+def test_smoke_schema():
+    report = run_bench(n_points=600, repeats=1,
+                       backends=["memory", "sqlite"])
+    validate_report(report)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny series; timings are not meaningful",
+    )
+    parser.add_argument("--points", type=int, default=2500)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--backends", nargs="*", default=list(BACKENDS), choices=BACKENDS,
+    )
+    parser.add_argument(
+        "--out", default=os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "BENCH_query.json",
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        report = run_bench(n_points=600, repeats=1,
+                           backends=["memory", "sqlite"])
+    else:
+        report = run_bench(args.points, args.repeats, list(args.backends))
+    validate_report(report)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

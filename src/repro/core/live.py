@@ -958,6 +958,7 @@ class LiveSnapshot:
         data=None,
         verified_only: bool = False,
         pushdown: bool = True,
+        vectorize: Optional[bool] = None,
     ) -> ExecutionResult:
         """:meth:`search` returning the full :class:`ExecutionResult`
         (merged operator stats, partitions scanned/pruned)."""
@@ -971,6 +972,7 @@ class LiveSnapshot:
             data=data,
             verified_only=verified_only,
             pushdown=pushdown,
+            vectorize=vectorize,
         )
 
     def search_drops(
@@ -1013,6 +1015,7 @@ class LiveSnapshot:
         mode: str = "auto",
         cache: str = "warm",
         t_range: Optional[Tuple[float, float]] = None,
+        vectorize: Optional[bool] = None,
     ) -> List[ExecutionResult]:
         if mode == "grid":
             raise InvalidParameterError(
@@ -1043,6 +1046,7 @@ class LiveSnapshot:
             n_queries=len(queries),
             t_range=t_range,
             cache=cache,
+            vectorize=vectorize,
         )
 
     def explain(

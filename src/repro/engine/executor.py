@@ -22,6 +22,15 @@ vectorized predicates, so pushdown is purely an optimization.
 per operator: candidates are fetched once for the widest ``T`` and every
 query is answered with vectorized masks over the shared arrays — the
 fast path for the Figures 16-24 workload.
+
+Every store also carries columnar twins of the four primitives
+(``scan_points_array`` & co., defaulted in the base class), returning
+``(m, width)`` float64 blocks instead of row sequences.  The executor
+prefers them (``vectorize=None``, the auto default) so candidates flow
+from storage to the union/dedup as whole arrays with no per-row Python;
+``vectorize=False`` forces the scalar primitives (the differential-test
+and benchmark baseline), and stores that predate the array interface are
+detected with ``hasattr`` and served by the scalar path either way.
 """
 
 from __future__ import annotations
@@ -126,6 +135,12 @@ class ExecutionResult:
     # set by the partitioned entry points; None on single-store execution
     partitions_scanned: Optional[int] = None
     partitions_pruned: Optional[int] = None
+    #: The deduped ``(len(pairs), 4)`` ident matrix behind ``pairs`` —
+    #: lets partitioned merges union arrays instead of tuple sets.
+    #: Excluded from equality: an ndarray would poison dataclass ``==``.
+    ident_rows: Optional[np.ndarray] = field(
+        default=None, compare=False, repr=False
+    )
 
 
 def _as_rows(rows, width: int) -> np.ndarray:
@@ -135,53 +150,72 @@ def _as_rows(rows, width: int) -> np.ndarray:
     return arr
 
 
+def _use_arrays(store, vectorize: Optional[bool]) -> bool:
+    """Whether to route fetches through the ``*_array`` primitives.
+
+    ``None`` (auto) and ``True`` both require the store to actually have
+    the array interface — duck-typed stores predating it fall back to
+    the scalar primitives rather than fail; ``False`` forces the scalar
+    path (the equivalence-test and benchmark baseline).
+    """
+    if vectorize is False:
+        return False
+    return hasattr(store, "scan_points_array")
+
+
 def _fetch_point_rows(
     store, op: PointRangeOp, cache: str, pushdown: bool,
-    guard: Optional[QueryGuard] = None,
+    guard: Optional[QueryGuard] = None, arrays: bool = False,
 ) -> np.ndarray:
     """Fetch point candidates through the guard's breaker when present.
 
     The ``guard`` kwarg is only forwarded to the primitive when set, so
     stores (and test stubs) that predate the resilience layer keep
-    working and the disabled path stays byte-identical.
+    working and the disabled path stays byte-identical.  With ``arrays``
+    the columnar primitive is used (same pushdown, same guard contract);
+    the grid access path has no columnar twin and stays as is.
     """
     v = op.v_threshold if pushdown else None
     kw = {} if guard is None else {"guard": guard}
     if op.access == "scan":
         t = op.t_threshold if pushdown else None
+        scan = store.scan_points_array if arrays else store.scan_points
         def fn():
-            return store.scan_points(op.kind, t_threshold=t, v_threshold=v,
-                                     cache=cache, **kw)
+            return scan(op.kind, t_threshold=t, v_threshold=v,
+                        cache=cache, **kw)
     elif op.access == "grid":
         def fn():
             return store.probe_point_grid(
                 op.kind, op.t_threshold, op.v_threshold
             )
     else:
+        probe = (store.probe_point_index_array if arrays
+                 else store.probe_point_index)
         def fn():
-            return store.probe_point_index(
-                op.kind, op.t_threshold, v_threshold=v, cache=cache, **kw
-            )
+            return probe(op.kind, op.t_threshold, v_threshold=v,
+                         cache=cache, **kw)
     rows = fn() if guard is None else guard.call(fn)
     return _as_rows(rows, _POINT_WIDTH)
 
 
 def _fetch_line_rows(
     store, op: LineCrossOp, cache: str, pushdown: bool,
-    guard: Optional[QueryGuard] = None,
+    guard: Optional[QueryGuard] = None, arrays: bool = False,
 ) -> np.ndarray:
     v = op.v_threshold if pushdown else None
     kw = {} if guard is None else {"guard": guard}
     if op.access == "scan":
         t = op.t_threshold if pushdown else None
+        scan = store.scan_lines_array if arrays else store.scan_lines
         def fn():
-            return store.scan_lines(op.kind, t_threshold=t, v_threshold=v,
-                                    cache=cache, **kw)
+            return scan(op.kind, t_threshold=t, v_threshold=v,
+                        cache=cache, **kw)
     else:
+        probe = (store.probe_line_index_array if arrays
+                 else store.probe_line_index)
         def fn():
-            return store.probe_line_index(
-                op.kind, op.t_threshold, v_threshold=v, cache=cache, **kw
-            )
+            return probe(op.kind, op.t_threshold, v_threshold=v,
+                         cache=cache, **kw)
     rows = fn() if guard is None else guard.call(fn)
     return _as_rows(rows, _LINE_WIDTH)
 
@@ -201,19 +235,53 @@ def _t_range_mask(
     return mask & (rows[:, t_a_col] >= lo) & (rows[:, t_d_col] <= hi)
 
 
-def _union_dedup(ident_blocks: Sequence[np.ndarray]) -> List[SegmentPair]:
+def _unique_rows(rows: np.ndarray, return_inverse: bool = False):
+    """``np.unique(rows, axis=0)`` via a column ``lexsort``.
+
+    Same distinct rows in the same ascending lexicographic order — i.e.
+    the historical ``sorted(set(tuples))`` §4.4 result ordering — but
+    several times faster than numpy's structured-dtype sort on the
+    ``(n, 4)`` float ident blocks of the query hot path.  Caller
+    guarantees ``rows`` is non-empty.
+    """
+    n = rows.shape[0]
+    # lexsort's last key is primary, so feed columns right-to-left
+    order = np.lexsort(tuple(rows[:, c] for c in range(
+        rows.shape[1] - 1, -1, -1
+    )))
+    s = rows[order]
+    keep = np.empty(n, dtype=bool)
+    keep[0] = True
+    np.any(s[1:] != s[:-1], axis=1, out=keep[1:])
+    uniq = s[keep]
+    if not return_inverse:
+        return uniq
+    inverse = np.empty(n, dtype=np.intp)
+    inverse[order] = np.cumsum(keep) - 1
+    return uniq, inverse
+
+
+def _union_dedup_rows(
+    ident_blocks: Sequence[np.ndarray],
+) -> Tuple[np.ndarray, List[SegmentPair]]:
     """THE Section 4.4 union/dedup: distinct segment pairs, sorted.
 
-    ``np.unique(axis=0)`` sorts rows lexicographically, matching the
-    historical ``sorted(set(tuples))`` ordering exactly.
+    ``tolist()`` yields Python floats, so the materialized pairs are
+    bit-identical to the per-element ``float()`` construction they
+    replace.  Returns the unique ident matrix alongside the pairs so
+    callers can keep merging in array form.
     """
     stacked = np.vstack([b for b in ident_blocks]) if ident_blocks else (
         np.empty((0, 4))
     )
     if stacked.shape[0] == 0:
-        return []
-    uniq = np.unique(stacked, axis=0)
-    return [SegmentPair(*(float(x) for x in row)) for row in uniq]
+        return np.empty((0, 4)), []
+    uniq = _unique_rows(stacked)
+    return uniq, [SegmentPair(*t) for t in uniq.tolist()]
+
+
+def _union_dedup(ident_blocks: Sequence[np.ndarray]) -> List[SegmentPair]:
+    return _union_dedup_rows(ident_blocks)[1]
 
 
 def execute(
@@ -223,6 +291,7 @@ def execute(
     data=None,
     pushdown: bool = True,
     guard: Optional[QueryGuard] = None,
+    vectorize: Optional[bool] = None,
 ) -> ExecutionResult:
     """Run one plan against ``store``.
 
@@ -235,15 +304,19 @@ def execute(
     partial pairs of the operators that *did* finish, and
     ``degrade="candidates"`` skips refinement near the deadline (the
     result is then flagged :attr:`ResultStatus.DEGRADED`).
+    ``vectorize`` picks the storage primitives (see :func:`_use_arrays`);
+    both paths produce identical results, stats, and metrics.
     """
     pop, lop = plan.point_op, plan.line_op
+    arrays = _use_arrays(store, vectorize)
     ident_blocks: List[np.ndarray] = []
 
     try:
         with span("op.point_range") as ps:
             if guard is not None:
                 guard.start_op("point_range")
-            prows = _fetch_point_rows(store, pop, cache, pushdown, guard)
+            prows = _fetch_point_rows(store, pop, cache, pushdown, guard,
+                                      arrays)
             pmask = point_mask(
                 pop.kind, prows[:, 0], prows[:, 1],
                 pop.t_threshold, pop.v_threshold,
@@ -259,7 +332,8 @@ def execute(
         with span("op.line_cross") as ls:
             if guard is not None:
                 guard.start_op("line_cross")
-            lrows = _fetch_line_rows(store, lop, cache, pushdown, guard)
+            lrows = _fetch_line_rows(store, lop, cache, pushdown, guard,
+                                     arrays)
             lmask = line_mask(
                 lop.kind,
                 lrows[:, 0],
@@ -278,7 +352,7 @@ def execute(
             if guard is not None:
                 guard.finish_op("line_cross")
         with span("op.union_dedup") as us:
-            pairs = _union_dedup(ident_blocks)
+            ident_rows, pairs = _union_dedup_rows(ident_blocks)
             us.set_attribute("pairs", len(pairs))
     except QueryTimeout as exc:
         # hand back whatever the finished operators produced
@@ -304,7 +378,8 @@ def execute(
             "line_cross", lop.table, lop.access, l_fetched, l_matched,
         ),
     ]
-    result = ExecutionResult(pairs=pairs, op_stats=stats)
+    result = ExecutionResult(pairs=pairs, op_stats=stats,
+                             ident_rows=ident_rows)
     if plan.refine_op is not None:
         if data is None:
             raise ValueError("plan has a RefineOp but no data was supplied")
@@ -356,7 +431,7 @@ def execute(
 
 def _fetch_batch_group(
     store, kind: str, group: Sequence[QueryPlan], cache: str,
-    guard: Optional[QueryGuard],
+    guard: Optional[QueryGuard], arrays: bool = False,
 ):
     """The shared per-kind candidate fetch of :func:`execute_batch`."""
     t_max = max(p.query.t_threshold for p in group)
@@ -366,13 +441,15 @@ def _fetch_batch_group(
 
     with span("op.point_range.fetch") as ps:
         if all_index_points:
+            probe = (store.probe_point_index_array if arrays
+                     else store.probe_point_index)
             def pfn():
-                return store.probe_point_index(kind, t_max, cache=cache,
-                                               **kw)
+                return probe(kind, t_max, cache=cache, **kw)
             point_access = "index"
         else:
+            scan = store.scan_points_array if arrays else store.scan_points
             def pfn():
-                return store.scan_points(kind, cache=cache, **kw)
+                return scan(kind, cache=cache, **kw)
             point_access = "scan"
         prows = _as_rows(pfn() if guard is None else guard.call(pfn),
                          _POINT_WIDTH)
@@ -380,13 +457,15 @@ def _fetch_batch_group(
         ps.set_attribute("rows_fetched", int(prows.shape[0]))
     with span("op.line_cross.fetch") as ls:
         if all_index_lines:
+            probe = (store.probe_line_index_array if arrays
+                     else store.probe_line_index)
             def lfn():
-                return store.probe_line_index(kind, t_max, cache=cache,
-                                              **kw)
+                return probe(kind, t_max, cache=cache, **kw)
             line_access = "index"
         else:
+            scan = store.scan_lines_array if arrays else store.scan_lines
             def lfn():
-                return store.scan_lines(kind, cache=cache, **kw)
+                return scan(kind, cache=cache, **kw)
             line_access = "scan"
         lrows = _as_rows(lfn() if guard is None else guard.call(lfn),
                          _LINE_WIDTH)
@@ -400,6 +479,7 @@ def execute_batch(
     store,
     cache: str = "warm",
     guard: Optional[QueryGuard] = None,
+    vectorize: Optional[bool] = None,
 ) -> List[ExecutionResult]:
     """Answer many queries in one shared pass per operator.
 
@@ -417,6 +497,7 @@ def execute_batch(
     :class:`~repro.errors.QueryTimeout` aborts the whole batch — the
     deadline covers the batch, not one cell.
     """
+    arrays = _use_arrays(store, vectorize)
     results: List[Optional[ExecutionResult]] = [None] * len(plans)
     by_kind: Dict[str, List[int]] = {}
     for i, plan in enumerate(plans):
@@ -426,7 +507,7 @@ def execute_batch(
         group = [plans[i] for i in idxs]
         try:
             prows, point_access, lrows, line_access = _fetch_batch_group(
-                store, kind, group, cache, guard
+                store, kind, group, cache, guard, arrays
             )
         except QueryTimeout as exc:
             if guard is not None:
@@ -450,6 +531,21 @@ def execute_batch(
         _ROWS_FETCHED["point_range"].inc(int(prows.shape[0]))
         _ROWS_FETCHED["line_cross"].inc(int(lrows.shape[0]))
 
+        # One shared candidate matrix per kind group: the distinct ident
+        # rows are computed and materialized as SegmentPairs exactly
+        # once; each cell then selects its pairs by integer id instead
+        # of re-deduplicating (and re-building) tuples per query.
+        # np.unique sorts, so ascending ids == the §4.4 result ordering.
+        n_p = prows.shape[0]
+        stacked = np.vstack([prows[:, 2:6], lrows[:, 4:8]])
+        if stacked.shape[0]:
+            uniq, inverse = _unique_rows(stacked, return_inverse=True)
+            pair_objs = [SegmentPair(*t) for t in uniq.tolist()]
+            inv_p, inv_l = inverse[:n_p], inverse[n_p:]
+        else:
+            uniq = np.empty((0, 4))
+            pair_objs, inv_p, inv_l = [], None, None
+
         for i in idxs:
             if guard is not None:
                 guard.tick()
@@ -468,9 +564,15 @@ def execute_batch(
                 v_thr,
             )
             lmask = _t_range_mask(lmask, lrows, plan.t_range, 4, 7)
-            pairs = _union_dedup(
-                [prows[pmask][:, 2:6], lrows[lmask][:, 4:8]]
-            )
+            if pair_objs:
+                sel = np.unique(
+                    np.concatenate([inv_p[pmask], inv_l[lmask]])
+                )
+                pairs = [pair_objs[j] for j in sel.tolist()]
+                cell_rows = uniq[sel]
+            else:
+                pairs = []
+                cell_rows = uniq
             p_matched, l_matched = int(pmask.sum()), int(lmask.sum())
             _ROWS_MATCHED["point_range"].inc(p_matched)
             _ROWS_MATCHED["line_cross"].inc(l_matched)
@@ -486,6 +588,7 @@ def execute_batch(
                         int(lrows.shape[0]), l_matched,
                     ),
                 ],
+                ident_rows=cell_rows,
             )
     # every plan index belongs to exactly one kind group, so all slots
     # are filled
@@ -529,6 +632,19 @@ def _merge_pairs(pair_lists: Sequence[List[SegmentPair]]) -> List[SegmentPair]:
     return [SegmentPair(*t) for t in sorted(seen)]
 
 
+def _merge_results(
+    results: Sequence[ExecutionResult],
+) -> Tuple[np.ndarray, List[SegmentPair]]:
+    """Union per-partition answers, in array form when every result
+    carries its ident matrix (the executor's own results always do);
+    lexicographic ``np.unique`` equals ``sorted(set(tuples))``, so both
+    branches produce the same pairs in the same order."""
+    if all(r.ident_rows is not None for r in results):
+        return _union_dedup_rows([r.ident_rows for r in results])
+    pairs = _merge_pairs([r.pairs for r in results])
+    return np.array([p.as_tuple() for p in pairs]).reshape(-1, 4), pairs
+
+
 def _merge_op_stats(
     results: Sequence[ExecutionResult], kind: str
 ) -> List[OperatorStats]:
@@ -561,6 +677,7 @@ def execute_partitioned(
     verified_only: bool = False,
     pushdown: bool = True,
     guard: Optional[QueryGuard] = None,
+    vectorize: Optional[bool] = None,
 ) -> ExecutionResult:
     """Run one query across a set of time partitions and merge.
 
@@ -584,13 +701,16 @@ def execute_partitioned(
             with _read_ctx(part):
                 results.append(
                     execute(plan, part.store, cache=cache,
-                            pushdown=pushdown, guard=guard)
+                            pushdown=pushdown, guard=guard,
+                            vectorize=vectorize)
                 )
+    merged_rows, merged_pairs = _merge_results(results)
     merged = ExecutionResult(
-        pairs=_merge_pairs([r.pairs for r in results]),
+        pairs=merged_pairs,
         op_stats=_merge_op_stats(results, query.kind),
         partitions_scanned=len(kept),
         partitions_pruned=pruned,
+        ident_rows=merged_rows,
     )
     if data is not None:
         with span("op.refine") as rs:
@@ -612,6 +732,7 @@ def execute_batch_partitioned(
     t_range=None,
     cache: str = "warm",
     guard: Optional[QueryGuard] = None,
+    vectorize: Optional[bool] = None,
 ) -> List[ExecutionResult]:
     """Scatter a whole query grid across partitions and merge per cell.
 
@@ -636,7 +757,8 @@ def execute_batch_partitioned(
             ]
             with _read_ctx(part):
                 per_partition.append(
-                    execute_batch(plans, part.store, cache=cache, guard=guard)
+                    execute_batch(plans, part.store, cache=cache,
+                                  guard=guard, vectorize=vectorize)
                 )
 
     merged: List[ExecutionResult] = []
@@ -651,11 +773,13 @@ def execute_batch_partitioned(
                 break
             if kind:
                 break
+        cell_rows, cell_pairs = _merge_results(good)
         out = ExecutionResult(
-            pairs=_merge_pairs([c.pairs for c in good]),
+            pairs=cell_pairs,
             op_stats=_merge_op_stats(good, kind) if kind else [],
             partitions_scanned=len(kept),
             partitions_pruned=pruned,
+            ident_rows=cell_rows,
         )
         if failed:
             report = CompletenessReport(

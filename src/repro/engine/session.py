@@ -137,8 +137,14 @@ class QuerySession:
         slow_query_threshold: Optional[float] = None,
         resilience: Optional[ResiliencePolicy] = None,
         name: Optional[str] = None,
+        vectorize: Optional[bool] = None,
     ) -> None:
         self.store = store
+        #: Storage-primitive selection for every query this session runs:
+        #: ``None`` (auto) prefers the columnar ``*_array`` primitives,
+        #: ``False`` forces the scalar ones (the benchmark/differential
+        #: baseline).  Both paths return identical results.
+        self.vectorize = vectorize
         self.cost = cost_model if cost_model is not None else CostModel(store)
         #: Seconds above which a query lands in the slow-query log; when
         #: None, the process-wide default (``repro.obs.slowlog``) applies.
@@ -251,10 +257,12 @@ class QuerySession:
                  guard: Optional[QueryGuard] = None) -> ExecutionResult:
         if self._lock is None:
             return execute(plan, self.store, cache=cache, data=data,
-                           pushdown=pushdown, guard=guard)
+                           pushdown=pushdown, guard=guard,
+                           vectorize=self.vectorize)
         with self._lock:
             return execute(plan, self.store, cache=cache, data=data,
-                           pushdown=pushdown, guard=guard)
+                           pushdown=pushdown, guard=guard,
+                           vectorize=self.vectorize)
 
     def _execute_with_io(
         self, plan: QueryPlan, cache: str, data, pushdown: bool = True
@@ -274,7 +282,7 @@ class QuerySession:
     def _run_with_io(self, plan, cache, data, pushdown):
         before = self._io_stats()
         result = execute(plan, self.store, cache=cache, data=data,
-                         pushdown=pushdown)
+                         pushdown=pushdown, vectorize=self.vectorize)
         after = self._io_stats()
         return result, before, after
 
@@ -459,11 +467,13 @@ class QuerySession:
                         ]
                     if self._lock is None:
                         results = execute_batch(plans, self.store,
-                                                cache=cache, guard=guard)
+                                                cache=cache, guard=guard,
+                                                vectorize=self.vectorize)
                     else:
                         with self._lock:
                             results = execute_batch(plans, self.store,
-                                                    cache=cache, guard=guard)
+                                                    cache=cache, guard=guard,
+                                                    vectorize=self.vectorize)
                     root.set_attribute("queries", len(plans))
             except QueryTimeout:
                 record_timeout()

@@ -14,6 +14,21 @@ __all__ = ["FeatureStore", "StoreCounts", "Query"]
 
 Query = Union[DropQuery, JumpQuery]
 
+_POINT_WIDTH = 6
+_LINE_WIDTH = 8
+
+
+def rows_to_block(rows, width: int):
+    """Adapt a scalar primitive's row sequence to an ``(m, width)``
+    float64 block (the vectorized engine's column layout).  Zero-copy
+    when ``rows`` already is such an array."""
+    import numpy as np
+
+    arr = np.asarray(rows, dtype=float)
+    if arr.size == 0:
+        return arr.reshape(0, width)
+    return arr.reshape(-1, width)
+
 
 @dataclass(frozen=True)
 class StoreCounts:
@@ -178,6 +193,67 @@ class FeatureStore(abc.ABC):
 
         raise InvalidParameterError(
             f"the {type(self).__name__} backend has no grid access path"
+        )
+
+    # ------------------------------------------------------------------ #
+    # batch columnar primitives (the engine's vectorized interface)
+    # ------------------------------------------------------------------ #
+    #
+    # Each ``*_array`` primitive is the columnar twin of a scalar
+    # primitive above: same table, same pushdown hints, same ``guard``
+    # contract (tick at least once per chunk), but the result is a
+    # guaranteed ``(m, width)`` float64 block instead of a row sequence.
+    # The defaults adapt the scalar primitives, so every store — however
+    # old — works on the vectorized engine path; the bundled backends
+    # override them with genuinely columnar reads (zero-copy array
+    # slices, chunked fetchmany into array blocks, mmap'd page decodes).
+
+    def scan_points_array(self, kind: str,
+                          t_threshold: Optional[float] = None,
+                          v_threshold: Optional[float] = None,
+                          cache: str = "warm", guard=None):
+        """Columnar :meth:`scan_points`: an ``(m, 6)`` float64 block."""
+        kw = {} if guard is None else {"guard": guard}
+        return rows_to_block(
+            self.scan_points(kind, t_threshold=t_threshold,
+                             v_threshold=v_threshold, cache=cache, **kw),
+            _POINT_WIDTH,
+        )
+
+    def probe_point_index_array(self, kind: str, t_threshold: float,
+                                v_threshold: Optional[float] = None,
+                                cache: str = "warm", guard=None):
+        """Columnar :meth:`probe_point_index`: an ``(m, 6)`` block."""
+        kw = {} if guard is None else {"guard": guard}
+        return rows_to_block(
+            self.probe_point_index(kind, t_threshold,
+                                   v_threshold=v_threshold, cache=cache,
+                                   **kw),
+            _POINT_WIDTH,
+        )
+
+    def scan_lines_array(self, kind: str,
+                         t_threshold: Optional[float] = None,
+                         v_threshold: Optional[float] = None,
+                         cache: str = "warm", guard=None):
+        """Columnar :meth:`scan_lines`: an ``(m, 8)`` float64 block."""
+        kw = {} if guard is None else {"guard": guard}
+        return rows_to_block(
+            self.scan_lines(kind, t_threshold=t_threshold,
+                            v_threshold=v_threshold, cache=cache, **kw),
+            _LINE_WIDTH,
+        )
+
+    def probe_line_index_array(self, kind: str, t_threshold: float,
+                               v_threshold: Optional[float] = None,
+                               cache: str = "warm", guard=None):
+        """Columnar :meth:`probe_line_index`: an ``(m, 8)`` block."""
+        kw = {} if guard is None else {"guard": guard}
+        return rows_to_block(
+            self.probe_line_index(kind, t_threshold,
+                                  v_threshold=v_threshold, cache=cache,
+                                  **kw),
+            _LINE_WIDTH,
         )
 
     # ------------------------------------------------------------------ #

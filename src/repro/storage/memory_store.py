@@ -253,11 +253,18 @@ class MemoryFeatureStore(FeatureStore):
         return self._engine_search(query, mode)
 
     # -- physical primitives (engine interface) ------------------------ #
+    #
+    # The columnar ``*_array`` primitives are the real implementations:
+    # frozen tables already live as contiguous float64 arrays, so a scan
+    # is a zero-copy handle and an index probe a binary-search slice of
+    # the dt-sorted view.  The scalar names are thin delegating shims —
+    # nothing on this backend ever materializes per-row tuples.
 
-    def scan_points(self, kind, t_threshold=None, v_threshold=None,
-                    cache="warm", guard=None):
-        """Full point table; prefiltering is left to the executor's
-        vectorized masks (equally fast on frozen numpy arrays).
+    def scan_points_array(self, kind, t_threshold=None, v_threshold=None,
+                          cache="warm", guard=None):
+        """Full point table as a zero-copy ``(m, 6)`` block; prefiltering
+        is left to the executor's vectorized masks (equally fast on
+        frozen numpy arrays).
 
         Reads here are single array slices, so the cooperative-deadline
         contract reduces to one ``tick()`` per call.
@@ -267,16 +274,46 @@ class MemoryFeatureStore(FeatureStore):
             guard.tick()
         return self._tables[f"{kind}_points"].data
 
-    def probe_point_index(self, kind, t_threshold, v_threshold=None,
-                          cache="warm", guard=None):
+    def probe_point_index_array(self, kind, t_threshold, v_threshold=None,
+                                cache="warm", guard=None):
         """dt-sorted binary-search prune — the B-tree leading-column
-        analogue."""
+        analogue — as a zero-copy slice of the sorted view."""
         self._check_open()
         if guard is not None:
             guard.tick()
         data = self._tables[f"{kind}_points"].sorted_by_dt
         cut = int(np.searchsorted(data[:, 0], t_threshold, side="right"))
         return data[:cut]
+
+    def scan_lines_array(self, kind, t_threshold=None, v_threshold=None,
+                         cache="warm", guard=None):
+        self._check_open()
+        if guard is not None:
+            guard.tick()
+        return self._tables[f"{kind}_lines"].data
+
+    def probe_line_index_array(self, kind, t_threshold, v_threshold=None,
+                               cache="warm", guard=None):
+        self._check_open()
+        if guard is not None:
+            guard.tick()
+        data = self._tables[f"{kind}_lines"].sorted_by_dt
+        cut = int(np.searchsorted(data[:, 0], t_threshold, side="right"))
+        return data[:cut]
+
+    def scan_points(self, kind, t_threshold=None, v_threshold=None,
+                    cache="warm", guard=None):
+        return self.scan_points_array(
+            kind, t_threshold=t_threshold, v_threshold=v_threshold,
+            cache=cache, guard=guard,
+        )
+
+    def probe_point_index(self, kind, t_threshold, v_threshold=None,
+                          cache="warm", guard=None):
+        return self.probe_point_index_array(
+            kind, t_threshold, v_threshold=v_threshold, cache=cache,
+            guard=guard,
+        )
 
     def probe_point_grid(self, kind, t_threshold, v_threshold):
         self._check_open()
@@ -286,19 +323,17 @@ class MemoryFeatureStore(FeatureStore):
 
     def scan_lines(self, kind, t_threshold=None, v_threshold=None,
                    cache="warm", guard=None):
-        self._check_open()
-        if guard is not None:
-            guard.tick()
-        return self._tables[f"{kind}_lines"].data
+        return self.scan_lines_array(
+            kind, t_threshold=t_threshold, v_threshold=v_threshold,
+            cache=cache, guard=guard,
+        )
 
     def probe_line_index(self, kind, t_threshold, v_threshold=None,
                          cache="warm", guard=None):
-        self._check_open()
-        if guard is not None:
-            guard.tick()
-        data = self._tables[f"{kind}_lines"].sorted_by_dt
-        cut = int(np.searchsorted(data[:, 0], t_threshold, side="right"))
-        return data[:cut]
+        return self.probe_line_index_array(
+            kind, t_threshold, v_threshold=v_threshold, cache=cache,
+            guard=guard,
+        )
 
     def read_table_rows(self, table: str, start: int = 0,
                         stop: Optional[int] = None) -> np.ndarray:

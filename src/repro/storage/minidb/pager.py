@@ -282,6 +282,34 @@ class Pager:
             self._install(page_id, bytearray(data))
         self._dirty.add(page_id)
 
+    def note_cached_reads(self, n: int) -> None:
+        """Account ``n`` logical page reads served from an
+        already-materialized columnar view or a batched page decode.
+
+        The logical cost ledger (``page_reads = hits + misses``) counts
+        one read per serve, exactly as a row-at-a-time reader touching a
+        resident page would; the physical bytes were read once when the
+        block was built.
+        """
+        self._check_open()
+        if n > 0:
+            self._c_hits.inc(n)
+
+    def note_view_read(self, page_id: int) -> None:
+        """Account one logical page read whose bytes came from an mmap
+        of the main file (columnar view build): a pool hit when the page
+        is resident, otherwise a miss plus a physical read — the same
+        ledger a pool-routed read of that page would produce.  The page
+        is *not* installed into the pool (the view bypasses it on
+        purpose, so big chain walks cannot evict hot index pages).
+        """
+        self._check_open()
+        if page_id in self._pool:
+            self._c_hits.inc()
+        else:
+            self._c_misses.inc()
+            self._c_disk_reads.inc()
+
     def _fetch(self, page_id: int) -> bytearray:
         self._check_open()
         self._check_page_id(page_id)

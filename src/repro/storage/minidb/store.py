@@ -32,7 +32,8 @@ from ...obs.metrics import REGISTRY, ROWS_BUCKETS
 from ...types import DataSegment, SegmentPair
 from ..base import FeatureStore, Query, StoreCounts
 from ...core.corners import FeatureSet
-from ...core.queries import line_match, point_match
+from ...core.queries import line_mask, line_match, point_mask, point_match
+from .columnar import ColumnarView, probe_index_block
 from .database import MiniDatabase
 from .pager import PAGE_SIZE, PagerStats
 
@@ -118,6 +119,9 @@ class MiniDbFeatureStore(FeatureStore):
                 if not self.db.has_table(name):
                     self.db.create_table(name, width)
         self._closed = False
+        # columnar read view over sealed heap pages: built lazily on the
+        # first array scan, dropped on every write/checkpoint/cold-cache
+        self._columnar = ColumnarView(self.db)
         self._indexed_rows: Dict[str, int] = {
             t: -1 for t in _FEATURE_TABLES
         }
@@ -140,6 +144,7 @@ class MiniDbFeatureStore(FeatureStore):
         # one).  Work stays in the pool/WAL-pending until a checkpoint
         # boundary (finalize/set_meta) commits it.
         self._check_open()
+        self._columnar.invalidate()
         self._add(features)
 
     def _add(self, features: FeatureSet) -> None:
@@ -170,6 +175,7 @@ class MiniDbFeatureStore(FeatureStore):
         (finalize/set_meta) commits the whole run atomically.
         """
         self._check_open()
+        self._columnar.invalidate()
         self.db.table("drop_points").insert_many(batch.drop_points)
         self.db.table("drop_lines").insert_many(batch.drop_lines)
         self.db.table("jump_points").insert_many(batch.jump_points)
@@ -186,6 +192,7 @@ class MiniDbFeatureStore(FeatureStore):
         self._check_open()
         if not segments:
             return
+        self._columnar.invalidate()
         self.db.table("segments").insert_many(
             [(s.t_start, s.v_start, s.t_end, s.v_end) for s in segments]
         )
@@ -193,6 +200,7 @@ class MiniDbFeatureStore(FeatureStore):
     def finalize(self) -> None:
         """(Re)build the Section 4.4 B+trees and checkpoint the file."""
         self._check_open()
+        self._columnar.invalidate()
         with self.db.transaction():
             for name in _FEATURE_TABLES:
                 table = self.db.table(name)
@@ -206,6 +214,7 @@ class MiniDbFeatureStore(FeatureStore):
     def add_segment(self, segment) -> None:
         # uncommitted until the next checkpoint boundary — see add()
         self._check_open()
+        self._columnar.invalidate()
         self.db.table("segments").insert(
             (segment.t_start, segment.v_start, segment.t_end, segment.v_end)
         )
@@ -218,6 +227,7 @@ class MiniDbFeatureStore(FeatureStore):
 
     def set_meta(self, key: str, value: float) -> None:
         self._check_open()
+        self._columnar.invalidate()
         self.db.set_meta(key, float(value))
         self.db.checkpoint()
 
@@ -260,8 +270,11 @@ class MiniDbFeatureStore(FeatureStore):
     def _prepare_cache(self, cache: str) -> None:
         if cache == "cold":
             # drop the buffer pool so this operator's page reads are the
-            # paper's flushed-cache regime, exactly and deterministically
+            # paper's flushed-cache regime, exactly and deterministically;
+            # the columnar view goes with it, so an array scan re-pays
+            # the chain's physical reads just like a row-at-a-time one
             self.db.drop_cache()
+            self._columnar.invalidate()
 
     @staticmethod
     def _cooperative(rows_iter, guard):
@@ -354,6 +367,65 @@ class MiniDbFeatureStore(FeatureStore):
     @staticmethod
     def _ident(table, rid, key_width: int):
         return tuple(table.get(rid)[key_width:key_width + 4])
+
+    # -- batch columnar primitives (vectorized engine interface) -------- #
+    #
+    # Same plan semantics and page accounting as the scalar primitives
+    # above, but rows move as whole (m, width) blocks: heap chains are
+    # decoded page-at-a-time through the columnar view (mmap'd when the
+    # pager has no uncommitted state) and B+tree probes decode whole
+    # leaves, gathering ident columns with one physical heap read per
+    # distinct page.  See minidb/columnar.py for the accounting rules.
+
+    def scan_points_array(self, kind, t_threshold=None, v_threshold=None,
+                          cache="warm", guard=None):
+        self._check_open()
+        self._prepare_cache(cache)
+        block = self._columnar.table_block(_POINT_TABLES[kind], guard=guard)
+        if v_threshold is not None:
+            block = block[point_mask(kind, block[:, 0], block[:, 1],
+                                     t_threshold, v_threshold)]
+        return block
+
+    def probe_point_index_array(self, kind, t_threshold, v_threshold=None,
+                                cache="warm", guard=None):
+        self._check_open()
+        name = _POINT_TABLES[kind]
+        self._check_index_current(name)
+        self._prepare_cache(cache)
+        v_mask = None
+        if v_threshold is not None:
+            def v_mask(keys):
+                return point_mask(kind, keys[:, 0], keys[:, 1],
+                                  t_threshold, v_threshold)
+        return probe_index_block(self.db.table(name), "by_key",
+                                 t_threshold, v_mask=v_mask, guard=guard)
+
+    def scan_lines_array(self, kind, t_threshold=None, v_threshold=None,
+                         cache="warm", guard=None):
+        self._check_open()
+        self._prepare_cache(cache)
+        block = self._columnar.table_block(_LINE_TABLES[kind], guard=guard)
+        if v_threshold is not None:
+            block = block[line_mask(kind, block[:, 0], block[:, 1],
+                                    block[:, 2], block[:, 3],
+                                    t_threshold, v_threshold)]
+        return block
+
+    def probe_line_index_array(self, kind, t_threshold, v_threshold=None,
+                               cache="warm", guard=None):
+        self._check_open()
+        name = _LINE_TABLES[kind]
+        self._check_index_current(name)
+        self._prepare_cache(cache)
+        v_mask = None
+        if v_threshold is not None:
+            def v_mask(keys):
+                return line_mask(kind, keys[:, 0], keys[:, 1],
+                                 keys[:, 2], keys[:, 3],
+                                 t_threshold, v_threshold)
+        return probe_index_block(self.db.table(name), "by_key",
+                                 t_threshold, v_mask=v_mask, guard=guard)
 
     def page_reads(self) -> int:
         """Cumulative pager reads (the engine's EXPLAIN counter)."""

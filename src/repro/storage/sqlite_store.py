@@ -513,6 +513,112 @@ class SqliteFeatureStore(FeatureStore):
             sql, {"T": t_threshold, "V": v_threshold}, cache, guard
         )
 
+    # -- batch columnar primitives (vectorized engine interface) -------- #
+
+    #: fetchmany granularity of the unguarded array read path
+    _ARRAY_CHUNK = 4096
+
+    def _candidate_rows_array(self, sql: str, params: dict, cache: str,
+                              guard, width: int):
+        """Chunked ``fetchmany`` into ``(m, width)`` float64 blocks.
+
+        The vectorized twin of :meth:`_candidate_rows`: rows are pulled
+        in fixed-size chunks and converted chunk-at-a-time into column
+        blocks that concatenate once at the end, so no full-result
+        Python row list is ever materialized.  With a ``guard`` the
+        chunk size is ``guard.check_every`` with a deadline tick per
+        chunk — the same one-chunk-past-deadline bound as the scalar
+        path.
+        """
+        import numpy as np
+
+        chunk_rows = self._ARRAY_CHUNK if guard is None else guard.check_every
+
+        def fetch(conn):
+            cursor = conn.execute(sql, params)
+            blocks: list = []
+            while True:
+                if guard is not None:
+                    guard.tick()
+                chunk = cursor.fetchmany(chunk_rows)
+                if not chunk:
+                    break
+                blocks.append(
+                    np.asarray(chunk, dtype=float).reshape(-1, width)
+                )
+            if not blocks:
+                return np.empty((0, width))
+            if len(blocks) == 1:
+                return blocks[0]
+            return np.concatenate(blocks, axis=0)
+
+        if cache == "cold":
+            if threading.get_ident() == self._owner_thread:
+                self._with_retry(self._conn.commit)
+            conn = self._connect()
+            try:
+                conn.execute("PRAGMA cache_size = -64")  # 64 KiB only
+                return self._with_retry(lambda: fetch(conn))
+            finally:
+                conn.close()
+        return self._with_retry(lambda: fetch(self._reader()))
+
+    def scan_points_array(self, kind, t_threshold=None, v_threshold=None,
+                          cache="warm", guard=None):
+        self._check_open()
+        sql = point_candidate_sql(
+            kind,
+            POINT_TABLES[kind],
+            self._point_hint(kind, "scan"),
+            with_t=t_threshold is not None,
+            with_v=v_threshold is not None,
+        )
+        return self._candidate_rows_array(
+            sql, {"T": t_threshold, "V": v_threshold}, cache, guard, 6
+        )
+
+    def probe_point_index_array(self, kind, t_threshold, v_threshold=None,
+                                cache="warm", guard=None):
+        self._check_open()
+        sql = point_candidate_sql(
+            kind,
+            POINT_TABLES[kind],
+            self._point_hint(kind, "index"),
+            with_t=True,
+            with_v=v_threshold is not None,
+        )
+        return self._candidate_rows_array(
+            sql, {"T": t_threshold, "V": v_threshold}, cache, guard, 6
+        )
+
+    def scan_lines_array(self, kind, t_threshold=None, v_threshold=None,
+                         cache="warm", guard=None):
+        self._check_open()
+        sql = line_candidate_sql(
+            kind,
+            LINE_TABLES[kind],
+            self._line_hint(kind, "scan"),
+            with_t=t_threshold is not None,
+            with_v=v_threshold is not None,
+        )
+        return self._candidate_rows_array(
+            sql, {"T": t_threshold, "V": v_threshold}, cache, guard, 8
+        )
+
+    def probe_line_index_array(self, kind, t_threshold, v_threshold=None,
+                               cache="warm", guard=None):
+        self._check_open()
+        sql = line_candidate_sql(
+            kind,
+            LINE_TABLES[kind],
+            self._line_hint(kind, "index"),
+            with_t=True,
+            with_v=v_threshold is not None,
+        )
+        return self._candidate_rows_array(
+            sql, {"T": t_threshold, "V": v_threshold}, cache, guard, 8
+        )
+
     def _reader(self) -> sqlite3.Connection:
         """The connection to read from in the current thread."""
         if threading.get_ident() == self._owner_thread:
