@@ -445,6 +445,87 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_debug(args: argparse.Namespace) -> int:
+    """End-to-end query diagnostics: run one probe search with per-query
+    tracing forced on, then print the linked trace tree, the resource
+    accounting rollup, and the flight recorder's recent tail.
+
+    ``--dump FILE`` additionally writes the whole recorder ring as JSONL,
+    validated against ``benchmarks/recorder.schema.json`` (via its
+    in-code twin) before anything touches disk.
+    """
+    from . import obs
+    from .core.queries import DropQuery, JumpQuery
+    from .obs.recorder import EVENT_SCHEMA
+
+    if (args.drop is None) == (args.jump is None):
+        print(
+            "error: exactly one of --drop or --jump is required",
+            file=sys.stderr,
+        )
+        return 2
+    kind = "drop" if args.drop is not None else "jump"
+    threshold = args.drop if args.drop is not None else args.jump
+    t_threshold = args.within_minutes * 60.0
+
+    # own the context here so the sessions underneath adopt it and leave
+    # the retention decision (and the collected trace roots) to us
+    ctx = obs.new_context(api="debug")
+    if PartitionManifest.exists(args.index):
+        query = (
+            DropQuery(t_threshold, threshold) if kind == "drop"
+            else JumpQuery(t_threshold, threshold)
+        )
+        live = LiveIndex.open(args.index)
+        try:
+            with live.snapshot() as snap, obs.use_context(ctx):
+                result = snap.execute(query, mode=args.mode)
+        finally:
+            live.close()
+        status, n_pairs = result.status.value, len(result.pairs)
+    else:
+        index = SegDiffIndex.open(args.index)
+        try:
+            with obs.use_context(ctx):
+                outcome = index.search_outcome(
+                    kind, t_threshold, threshold, mode=args.mode
+                )
+        finally:
+            index.close()
+        status, n_pairs = outcome.status.value, len(outcome.pairs)
+
+    print(
+        f"query {ctx.query_id}: kind={kind} T={t_threshold:g}s "
+        f"V={threshold:g}  ->  {n_pairs} pairs, status={status}"
+    )
+    print()
+    print("trace:")
+    if ctx.trace_roots:
+        for root in ctx.trace_roots:
+            print(obs.render_span_tree(root))
+    else:
+        print("  (no spans recorded)")
+    print()
+    print(ctx.accounting.render())
+    events = obs.RECORDER.tail(args.events)
+    print()
+    print(f"flight recorder ({len(events)} recent event(s)):")
+    for ev in events:
+        print(f"  {ev.render()}")
+
+    if args.dump is not None:
+        text = obs.RECORDER.to_jsonl()
+        obs.validate_jsonl(text.splitlines(), EVENT_SCHEMA)
+        with open(args.dump, "w", encoding="utf-8") as fh:
+            if text:
+                fh.write(text)
+                fh.write("\n")
+        n_lines = 0 if not text else text.count("\n") + 1
+        print()
+        print(f"wrote {n_lines} validated event(s) to {args.dump}")
+    return 0
+
+
 def _breaker_states() -> List[tuple]:
     """Decode every registered ``repro_breaker_state`` gauge series."""
     from .obs.metrics import REGISTRY
@@ -755,6 +836,24 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["table", "jsonl", "prometheus"],
                    default="table")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "debug",
+        help="query diagnostics: trace tree, resource accounting, and "
+             "the flight-recorder tail for one probe search",
+    )
+    p.add_argument("index", help="a built index file or live directory")
+    p.add_argument("--drop", type=float, help="drop threshold V < 0")
+    p.add_argument("--jump", type=float, help="jump threshold V > 0")
+    p.add_argument("--within-minutes", type=float, default=60.0)
+    p.add_argument("--mode", choices=["auto", "index", "scan"],
+                   default="index")
+    p.add_argument("--events", type=int, default=20, metavar="N",
+                   help="flight-recorder events to print (default 20)")
+    p.add_argument("--dump", metavar="FILE",
+                   help="write the whole recorder ring to FILE as "
+                        "schema-validated JSONL")
+    p.set_defaults(func=cmd_debug)
 
     p = sub.add_parser("fsck", help="check a database file for corruption")
     p.add_argument("db", help="a MiniDB (.mdb) or SQLite file")

@@ -39,6 +39,8 @@ from __future__ import annotations
 import os
 import re
 import threading
+import time
+from contextlib import nullcontext
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -54,7 +56,11 @@ from ..errors import (
     QueryError,
     StorageError,
 )
-from ..obs.tracing import span
+from ..obs import context as obs_context
+from ..obs import recorder as flight
+from ..obs import slowlog
+from ..obs.metrics import QUERY_LATENCY_BUCKETS, REGISTRY
+from ..obs.tracing import retain_trace, span
 from ..segmentation.sliding_window import SlidingWindowSegmenter
 from ..storage.memory_store import MemoryFeatureStore
 from ..storage.partitions import (
@@ -80,6 +86,22 @@ DEFAULT_SEAL_ROWS = 50_000
 _MODES = ("auto", "index", "scan", "grid")
 
 _PARTITION_FILE_RE = re.compile(r"^p\d+\.(sqlite|minidb)$")
+
+_LIVE_QUERIES = {
+    api: REGISTRY.counter(
+        "repro_engine_queries_total",
+        "Queries answered by QuerySession", {"api": api},
+    )
+    for api in ("live_search", "live_search_batch")
+}
+_LIVE_QUERY_SECONDS = {
+    api: REGISTRY.histogram(
+        "repro_query_seconds",
+        "End-to-end query latency per session API", {"api": api},
+        buckets=QUERY_LATENCY_BUCKETS,
+    )
+    for api in ("live_search", "live_search_batch")
+}
 
 
 def _batch_feature_bounds(batch) -> Optional[Tuple[float, float]]:
@@ -532,6 +554,11 @@ class LiveIndex:
             self._hot = _Hot()
             PARTITION_SEALS.inc()
             PARTITION_FLUSH_ROWS.observe(hot_had_rows)
+            flight.record(
+                "seal", part_id,
+                rows=hot_had_rows, segments=spec.n_segments,
+                watermark=watermark,
+            )
         hot.store.close()
         return part
 
@@ -634,6 +661,11 @@ class LiveIndex:
             for old in run:
                 old.retire()
             COMPACTIONS.inc()
+            flight.record(
+                "compaction", part_id,
+                merged=len(run), rows=rows,
+                replaced=",".join(p.partition_id for p in run),
+            )
 
     def expire(self, ttl: Optional[float] = None) -> List[str]:
         """Drop partitions fully expired under ``ttl`` (defaults to the
@@ -673,6 +705,10 @@ class LiveIndex:
             for p in victims:
                 p.retire()
             PARTITIONS_EXPIRED.inc(len(victims))
+            flight.record(
+                "expire", "ttl",
+                partitions=len(ids), ids=",".join(ids), cutoff=cutoff,
+            )
         return ids
 
     def finalize(self) -> None:
@@ -738,6 +774,7 @@ class LiveIndex:
                 window=self.window,
                 partitions=parts,
                 hot=hot_part,
+                backend=self.backend,
                 generation=self._manifest.generation,
                 watermark=self.watermark,
                 n_observations=self._n_observations,
@@ -869,9 +906,11 @@ class LiveSnapshot:
         generation: int,
         watermark: Optional[float],
         n_observations: int,
+        backend: str = "memory",
     ) -> None:
         self.epsilon = epsilon
         self.window = window
+        self.backend = backend
         self.generation = generation
         self.watermark = watermark
         #: Observations the writer had ingested when this snapshot froze.
@@ -949,6 +988,67 @@ class LiveSnapshot:
         )
         return result.hits if data is not None else result.pairs
 
+    def _begin(self, api: str):
+        """Adopt the bound diagnostics context or open a new one."""
+        ctx = obs_context.current_context()
+        if ctx is not None:
+            return ctx, nullcontext(), False
+        ctx = obs_context.new_context(api=api)
+        return ctx, obs_context.use_context(ctx), True
+
+    def _observe_live(
+        self, api: str, plan: str, seconds: float, n_pairs: int,
+        result, ctx, owns: bool, status: str,
+        partitions_scanned: Optional[int] = None,
+        partitions_pruned: Optional[int] = None,
+    ) -> None:
+        """Per-query telemetry + slow-query log for the live tier.
+
+        Live-tier records carry the partition pruning decision and the
+        accounting breakdown, so a slow scatter names the partitions it
+        actually scanned.
+        """
+        _LIVE_QUERIES[api].inc()
+        _LIVE_QUERY_SECONDS[api].observe(seconds)
+        threshold = slowlog.default_threshold()
+        slow = threshold is not None and seconds >= threshold
+        if slow:
+            acct = ctx.accounting.to_dict()
+            slowlog.SLOW_QUERY_LOG.add(
+                slowlog.SlowQueryRecord(
+                    api=api,
+                    backend=f"live/{self.backend}",
+                    duration_s=seconds,
+                    threshold_s=threshold,
+                    plan=plan,
+                    n_pairs=n_pairs,
+                    operators=[
+                        {
+                            "operator": s.operator,
+                            "table": s.table,
+                            "access": s.access,
+                            "rows_fetched": s.rows_fetched,
+                            "rows_matched": s.rows_matched,
+                        }
+                        for s in (getattr(result, "op_stats", None) or [])
+                    ],
+                    query_id=ctx.query_id,
+                    status=status,
+                    partitions_scanned=partitions_scanned,
+                    partitions_pruned=partitions_pruned,
+                    shards=acct["breakdown"],
+                    accounting={
+                        "totals": acct["totals"],
+                        "candidate_matrices": acct["candidate_matrices"],
+                    },
+                )
+            )
+        if owns:
+            if slow or status != "complete":
+                for root in ctx.trace_roots:
+                    retain_trace(root)
+            del ctx.trace_roots[:]
+
     def execute(
         self,
         query,
@@ -963,17 +1063,37 @@ class LiveSnapshot:
         """:meth:`search` returning the full :class:`ExecutionResult`
         (merged operator stats, partitions scanned/pruned)."""
         self._check(query.t_threshold, mode)
-        return execute_partitioned(
-            query,
-            self._make_plan(query, mode, t_range),
-            self._all_partitions(),
-            t_range=t_range,
-            cache=cache,
-            data=data,
-            verified_only=verified_only,
-            pushdown=pushdown,
-            vectorize=vectorize,
+        ctx, binder, owns = self._begin("live_search")
+        t0 = time.perf_counter()
+        with binder:
+            result = execute_partitioned(
+                query,
+                self._make_plan(query, mode, t_range),
+                self._all_partitions(),
+                t_range=t_range,
+                cache=cache,
+                data=data,
+                verified_only=verified_only,
+                pushdown=pushdown,
+                vectorize=vectorize,
+            )
+        self._observe_live(
+            "live_search",
+            plan=(
+                f"live[{self.n_partitions}p] {query.kind}"
+                f"(T={query.t_threshold:g}, V={query.v_threshold:g})"
+                f" mode={mode}"
+            ),
+            seconds=time.perf_counter() - t0,
+            n_pairs=len(result.pairs),
+            result=result,
+            ctx=ctx,
+            owns=owns,
+            status=result.status.value,
+            partitions_scanned=result.partitions_scanned,
+            partitions_pruned=result.partitions_pruned,
         )
+        return result
 
     def search_drops(
         self, t_threshold: float, v_threshold: float, mode: str = "index",
@@ -1040,14 +1160,40 @@ class LiveSnapshot:
                 for q in queries
             ]
 
-        return execute_batch_partitioned(
-            make_plans,
-            self._all_partitions(),
-            n_queries=len(queries),
-            t_range=t_range,
-            cache=cache,
-            vectorize=vectorize,
+        ctx, binder, owns = self._begin("live_search_batch")
+        t0 = time.perf_counter()
+        with binder:
+            results = execute_batch_partitioned(
+                make_plans,
+                self._all_partitions(),
+                n_queries=len(queries),
+                t_range=t_range,
+                cache=cache,
+                vectorize=vectorize,
+            )
+        if any(r.status is ResultStatus.FAILED for r in results):
+            status = "failed"
+        elif any(r.status is ResultStatus.DEGRADED for r in results):
+            status = "degraded"
+        else:
+            status = "complete"
+        first = results[0] if results else None
+        self._observe_live(
+            "live_search_batch",
+            plan=(
+                f"live[{self.n_partitions}p] batch[{len(queries)}q]"
+                f" mode={mode}"
+            ),
+            seconds=time.perf_counter() - t0,
+            n_pairs=sum(len(r.pairs) for r in results),
+            result=first,
+            ctx=ctx,
+            owns=owns,
+            status=status,
+            partitions_scanned=getattr(first, "partitions_scanned", None),
+            partitions_pruned=getattr(first, "partitions_pruned", None),
         )
+        return results
 
     def explain(
         self,
@@ -1062,11 +1208,20 @@ class LiveSnapshot:
         fetched counts are true candidate sizes) and reports the pruning
         decision alongside merged operator statistics."""
         query = self._query(kind, t_threshold, v_threshold)
-        result = self.execute(
-            query, mode=mode, cache=cache, t_range=t_range, pushdown=False
-        )
+        ctx, binder, owns = self._begin("live_search")
+        try:
+            with binder:
+                result = self.execute(
+                    query, mode=mode, cache=cache, t_range=t_range,
+                    pushdown=False,
+                )
+        finally:
+            if owns:
+                del ctx.trace_roots[:]
         return {
             "query": query,
+            "query_id": ctx.query_id,
+            "accounting": ctx.accounting.to_dict(),
             "t_range": t_range,
             "generation": self.generation,
             "watermark": self.watermark,

@@ -44,6 +44,7 @@ import numpy as np
 from ..core.queries import line_mask, point_mask
 from ..core.results import SearchHit, rank_hits
 from ..errors import QueryTimeout, StorageError
+from ..obs import context as obs_context
 from ..obs.metrics import REGISTRY
 from ..obs.tracing import span
 from ..types import SegmentPair
@@ -326,6 +327,11 @@ def execute(
             ps.set_attribute("access", pop.access)
             ps.set_attribute("rows_fetched", p_fetched)
             ps.set_attribute("rows_matched", p_matched)
+            obs_context.account(
+                operator="point_range",
+                candidate_shape=(p_fetched, _POINT_WIDTH),
+                rows_fetched=p_fetched, rows_matched=p_matched,
+            )
             ident_blocks.append(prows[pmask][:, 2:6])
             if guard is not None:
                 guard.finish_op("point_range")
@@ -348,6 +354,11 @@ def execute(
             ls.set_attribute("access", lop.access)
             ls.set_attribute("rows_fetched", l_fetched)
             ls.set_attribute("rows_matched", l_matched)
+            obs_context.account(
+                operator="line_cross",
+                candidate_shape=(l_fetched, _LINE_WIDTH),
+                rows_fetched=l_fetched, rows_matched=l_matched,
+            )
             ident_blocks.append(lrows[lmask][:, 4:8])
             if guard is not None:
                 guard.finish_op("line_cross")
@@ -530,6 +541,16 @@ def execute_batch(
         # fetched once per group — counted once, not once per query
         _ROWS_FETCHED["point_range"].inc(int(prows.shape[0]))
         _ROWS_FETCHED["line_cross"].inc(int(lrows.shape[0]))
+        obs_context.account(
+            operator="point_range",
+            candidate_shape=(int(prows.shape[0]), _POINT_WIDTH),
+            rows_fetched=int(prows.shape[0]),
+        )
+        obs_context.account(
+            operator="line_cross",
+            candidate_shape=(int(lrows.shape[0]), _LINE_WIDTH),
+            rows_fetched=int(lrows.shape[0]),
+        )
 
         # One shared candidate matrix per kind group: the distinct ident
         # rows are computed and materialized as SegmentPairs exactly
@@ -576,6 +597,10 @@ def execute_batch(
             p_matched, l_matched = int(pmask.sum()), int(lmask.sum())
             _ROWS_MATCHED["point_range"].inc(p_matched)
             _ROWS_MATCHED["line_cross"].inc(l_matched)
+            obs_context.account(operator="point_range",
+                                rows_matched=p_matched)
+            obs_context.account(operator="line_cross",
+                                rows_matched=l_matched)
             results[i] = ExecutionResult(
                 pairs=pairs,
                 op_stats=[
@@ -621,7 +646,16 @@ def _split_kept(partitions: Sequence, t_range) -> Tuple[List, int]:
     _PARTITIONS_SCANNED.inc(len(kept))
     if pruned:
         _PARTITIONS_PRUNED.inc(pruned)
+    obs_context.account(partitions_scanned=len(kept),
+                        partitions_pruned=pruned)
     return kept, pruned
+
+
+def _partition_id(part, i: int) -> str:
+    """A stable label for one partition (duck-typed partitions get an
+    index-based one)."""
+    pid = getattr(part, "partition_id", None)
+    return str(pid) if pid is not None else f"part{i}"
 
 
 def _merge_pairs(pair_lists: Sequence[List[SegmentPair]]) -> List[SegmentPair]:
@@ -694,11 +728,16 @@ def execute_partitioned(
         ss.set_attribute("partitions", len(partitions))
         ss.set_attribute("pruned", pruned)
         results = []
-        for part in kept:
+        for i, part in enumerate(kept):
+            pid = _partition_id(part, i)
             plan = replace(
                 make_plan(part), t_range=t_range, refine_op=None
             )
-            with _read_ctx(part):
+            # the partition scope labels every store/executor accounting
+            # contribution below with this partition's id
+            with span("partition.execute") as pspan, \
+                    obs_context.bind_scope(partition=pid), _read_ctx(part):
+                pspan.set_attribute("partition", pid)
                 results.append(
                     execute(plan, part.store, cache=cache,
                             pushdown=pushdown, guard=guard,
@@ -750,12 +789,16 @@ def execute_batch_partitioned(
         ss.set_attribute("partitions", len(partitions))
         ss.set_attribute("pruned", pruned)
         ss.set_attribute("queries", n_queries)
-        for part in kept:
+        for i, part in enumerate(kept):
+            pid = _partition_id(part, i)
             plans = [
                 replace(p, t_range=t_range, refine_op=None)
                 for p in make_plans(part)
             ]
-            with _read_ctx(part):
+            with span("partition.execute") as pspan, \
+                    obs_context.bind_scope(partition=pid), _read_ctx(part):
+                pspan.set_attribute("partition", pid)
+                pspan.set_attribute("queries", n_queries)
                 per_partition.append(
                     execute_batch(plans, part.store, cache=cache,
                                   guard=guard, vectorize=vectorize)

@@ -49,6 +49,8 @@ from ..errors import (
     QueryTimeout,
     StorageError,
 )
+from ..obs import context as obs_context
+from ..obs import recorder as flight
 from ..obs.metrics import REGISTRY
 
 __all__ = [
@@ -322,6 +324,13 @@ class QueryOutcome:
     status: ResultStatus = ResultStatus.COMPLETE
     completeness: Optional[CompletenessReport] = None
     error: Optional[BaseException] = None
+    #: Diagnostics: the query's id, its resource accounting
+    #: (:class:`~repro.obs.context.ResourceAccounting`), and — on
+    #: DEGRADED/FAILED outcomes — the flight recorder's recent tail
+    #: (event dicts), so a failing answer ships its own postmortem.
+    query_id: Optional[str] = None
+    accounting: Optional[object] = field(default=None, compare=False)
+    recorder_tail: Optional[List] = field(default=None, compare=False)
 
     @property
     def degraded(self) -> bool:
@@ -386,6 +395,12 @@ class AdmissionController:
     def _shed(self, why: str) -> None:
         self.shed_count += 1
         _SHED.inc()
+        ctx = obs_context.current_context()
+        flight.record(
+            "shed", "admission",
+            reason=why, active=self._active, waiting=self._waiting,
+            query_id=ctx.query_id if ctx is not None else None,
+        )
         raise QueryRejected(
             f"query shed: {why} "
             f"({self._active} active, {self._waiting} queued, "
@@ -499,6 +514,12 @@ class CircuitBreaker:
         return self._state
 
     def _set_state(self, state: str) -> None:
+        if state != self._state:
+            flight.record(
+                "breaker", self.name,
+                backend=self.backend, state=state,
+                consecutive_failures=self._consecutive_failures,
+            )
         self._state = state
         self._gauge.set(_BREAKER_STATE_VALUES[state])
 
@@ -604,6 +625,7 @@ class RetryPolicy:
                         raise wrap(exc, attempt + 1) from exc
                     raise
                 self._attempts_metric.inc()
+                obs_context.account(retries=1)
                 if on_retry is not None:
                     on_retry(exc)
                 self.sleep(delay)
@@ -674,8 +696,18 @@ class ResiliencePolicy:
 def record_timeout() -> None:
     """Count one deadline miss (called where QueryTimeout surfaces)."""
     _TIMEOUTS.inc()
+    ctx = obs_context.current_context()
+    flight.record(
+        "timeout", "deadline",
+        query_id=ctx.query_id if ctx is not None else None,
+    )
 
 
 def record_degraded() -> None:
     """Count one degraded answer."""
     _DEGRADED.inc()
+    ctx = obs_context.current_context()
+    flight.record(
+        "degraded", "refine_skipped",
+        query_id=ctx.query_id if ctx is not None else None,
+    )

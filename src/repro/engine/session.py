@@ -22,10 +22,12 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from ..errors import InvalidParameterError, QueryTimeout
+from ..errors import InvalidParameterError, QueryRejected, QueryTimeout
+from ..obs import context as obs_context
+from ..obs import recorder as flight
 from ..obs import slowlog
-from ..obs.metrics import REGISTRY, ROWS_BUCKETS
-from ..obs.tracing import span
+from ..obs.metrics import QUERY_LATENCY_BUCKETS, REGISTRY, ROWS_BUCKETS
+from ..obs.tracing import retain_trace, span
 from ..types import SegmentPair
 from .cost import CostModel
 from .executor import ExecutionResult, execute, execute_batch
@@ -35,6 +37,7 @@ from .resilience import (
     QueryGuard,
     QueryOutcome,
     ResiliencePolicy,
+    ResultStatus,
     record_timeout,
 )
 
@@ -53,6 +56,7 @@ _QUERY_SECONDS = {
     api: REGISTRY.histogram(
         "repro_query_seconds",
         "End-to-end query latency per session API", {"api": api},
+        buckets=QUERY_LATENCY_BUCKETS,
     )
     for api in ("search", "search_batch", "explain")
 }
@@ -91,6 +95,10 @@ class ExplainReport:
     pages_read: Optional[int] = None
     cache_hits: Optional[int] = None
     cache_misses: Optional[int] = None
+    #: Diagnostics: the query's id and its resource-accounting snapshot
+    #: (totals + per-operator/shard/partition breakdown).
+    query_id: Optional[str] = None
+    accounting: Optional[dict] = field(default=None, compare=False)
 
     def render(self) -> str:
         """Human-readable EXPLAIN output (the CLI's format)."""
@@ -256,13 +264,28 @@ class QuerySession:
                  pushdown: bool = True,
                  guard: Optional[QueryGuard] = None) -> ExecutionResult:
         if self._lock is None:
-            return execute(plan, self.store, cache=cache, data=data,
-                           pushdown=pushdown, guard=guard,
-                           vectorize=self.vectorize)
+            return self._execute_accounted(plan, cache, data, pushdown,
+                                           guard)
         with self._lock:
-            return execute(plan, self.store, cache=cache, data=data,
-                           pushdown=pushdown, guard=guard,
-                           vectorize=self.vectorize)
+            return self._execute_accounted(plan, cache, data, pushdown,
+                                           guard)
+
+    def _execute_accounted(self, plan, cache, data, pushdown, guard):
+        """Execute and attribute the pager-page delta to the query's
+        resource accounting (on stores that expose pager counters)."""
+        fn = getattr(self.store, "pager_stats", None)
+        before = (
+            fn().snapshot()
+            if callable(fn) and obs_context.current_context() is not None
+            else None
+        )
+        result = execute(plan, self.store, cache=cache, data=data,
+                         pushdown=pushdown, guard=guard,
+                         vectorize=self.vectorize)
+        if before is not None:
+            delta = fn().snapshot().delta(before)
+            obs_context.account(pages_read=delta.page_reads)
+        return result
 
     def _execute_with_io(
         self, plan: QueryPlan, cache: str, data, pushdown: bool = True
@@ -286,6 +309,34 @@ class QuerySession:
         after = self._io_stats()
         return result, before, after
 
+    def _slow_threshold(self) -> Optional[float]:
+        threshold = self.slow_query_threshold
+        if threshold is None:
+            threshold = slowlog.default_threshold()
+        return threshold
+
+    def _begin_query(self, api: str):
+        """Adopt the bound context (scatter worker) or open a new one.
+
+        Returns ``(ctx, binder, owns)``: ``owns`` is True when this
+        session created the context and is responsible for the
+        tail-retention decision at the end of the query.
+        """
+        ctx = obs_context.current_context()
+        if ctx is not None:
+            return ctx, nullcontext(), False
+        ctx = obs_context.new_context(api=api)
+        return ctx, obs_context.use_context(ctx), True
+
+    @staticmethod
+    def _finish_query(ctx, retain: bool) -> None:
+        """Tail-based retention: keep the query's trace only when it was
+        slow, degraded, failed, timed out, or shed."""
+        if retain:
+            for root in ctx.trace_roots:
+                retain_trace(root)
+        del ctx.trace_roots[:]
+
     def _observe_query(
         self,
         api: str,
@@ -293,16 +344,19 @@ class QuerySession:
         seconds: float,
         n_pairs: int,
         op_stats=None,
+        ctx=None,
+        status: str = "complete",
+        partitions_scanned: Optional[int] = None,
+        partitions_pruned: Optional[int] = None,
     ) -> None:
         """Record per-query telemetry and feed the slow-query log."""
         _QUERIES[api].inc()
         _QUERY_SECONDS[api].observe(seconds)
         _QUERY_PAIRS.observe(n_pairs)
-        threshold = self.slow_query_threshold
-        if threshold is None:
-            threshold = slowlog.default_threshold()
+        threshold = self._slow_threshold()
         if threshold is not None and seconds >= threshold:
             _SLOW_QUERIES.inc()
+            acct = ctx.accounting.to_dict() if ctx is not None else None
             slowlog.SLOW_QUERY_LOG.add(
                 slowlog.SlowQueryRecord(
                     api=api,
@@ -321,6 +375,18 @@ class QuerySession:
                         }
                         for s in (op_stats or [])
                     ],
+                    query_id=ctx.query_id if ctx is not None else None,
+                    status=status,
+                    partitions_scanned=partitions_scanned,
+                    partitions_pruned=partitions_pruned,
+                    shards=acct["breakdown"] if acct is not None else [],
+                    accounting=(
+                        {
+                            "totals": acct["totals"],
+                            "candidate_matrices": acct["candidate_matrices"],
+                        }
+                        if acct is not None else None
+                    ),
                 )
             )
 
@@ -375,38 +441,61 @@ class QuerySession:
         refine = (
             RefineOp(verified_only=verified_only) if data is not None else None
         )
+        ctx, binder, owns = self._begin_query("search")
         t0 = time.perf_counter()
-        with self._admit(guard):
-            try:
-                with span("query.search") as root:
-                    with span("query.plan"):
-                        plan = self.plan(query, mode=mode, t_range=t_range)
-                    if refine is not None:
-                        plan = QueryPlan(
-                            query=plan.query,
-                            point_op=plan.point_op,
-                            line_op=plan.line_op,
-                            refine_op=refine,
-                            t_range=plan.t_range,
+        try:
+            with binder, self._admit(guard):
+                try:
+                    with span("query.search") as root:
+                        root.set_attribute("query_id", ctx.query_id)
+                        shard, _ = obs_context.current_scope()
+                        if shard is not None:
+                            root.set_attribute("shard", shard)
+                        with span("query.plan"):
+                            plan = self.plan(query, mode=mode, t_range=t_range)
+                        if refine is not None:
+                            plan = QueryPlan(
+                                query=plan.query,
+                                point_op=plan.point_op,
+                                line_op=plan.line_op,
+                                refine_op=refine,
+                                t_range=plan.t_range,
+                            )
+                        result = self._execute(plan, cache, data, guard=guard)
+                        root.set_attribute(
+                            "backend",
+                            getattr(self.store, "BACKEND", "unknown"),
                         )
-                    result = self._execute(plan, cache, data, guard=guard)
-                    root.set_attribute(
-                        "backend", getattr(self.store, "BACKEND", "unknown")
-                    )
-                    root.set_attribute("kind", query.kind)
-                    root.set_attribute("pairs", len(result.pairs))
-            except QueryTimeout:
-                record_timeout()
-                raise
+                        root.set_attribute("kind", query.kind)
+                        root.set_attribute("pairs", len(result.pairs))
+                except QueryTimeout:
+                    record_timeout()
+                    raise
+        except (QueryTimeout, QueryRejected):
+            # timed-out and shed queries always keep their trace
+            if owns:
+                self._finish_query(ctx, retain=True)
+            raise
+        seconds = time.perf_counter() - t0
         self._observe_query(
-            "search", plan, time.perf_counter() - t0,
-            len(result.pairs), result.op_stats,
+            "search", plan, seconds, len(result.pairs), result.op_stats,
+            ctx=ctx, status=result.status.value,
         )
+        unhealthy = result.status is not ResultStatus.COMPLETE
+        if owns:
+            threshold = self._slow_threshold()
+            slow = threshold is not None and seconds >= threshold
+            self._finish_query(ctx, retain=unhealthy or slow)
         return QueryOutcome(
             pairs=result.pairs,
             hits=result.hits,
             status=result.status,
             completeness=result.completeness,
+            query_id=ctx.query_id,
+            accounting=ctx.accounting,
+            recorder_tail=(
+                flight.RECORDER.tail_dicts(32) if unhealthy else None
+            ),
         )
 
     def search_batch(
@@ -456,39 +545,70 @@ class QuerySession:
                 "batched execution supports 'auto', 'index' and 'scan'"
             )
         guard = self._make_guard(timeout_ms, None)
+        ctx, binder, owns = self._begin_query("search_batch")
         t0 = time.perf_counter()
-        with self._admit(guard):
-            try:
-                with span("query.search_batch") as root:
-                    with span("query.plan"):
-                        plans = [
-                            self.plan(q, mode=mode, t_range=t_range)
-                            for q in queries
-                        ]
-                    if self._lock is None:
-                        results = execute_batch(plans, self.store,
-                                                cache=cache, guard=guard,
-                                                vectorize=self.vectorize)
-                    else:
-                        with self._lock:
+        try:
+            with binder, self._admit(guard):
+                try:
+                    with span("query.search_batch") as root:
+                        root.set_attribute("query_id", ctx.query_id)
+                        with span("query.plan"):
+                            plans = [
+                                self.plan(q, mode=mode, t_range=t_range)
+                                for q in queries
+                            ]
+                        if self._lock is None:
                             results = execute_batch(plans, self.store,
                                                     cache=cache, guard=guard,
                                                     vectorize=self.vectorize)
-                    root.set_attribute("queries", len(plans))
-            except QueryTimeout:
-                record_timeout()
-                raise
+                        else:
+                            with self._lock:
+                                results = execute_batch(
+                                    plans, self.store, cache=cache,
+                                    guard=guard, vectorize=self.vectorize,
+                                )
+                        root.set_attribute("queries", len(plans))
+                except QueryTimeout:
+                    record_timeout()
+                    raise
+        except (QueryTimeout, QueryRejected):
+            if owns:
+                self._finish_query(ctx, retain=True)
+            raise
+        seconds = time.perf_counter() - t0
+        unhealthy = any(
+            r.status is not ResultStatus.COMPLETE for r in results
+        )
+        if unhealthy:
+            batch_status = (
+                "failed"
+                if any(r.status is ResultStatus.FAILED for r in results)
+                else "degraded"
+            )
+        else:
+            batch_status = "complete"
         if plans:
             n_pairs = sum(len(r.pairs) for r in results)
             self._observe_query(
-                "search_batch", plans[0], time.perf_counter() - t0, n_pairs,
+                "search_batch", plans[0], seconds, n_pairs,
+                ctx=ctx, status=batch_status,
             )
+        if owns:
+            threshold = self._slow_threshold()
+            slow = threshold is not None and seconds >= threshold
+            self._finish_query(ctx, retain=unhealthy or slow)
+        tail = flight.RECORDER.tail_dicts(32) if unhealthy else None
         return [
             QueryOutcome(
                 pairs=r.pairs,
                 status=r.status,
                 completeness=r.completeness,
                 error=r.error,
+                query_id=ctx.query_id,
+                accounting=ctx.accounting,
+                recorder_tail=(
+                    tail if r.status is not ResultStatus.COMPLETE else None
+                ),
             )
             for r in results
         ]
@@ -506,8 +626,10 @@ class QuerySession:
         Pushdown is disabled for the run so ``rows_fetched`` reports the
         true candidate-set size of each access path.
         """
+        ctx, binder, owns = self._begin_query("explain")
         t0 = time.perf_counter()
-        with self._admit(None), span("query.explain") as root:
+        with binder, self._admit(None), span("query.explain") as root:
+            root.set_attribute("query_id", ctx.query_id)
             with span("query.plan"):
                 plan = self.plan(query, mode=mode, t_range=t_range)
             # snapshots and execution happen atomically under the session
@@ -517,16 +639,23 @@ class QuerySession:
                 plan, cache, None, pushdown=False
             )
             root.set_attribute("kind", query.kind)
-        pages_read = cache_hits = cache_misses = None
-        if stats_before is not None and stats_after is not None:
-            delta = stats_after.delta(stats_before)
-            pages_read = delta.page_reads
-            cache_hits = delta.hits
-            cache_misses = delta.misses
+            pages_read = cache_hits = cache_misses = None
+            if stats_before is not None and stats_after is not None:
+                delta = stats_after.delta(stats_before)
+                pages_read = delta.page_reads
+                cache_hits = delta.hits
+                cache_misses = delta.misses
+                obs_context.account(pages_read=pages_read)
+        seconds = time.perf_counter() - t0
         self._observe_query(
-            "explain", plan, time.perf_counter() - t0,
-            len(result.pairs), result.op_stats,
+            "explain", plan, seconds, len(result.pairs), result.op_stats,
+            ctx=ctx,
         )
+        if owns:
+            threshold = self._slow_threshold()
+            self._finish_query(
+                ctx, retain=threshold is not None and seconds >= threshold
+            )
 
         counts = self.store.counts()
         ops: List[OperatorExplain] = []
@@ -571,6 +700,8 @@ class QuerySession:
             pages_read=pages_read,
             cache_hits=cache_hits,
             cache_misses=cache_misses,
+            query_id=ctx.query_id,
+            accounting=ctx.accounting.to_dict(),
         )
 
     def _io_stats(self):

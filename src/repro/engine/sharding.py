@@ -46,7 +46,9 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -57,8 +59,11 @@ from ..errors import (
     QueryTimeout,
     StorageError,
 )
+from ..obs import context as obs_context
+from ..obs import recorder as flight
+from ..obs import slowlog
 from ..obs.metrics import REGISTRY
-from ..obs.tracing import span
+from ..obs.tracing import retain_trace, span
 from ..types import SegmentPair
 from .resilience import (
     CompletenessReport,
@@ -222,6 +227,14 @@ class Shard:
         for attempt, replica in enumerate(self.replicas):
             if attempt:
                 _FAILOVERS.inc()
+                obs_context.account(failovers=1)
+                ctx = obs_context.current_context()
+                flight.record(
+                    "failover", self.shard_id,
+                    replica=attempt,
+                    error=type(last_error).__name__ if last_error else None,
+                    query_id=ctx.query_id if ctx is not None else None,
+                )
             try:
                 outcome = replica.search_outcome(
                     kind, t_threshold, v_threshold, **kw
@@ -519,34 +532,73 @@ class ShardedIndex:
                     reason="no shard overlaps the predicate"
                 ),
             )
-        with span("shard.scatter_gather") as s:
-            s.set_attribute("kind", kind)
-            s.set_attribute("shards", len(routed))
-            if len(routed) == 1:
-                results = [
-                    self._shard_call(
-                        routed[0], kind, t_threshold, v_threshold, mode, kw
+        # Adopt an already-bound diagnostics context or open a new one;
+        # the owner makes the tail-retention call after the merge.
+        ctx = obs_context.current_context()
+        owns = ctx is None
+        if owns:
+            ctx = obs_context.new_context(api="shard_search")
+        binder = obs_context.use_context(ctx) if owns else nullcontext()
+        t0 = time.perf_counter()
+        with binder:
+            with span("shard.scatter_gather") as s:
+                s.set_attribute("query_id", ctx.query_id)
+                s.set_attribute("kind", kind)
+                s.set_attribute("shards", len(routed))
+                # Hand the context off through the pool explicitly:
+                # thread-locals don't cross ThreadPoolExecutor, so each
+                # worker rebinds and parents its spans on the scatter
+                # span — one connected trace tree per query instead of
+                # per-thread orphans.
+                handed = ctx.handoff(s)
+                if len(routed) == 1:
+                    results = [
+                        self._shard_call(
+                            handed, routed[0], kind, t_threshold,
+                            v_threshold, mode, kw,
+                        )
+                    ]
+                else:
+                    pool = self._executor(len(routed))
+                    results = list(
+                        pool.map(
+                            lambda sh: self._shard_call(
+                                handed, sh, kind, t_threshold,
+                                v_threshold, mode, kw,
+                            ),
+                            routed,
+                        )
                     )
-                ]
-            else:
-                pool = self._executor(len(routed))
-                results = list(
-                    pool.map(
-                        lambda sh: self._shard_call(
-                            sh, kind, t_threshold, v_threshold, mode, kw
-                        ),
-                        routed,
-                    )
-                )
-        return self._merge(routed, results)
+        outcome = self._merge(routed, results)
+        outcome.query_id = ctx.query_id
+        outcome.accounting = ctx.accounting
+        unhealthy = outcome.status is not ResultStatus.COMPLETE
+        if unhealthy:
+            outcome.recorder_tail = flight.RECORDER.tail_dicts(32)
+        if owns:
+            threshold = slowlog.default_threshold()
+            seconds = time.perf_counter() - t0
+            slow = threshold is not None and seconds >= threshold
+            if unhealthy or slow:
+                for root in ctx.trace_roots:
+                    retain_trace(root)
+            del ctx.trace_roots[:]
+        return outcome
 
     @staticmethod
-    def _shard_call(shard: Shard, kind, t_threshold, v_threshold, mode, kw):
-        """One shard's outcome, or the error that lost it."""
+    def _shard_call(ctx, shard: Shard, kind, t_threshold, v_threshold,
+                    mode, kw):
+        """One shard's outcome, or the error that lost it.
+
+        Runs on a scatter-pool worker thread: rebinds the handed-off
+        query context (scoped to this shard) so the shard session's
+        spans and accounting join the submitting query.
+        """
         try:
-            return shard.search_outcome(
-                kind, t_threshold, v_threshold, mode=mode, **kw
-            )
+            with obs_context.use_context(ctx, shard=shard.shard_id):
+                return shard.search_outcome(
+                    kind, t_threshold, v_threshold, mode=mode, **kw
+                )
         except (QueryTimeout, StorageError, OSError) as exc:
             return exc
 
@@ -718,9 +770,19 @@ class ShardedIndex:
                         div.table, start, stop
                     )
                     target.store.replace_table_rows(div.table, start, rows)
+                flight.record(
+                    "checksum_repair", div.shard_id,
+                    replica=div.replica, table=div.table,
+                    ranges=len(div.ranges), method="range_copy",
+                )
             except StorageError:
                 self._rebuild_replica(shard, div.replica, source)
                 rebuilt.add((div.shard_id, div.replica))
+                flight.record(
+                    "checksum_repair", div.shard_id,
+                    replica=div.replica, table=div.table,
+                    ranges=len(div.ranges), method="rebuild",
+                )
             if div.replica == 0 and div.against == "sealed":
                 # the authority was repaired from a peer: re-seal so the
                 # persisted trees describe the repaired rows

@@ -21,11 +21,30 @@ from .metrics import (  # noqa: F401
     Gauge,
     Histogram,
     LATENCY_BUCKETS,
+    QUERY_LATENCY_BUCKETS,
     MetricSample,
     MetricsRegistry,
     REGISTRY,
     ROWS_BUCKETS,
     get_registry,
+)
+from .context import (  # noqa: F401
+    QueryContext,
+    ResourceAccounting,
+    account,
+    bind_scope,
+    current_context,
+    current_scope,
+    new_context,
+    use_context,
+)
+from .recorder import (  # noqa: F401
+    CATEGORIES as RECORDER_CATEGORIES,
+    EVENT_SCHEMA as RECORDER_EVENT_SCHEMA,
+    FlightEvent,
+    FlightRecorder,
+    RECORDER,
+    record,
 )
 from .metrics import enabled as metrics_enabled  # noqa: F401
 from .metrics import set_enabled as set_metrics_enabled  # noqa: F401
@@ -39,6 +58,7 @@ from .tracing import (  # noqa: F401
     iter_spans,
     recent_traces,
     render_span_tree,
+    retain_trace,
     span,
 )
 from .tracing import enabled as tracing_enabled  # noqa: F401
@@ -63,12 +83,19 @@ from .slowlog import (  # noqa: F401
 __all__ = [
     # metrics
     "Counter", "Gauge", "Histogram", "MetricSample", "MetricsRegistry",
-    "REGISTRY", "LATENCY_BUCKETS", "ROWS_BUCKETS", "get_registry",
+    "REGISTRY", "LATENCY_BUCKETS", "QUERY_LATENCY_BUCKETS",
+    "ROWS_BUCKETS", "get_registry",
     "metrics_enabled", "set_metrics_enabled",
+    # query context / accounting
+    "QueryContext", "ResourceAccounting", "account", "bind_scope",
+    "current_context", "current_scope", "new_context", "use_context",
+    # flight recorder
+    "FlightEvent", "FlightRecorder", "RECORDER", "RECORDER_CATEGORIES",
+    "RECORDER_EVENT_SCHEMA", "record",
     # tracing
     "Span", "Tracer", "TRACER", "span", "current_span", "recent_traces",
-    "clear_traces", "render_span_tree", "iter_spans", "enabled_ctx",
-    "tracing_enabled", "set_tracing_enabled",
+    "clear_traces", "retain_trace", "render_span_tree", "iter_spans",
+    "enabled_ctx", "tracing_enabled", "set_tracing_enabled",
     # export
     "to_jsonl", "write_jsonl", "to_prometheus", "parse_prometheus",
     "render_table", "validate_jsonl", "validate_schema",

@@ -59,7 +59,12 @@ def default_threshold() -> Optional[float]:
 
 @dataclass
 class SlowQueryRecord:
-    """One over-threshold query, as captured by the session."""
+    """One over-threshold query, as captured by the session.
+
+    The diagnostics fields (``query_id``, ``status``, the accounting
+    snapshot and the shard/partition breakdowns) default empty so
+    pre-diagnostics producers and consumers keep working unchanged.
+    """
 
     api: str                      # "search" | "search_batch" | "explain"
     backend: str
@@ -69,9 +74,18 @@ class SlowQueryRecord:
     n_pairs: int
     wall_time: float = field(default_factory=time.time)
     operators: List[Dict[str, Any]] = field(default_factory=list)
+    query_id: Optional[str] = None
+    status: str = "complete"
+    partitions_scanned: Optional[int] = None
+    partitions_pruned: Optional[int] = None
+    #: Per-scope accounting cells: the ``breakdown`` entries of the
+    #: query's :class:`~repro.obs.context.ResourceAccounting` snapshot.
+    shards: List[Dict[str, Any]] = field(default_factory=list)
+    #: The accounting totals (rows scanned, bytes decoded, retries, ...).
+    accounting: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "api": self.api,
             "backend": self.backend,
             "duration_ms": round(self.duration_s * 1e3, 3),
@@ -80,7 +94,18 @@ class SlowQueryRecord:
             "n_pairs": self.n_pairs,
             "wall_time": self.wall_time,
             "operators": list(self.operators),
+            "status": self.status,
         }
+        if self.query_id is not None:
+            out["query_id"] = self.query_id
+        if self.partitions_scanned is not None:
+            out["partitions_scanned"] = self.partitions_scanned
+            out["partitions_pruned"] = self.partitions_pruned
+        if self.shards:
+            out["shards"] = list(self.shards)
+        if self.accounting is not None:
+            out["accounting"] = dict(self.accounting)
+        return out
 
 
 class SlowQueryLog:

@@ -12,7 +12,14 @@ attribute lookups.  Enable per-process with :func:`set_enabled` (the CLI
 ``--trace`` flag) or scoped with ``enabled_ctx()``.
 
 The active-span stack is thread-local: traces from concurrent sessions
-never interleave, and a worker thread starts its own root.
+never interleave.  A worker thread with an empty stack but a bound
+:class:`~repro.obs.context.QueryContext` parents its spans on the
+context's hand-off span, so scatter-gather work joins the submitting
+query's tree instead of orphaning per-thread fragments.  A bound
+context with ``trace=True`` also enables span recording for just that
+query while process-wide tracing stays off — the tail-based retention
+path: the context owner calls :func:`retain_trace` only for traces
+worth keeping (slow, degraded, failed, timed-out).
 """
 
 from __future__ import annotations
@@ -23,6 +30,8 @@ import time
 from collections import deque
 from typing import Any, Deque, Dict, Iterator, List, Optional
 
+from . import context as _context
+
 __all__ = [
     "Span",
     "Tracer",
@@ -31,6 +40,7 @@ __all__ = [
     "current_span",
     "recent_traces",
     "clear_traces",
+    "retain_trace",
     "set_enabled",
     "enabled",
     "render_span_tree",
@@ -150,10 +160,19 @@ class Tracer:
 
     def span(self, name: str):
         """A context manager yielding the new :class:`Span` (or a no-op
-        when tracing is off)."""
-        if not self._enabled:
-            return _NULL_SPAN
-        return _ActiveSpan(self, name)
+        when tracing is off).
+
+        Live when tracing is enabled process-wide **or** the thread has
+        a bound query context with ``trace=True`` — the latter records
+        lightweight per-query spans for tail-based retention without
+        turning tracing on for the whole process.
+        """
+        if self._enabled:
+            return _ActiveSpan(self, name)
+        ctx = _context.current_context()
+        if ctx is not None and ctx.trace:
+            return _ActiveSpan(self, name)
+        return _NULL_SPAN
 
     def _stack(self) -> List[Span]:
         stack = getattr(self._local, "stack", None)
@@ -163,7 +182,17 @@ class Tracer:
 
     def _current(self) -> Optional[Span]:
         stack = self._stack()
-        return stack[-1] if stack else None
+        if stack:
+            return stack[-1]
+        # empty stack on this thread: fall back to the bound context's
+        # hand-off span, so scatter-pool worker spans parent onto the
+        # submitting query's tree.  Span.__init__ appends the child via
+        # ``parent.children.append`` — atomic under the GIL, so the
+        # cross-thread link needs no extra lock.
+        ctx = _context.current_context()
+        if ctx is not None:
+            return ctx.parent_span  # type: ignore[return-value]
+        return None
 
     def _push(self, s: Span) -> None:
         self._stack().append(s)
@@ -175,8 +204,22 @@ class Tracer:
         elif s in stack:  # mismatched exits: drop everything above too
             del stack[stack.index(s):]
         if s.parent is None:
+            if not self._enabled:
+                # context-traced only: park the root on the context; the
+                # owner retains it iff the outcome warrants (tail-based
+                # retention) instead of flooding the ring with every
+                # healthy query's trace.
+                ctx = _context.current_context()
+                if ctx is not None and ctx.trace:
+                    ctx.trace_roots.append(s)
+                    return
             with self._traces_lock:
                 self._traces.append(s)
+
+    def retain(self, root: Span) -> None:
+        """Keep a finished root in the trace ring (tail retention)."""
+        with self._traces_lock:
+            self._traces.append(root)
 
     # -- finished traces ------------------------------------------------ #
 
@@ -211,6 +254,11 @@ def recent_traces() -> List[Span]:
 
 def clear_traces() -> None:
     TRACER.clear()
+
+
+def retain_trace(root: Span) -> None:
+    """Keep a context-recorded trace in the default tracer's ring."""
+    TRACER.retain(root)
 
 
 def set_enabled(on: bool) -> None:

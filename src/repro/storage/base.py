@@ -30,6 +30,17 @@ def rows_to_block(rows, width: int):
     return arr.reshape(-1, width)
 
 
+def _account_block(block):
+    """Attribute one adapted candidate block to the bound query context
+    (no-op when none) — the default accounting for duck-typed stores
+    whose own primitives predate resource accounting."""
+    from ..obs import context as obs_context
+
+    obs_context.account(rows_scanned=int(block.shape[0]),
+                        bytes_decoded=int(block.nbytes))
+    return block
+
+
 @dataclass(frozen=True)
 class StoreCounts:
     """Row counts per feature table."""
@@ -214,23 +225,23 @@ class FeatureStore(abc.ABC):
                           cache: str = "warm", guard=None):
         """Columnar :meth:`scan_points`: an ``(m, 6)`` float64 block."""
         kw = {} if guard is None else {"guard": guard}
-        return rows_to_block(
+        return _account_block(rows_to_block(
             self.scan_points(kind, t_threshold=t_threshold,
                              v_threshold=v_threshold, cache=cache, **kw),
             _POINT_WIDTH,
-        )
+        ))
 
     def probe_point_index_array(self, kind: str, t_threshold: float,
                                 v_threshold: Optional[float] = None,
                                 cache: str = "warm", guard=None):
         """Columnar :meth:`probe_point_index`: an ``(m, 6)`` block."""
         kw = {} if guard is None else {"guard": guard}
-        return rows_to_block(
+        return _account_block(rows_to_block(
             self.probe_point_index(kind, t_threshold,
                                    v_threshold=v_threshold, cache=cache,
                                    **kw),
             _POINT_WIDTH,
-        )
+        ))
 
     def scan_lines_array(self, kind: str,
                          t_threshold: Optional[float] = None,
@@ -238,23 +249,23 @@ class FeatureStore(abc.ABC):
                          cache: str = "warm", guard=None):
         """Columnar :meth:`scan_lines`: an ``(m, 8)`` float64 block."""
         kw = {} if guard is None else {"guard": guard}
-        return rows_to_block(
+        return _account_block(rows_to_block(
             self.scan_lines(kind, t_threshold=t_threshold,
                             v_threshold=v_threshold, cache=cache, **kw),
             _LINE_WIDTH,
-        )
+        ))
 
     def probe_line_index_array(self, kind: str, t_threshold: float,
                                v_threshold: Optional[float] = None,
                                cache: str = "warm", guard=None):
         """Columnar :meth:`probe_line_index`: an ``(m, 8)`` block."""
         kw = {} if guard is None else {"guard": guard}
-        return rows_to_block(
+        return _account_block(rows_to_block(
             self.probe_line_index(kind, t_threshold,
                                   v_threshold=v_threshold, cache=cache,
                                   **kw),
             _LINE_WIDTH,
-        )
+        ))
 
     # ------------------------------------------------------------------ #
     # row-range access (anti-entropy interface)

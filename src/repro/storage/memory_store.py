@@ -16,6 +16,7 @@ import numpy as np
 
 from ..core.corners import FeatureSet
 from ..errors import InvalidParameterError, StorageError
+from ..obs import context as obs_context
 from ..obs.metrics import REGISTRY, ROWS_BUCKETS
 from ..types import SegmentPair
 from .base import FeatureStore, Query, StoreCounts
@@ -272,7 +273,10 @@ class MemoryFeatureStore(FeatureStore):
         self._check_open()
         if guard is not None:
             guard.tick()
-        return self._tables[f"{kind}_points"].data
+        block = self._tables[f"{kind}_points"].data
+        # zero-copy handle: rows are scanned but no bytes are decoded
+        obs_context.account(rows_scanned=int(block.shape[0]))
+        return block
 
     def probe_point_index_array(self, kind, t_threshold, v_threshold=None,
                                 cache="warm", guard=None):
@@ -283,6 +287,7 @@ class MemoryFeatureStore(FeatureStore):
             guard.tick()
         data = self._tables[f"{kind}_points"].sorted_by_dt
         cut = int(np.searchsorted(data[:, 0], t_threshold, side="right"))
+        obs_context.account(rows_scanned=cut)
         return data[:cut]
 
     def scan_lines_array(self, kind, t_threshold=None, v_threshold=None,
@@ -290,7 +295,9 @@ class MemoryFeatureStore(FeatureStore):
         self._check_open()
         if guard is not None:
             guard.tick()
-        return self._tables[f"{kind}_lines"].data
+        block = self._tables[f"{kind}_lines"].data
+        obs_context.account(rows_scanned=int(block.shape[0]))
+        return block
 
     def probe_line_index_array(self, kind, t_threshold, v_threshold=None,
                                cache="warm", guard=None):
@@ -299,6 +306,7 @@ class MemoryFeatureStore(FeatureStore):
             guard.tick()
         data = self._tables[f"{kind}_lines"].sorted_by_dt
         cut = int(np.searchsorted(data[:, 0], t_threshold, side="right"))
+        obs_context.account(rows_scanned=cut)
         return data[:cut]
 
     def scan_points(self, kind, t_threshold=None, v_threshold=None,

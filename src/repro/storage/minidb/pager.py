@@ -222,6 +222,12 @@ class Pager:
         self.wal.reset()
         _WAL_REPLAYS.inc()
         _WAL_FRAMES_REPLAYED.inc(len(pages))
+        from ...obs import recorder as flight
+
+        flight.record(
+            "wal_replay", os.path.basename(self.path),
+            frames=len(pages),
+        )
 
     # ------------------------------------------------------------------ #
     # allocation

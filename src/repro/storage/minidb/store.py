@@ -28,6 +28,7 @@ from ...errors import (
     RecoveryError,
     StorageError,
 )
+from ...obs import context as obs_context
 from ...obs.metrics import REGISTRY, ROWS_BUCKETS
 from ...types import DataSegment, SegmentPair
 from ..base import FeatureStore, Query, StoreCounts
@@ -382,6 +383,8 @@ class MiniDbFeatureStore(FeatureStore):
         self._check_open()
         self._prepare_cache(cache)
         block = self._columnar.table_block(_POINT_TABLES[kind], guard=guard)
+        obs_context.account(rows_scanned=int(block.shape[0]),
+                            bytes_decoded=int(block.nbytes))
         if v_threshold is not None:
             block = block[point_mask(kind, block[:, 0], block[:, 1],
                                      t_threshold, v_threshold)]
@@ -398,14 +401,19 @@ class MiniDbFeatureStore(FeatureStore):
             def v_mask(keys):
                 return point_mask(kind, keys[:, 0], keys[:, 1],
                                   t_threshold, v_threshold)
-        return probe_index_block(self.db.table(name), "by_key",
-                                 t_threshold, v_mask=v_mask, guard=guard)
+        block = probe_index_block(self.db.table(name), "by_key",
+                                  t_threshold, v_mask=v_mask, guard=guard)
+        obs_context.account(rows_scanned=int(block.shape[0]),
+                            bytes_decoded=int(block.nbytes))
+        return block
 
     def scan_lines_array(self, kind, t_threshold=None, v_threshold=None,
                          cache="warm", guard=None):
         self._check_open()
         self._prepare_cache(cache)
         block = self._columnar.table_block(_LINE_TABLES[kind], guard=guard)
+        obs_context.account(rows_scanned=int(block.shape[0]),
+                            bytes_decoded=int(block.nbytes))
         if v_threshold is not None:
             block = block[line_mask(kind, block[:, 0], block[:, 1],
                                     block[:, 2], block[:, 3],
@@ -424,8 +432,11 @@ class MiniDbFeatureStore(FeatureStore):
                 return line_mask(kind, keys[:, 0], keys[:, 1],
                                  keys[:, 2], keys[:, 3],
                                  t_threshold, v_threshold)
-        return probe_index_block(self.db.table(name), "by_key",
-                                 t_threshold, v_mask=v_mask, guard=guard)
+        block = probe_index_block(self.db.table(name), "by_key",
+                                  t_threshold, v_mask=v_mask, guard=guard)
+        obs_context.account(rows_scanned=int(block.shape[0]),
+                            bytes_decoded=int(block.nbytes))
+        return block
 
     def page_reads(self) -> int:
         """Cumulative pager reads (the engine's EXPLAIN counter)."""

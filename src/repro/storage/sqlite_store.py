@@ -28,6 +28,7 @@ from ..core.corners import FeatureSet
 from ..core.queries import line_candidate_sql, point_candidate_sql
 from ..engine.resilience import RetryPolicy
 from ..errors import InvalidParameterError, StorageError
+from ..obs import context as obs_context
 from ..obs.metrics import REGISTRY, ROWS_BUCKETS
 from ..types import SegmentPair
 from .base import FeatureStore, Query, StoreCounts
@@ -441,7 +442,12 @@ class SqliteFeatureStore(FeatureStore):
             rows = self._with_retry(lambda: fetch(self._reader()))
         if not rows:
             return np.empty((0, 0))
-        return np.asarray(rows, dtype=float)
+        result = np.asarray(rows, dtype=float)
+        obs_context.account(
+            rows_scanned=int(result.shape[0]),
+            bytes_decoded=int(result.nbytes),
+        )
+        return result
 
     def _point_hint(self, kind: str, access: str) -> str:
         if access == "scan":
@@ -558,10 +564,16 @@ class SqliteFeatureStore(FeatureStore):
             conn = self._connect()
             try:
                 conn.execute("PRAGMA cache_size = -64")  # 64 KiB only
-                return self._with_retry(lambda: fetch(conn))
+                result = self._with_retry(lambda: fetch(conn))
             finally:
                 conn.close()
-        return self._with_retry(lambda: fetch(self._reader()))
+        else:
+            result = self._with_retry(lambda: fetch(self._reader()))
+        obs_context.account(
+            rows_scanned=int(result.shape[0]),
+            bytes_decoded=int(result.nbytes),
+        )
+        return result
 
     def scan_points_array(self, kind, t_threshold=None, v_threshold=None,
                           cache="warm", guard=None):
