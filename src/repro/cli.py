@@ -13,7 +13,8 @@ Subcommands:
 * ``explain``  — show the engine's chosen plan with estimated vs actual
   row counts (EXPLAIN ANALYZE for a search);
 * ``stats``    — report a built index's sizes and composition;
-* ``fsck``     — check a database file (MiniDB or SQLite) for corruption;
+* ``fsck``     — check a database file (MiniDB or SQLite) or a live
+  partition directory (manifest, checksum trees, WAL) for corruption;
 * ``shard-build`` — build a replicated, time-sharded index directory;
 * ``verify``   — checksum anti-entropy: compare sealed/replica trees;
 * ``repair``   — re-copy divergent ranges from a healthy peer;
@@ -157,10 +158,18 @@ def cmd_ingest(args: argparse.Namespace) -> int:
         args.directory,
         backend=args.backend,
         seal_rows=args.seal_rows,
+        seal_bytes=args.seal_bytes,
         seal_age=args.seal_age,
         ttl=args.ttl,
         auto_compact=args.auto_compact,
+        wal=args.wal,
     )
+    replayed = live.stats()["wal"]
+    if replayed is not None and replayed["replayed_observations"]:
+        print(
+            f"replayed {replayed['replayed_observations']} observations "
+            f"from {replayed['path']} (no source replay needed)"
+        )
     n_before = live.n_observations
     try:
         for ts, vs in iter_series_csv(args.input, chunk_size=args.chunk_size):
@@ -540,8 +549,120 @@ def _breaker_states() -> List[tuple]:
     return out
 
 
+def _fsck_live_dir(directory: str) -> int:
+    """Integrity-check a live partition directory: manifest, sealed
+    partitions (against their persisted checksum trees), and WAL."""
+    import os
+    import re
+
+    from .storage.checksum import diff_trees, load_trees, store_trees
+    from .storage.livewal import LiveWAL, WAL_NAME
+    from .storage.partitions import MANIFEST_NAME, PartitionManifest
+
+    try:
+        manifest = PartitionManifest.load(directory)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    problems: List[str] = []
+    notes: List[str] = []
+    referenced = set()
+    for spec in manifest.partitions:
+        if spec.file is None:
+            problems.append(
+                f"{spec.partition_id}: no backing file recorded"
+            )
+            continue
+        referenced.add(spec.file)
+        path = os.path.join(directory, spec.file)
+        if not os.path.exists(path):
+            problems.append(f"{spec.partition_id}: {spec.file} missing")
+            continue
+        try:
+            from .core.index import SegDiffIndex
+
+            store = SegDiffIndex._open_store(path)
+        except Exception as exc:
+            problems.append(f"{spec.partition_id}: unreadable ({exc})")
+            continue
+        try:
+            trees = load_trees(store)
+            if trees is None:
+                notes.append(
+                    f"{spec.partition_id}: no checksum trees "
+                    "(sealed before WAL support); readability probed"
+                )
+                for table in (
+                    "drop_points", "drop_lines",
+                    "jump_points", "jump_lines",
+                ):
+                    store.read_table_rows(table)
+            else:
+                fresh = store_trees(store)
+                for table, tree in trees.items():
+                    ranges, _ = diff_trees(tree, fresh[table])
+                    if ranges:
+                        problems.append(
+                            f"{spec.partition_id}: checksum mismatch "
+                            f"in {table} ({len(ranges)} range(s))"
+                        )
+        except Exception as exc:
+            problems.append(
+                f"{spec.partition_id}: verification failed ({exc})"
+            )
+        finally:
+            store.close()
+
+    for fname in sorted(os.listdir(directory)):
+        if fname in referenced or fname in (
+            MANIFEST_NAME, WAL_NAME, "quarantine",
+        ):
+            continue
+        if fname.endswith(".tmp") or re.match(
+            r"^p\d+\.(sqlite|minidb)$", fname
+        ):
+            notes.append(f"{fname}: unreferenced (swept on next open)")
+
+    wal_path = os.path.join(directory, WAL_NAME)
+    if os.path.exists(wal_path):
+        try:
+            scan = LiveWAL.scan(wal_path)
+        except ReproError as exc:
+            problems.append(f"{WAL_NAME}: {exc}")
+        else:
+            msg = (
+                f"{WAL_NAME}: {scan['frames']} frame(s), "
+                f"{scan['observations']} observation(s), "
+                f"{scan['gaps']} gap(s)"
+            )
+            if scan["torn_bytes"]:
+                msg += (
+                    f", {scan['torn_bytes']} torn tail byte(s) "
+                    "(truncated on next open)"
+                )
+            notes.append(msg)
+
+    for n in notes:
+        print(f"  note: {n}")
+    if problems:
+        print(f"{directory} (live): {len(problems)} problem(s)")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(
+        f"{directory} (live): ok — {len(manifest.partitions)} "
+        f"partition(s), generation {manifest.generation}"
+    )
+    return 0
+
+
 def cmd_fsck(args: argparse.Namespace) -> int:
-    """Integrity-check a MiniDB or SQLite database file."""
+    """Integrity-check a database file or live partition directory."""
+    import os
+
+    if os.path.isdir(args.db):
+        return _fsck_live_dir(args.db)
     try:
         with open(args.db, "rb") as fh:
             magic = fh.read(16)
@@ -742,9 +863,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seal-rows", type=int, default=50_000, metavar="N",
                    help="seal the hot partition once it holds N feature "
                         "rows")
+    p.add_argument("--seal-bytes", type=int, default=None, metavar="BYTES",
+                   help="also seal once the hot partition's estimated "
+                        "in-memory footprint reaches this many bytes")
     p.add_argument("--seal-age", type=float, default=None, metavar="SECONDS",
                    help="also seal once the hot partition spans this much "
                         "time")
+    p.add_argument("--wal", default=True,
+                   action=argparse.BooleanOptionalAction,
+                   help="write-ahead log the hot partition (hot.wal) so a "
+                        "crashed ingest resumes without re-reading the "
+                        "source (--no-wal restores replay-from-watermark)")
     p.add_argument("--ttl", type=float, default=None, metavar="SECONDS",
                    help="retention: drop partitions ending more than TTL "
                         "seconds before the watermark")
@@ -855,8 +984,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "schema-validated JSONL")
     p.set_defaults(func=cmd_debug)
 
-    p = sub.add_parser("fsck", help="check a database file for corruption")
-    p.add_argument("db", help="a MiniDB (.mdb) or SQLite file")
+    p = sub.add_parser(
+        "fsck",
+        help="check a database file or live partition directory for "
+             "corruption",
+    )
+    p.add_argument("db", help="a MiniDB (.mdb) or SQLite file, or a "
+                              "live index directory (manifest, sealed "
+                              "partitions, hot.wal)")
     p.set_defaults(func=cmd_fsck)
 
     p = sub.add_parser(

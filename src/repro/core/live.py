@@ -26,16 +26,28 @@ Design invariants (docs/streaming.md has the full walkthrough):
   seals, compactions and TTL expiry never change what an open snapshot
   returns.  Retired partitions are disposed only when the last pin
   releases.
-* **Crash safety.**  A seal writes and finalizes the partition file
-  *before* atomically installing the next manifest generation; a crash
-  between the two leaves an orphan file (swept on open) and an intact
-  previous manifest.  Data past the durable watermark is recovered by
-  replaying the producer stream — :meth:`append` skips everything at or
-  before the watermark, the PR 1 resume contract.
+* **Crash safety.**  A seal writes, finalizes and fsyncs the partition
+  file *before* atomically installing the next manifest generation; a
+  crash between the two leaves an orphan file (swept on open) and an
+  intact previous manifest.  With a directory, observations are also
+  logged to a hot-partition write-ahead log
+  (:mod:`repro.storage.livewal`) *before* they enter the segmenter, so
+  :meth:`open` replays everything past the durable watermark through
+  the ordinary ingest path and resume needs **no source replay** — a
+  crash loses at most the un-fsynced WAL tail.  :meth:`append` still
+  skips everything at or before the resume point, so re-feeding the
+  source remains safe (the PR 1 resume contract).
+* **Self-healing.**  ``open(scrub=True)`` additionally quarantines
+  unreferenced partial files, checksum-verifies every sealed partition
+  (PR 6's :mod:`repro.storage.checksum` trees, persisted at seal), and
+  rolls the manifest back to the longest intact prefix when a sealed
+  partition is damaged.
 """
 
 from __future__ import annotations
 
+import logging
+import math
 import os
 import re
 import threading
@@ -62,9 +74,18 @@ from ..obs import slowlog
 from ..obs.metrics import QUERY_LATENCY_BUCKETS, REGISTRY
 from ..obs.tracing import retain_trace, span
 from ..segmentation.sliding_window import SlidingWindowSegmenter
+from ..storage.checksum import (
+    diff_trees,
+    load_trees,
+    persist_trees,
+    store_trees,
+)
+from ..storage.faults import FaultInjected, RealFS
+from ..storage.livewal import WAL_NAME, LiveWAL
 from ..storage.memory_store import MemoryFeatureStore
 from ..storage.partitions import (
     COMPACTIONS,
+    FEATURE_TABLES,
     MANIFEST_NAME,
     PARTITION_FLUSH_ROWS,
     PARTITION_SEALS,
@@ -80,8 +101,27 @@ from .queries import DropQuery, JumpQuery
 
 __all__ = ["LiveIndex", "LiveSnapshot", "DEFAULT_SEAL_ROWS"]
 
+logger = logging.getLogger("repro.core.live")
+
 #: Feature rows in the hot partition that trigger a seal.
 DEFAULT_SEAL_ROWS = 50_000
+
+#: Sub-directory damaged files are moved into by ``open(scrub=True)``.
+QUARANTINE_DIR = "quarantine"
+
+_SCRUB_QUARANTINED = REGISTRY.counter(
+    "repro_live_scrub_quarantined_total",
+    "Files quarantined by LiveIndex.open(scrub=True)",
+    always_on=True,
+)
+
+#: Estimated hot-store bytes per stored row/segment, for the
+#: ``seal_bytes`` policy: point rows are 6 float64 columns, line rows 8,
+#: segments 4 — all held in python-list staging before finalize, so the
+#: estimate deliberately includes per-object overhead.
+_EST_POINT_ROW_BYTES = 48
+_EST_LINE_ROW_BYTES = 64
+_EST_SEGMENT_BYTES = 32
 
 _MODES = ("auto", "index", "scan", "grid")
 
@@ -131,6 +171,8 @@ class _Hot:
         self.store = MemoryFeatureStore()
         self.segments: List[DataSegment] = []
         self.rows = 0
+        #: Estimated in-memory footprint (``seal_bytes`` policy input).
+        self.est_bytes = 0
         self.fmin: Optional[float] = None
         self.fmax: Optional[float] = None
 
@@ -157,6 +199,11 @@ class _HotWriter:
         n = features.total_features
         if n:
             hot.rows += n
+            hot.est_bytes += _EST_POINT_ROW_BYTES * (
+                len(features.drop_points) + len(features.jump_points)
+            ) + _EST_LINE_ROW_BYTES * (
+                len(features.drop_lines) + len(features.jump_lines)
+            )
             pair = features.pair
             hot.widen(pair.t_d, pair.t_a)
 
@@ -164,6 +211,11 @@ class _HotWriter:
         hot = self._live._hot
         hot.store.add_features_bulk(batch)
         hot.rows += batch.total_features
+        hot.est_bytes += _EST_POINT_ROW_BYTES * (
+            batch.drop_points.shape[0] + batch.jump_points.shape[0]
+        ) + _EST_LINE_ROW_BYTES * (
+            batch.drop_lines.shape[0] + batch.jump_lines.shape[0]
+        )
         bounds = _batch_feature_bounds(batch)
         if bounds is not None:
             hot.widen(*bounds)
@@ -185,9 +237,24 @@ class LiveIndex:
         directory) or ``"minidb"``; in-memory when ``directory`` is None.
     seal_rows:
         Feature rows in the hot partition that trigger a seal.
+    seal_bytes:
+        Seal when the hot partition's **estimated** in-memory footprint
+        reaches this many bytes (checked alongside ``seal_rows``) —
+        the size-aware policy for wide-row streams whose per-row cost
+        dwarfs the row count; ``None`` = off.  The running estimate is
+        surfaced as ``stats()["hot"]["est_bytes"]``.
     seal_age:
         Seal when the hot partition's closed segments span at least this
         many seconds (checked alongside ``seal_rows``); ``None`` = off.
+    wal:
+        Log observations to a hot-partition write-ahead log
+        (``hot.wal``) before segmentation, so a reopen replays the
+        unsealed suffix itself and the producer never re-feeds.
+        Defaults to on whenever ``directory`` is set; ``True`` without
+        a directory is an error (nothing to make durable against).
+    wal_sync_obs:
+        fsync the WAL every this many observations (plus on gaps and
+        close) — the bound on what a power cut can lose.
     ttl:
         Retention: partitions whose observation coverage ends more than
         ``ttl`` seconds before the watermark are dropped (at seal time
@@ -207,18 +274,31 @@ class LiveIndex:
         directory: Optional[str] = None,
         backend: Optional[str] = None,
         seal_rows: int = DEFAULT_SEAL_ROWS,
+        seal_bytes: Optional[int] = None,
         seal_age: Optional[float] = None,
         ttl: Optional[float] = None,
         auto_compact: bool = False,
         compact_rows: Optional[int] = None,
         compact_min_run: int = 2,
         emit_self_pairs: bool = True,
+        wal: Optional[bool] = None,
+        wal_sync_obs: int = 4096,
         _manifest: Optional[PartitionManifest] = None,
+        _fs: Optional[RealFS] = None,
+        _scrub: bool = False,
     ) -> None:
         if seal_rows < 1:
             raise InvalidParameterError("seal_rows must be >= 1")
+        if seal_bytes is not None and seal_bytes < 1:
+            raise InvalidParameterError("seal_bytes must be >= 1")
         if seal_age is not None and seal_age <= 0:
             raise InvalidParameterError("seal_age must be positive")
+        if wal_sync_obs < 1:
+            raise InvalidParameterError("wal_sync_obs must be >= 1")
+        if wal and directory is None:
+            raise InvalidParameterError(
+                "a write-ahead log needs a directory"
+            )
         if ttl is not None and ttl <= 0:
             raise InvalidParameterError("ttl must be positive")
         if compact_min_run < 2:
@@ -239,11 +319,15 @@ class LiveIndex:
         self.directory = directory
         self.backend = backend
         self.seal_rows = int(seal_rows)
+        self.seal_bytes = None if seal_bytes is None else int(seal_bytes)
         self.seal_age = seal_age
         self.ttl = ttl
         self.auto_compact = auto_compact
         self.compact_rows = compact_rows
         self.compact_min_run = int(compact_min_run)
+        self.wal_sync_obs = int(wal_sync_obs)
+        self._wal_on = (directory is not None) if wal is None else bool(wal)
+        self._fs = _fs if _fs is not None else RealFS()
 
         self._mu = threading.RLock()
         self._segmenter = SlidingWindowSegmenter(self.epsilon)
@@ -259,6 +343,11 @@ class LiveIndex:
         self._resume_t: Optional[float] = None
         self._finalized = False
         self._closed = False
+        self._wal: Optional[LiveWAL] = None
+        self._wal_replay_active = False
+        self._wal_replayed_obs = 0
+        self._wal_replayed_to: Optional[float] = None
+        self._last_obs_t: Optional[float] = None
 
         if _manifest is None:
             if directory is not None:
@@ -272,27 +361,50 @@ class LiveIndex:
                 epsilon=self.epsilon, window=self.window
             )
             if directory is not None:
-                self._manifest.save(directory)
+                self._manifest.save(directory, fs=self._fs)
+            if self._wal_on and directory is not None:
+                wal_path = os.path.join(directory, WAL_NAME)
+                if os.path.exists(wal_path):
+                    # stale log from a wiped index (no manifest, old WAL)
+                    os.remove(wal_path)
+                self._wal = LiveWAL(
+                    wal_path, sync_obs=self.wal_sync_obs, fs=self._fs
+                )
         else:
             self._manifest = _manifest
+            if _scrub:
+                self._scrub_directory()
             self._load_partitions()
             self._resume_from_manifest()
+            if self._wal_on:
+                self._open_and_replay_wal()
 
     # ------------------------------------------------------------------ #
     # open / resume
     # ------------------------------------------------------------------ #
 
     @classmethod
-    def open(cls, directory: str, **kw) -> "LiveIndex":
+    def open(cls, directory: str, scrub: bool = False, **kw) -> "LiveIndex":
         """Reopen a partition directory and resume at its watermark.
 
         ``epsilon``/``window`` come from the manifest; policy knobs
         (``seal_rows``, ``ttl``, ...) may be overridden via ``kw``.
-        Orphan partition files from a crash mid-seal are swept.  The
-        producer should replay its stream from (a little before) the
-        watermark: observations at or before it are skipped.
+        Orphan partition files from a crash mid-seal are swept, and when
+        the WAL is enabled (the default) its unsealed frames are
+        replayed through the ordinary ingest path — resume needs no
+        source replay, and re-fed observations at or before the replayed
+        point are skipped.
+
+        ``scrub=True`` additionally self-heals: unreferenced partial
+        files are quarantined (moved under ``quarantine/``, never
+        deleted), every sealed partition is verified against the
+        checksum trees persisted at seal, and a damaged partition rolls
+        the manifest back to the longest intact prefix — the WAL is
+        quarantined with it, since its frames continue from the
+        now-discarded suffix.
         """
         manifest = PartitionManifest.load(directory)
+        kw["_scrub"] = scrub
         if "backend" not in kw:
             # future seals keep the format of the existing partitions
             for f in manifest.listed_files():
@@ -334,9 +446,14 @@ class LiveIndex:
             is_orphan_partition = (
                 _PARTITION_FILE_RE.match(fname) and fname not in referenced
             )
-            if is_orphan_partition or fname == MANIFEST_NAME + ".tmp":
-                # a crash mid-seal/compact left the file unreferenced —
-                # its data is past the watermark and will be replayed
+            if (
+                is_orphan_partition
+                or fname == MANIFEST_NAME + ".tmp"
+                or fname == WAL_NAME + ".tmp"
+            ):
+                # a crash mid-seal/compact/rotation left the file
+                # unreferenced — its data is past the watermark and will
+                # be replayed (from the WAL or the producer)
                 os.remove(os.path.join(self.directory, fname))
         for spec in self._manifest.partitions:
             if spec.file is None:
@@ -356,6 +473,7 @@ class LiveIndex:
         self._finalized = self._manifest.finalized
         if self._manifest.watermark is None or self._finalized:
             self._resume_t = self._manifest.watermark
+            self._last_obs_t = self._resume_t
             return
         # gather enough trailing segments (newest partitions first) to
         # cover the pairing window, then keep the contiguous suffix — the
@@ -370,6 +488,7 @@ class LiveIndex:
                 break
         if not segments:
             self._resume_t = self._manifest.watermark
+            self._last_obs_t = self._resume_t
             return
         last = segments[-1]
         horizon = last.t_end - self.window
@@ -386,6 +505,227 @@ class LiveIndex:
         self._extractor.prime_history(reversed(recent))
         self._segmenter.push(last.t_end, last.v_end)
         self._resume_t = last.t_end
+        # the watermark is itself an observation time — a gap marked
+        # before any post-resume append must log it, not "no obs yet"
+        self._last_obs_t = self._resume_t
+
+    def _open_and_replay_wal(self) -> None:
+        """Open ``hot.wal`` (sweeping any torn tail) and replay its
+        unsealed frames through the ordinary ingest path.
+
+        Replay happens *after* :meth:`_resume_from_manifest` re-anchored
+        the segmenter at the durable watermark, so the skip-at-or-before
+        logic of :meth:`append_array` discards every already-sealed
+        frame and the survivors rebuild the lost hot partition
+        bit-for-bit.  Afterwards the resume point advances to the last
+        replayed observation, so a producer that re-feeds its stream
+        anyway cannot double-feed the segmenter.
+        """
+        assert self.directory is not None
+        wal_path = os.path.join(self.directory, WAL_NAME)
+        if self._finalized and not os.path.exists(wal_path):
+            # a finalized index refuses appends; don't grow a WAL file
+            return
+        self._wal = LiveWAL(
+            wal_path, sync_obs=self.wal_sync_obs, fs=self._fs
+        )
+        frames = self._wal.replay_frames()
+        discarded = self._wal.discarded_bytes
+        if self._finalized:
+            # every observation is sealed; the log is pure garbage
+            if frames:
+                self._wal.reset()
+            return
+        if not frames and not discarded:
+            return
+        resume_t = self._resume_t
+        n_before = self._n_observations
+        last_t: Optional[float] = None
+        self._wal_replay_active = True
+        try:
+            for frame in frames:
+                if frame[0] == "obs":
+                    ts, vs = frame[1], frame[2]
+                    self.append_array(ts, vs)
+                    if ts.shape[0]:
+                        t_end = float(ts[-1])
+                        last_t = (
+                            t_end if last_t is None else max(last_t, t_end)
+                        )
+                else:
+                    t = frame[1]
+                    if resume_t is None or (
+                        not math.isnan(t) and t >= resume_t
+                    ):
+                        self.mark_gap()
+        finally:
+            self._wal_replay_active = False
+        replayed = self._n_observations - n_before
+        if last_t is not None and (
+            self._resume_t is None or last_t > self._resume_t
+        ):
+            self._resume_t = last_t
+        self._wal_replayed_obs = replayed
+        self._wal_replayed_to = self._resume_t
+        self._last_obs_t = self._resume_t
+        self._wal.mark_replayed(replayed)
+        flight.record(
+            "wal_replay", WAL_NAME,
+            frames=len(frames), observations=replayed,
+            discarded_bytes=discarded,
+            replayed_to=self._wal_replayed_to,
+        )
+
+    # ------------------------------------------------------------------ #
+    # scrub (self-healing open)
+    # ------------------------------------------------------------------ #
+
+    def _quarantine(self, fname: str) -> None:
+        """Move ``fname`` under ``quarantine/`` (collision-suffixed) —
+        damaged files are preserved for postmortems, never deleted."""
+        assert self.directory is not None
+        qdir = os.path.join(self.directory, QUARANTINE_DIR)
+        os.makedirs(qdir, exist_ok=True)
+        dst = os.path.join(qdir, fname)
+        n = 1
+        while os.path.exists(dst):
+            dst = os.path.join(qdir, f"{fname}.{n}")
+            n += 1
+        os.replace(os.path.join(self.directory, fname), dst)
+        _SCRUB_QUARANTINED.inc()
+
+    def _partition_damaged(self, path: str) -> Optional[str]:
+        """Why ``path`` fails verification, or ``None`` when intact.
+
+        Partitions sealed by this PR carry persisted checksum trees;
+        verification recomputes them from the rows and diffs
+        (:func:`~repro.storage.checksum.diff_trees`).  Older partitions
+        without trees get a full readability probe instead.
+        """
+        from .index import SegDiffIndex  # late: avoids an import cycle
+
+        try:
+            store = SegDiffIndex._open_store(path)
+        except FaultInjected:
+            raise
+        except Exception as exc:
+            return f"unreadable: {exc}"
+        try:
+            persisted = load_trees(store)
+            if persisted is None:
+                for table in FEATURE_TABLES:
+                    store.read_table_rows(table)
+                store.load_segments()
+                return None
+            fresh = store_trees(store)
+            for table in FEATURE_TABLES:
+                ranges, _ = diff_trees(persisted[table], fresh[table])
+                if ranges:
+                    return (
+                        f"checksum mismatch in {table}: "
+                        f"{len(ranges)} divergent range(s)"
+                    )
+            return None
+        except FaultInjected:
+            raise
+        except Exception as exc:
+            return f"verification failed: {exc}"
+        finally:
+            try:
+                store.close()
+            except Exception:
+                pass
+
+    def _scrub_directory(self) -> None:
+        """Self-heal the partition directory before any store is opened.
+
+        1. Quarantine unreferenced partition files and stale temp files
+           (partial seal/manifest/rotation leftovers).
+        2. Verify every manifest-listed partition **in manifest order**;
+           ingest order is global, so the first damaged partition
+           invalidates everything after it — those files are
+           quarantined and the manifest rolls back to the intact
+           prefix (``next_seq`` never rewinds: ids are not reused).
+        3. A rollback also quarantines ``hot.wal``: its frames continue
+           from the discarded suffix's watermark, and replaying them
+           over the rolled-back state would bridge the hole.
+        """
+        assert self.directory is not None
+        quarantined: List[str] = []
+        referenced = set(self._manifest.listed_files())
+        for fname in sorted(os.listdir(self.directory)):
+            if fname in (MANIFEST_NAME, WAL_NAME, QUARANTINE_DIR):
+                continue
+            is_orphan = (
+                _PARTITION_FILE_RE.match(fname)
+                and fname not in referenced
+            )
+            if (
+                is_orphan
+                or fname == MANIFEST_NAME + ".tmp"
+                or fname == WAL_NAME + ".tmp"
+            ):
+                self._quarantine(fname)
+                quarantined.append(fname)
+
+        bad_at: Optional[int] = None
+        reason = ""
+        for i, spec in enumerate(self._manifest.partitions):
+            if spec.file is None:
+                bad_at, reason = i, "no backing file recorded"
+                break
+            path = os.path.join(self.directory, spec.file)
+            if not os.path.exists(path):
+                bad_at, reason = i, "backing file missing"
+                break
+            why = self._partition_damaged(path)
+            if why is not None:
+                bad_at, reason = i, why
+                break
+
+        rolled_back = 0
+        if bad_at is not None:
+            bad = self._manifest.partitions[bad_at]
+            logger.warning(
+                "scrub: partition %s is damaged (%s); rolling the "
+                "manifest back to the %d intact partition(s) before it",
+                bad.partition_id, reason, bad_at,
+            )
+            for spec in self._manifest.partitions[bad_at:]:
+                if spec.file is not None and os.path.exists(
+                    os.path.join(self.directory, spec.file)
+                ):
+                    self._quarantine(spec.file)
+                    quarantined.append(spec.file)
+            keep = self._manifest.partitions[:bad_at]
+            rolled_back = len(self._manifest.partitions) - bad_at
+            if keep:
+                last = keep[-1]
+                watermark: Optional[float] = last.t_max
+                n_obs = (
+                    last.obs_covered if last.obs_covered is not None
+                    # pre-obs_covered manifest: the per-partition count
+                    # is unknown; fall back to segment-count totals
+                    else sum(s.n_segments for s in keep)
+                )
+            else:
+                watermark, n_obs = None, 0
+            manifest = self._manifest.truncated_to(
+                len(keep), watermark, n_obs
+            )
+            manifest.save(self.directory, fs=self._fs)
+            self._manifest = manifest
+            wal_path = os.path.join(self.directory, WAL_NAME)
+            if os.path.exists(wal_path):
+                self._quarantine(WAL_NAME)
+                quarantined.append(WAL_NAME)
+        if quarantined or rolled_back:
+            flight.record(
+                "scrub", self.directory,
+                quarantined=len(quarantined),
+                files=",".join(quarantined),
+                rolled_back=rolled_back,
+            )
 
     # ------------------------------------------------------------------ #
     # ingest
@@ -398,6 +738,12 @@ class LiveIndex:
             self._check_writable()
             if self._resume_t is not None and t <= self._resume_t:
                 return
+            if self._wal is not None and not self._wal_replay_active:
+                self._wal.append(
+                    np.asarray([t], dtype=float),
+                    np.asarray([v], dtype=float),
+                )
+            self._last_obs_t = t
             self._n_observations += 1
             closed = self._segmenter.push(t, v)
             if closed:
@@ -418,6 +764,14 @@ class LiveIndex:
             if self._resume_t is not None:
                 start = int(np.searchsorted(ts, self._resume_t, side="right"))
                 ts, vs = ts[start:], vs[start:]
+            if (
+                ts.shape[0]
+                and self._wal is not None
+                and not self._wal_replay_active
+            ):
+                self._wal.append(ts, vs)
+            if ts.shape[0]:
+                self._last_obs_t = float(ts[-1])
             for i in range(0, ts.shape[0], batch_size):
                 chunk_t = ts[i : i + batch_size]
                 chunk_v = vs[i : i + batch_size]
@@ -436,6 +790,8 @@ class LiveIndex:
         history, so no future result spans the outage."""
         with self._mu:
             self._check_writable()
+            if self._wal is not None and not self._wal_replay_active:
+                self._wal.log_gap(self._last_obs_t)
             tail = self._segmenter.finish()
             if tail:
                 self._register_segments(tail)
@@ -446,6 +802,7 @@ class LiveIndex:
     def _register_segments(self, segments: Sequence[DataSegment]) -> None:
         hot = self._hot
         hot.segments.extend(segments)
+        hot.est_bytes += _EST_SEGMENT_BYTES * len(segments)
         hot.store.add_segments_bulk(list(segments))
         self._extractor.add_segments_batch(list(segments))
 
@@ -466,6 +823,8 @@ class LiveIndex:
         if hot.n_segments == 0:
             return
         due = hot.rows >= self.seal_rows
+        if not due and self.seal_bytes is not None:
+            due = hot.est_bytes >= self.seal_bytes
         if not due and self.seal_age is not None:
             due = (
                 hot.segments[-1].t_end - hot.segments[0].t_start
@@ -519,6 +878,9 @@ class LiveIndex:
                 store.set_meta("epsilon", self.epsilon)
                 store.set_meta("window", self.window)
                 store.set_meta("sealed", 1.0)
+                # checksum trees travel inside the partition file so
+                # scrub can verify it without any external state
+                persist_trees(store, store_trees(store))
                 spec = PartitionSpec(
                     partition_id=part_id,
                     t_min=hot.segments[0].t_start,
@@ -533,6 +895,7 @@ class LiveIndex:
                     rows=rows,
                     n_segments=hot.n_segments,
                     file=fname,
+                    obs_covered=self._n_obs_covered,
                 )
                 # the store file is complete and durable BEFORE the
                 # manifest points at it; a crash in between leaves an
@@ -540,11 +903,20 @@ class LiveIndex:
                 manifest = self._manifest.with_sealed(
                     spec, watermark, self._n_obs_covered
                 )
+                if path is not None:
+                    self._fs.fsync_file(path)
                 if self.directory is not None:
-                    manifest.save(self.directory)
-            except BaseException:
+                    manifest.save(self.directory, fs=self._fs)
+            except BaseException as exc:
                 store.close()
-                if path is not None and os.path.exists(path):
+                # a simulated power cut gets no cleanup pass: the
+                # orphan stays on disk for the open-time sweep, exactly
+                # as a real crash would leave it
+                if (
+                    not isinstance(exc, FaultInjected)
+                    and path is not None
+                    and os.path.exists(path)
+                ):
                     os.remove(path)
                 raise
             self._manifest = manifest
@@ -552,6 +924,21 @@ class LiveIndex:
             self._sealed.append(part)
             hot_had_rows = hot.rows
             self._hot = _Hot()
+            if self._wal is not None:
+                # GC only after the manifest is installed: frames at or
+                # before the watermark are now redundant.  Rotation is
+                # never on the correctness path (stale frames replay
+                # idempotently), so a transient failure just keeps the
+                # old log; a simulated power cut still propagates.
+                try:
+                    self._wal.rewrite(watermark)
+                except FaultInjected:
+                    raise
+                except OSError as rot_exc:
+                    logger.warning(
+                        "WAL rotation after seal %s failed (%s); "
+                        "keeping the old log", part_id, rot_exc,
+                    )
             PARTITION_SEALS.inc()
             PARTITION_FLUSH_ROWS.observe(hot_had_rows)
             flight.record(
@@ -628,6 +1015,7 @@ class LiveIndex:
                 store.set_meta("epsilon", self.epsilon)
                 store.set_meta("window", self.window)
                 store.set_meta("sealed", 1.0)
+                persist_trees(store, store_trees(store))
                 spec = PartitionSpec(
                     partition_id=part_id,
                     t_min=run[0].spec.t_min,
@@ -637,15 +1025,22 @@ class LiveIndex:
                     rows=rows,
                     n_segments=sum(p.spec.n_segments for p in run),
                     file=fname,
+                    obs_covered=run[-1].spec.obs_covered,
                 )
                 manifest = self._manifest.with_replaced(
                     [p.partition_id for p in run], spec
                 )
+                if path is not None:
+                    self._fs.fsync_file(path)
                 if self.directory is not None:
-                    manifest.save(self.directory)
-            except BaseException:
+                    manifest.save(self.directory, fs=self._fs)
+            except BaseException as exc:
                 store.close()
-                if path is not None and os.path.exists(path):
+                if (
+                    not isinstance(exc, FaultInjected)
+                    and path is not None
+                    and os.path.exists(path)
+                ):
                     os.remove(path)
                 raise
             self._manifest = manifest
@@ -696,7 +1091,7 @@ class LiveIndex:
             sp.set_attribute("partitions", len(ids))
             manifest = self._manifest.with_dropped(ids)
             if self.directory is not None:
-                manifest.save(self.directory)
+                manifest.save(self.directory, fs=self._fs)
             self._manifest = manifest
             keep = set(ids)
             self._sealed = [
@@ -726,9 +1121,14 @@ class LiveIndex:
             self._seal_locked()
             manifest = self._manifest.with_finalized()
             if self.directory is not None:
-                manifest.save(self.directory)
+                manifest.save(self.directory, fs=self._fs)
             self._manifest = manifest
             self._finalized = True
+            if self._wal is not None:
+                # every observation is sealed and the manifest says so;
+                # the log has nothing left to protect
+                self._wal.close(delete=True)
+                self._wal = None
 
     # ------------------------------------------------------------------ #
     # reads
@@ -861,6 +1261,7 @@ class LiveIndex:
                 "hot": {
                     "rows": hot.rows,
                     "n_segments": hot.n_segments,
+                    "est_bytes": hot.est_bytes,
                     "t_min": (
                         hot.segments[0].t_start if hot.segments else None
                     ),
@@ -868,6 +1269,14 @@ class LiveIndex:
                         hot.segments[-1].t_end if hot.segments else None
                     ),
                 },
+                "seal_bytes": self.seal_bytes,
+                "wal": (
+                    None if self._wal is None else {
+                        **self._wal.stats(),
+                        "replayed_observations": self._wal_replayed_obs,
+                        "replayed_to": self._wal_replayed_to,
+                    }
+                ),
             }
 
     def close(self) -> None:
@@ -875,6 +1284,12 @@ class LiveIndex:
             if self._closed:
                 return
             self._closed = True
+            if self._wal is not None:
+                try:
+                    self._wal.close()
+                except FaultInjected:
+                    pass  # closing after a simulated crash is teardown
+                self._wal = None
             for p in self._sealed:
                 p.close()
             self._sealed = []

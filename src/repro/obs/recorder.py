@@ -49,6 +49,7 @@ CATEGORIES = (
     "checksum_repair",
     "timeout",
     "degraded",
+    "scrub",
 )
 
 #: JSON Schema (the subset ``export.validate_schema`` checks) for one

@@ -26,6 +26,18 @@ Fault modes:
   then the file freezes as for ``"crash"`` — a partial sector write.
 * ``"error"`` — the op raises :class:`OSError` once and the file keeps
   working; a transient fault the caller may retry or roll back.
+* ``"enospc"`` — the op raises ``OSError(ENOSPC)`` once and the file
+  keeps working; a full disk the caller must roll back from without
+  losing the previous durable state.
+
+The live tier does its I/O through whole-file operations rather than an
+``opener`` hook, so it is faulted one level up: :class:`RealFS` is the
+filesystem facade (open / replace / remove / fsync) the live index and
+its WAL call for every counted operation, and :class:`FaultyFS` is the
+drop-in that routes those calls through a :class:`FaultInjector` — one
+shared op counter across WAL appends, partition seal writes, and
+manifest installs, so the crash matrix can enumerate every fault point
+of an ingest workload.
 
 :class:`FaultInjected` deliberately does **not** derive from
 ``ReproError``: library code must never accidentally swallow a simulated
@@ -34,6 +46,7 @@ power cut.
 
 from __future__ import annotations
 
+import errno
 import os
 import threading
 import time
@@ -47,6 +60,8 @@ __all__ = [
     "FaultPolicy",
     "FaultInjector",
     "FaultyFile",
+    "RealFS",
+    "FaultyFS",
     "ReadFaultPolicy",
     "FaultyStoreWrapper",
 ]
@@ -66,21 +81,25 @@ class FaultPolicy:
         1-based index of the counted operation that triggers the fault;
         ``None`` disables injection (pass-through).
     mode:
-        ``"crash"``, ``"torn"``, or ``"error"`` (see module docstring).
+        ``"crash"``, ``"torn"``, ``"error"``, or ``"enospc"`` (see
+        module docstring).
     torn_bytes:
         For ``"torn"``: how many bytes of the failing write reach disk.
         A deliberately odd default lands mid-record in every structure.
     ops:
-        Which operations count toward ``fail_at``.
+        Which operations count toward ``fail_at``.  ``"replace"`` is
+        only issued by the filesystem facade (:class:`FaultyFS`);
+        including it by default is harmless for opener-hook users like
+        MiniDB, which never perform one.
     """
 
     fail_at: Optional[int] = None
     mode: str = "crash"
     torn_bytes: int = 97
-    ops: Tuple[str, ...] = ("write", "truncate", "fsync")
+    ops: Tuple[str, ...] = ("write", "truncate", "fsync", "replace")
 
     def __post_init__(self) -> None:
-        if self.mode not in ("crash", "torn", "error"):
+        if self.mode not in ("crash", "torn", "error", "enospc"):
             raise ValueError(f"unknown fault mode {self.mode!r}")
 
 
@@ -151,6 +170,8 @@ class FaultyFile:
             )
         if fault == "error":
             raise OSError("injected transient I/O error")
+        if fault == "enospc":
+            raise OSError(errno.ENOSPC, "injected disk-full write")
         return self._raw.write(data)
 
     def truncate(self, size: Optional[int] = None) -> int:
@@ -160,6 +181,8 @@ class FaultyFile:
             raise FaultInjected("injected crash during truncate")
         if fault == "error":
             raise OSError("injected transient I/O error")
+        if fault == "enospc":
+            raise OSError(errno.ENOSPC, "injected disk-full truncate")
         return self._raw.truncate(size)
 
     def fsync(self) -> None:
@@ -169,6 +192,8 @@ class FaultyFile:
             raise FaultInjected("injected crash during fsync")
         if fault == "error":
             raise OSError("injected transient I/O error")
+        if fault == "enospc":
+            raise OSError(errno.ENOSPC, "injected disk-full fsync")
         os.fsync(self._raw.fileno())
 
     # -- pass-through operations --------------------------------------- #
@@ -208,6 +233,127 @@ class FaultyFile:
     @property
     def closed(self) -> bool:
         return self._raw.closed
+
+
+# ---------------------------------------------------------------------- #
+# filesystem facade (live-tier write path)
+# ---------------------------------------------------------------------- #
+
+
+class RealFS:
+    """The live tier's filesystem facade: the whole-file operations the
+    live index, its WAL, and the partition manifest issue — each one an
+    injection point when a :class:`FaultyFS` stands in.
+
+    Files are opened **unbuffered**, so under injection the disk state
+    freezes exactly at the last completed operation (a power cut), and
+    in production a completed ``write`` has at least reached the kernel.
+    """
+
+    def open(self, path: str, mode: str):
+        return open(path, mode, buffering=0)
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+    def remove(self, path: str) -> None:
+        os.remove(path)
+
+    def fsync_file(self, path: str) -> None:
+        """fsync a closed file by path (seal write barrier)."""
+        fd = os.open(path, os.O_RDWR)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def fsync_dir(self, directory: str) -> None:
+        """Best-effort directory fsync (makes a rename durable).
+
+        Swallows ``OSError``: some filesystems refuse directory fsync,
+        and by the time it runs the rename is already *installed* — a
+        failure here must not trick the caller into rolling back a
+        commit that readers can see.
+        """
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+
+class FaultyFS(RealFS):
+    """A :class:`RealFS` whose every operation is counted and failable.
+
+    Shares the :class:`FaultInjector`'s op counter with any opener-hook
+    files the same injector wraps, so ``fail_at`` enumerates the crash
+    points of the *whole* ingest path — WAL appends, seal writes,
+    manifest installs — with one sweep.
+    """
+
+    def __init__(self, injector: FaultInjector) -> None:
+        self.injector = injector
+
+    def open(self, path: str, mode: str) -> FaultyFile:
+        return self.injector.open(path, mode)
+
+    def replace(self, src: str, dst: str) -> None:
+        fault = self.injector._account("replace")
+        if fault in ("crash", "torn"):
+            self.injector.crashed = True
+            raise FaultInjected(f"injected crash during replace -> {dst}")
+        if fault == "error":
+            raise OSError("injected transient I/O error in replace")
+        if fault == "enospc":
+            raise OSError(errno.ENOSPC, "injected disk-full replace")
+        os.replace(src, dst)
+
+    def remove(self, path: str) -> None:
+        if self.injector.crashed:
+            raise FaultInjected("remove after simulated crash")
+        os.remove(path)
+
+    def fsync_file(self, path: str) -> None:
+        fault = self.injector._account("fsync")
+        if fault == "crash":
+            self.injector.crashed = True
+            raise FaultInjected(f"injected crash during fsync of {path}")
+        if fault == "torn":
+            # a crash while flushing a freshly-written file: model the
+            # file surviving only as a partial prefix — the torn
+            # partition the scrub pass must quarantine
+            try:
+                with open(path, "r+b") as fh:
+                    fh.truncate(self.injector.policy.torn_bytes)
+            except OSError:
+                pass
+            self.injector.crashed = True
+            raise FaultInjected(
+                f"injected torn file during fsync of {path}"
+            )
+        if fault == "error":
+            raise OSError("injected transient I/O error in fsync")
+        if fault == "enospc":
+            raise OSError(errno.ENOSPC, "injected disk-full fsync")
+        super().fsync_file(path)
+
+    def fsync_dir(self, directory: str) -> None:
+        fault = self.injector._account("fsync")
+        if fault in ("crash", "torn"):
+            self.injector.crashed = True
+            raise FaultInjected(
+                f"injected crash during directory fsync of {directory}"
+            )
+        if fault in ("error", "enospc"):
+            # RealFS.fsync_dir swallows OSError by contract (the rename
+            # is already installed), so transient modes are a no-op here
+            return
+        super().fsync_dir(directory)
 
 
 # ---------------------------------------------------------------------- #

@@ -103,6 +103,12 @@ class PartitionSpec:
     rows: int
     n_segments: int
     file: Optional[str] = None  # None for in-memory partitions
+    #: Observations covered by the manifest *up to and including* this
+    #: partition — the per-partition twin of the manifest-level
+    #: ``n_observations``, which lets a scrub rollback to any prefix
+    #: restore a consistent count.  ``None`` on manifests written before
+    #: this field existed.
+    obs_covered: Optional[int] = None
 
     def overlaps_time(
         self, t_range: Optional[Tuple[float, float]]
@@ -124,6 +130,7 @@ class PartitionSpec:
             "rows": self.rows,
             "n_segments": self.n_segments,
             "file": self.file,
+            "obs_covered": self.obs_covered,
         }
 
     @classmethod
@@ -137,6 +144,10 @@ class PartitionSpec:
             rows=int(obj["rows"]),
             n_segments=int(obj["n_segments"]),
             file=obj.get("file"),
+            obs_covered=(
+                None if obj.get("obs_covered") is None
+                else int(obj["obs_covered"])
+            ),
         )
 
 
@@ -351,6 +362,29 @@ class PartitionManifest:
     def with_finalized(self) -> "PartitionManifest":
         return replace(self, generation=self.generation + 1, finalized=True)
 
+    def truncated_to(
+        self,
+        count: int,
+        watermark: Optional[float],
+        n_observations: int,
+    ) -> "PartitionManifest":
+        """Scrub rollback: keep only the first ``count`` partitions.
+
+        A damaged sealed partition invalidates everything after it (the
+        ingest order is global), so recovery rolls the catalog back to
+        the longest intact prefix.  ``next_seq`` is *not* rewound —
+        partition ids must never be reused, or a stale quarantined file
+        could shadow a fresh one.
+        """
+        return replace(
+            self,
+            generation=self.generation + 1,
+            watermark=watermark,
+            n_observations=n_observations,
+            finalized=False,
+            partitions=self.partitions[:count],
+        )
+
     # -------------------------------------------------------------- #
     # persistence
     # -------------------------------------------------------------- #
@@ -368,26 +402,54 @@ class PartitionManifest:
             "partitions": [s.to_json() for s in self.partitions],
         }
 
-    def save(self, directory: str) -> str:
+    def save(self, directory: str, fs=None) -> str:
         """Atomically install this manifest as ``directory/partitions.json``.
 
-        Write-to-temp + fsync + ``os.replace``: a crash leaves either the
-        previous generation or this one, never a torn file.
+        Write-to-temp + fsync + ``os.replace`` + directory fsync: a
+        crash — or an ENOSPC anywhere along the way — leaves either the
+        previous generation or this one on disk, never a torn file, and
+        a *failed* install cleans its temp file so retries never find
+        stale bytes.  The temp file is deliberately **left behind** on
+        :class:`~repro.storage.faults.FaultInjected` (a simulated power
+        cut gets no cleanup pass); the open-time sweep collects it.
+
+        ``fs`` is the filesystem facade (``RealFS`` by default) through
+        which the fault matrix counts every operation.
         """
+        from .faults import FaultInjected, RealFS
+
+        if fs is None:
+            fs = RealFS()
         path = os.path.join(directory, MANIFEST_NAME)
         tmp = path + ".tmp"
         try:
-            with open(tmp, "w", encoding="utf-8") as fh:
-                json.dump(self.to_json(), fh, indent=2)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, path)
-        except BaseException:
+            payload = json.dumps(self.to_json(), indent=2).encode("utf-8")
+            fh = fs.open(tmp, "wb")
             try:
-                os.remove(tmp)
-            except OSError:
-                pass
+                fh.write(payload)
+                sync = getattr(fh, "fsync", None)
+                if sync is not None:
+                    sync()
+                else:
+                    os.fsync(fh.fileno())
+            finally:
+                fh.close()
+            fs.replace(tmp, path)
+        except BaseException as exc:
+            if not isinstance(exc, FaultInjected):
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
             raise
+        # the rename is installed; a directory-fsync failure is logged
+        # by the facade's contract (best effort) and must not be
+        # reported as a failed save — rolling back now would delete a
+        # partition file a durable manifest already references
+        try:
+            fs.fsync_dir(directory)
+        except OSError:  # pragma: no cover - facade swallows OSError
+            pass
         return path
 
     @classmethod

@@ -1,0 +1,747 @@
+"""Durability tests for the live tier: hot-partition WAL, disk-fault
+injection matrix, and self-healing recovery.
+
+The headline contract: a crash anywhere in ingest loses at most the
+un-fsynced WAL tail, ``LiveIndex.open()`` recovers without any source
+replay, no torn partition is ever visible to readers, and the recovered
+index answers every query bit-identically to a batch build over the
+recovered prefix.  The crash points are *enumerated* by the fault
+injector (every counted file operation of a reference workload), not
+hand-picked.
+"""
+
+import os
+import sqlite3
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, rule
+
+from repro.core.index import SegDiffIndex
+from repro.core.live import LiveIndex
+from repro.errors import InvalidParameterError, StorageError
+from repro.obs import recorder as flight
+from repro.storage.faults import (
+    FaultInjected,
+    FaultInjector,
+    FaultPolicy,
+    FaultyFS,
+)
+from repro.storage.livewal import WAL_NAME, LiveWAL
+from repro.storage.partitions import MANIFEST_NAME, PartitionManifest
+
+EPS = 0.8
+WINDOW = 300.0
+
+DROP_QUERIES = [(30.0, -1.0), (80.0, -2.5), (150.0, -4.0), (300.0, -0.5)]
+JUMP_QUERIES = [(30.0, 1.0), (150.0, 2.5)]
+
+
+def make_walk(seed, n=600):
+    rng = np.random.default_rng(seed)
+    ts = np.cumsum(rng.uniform(0.5, 3.0, n))
+    vs = np.cumsum(rng.normal(0.0, 1.0, n))
+    return ts, vs
+
+
+def reference_index(ts, vs, finalize=True):
+    ref = SegDiffIndex(EPS, WINDOW)
+    for t, v in zip(ts, vs):
+        ref.append(float(t), float(v))
+    if finalize:
+        ref.finalize()
+    else:
+        ref.checkpoint()
+    return ref
+
+
+def tuples(pairs):
+    return [p.as_tuple() for p in pairs]
+
+
+def assert_equivalent(ref, live_like):
+    for T, V in DROP_QUERIES:
+        assert tuples(ref.search_drops(T, V)) == tuples(
+            live_like.search_drops(T, V)
+        ), ("drop", T, V)
+    for T, V in JUMP_QUERIES:
+        assert tuples(ref.search_jumps(T, V)) == tuples(
+            live_like.search_jumps(T, V)
+        ), ("jump", T, V)
+
+
+def assert_prefix_equivalent(ts, vs, horizon, live_like):
+    """The recovered index ≡ a batch build of the recovered prefix."""
+    if horizon is None:
+        k = 0
+    else:
+        k = int(np.searchsorted(ts, horizon, side="right"))
+    ref = reference_index(ts[:k], vs[:k], finalize=False)
+    try:
+        assert_equivalent(ref, live_like)
+    finally:
+        ref.close()
+    return k
+
+
+def recovery_horizon(live):
+    """Everything at or before this time survived the crash."""
+    stats = live.stats()
+    wal = stats["wal"]
+    if wal is not None and wal["replayed_to"] is not None:
+        return wal["replayed_to"]
+    return stats["watermark"]
+
+
+# ---------------------------------------------------------------------- #
+# WAL: resume without source replay
+# ---------------------------------------------------------------------- #
+
+
+class TestLiveWAL:
+    def test_reopen_without_source_replay(self, tmp_path):
+        ts, vs = make_walk(3, n=400)
+        d = str(tmp_path / "live.d")
+        live = LiveIndex(EPS, WINDOW, directory=d, seal_rows=10**9)
+        live.append_array(ts, vs)
+        live.close()  # no seal, no finalize: everything is WAL-only
+
+        reopened = LiveIndex.open(d)
+        stats = reopened.stats()
+        assert stats["wal"]["replayed_observations"] == len(ts)
+        # no source replay: finalize directly and match the batch build
+        reopened.finalize()
+        ref = reference_index(ts, vs)
+        assert_equivalent(ref, reopened)
+        ref.close()
+        reopened.close()
+
+    def test_wal_replay_after_partial_seal(self, tmp_path):
+        ts, vs = make_walk(5, n=500)
+        d = str(tmp_path / "live.d")
+        live = LiveIndex(EPS, WINDOW, directory=d, seal_rows=200)
+        live.append_array(ts, vs)
+        assert live.partitions  # at least one seal rotated the WAL
+        wal_obs = live.stats()["wal"]["observations"]
+        assert 0 < wal_obs < len(ts)  # sealed frames were GC'd
+        live.close()
+
+        reopened = LiveIndex.open(d)
+        reopened.finalize()
+        ref = reference_index(ts, vs)
+        assert_equivalent(ref, reopened)
+        ref.close()
+        reopened.close()
+
+    def test_torn_tail_is_swept(self, tmp_path):
+        ts, vs = make_walk(7, n=300)
+        d = str(tmp_path / "live.d")
+        live = LiveIndex(EPS, WINDOW, directory=d, seal_rows=10**9)
+        live.append_array(ts, vs)
+        live.close()
+
+        # a power cut mid-frame: garbage after the last intact record
+        wal_path = os.path.join(d, WAL_NAME)
+        with open(wal_path, "ab") as fh:
+            fh.write(b"\x01\xff\xff\xff\xff torn tail garbage")
+        scan = LiveWAL.scan(wal_path)
+        assert scan["torn_bytes"] > 0
+        assert scan["observations"] == len(ts)
+
+        reopened = LiveIndex.open(d)
+        assert reopened.stats()["wal"]["replayed_observations"] == len(ts)
+        reopened.finalize()
+        ref = reference_index(ts, vs)
+        assert_equivalent(ref, reopened)
+        ref.close()
+        reopened.close()
+
+    def test_gap_frames_replay(self, tmp_path):
+        ts, vs = make_walk(11, n=400)
+        d = str(tmp_path / "live.d")
+        live = LiveIndex(EPS, WINDOW, directory=d, seal_rows=10**9)
+        live.append_array(ts[:200], vs[:200])
+        live.mark_gap()
+        live.append_array(ts[200:], vs[200:])
+        live.close()
+
+        reopened = LiveIndex.open(d)
+        reopened.finalize()
+        # the reference: an identical episode split, built in memory
+        mem = LiveIndex(EPS, WINDOW)
+        mem.append_array(ts[:200], vs[:200])
+        mem.mark_gap()
+        mem.append_array(ts[200:], vs[200:])
+        mem.finalize()
+        assert_equivalent(mem, reopened)
+        mem.close()
+        reopened.close()
+
+    def test_finalize_deletes_wal(self, tmp_path):
+        ts, vs = make_walk(13, n=200)
+        d = str(tmp_path / "live.d")
+        live = LiveIndex(EPS, WINDOW, directory=d)
+        live.append_array(ts, vs)
+        assert os.path.exists(os.path.join(d, WAL_NAME))
+        live.finalize()
+        assert not os.path.exists(os.path.join(d, WAL_NAME))
+        live.close()
+
+    def test_wal_off_restores_source_replay(self, tmp_path):
+        ts, vs = make_walk(17, n=400)
+        d = str(tmp_path / "live.d")
+        live = LiveIndex(
+            EPS, WINDOW, directory=d, seal_rows=150, wal=False
+        )
+        live.append_array(ts, vs)
+        assert not os.path.exists(os.path.join(d, WAL_NAME))
+        assert live.stats()["wal"] is None
+        live.close()
+
+        # without a WAL the producer must re-feed; pre-watermark
+        # observations are skipped (the PR 7 contract, unchanged)
+        reopened = LiveIndex.open(d, wal=False)
+        reopened.append_array(ts, vs)
+        reopened.finalize()
+        ref = reference_index(ts, vs)
+        assert_equivalent(ref, reopened)
+        ref.close()
+        reopened.close()
+
+    def test_wal_needs_directory(self):
+        with pytest.raises(InvalidParameterError):
+            LiveIndex(EPS, WINDOW, wal=True)
+
+    def test_wal_rejects_bad_magic(self, tmp_path):
+        path = str(tmp_path / "not.wal")
+        with open(path, "wb") as fh:
+            fh.write(b"NOTAWAL0" + b"\x00" * 64)
+        with pytest.raises(StorageError):
+            LiveWAL(path)
+
+
+# ---------------------------------------------------------------------- #
+# size-aware seal policy
+# ---------------------------------------------------------------------- #
+
+
+class TestSealBytes:
+    def test_wide_stream_seals_by_bytes_first(self, tmp_path):
+        ts, vs = make_walk(19, n=500)
+        d = str(tmp_path / "live.d")
+        # the row threshold is unreachable: only the byte estimate of
+        # this wide-ish stream can trigger the seals
+        live = LiveIndex(
+            EPS, WINDOW, directory=d,
+            seal_rows=10**9, seal_bytes=64 * 1024,
+        )
+        live.append_array(ts, vs)
+        stats = live.stats()
+        assert stats["seal_bytes"] == 64 * 1024
+        assert stats["n_partitions"] >= 1, (
+            "byte-based policy never sealed"
+        )
+        assert stats["hot"]["est_bytes"] < 64 * 1024
+        live.finalize()
+        ref = reference_index(ts, vs)
+        assert_equivalent(ref, live)
+        ref.close()
+        live.close()
+
+    def test_est_bytes_tracks_ingest(self):
+        ts, vs = make_walk(23, n=300)
+        live = LiveIndex(EPS, WINDOW, seal_rows=10**9)
+        assert live.stats()["hot"]["est_bytes"] == 0
+        live.append_array(ts, vs)
+        stats = live.stats()["hot"]
+        assert stats["est_bytes"] > 0
+        assert stats["est_bytes"] >= 32 * stats["n_segments"]
+        live.close()
+
+    def test_seal_bytes_validation(self):
+        with pytest.raises(InvalidParameterError):
+            LiveIndex(EPS, WINDOW, seal_bytes=0)
+
+
+# ---------------------------------------------------------------------- #
+# manifest install under disk faults (the ENOSPC regression)
+# ---------------------------------------------------------------------- #
+
+
+class TestManifestFaults:
+    @pytest.mark.parametrize("mode", ["enospc", "error"])
+    @pytest.mark.parametrize("fail_at", [1, 2, 3])
+    def test_failed_install_keeps_previous_generation(
+        self, tmp_path, mode, fail_at
+    ):
+        d = str(tmp_path / "m.d")
+        os.makedirs(d)
+        gen0 = PartitionManifest(epsilon=EPS, window=WINDOW)
+        gen0.save(d)
+
+        # ops of one save: write(tmp), fsync(tmp), replace -> fail each
+        injector = FaultInjector(FaultPolicy(fail_at=fail_at, mode=mode))
+        gen1 = gen0.with_finalized()
+        with pytest.raises(OSError):
+            gen1.save(d, fs=FaultyFS(injector))
+
+        # previous generation intact, temp file cleaned up
+        loaded = PartitionManifest.load(d)
+        assert loaded.generation == gen0.generation
+        assert not loaded.finalized
+        assert not os.path.exists(
+            os.path.join(d, MANIFEST_NAME + ".tmp")
+        )
+        # the failure was transient: retrying just works
+        gen1.save(d)
+        assert PartitionManifest.load(d).finalized
+
+    def test_enospc_mid_seal_rolls_back_and_retries(self, tmp_path):
+        ts, vs = make_walk(29, n=300)
+        d = str(tmp_path / "live.d")
+        injector = FaultInjector()
+        live = LiveIndex(
+            EPS, WINDOW, directory=d, seal_rows=10**9,
+            _fs=FaultyFS(injector),
+        )
+        live.append_array(ts, vs)
+        gen_before = live.generation
+
+        # fail the next fsync/write/replace — whichever the seal issues
+        # first — with a full disk
+        injector.arm(
+            FaultPolicy(fail_at=injector.op_count + 1, mode="enospc")
+        )
+        with pytest.raises(OSError):
+            live.seal()
+        injector.arm(FaultPolicy())
+
+        assert live.partitions == []
+        assert PartitionManifest.load(d).generation == gen_before
+        leftovers = set(os.listdir(d)) - {MANIFEST_NAME, WAL_NAME}
+        assert not leftovers, leftovers
+        assert live.seal() is not None
+        live.finalize()
+        ref = reference_index(ts, vs)
+        assert_equivalent(ref, live)
+        ref.close()
+        live.close()
+
+
+# ---------------------------------------------------------------------- #
+# the injected-fault crash matrix
+# ---------------------------------------------------------------------- #
+
+MATRIX_N = 360
+MATRIX_CHUNK = 40
+MATRIX_SEAL_ROWS = 150
+MATRIX_SYNC_OBS = 64
+
+
+def _matrix_workload(directory, fs, progress=None):
+    """The reference ingest whose every file op becomes a crash point.
+
+    ``progress["fed"]`` tracks how many observations the producer
+    *completed* feeding — the durability bound is measured against it,
+    not the full stream, because an injected fault also stops the feed.
+    """
+    ts, vs = make_walk(7, n=MATRIX_N)
+    live = LiveIndex(
+        EPS, WINDOW, directory=directory,
+        seal_rows=MATRIX_SEAL_ROWS, wal_sync_obs=MATRIX_SYNC_OBS,
+        _fs=fs,
+    )
+    try:
+        for i in range(0, MATRIX_N, MATRIX_CHUNK):
+            live.append_array(ts[i : i + MATRIX_CHUNK],
+                              vs[i : i + MATRIX_CHUNK])
+            if progress is not None:
+                progress["fed"] = i + MATRIX_CHUNK
+        live.finalize()
+    finally:
+        try:
+            live.close()
+        except Exception:
+            pass
+    return ts, vs
+
+
+def _matrix_points():
+    """Every fault point of the workload (strided unless
+    ``REPRO_CRASH_MATRIX=full``), learned from one fault-free run."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        injector = FaultInjector()
+        _matrix_workload(os.path.join(tmp, "probe.d"), FaultyFS(injector))
+        n_ops = injector.op_count
+    assert n_ops >= 10, f"workload exposes only {n_ops} fault points"
+    if os.environ.get("REPRO_CRASH_MATRIX") == "full":
+        stride = 1
+    else:
+        stride = max(1, n_ops // 12)
+    return list(range(1, n_ops + 1, stride)) + [n_ops]
+
+
+MATRIX_FAIL_POINTS = _matrix_points()
+
+
+class TestCrashMatrix:
+    @pytest.mark.parametrize("mode", ["crash", "torn", "enospc"])
+    @pytest.mark.parametrize("fail_at", MATRIX_FAIL_POINTS)
+    def test_recovery_at_every_fault_point(self, tmp_path, mode, fail_at):
+        d = str(tmp_path / "live.d")
+        injector = FaultInjector(
+            FaultPolicy(fail_at=fail_at, mode=mode)
+        )
+        progress = {"fed": 0}
+        try:
+            ts, vs = _matrix_workload(
+                d, FaultyFS(injector), progress=progress
+            )
+            progress["fed"] = MATRIX_N
+        except (FaultInjected, OSError):
+            ts, vs = make_walk(7, n=MATRIX_N)
+        finally:
+            injector.close_all()
+        fed = progress["fed"]
+
+        if not os.path.exists(os.path.join(d, MANIFEST_NAME)):
+            # crashed before the very first manifest install: nothing
+            # was ever committed, so the producer starts a fresh index
+            # and feeds the stream from scratch
+            fresh = LiveIndex(
+                EPS, WINDOW, directory=d, seal_rows=MATRIX_SEAL_ROWS
+            )
+            fresh.append_array(ts, vs)
+            fresh.finalize()
+            ref = reference_index(ts, vs)
+            assert_equivalent(ref, fresh)
+            ref.close()
+            fresh.close()
+            return
+
+        # self-healing reopen: torn tails swept, partial files
+        # quarantined, checksums verified — and the recovered prefix is
+        # bit-identical to a batch build over the same observations
+        reopened = LiveIndex.open(d, scrub=True)
+        if reopened.finalized:
+            ref = reference_index(ts, vs)
+            assert_equivalent(ref, reopened)
+            ref.close()
+            reopened.close()
+            return
+        horizon = recovery_horizon(reopened)
+        if horizon is None:
+            k = 0
+        else:
+            k = int(np.searchsorted(ts, horizon, side="right"))
+        ref = reference_index(ts[:k], vs[:k], finalize=False)
+        try:
+            assert_equivalent(ref, reopened)
+        except AssertionError:
+            if k < MATRIX_N:
+                raise
+            # crashed inside finalize(), after the closing seal
+            # committed but before the finalized flag did: what
+            # persisted is the *finalized* segmentation
+            ref_fin = reference_index(ts, vs, finalize=True)
+            try:
+                assert_equivalent(ref_fin, reopened)
+            finally:
+                ref_fin.close()
+        finally:
+            ref.close()
+        # the durability contract: every observation whose append call
+        # returned must survive the crash (its WAL write completed);
+        # only the single in-flight chunk is allowed to be uncertain
+        assert fed <= k <= fed + MATRIX_CHUNK, (
+            f"fed {fed}, recovered {k} at {mode}@{fail_at}"
+        )
+
+        # the producer may still re-feed its stream; duplicates are
+        # skipped and the final answer matches the full batch build
+        reopened.append_array(ts, vs)
+        reopened.finalize()
+        ref = reference_index(ts, vs)
+        assert_equivalent(ref, reopened)
+        ref.close()
+        reopened.close()
+
+
+# ---------------------------------------------------------------------- #
+# scrub: self-healing open
+# ---------------------------------------------------------------------- #
+
+
+class TestScrub:
+    def _build(self, d, seed=31, n=500, seal_rows=120):
+        ts, vs = make_walk(seed, n=n)
+        live = LiveIndex(EPS, WINDOW, directory=d, seal_rows=seal_rows)
+        for i in range(0, n, 50):
+            live.append_array(ts[i : i + 50], vs[i : i + 50])
+        live.seal()
+        assert len(live.partitions) >= 2
+        specs = live.partitions
+        live.close()
+        return ts, vs, specs
+
+    def test_scrub_quarantines_truncated_partition(self, tmp_path):
+        d = str(tmp_path / "live.d")
+        ts, vs, specs = self._build(d)
+        victim = specs[1].file
+        with open(os.path.join(d, victim), "r+b") as fh:
+            fh.truncate(97)  # a torn partition file
+
+        flight.clear()
+        reopened = LiveIndex.open(d, scrub=True)
+        # rolled back to the intact prefix; the torn file (and the WAL,
+        # whose frames continue from the discarded suffix) quarantined
+        assert [s.partition_id for s in reopened.partitions] == [
+            specs[0].partition_id
+        ]
+        qdir = os.path.join(d, "quarantine")
+        assert victim in os.listdir(qdir)
+        assert any(
+            e.category == "scrub" for e in flight.tail()
+        )
+        # the producer re-feeds; the final answer is exact
+        reopened.append_array(ts, vs)
+        reopened.finalize()
+        ref = reference_index(ts, vs)
+        assert_equivalent(ref, reopened)
+        ref.close()
+        reopened.close()
+
+    def test_scrub_detects_silent_bit_rot(self, tmp_path):
+        d = str(tmp_path / "live.d")
+        ts, vs, specs = self._build(d)
+        victim = specs[0]
+        path = os.path.join(d, victim.file)
+        # flip one stored feature value without touching the container:
+        # only the persisted checksum trees can notice this
+        conn = sqlite3.connect(path)
+        table = next(
+            t for t in ("drop_points", "jump_points",
+                        "drop_lines", "jump_lines")
+            if conn.execute(
+                f"SELECT COUNT(*) FROM {t}"
+            ).fetchone()[0] > 0
+        )
+        conn.execute(f"UPDATE {table} SET dv = dv + 0.5 "
+                     f"WHERE rowid = 1"
+                     if table.endswith("points") else
+                     f"UPDATE {table} SET dv1 = dv1 + 0.5 "
+                     f"WHERE rowid = 1")
+        conn.commit()
+        conn.close()
+
+        reopened = LiveIndex.open(d, scrub=True)
+        # the first partition is damaged — everything rolls back
+        assert reopened.partitions == []
+        assert victim.file in os.listdir(os.path.join(d, "quarantine"))
+        reopened.append_array(ts, vs)
+        reopened.finalize()
+        ref = reference_index(ts, vs)
+        assert_equivalent(ref, reopened)
+        ref.close()
+        reopened.close()
+
+    def test_scrub_quarantines_orphans_not_deletes(self, tmp_path):
+        d = str(tmp_path / "live.d")
+        ts, vs, specs = self._build(d)
+        orphan = os.path.join(d, "p009999.sqlite")
+        with open(orphan, "wb") as fh:
+            fh.write(b"partial seal leftovers")
+        with open(os.path.join(d, MANIFEST_NAME + ".tmp"), "w") as fh:
+            fh.write("{torn")
+
+        reopened = LiveIndex.open(d, scrub=True)
+        assert not os.path.exists(orphan)
+        listed = os.listdir(os.path.join(d, "quarantine"))
+        assert "p009999.sqlite" in listed
+        assert MANIFEST_NAME + ".tmp" in listed
+        # intact partitions untouched
+        assert [s.partition_id for s in reopened.partitions] == [
+            s.partition_id for s in specs
+        ]
+        reopened.close()
+
+    def test_plain_open_still_sweeps_orphans(self, tmp_path):
+        d = str(tmp_path / "live.d")
+        self._build(d)
+        orphan = os.path.join(d, "p009999.sqlite")
+        with open(orphan, "wb") as fh:
+            fh.write(b"leftovers")
+        reopened = LiveIndex.open(d)  # no scrub: orphans are deleted
+        assert not os.path.exists(orphan)
+        reopened.close()
+
+
+# ---------------------------------------------------------------------- #
+# fsck over live directories
+# ---------------------------------------------------------------------- #
+
+
+class TestLiveFsck:
+    def test_fsck_ok(self, tmp_path, capsys):
+        from repro.cli import main
+
+        d = str(tmp_path / "live.d")
+        ts, vs = make_walk(37, n=400)
+        live = LiveIndex(EPS, WINDOW, directory=d, seal_rows=150)
+        live.append_array(ts, vs)
+        live.seal()
+        live.close()
+        assert main(["fsck", d]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+        assert WAL_NAME in out  # the WAL scan is reported as a note
+
+    def test_fsck_reports_torn_partition(self, tmp_path, capsys):
+        from repro.cli import main
+
+        d = str(tmp_path / "live.d")
+        ts, vs = make_walk(37, n=400)
+        live = LiveIndex(EPS, WINDOW, directory=d, seal_rows=150)
+        live.append_array(ts, vs)
+        live.seal()
+        victim = live.partitions[0].file
+        live.close()
+        with open(os.path.join(d, victim), "r+b") as fh:
+            fh.truncate(97)
+        assert main(["fsck", d]) == 1
+        assert "problem" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------- #
+# stateful crash machine
+# ---------------------------------------------------------------------- #
+
+
+class LiveCrashMachine(RuleBasedStateMachine):
+    """Random ingest/seal/compact schedules with power cuts injected at
+    arbitrary file operations, recovered via ``open(scrub=True)`` and
+    checked against a batch build of the recovered prefix — the live
+    twin of PR 1's ``CrashRecoveryMachine``.
+    """
+
+    N = 420
+
+    def __init__(self):
+        super().__init__()
+        import tempfile
+
+        self.tmp = tempfile.TemporaryDirectory()
+        self.dir = os.path.join(self.tmp.name, "live.d")
+        self.ts, self.vs = make_walk(43, n=self.N)
+        self.cursor = 0
+        self.injector = FaultInjector()
+        self.live = LiveIndex(
+            EPS, WINDOW, directory=self.dir,
+            seal_rows=140, wal_sync_obs=48,
+            _fs=FaultyFS(self.injector),
+        )
+
+    def _recover(self):
+        self.injector.close_all()
+        try:
+            self.live.close()
+        except Exception:
+            pass
+        self.injector = FaultInjector()
+        self.live = LiveIndex.open(
+            self.dir, scrub=True,
+            seal_rows=140, wal_sync_obs=48,
+            _fs=FaultyFS(self.injector),
+        )
+        horizon = recovery_horizon(self.live)
+        k = assert_prefix_equivalent(
+            self.ts, self.vs, horizon, self.live
+        )
+        # continue the stream from the recovered point — the feed must
+        # never leave a hole
+        self.cursor = k
+
+    def _feed(self, n):
+        lo, hi = self.cursor, min(self.cursor + n, self.N)
+        if lo >= hi:
+            return
+        self.live.append_array(self.ts[lo:hi], self.vs[lo:hi])
+        self.cursor = hi
+
+    @rule(n=st.integers(min_value=10, max_value=80))
+    def append_chunk(self, n):
+        try:
+            self._feed(n)
+        except (FaultInjected, OSError):
+            self._recover()
+
+    @rule()
+    def seal(self):
+        try:
+            self.live.seal()
+        except (FaultInjected, OSError):
+            self._recover()
+
+    @rule()
+    def compact(self):
+        try:
+            self.live.compact(max_rows=10**9)
+        except (FaultInjected, OSError):
+            self._recover()
+
+    @rule(
+        offset=st.integers(min_value=1, max_value=12),
+        mode=st.sampled_from(["crash", "torn", "enospc"]),
+        n=st.integers(min_value=10, max_value=80),
+    )
+    def crash_during(self, offset, mode, n):
+        self.injector.arm(
+            FaultPolicy(
+                fail_at=self.injector.op_count + offset, mode=mode
+            )
+        )
+        try:
+            self._feed(n)
+            self.live.seal()
+        except (FaultInjected, OSError):
+            self._recover()
+        else:
+            self.injector.arm(FaultPolicy())  # never fired
+
+    @rule()
+    def clean_reopen(self):
+        self.live.close()
+        self.injector.close_all()
+        self.injector = FaultInjector()
+        self.live = LiveIndex.open(
+            self.dir, seal_rows=140, wal_sync_obs=48,
+            _fs=FaultyFS(self.injector),
+        )
+        # a clean close loses nothing at all
+        horizon = recovery_horizon(self.live)
+        k = assert_prefix_equivalent(
+            self.ts, self.vs, horizon, self.live
+        )
+        assert k == self.cursor, (
+            f"clean reopen lost {self.cursor - k} observations"
+        )
+
+    def teardown(self):
+        try:
+            self.live.close()
+        except Exception:
+            pass
+        self.injector.close_all()
+        self.tmp.cleanup()
+
+
+TestLiveCrashMachine = pytest.mark.filterwarnings("ignore")(
+    LiveCrashMachine.TestCase
+)
+TestLiveCrashMachine.settings = settings(
+    max_examples=8, stateful_step_count=12, deadline=None
+)

@@ -334,10 +334,11 @@ class TestCrashRecovery:
             live.seal()
         monkeypatch.setattr(os, "replace", real_replace)
         # the failed seal left no partition, no orphan file, and the hot
-        # data intact — retrying just works
+        # data intact — retrying just works (the hot-partition WAL is
+        # the only other legitimate resident)
         assert live.partitions == []
         assert all(
-            f == MANIFEST_NAME for f in os.listdir(d)
+            f in (MANIFEST_NAME, "hot.wal") for f in os.listdir(d)
         ), os.listdir(d)
         assert live.seal() is not None
         live.finalize()
